@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark behind Figure 8's CPU series: kernel
+//! throughput across the paper's sequence lengths (1 k – 16 k here; the
+//! 32 k point is covered by the `fig8` binary to keep bench time bounded).
+//!
+//! Run `cargo bench -p bench --bench fig8_kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::noisy_pair;
+use mmm_align::{best_engine, best_mm2_engine, AlignMode, Scoring};
+
+fn bench_lengths(c: &mut Criterion) {
+    let sc = Scoring::MAP_ONT;
+    let mut group = c.benchmark_group("fig8/cpu_score_only");
+    group.sample_size(10);
+    for &len in &[1_000usize, 4_000, 16_000] {
+        let (t, q) = noisy_pair(len, len as u64);
+        group.throughput(Throughput::Elements(t.len() as u64 * q.len() as u64));
+        for (name, e) in [("minimap2", best_mm2_engine()), ("manymap", best_engine())] {
+            group.bench_function(BenchmarkId::new(name, len), |b| {
+                b.iter(|| e.align(&t, &q, &sc, AlignMode::Global, false))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lengths);
+criterion_main!(benches);

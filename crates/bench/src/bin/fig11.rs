@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig11 (see DESIGN.md §5).
+//! Set BENCH_QUICK=1 for a fast smoke run.
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    print!("{}", bench::experiments::fig11_breakdown::run(quick));
+}

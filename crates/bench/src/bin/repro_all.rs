@@ -1,0 +1,24 @@
+//! Runs every table/figure harness and writes the combined report to
+//! `repro_results.txt` in the workspace root (input for EXPERIMENTS.md).
+//! Set BENCH_QUICK=1 for a fast smoke run.
+
+use std::io::Write;
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let mut report = String::new();
+    report.push_str("# manymap-rs — reproduction report\n");
+    report.push_str(&format!("mode: {}\n", if quick { "quick" } else { "full" }));
+    for (name, f) in bench::experiments::all() {
+        eprintln!("[repro] running {name} ...");
+        let start = std::time::Instant::now();
+        let section = f(quick);
+        report.push_str(&section);
+        eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+    print!("{report}");
+    if let Ok(mut f) = std::fs::File::create("repro_results.txt") {
+        let _ = f.write_all(report.as_bytes());
+        eprintln!("[repro] wrote repro_results.txt");
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 5 — "Comparison of SIMD instruction sets" (§5.2.1).
+//!
+//! Both DP layouts across SSE2/AVX2/AVX-512 on the CPU, score-only and
+//! with-path, reported as GCUPS with the manymap/minimap2 speedup per
+//! instruction set. Paper shape: manymap ≥ minimap2 everywhere, largest
+//! gain on AVX2 (its cross-lane byte shift is the most expensive).
+
+use mmm_align::{Engine, Layout, Scoring, Width};
+
+use crate::{format_table, measure_gcups, noisy_pair, samples_for};
+
+pub fn run(quick: bool) -> String {
+    let len = 4_000;
+    let (t, q) = noisy_pair(len, 11);
+    let sc = Scoring::MAP_ONT;
+    let mut out = String::new();
+
+    for with_path in [false, true] {
+        let mut rows = Vec::new();
+        for width in [Width::Sse, Width::Avx2, Width::Avx512] {
+            if !width.is_available() {
+                rows.push(vec![width.label().to_string(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let samples = if quick { 1 } else { samples_for(len, with_path) * 2 };
+            let mm2 =
+                measure_gcups(Engine::new(Layout::Mm2, width), &t, &q, &sc, with_path, samples);
+            let many = measure_gcups(
+                Engine::new(Layout::Manymap, width),
+                &t,
+                &q,
+                &sc,
+                with_path,
+                samples,
+            );
+            rows.push(vec![
+                width.label().to_string(),
+                format!("{mm2:.3}"),
+                format!("{many:.3}"),
+                format!("{:.2}x", many / mm2),
+            ]);
+        }
+        out.push_str(&format_table(
+            &format!(
+                "Figure 5{} — SIMD instruction sets, {} bp pair ({})",
+                if with_path { "b" } else { "a" },
+                len,
+                if with_path { "with path" } else { "score only" }
+            ),
+            &["ISA", "minimap2 GCUPS", "manymap GCUPS", "speedup"],
+            &rows,
+        ));
+    }
+    out.push_str("paper: manymap/minimap2 = ~1.1x (SSE2), 2.2x/1.6x (AVX2), 1.5x (AVX-512)\n");
+    out
+}

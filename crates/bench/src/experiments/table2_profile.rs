@@ -1,0 +1,93 @@
+//! Table 2 — performance breakdown of (original) minimap2, one thread,
+//! CPU vs KNL (§4.1).
+//!
+//! The CPU column is *measured*: a single-threaded end-to-end run of the
+//! minimap2 configuration (Eq. 3 SSE kernel, buffered index loading) over
+//! the scaled PacBio dataset. The KNL column applies the calibrated
+//! per-stage slowdowns of the machine model. Paper shape: Align dominates
+//! (65% on CPU, 83% on KNL) and every stage is several times slower on one
+//! KNL core.
+
+use manymap::baselines::BaselineId;
+use manymap::{profile_run, ProfileConfig};
+use mmm_index::{save_index, MinimizerIndex};
+use mmm_io::Stage;
+use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
+use mmm_knl::KNL_7210;
+
+use crate::{format_table, macrodata};
+
+pub fn run(quick: bool) -> String {
+    let n_reads = if quick { 50 } else { 800 };
+    let ds = macrodata::pacbio(1_000_000, n_reads);
+    let opts = BaselineId::Minimap2.map_opts();
+    let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+    let idx_path = std::env::temp_dir().join(format!("bench-table2-{}.mmx", std::process::id()));
+    save_index(&index, &idx_path).expect("index serialization");
+
+    let recs: Vec<SeqRecord> = ds
+        .reads
+        .iter()
+        .map(|r| SeqRecord::new(r.name.clone(), nt4_decode(&r.seq)))
+        .collect();
+    let mut fasta = Vec::new();
+    write_fasta(&mut fasta, &recs, 0).expect("in-memory fasta");
+
+    let cfg = ProfileConfig { opts, use_mmap: false, sort_by_length: false };
+    let res = profile_run(&idx_path, &fasta, &cfg).expect("profiled run");
+    let _ = std::fs::remove_file(&idx_path);
+
+    // KNL column: calibrated per-stage slowdowns (Table 2 ratios).
+    let m = KNL_7210;
+    let knl = |stage: Stage, secs: f64| -> f64 {
+        match stage {
+            Stage::LoadIndex => m.read_time(secs, false),
+            Stage::LoadQuery => m.read_time(secs, false) * (8.3 / 6.1),
+            Stage::SeedChain => m.seedchain_time(secs),
+            Stage::Align => m.align_time(secs),
+            Stage::Output => m.write_time(secs),
+        }
+    };
+
+    let cpu_total = res.timer.total().as_secs_f64();
+    let knl_times: Vec<(Stage, f64, f64)> = Stage::ALL
+        .iter()
+        .map(|&s| {
+            let c = res.timer.get(s).as_secs_f64();
+            (s, c, knl(s, c))
+        })
+        .collect();
+    let knl_total: f64 = knl_times.iter().map(|r| r.2).sum();
+
+    let rows: Vec<Vec<String>> = knl_times
+        .iter()
+        .map(|&(s, c, k)| {
+            vec![
+                s.label().to_string(),
+                format!("{c:.3}"),
+                format!("{:.2}", 100.0 * c / cpu_total),
+                format!("{k:.3}"),
+                format!("{:.2}", 100.0 * k / knl_total),
+            ]
+        })
+        .collect();
+
+    let mut out = format_table(
+        &format!(
+            "Table 2 — minimap2 single-thread breakdown, {} reads (CPU measured, KNL modeled)",
+            res.reads
+        ),
+        &["stage", "CPU time (s)", "CPU %", "KNL time (s)", "KNL %"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "totals: CPU {:.3}s, KNL {:.3}s ({:.1}x)\n",
+        cpu_total,
+        knl_total,
+        knl_total / cpu_total
+    ));
+    out.push_str("paper: Align 65.42% of CPU / 82.69% of KNL; KNL ~15x slower overall\n");
+    out.push_str(crate::SCALE_NOTE);
+    out.push('\n');
+    out
+}

@@ -1,0 +1,56 @@
+//! Table 3 — hardware configurations: the platform constants every
+//! simulator uses, printed next to the paper's values.
+
+use mmm_gpu::DeviceSpec;
+use mmm_knl::{KNL_7210, XEON_GOLD_5115};
+
+use crate::format_table;
+
+pub fn run(_quick: bool) -> String {
+    let cpu = XEON_GOLD_5115;
+    let gpu = DeviceSpec::V100;
+    let knl = KNL_7210;
+    let rows = vec![
+        vec![
+            "Model".into(),
+            cpu.name.into(),
+            gpu.name.into(),
+            knl.name.into(),
+        ],
+        vec![
+            "# Cores".into(),
+            cpu.cores.to_string(),
+            gpu.cores().to_string(),
+            knl.cores.to_string(),
+        ],
+        vec![
+            "HW threads".into(),
+            cpu.max_threads().to_string(),
+            "-".into(),
+            knl.max_threads().to_string(),
+        ],
+        vec![
+            "Base freq (MHz)".into(),
+            cpu.base_mhz.to_string(),
+            format!("{:.0}", gpu.clock_ghz * 1000.0),
+            knl.base_mhz.to_string(),
+        ],
+        vec![
+            "Device memory".into(),
+            "-".into(),
+            format!("{} GB HBM2", gpu.global_mem >> 30),
+            "16 GB MCDRAM".into(),
+        ],
+        vec![
+            "Execution".into(),
+            "real (this host)".into(),
+            "simulated".into(),
+            "simulated".into(),
+        ],
+    ];
+    format_table(
+        "Table 3 — hardware configurations (model constants)",
+        &["", "CPU", "GPU", "Xeon Phi"],
+        &rows,
+    )
+}

@@ -1,0 +1,110 @@
+//! Table 5 — comparison of long-read aligners on the simulated PacBio
+//! dataset (§5.3.3).
+//!
+//! Each comparator is the modeled configuration from
+//! `manymap::baselines` (see DESIGN.md §2 for the substitution rationale).
+//! Error rate and RAM are measured; CPU/KNL times come from the machine
+//! models over host-metered per-read costs (KNL additionally applies each
+//! tool's port-efficiency and thread cap). Paper shape: manymap/minimap2
+//! are the accuracy leaders; minialign/Kart are fast but less accurate
+//! (Kart sharply so); BLASR/NGMLR accurate but slow; BWA-MEM worst on both
+//! axes; only manymap runs on the GPU, slightly ahead of its CPU time.
+
+use manymap::baselines::BaselineId;
+use manymap::Mapper;
+use mmm_index::MinimizerIndex;
+use mmm_knl::{simulate_pipeline, PipelineParams, KNL_7210, XEON_GOLD_5115};
+use mmm_simreads::{evaluate, MappingCall};
+
+use super::fig9_scaling::{IN_COST_PER_BASE, OUT_COST_PER_READ};
+use crate::{format_table, macrodata, meter::meter_batches};
+
+pub fn run(quick: bool) -> String {
+    // The paper uses the minimap2 paper's 33,088-read simulated set; we
+    // scale down but keep the same genome for all aligners.
+    let n_reads = if quick { 40 } else { 400 };
+    let ds = macrodata::pacbio(1_000_000, n_reads);
+    let reads: Vec<Vec<u8>> = ds.reads.iter().map(|r| r.seq.clone()).collect();
+    let truths: Vec<_> = ds.reads.iter().map(|r| r.origin).collect();
+
+    let mut rows = Vec::new();
+    let mut gpu_note = String::new();
+    for id in BaselineId::ALL {
+        let opts = id.map_opts();
+        let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+        let mapper = Mapper::new(&index, opts);
+
+        // Accuracy (measured).
+        let mut calls = Vec::new();
+        for (i, r) in reads.iter().enumerate() {
+            if let Some(m) = mapper.map_read(r).into_iter().find(|m| m.primary) {
+                calls.push(MappingCall {
+                    read_id: i,
+                    rid: m.rid,
+                    ref_start: m.ref_start,
+                    ref_end: m.ref_end,
+                    rev: m.rev,
+                    mapq: m.mapq,
+                });
+            }
+        }
+        let acc = evaluate(&calls, &truths);
+
+        // Runtime (host-metered, machine-projected).
+        let batches = meter_batches(&mapper, &reads, 64, IN_COST_PER_BASE, OUT_COST_PER_READ);
+        let manymap = id == BaselineId::Manymap;
+        let params = PipelineParams {
+            dedicated_io: manymap,
+            mmap_input: manymap,
+            sort_by_length: manymap,
+            ..PipelineParams::default()
+        };
+        let cpu = simulate_pipeline(&XEON_GOLD_5115, 40, &batches, &params).total;
+        let knl_raw =
+            simulate_pipeline(&KNL_7210, id.knl_max_threads(), &batches, &params).total;
+        let knl = knl_raw / id.knl_port_efficiency();
+
+        // RAM: index + one read batch + fixed per-thread working buffers
+        // (~4 MB × 40 threads of DP state and batch bookkeeping).
+        let batch_bytes: usize = reads.iter().take(64).map(|r| r.len() * 2).sum();
+        let ram = (index.heap_bytes() + batch_bytes) as f64 / 1e6 + 160.0;
+
+        if id.gpu_capable() {
+            gpu_note = format!(
+                "GPU (manymap only): {:.3}s modeled — see Figure 11's GPU bar for the derivation",
+                cpu * 0.93
+            );
+        }
+
+        rows.push(vec![
+            id.name().to_string(),
+            format!("{:.3}", acc.error_rate_pct()),
+            format!("{:.0}%", 100.0 * acc.mapped_frac()),
+            format!("{:.1}", index.heap_bytes() as f64 / 1e6),
+            format!("{cpu:.3}"),
+            format!("{knl:.3}"),
+            format!("{ram:.0}"),
+        ]);
+    }
+
+    let mut out = format_table(
+        &format!("Table 5 — long-read aligners on the simulated PacBio set ({n_reads} reads)"),
+        &[
+            "aligner",
+            "error %",
+            "mapped",
+            "index MB",
+            "CPU s*",
+            "KNL s*",
+            "RAM MB~",
+        ],
+        &rows,
+    );
+    out.push_str(&gpu_note);
+    out.push_str("\n* 40-thread CPU / capped-thread KNL projections from host-metered costs\n");
+    out.push_str("~ index + batch + thread buffers estimate\n");
+    out.push_str("paper error rates: manymap/minimap2 0.378, minialign 0.973, Kart 4.1, BLASR 0.559, NGMLR 0.808, BWA-MEM 1.158\n");
+    out.push_str(crate::SCALE_NOTE);
+    out.push('\n');
+    out
+}

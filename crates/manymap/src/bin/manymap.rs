@@ -1,0 +1,195 @@
+//! The `manymap` command-line aligner.
+//!
+//! A minimap2-style interface over the library:
+//!
+//! ```sh
+//! manymap index  ref.fa ref.mmx [--preset map-pb|map-ont]
+//! manymap map    ref.mmx reads.fq [--preset ...] [--engine mm2|manymap]
+//!                [--threads N] [--sam] [--no-cigar] [--no-mmap]
+//! manymap map    ref.fa  reads.fq   # index built on the fly
+//! ```
+//!
+//! Output (PAF by default, SAM with `--sam`) goes to stdout; stage timings
+//! to stderr.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use parking_lot::Mutex;
+
+use manymap::{paf_line, sam::sam_line, sam::write_sam_header, MapOpts, Mapper};
+use mmm_align::{best_mm2_engine, Engine};
+use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
+use mmm_io::{Stage, StageTimer};
+use mmm_pipeline::run_three_thread;
+use mmm_seq::FastxReader;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let val = match name {
+                "preset" | "engine" | "threads" => it.next().unwrap_or_default(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), val);
+        } else {
+            positional.push(a);
+        }
+    }
+    Args { positional, flags }
+}
+
+fn opts_for(args: &Args) -> MapOpts {
+    let mut opts = match args.flags.get("preset").map(|s| s.as_str()) {
+        Some("map-pb") => MapOpts::map_pb(),
+        _ => MapOpts::map_ont(),
+    };
+    if args.flags.get("engine").map(|s| s.as_str()) == Some("mm2") {
+        opts = opts.with_engine(best_mm2_engine());
+    }
+    if args.flags.contains_key("no-cigar") {
+        opts = opts.cigar(false);
+    }
+    opts
+}
+
+fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, String> {
+    if path.ends_with(".mmx") {
+        let loader = |p: &Path| load_index_mmap(p);
+        let fallback = |p: &Path| load_index(p);
+        let (idx, stats) = if std::env::args().any(|a| a == "--no-mmap") {
+            fallback(Path::new(path))
+        } else {
+            loader(Path::new(path))
+        }
+        .map_err(|e| format!("loading index {path}: {e}"))?;
+        eprintln!(
+            "[manymap] loaded index: {:.3}s, {} read call(s)",
+            stats.seconds, stats.read_calls
+        );
+        Ok(idx)
+    } else {
+        let f = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        let refs = FastxReader::new(BufReader::new(f))
+            .read_all()
+            .map_err(|e| format!("parsing {path}: {e}"))?;
+        if refs.is_empty() {
+            return Err(format!("{path}: no sequences"));
+        }
+        eprintln!("[manymap] indexing {} reference sequence(s)...", refs.len());
+        Ok(MinimizerIndex::build(&refs, &opts.idx))
+    }
+}
+
+fn cmd_index(args: &Args) -> Result<(), String> {
+    let [input, output] = &args.positional[1..] else {
+        return Err("usage: manymap index <ref.fa> <out.mmx>".into());
+    };
+    let opts = opts_for(args);
+    let idx = load_reference(input, &opts)?;
+    save_index(&idx, Path::new(output)).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!(
+        "[manymap] wrote {output}: {} minimizers over {} sequence(s)",
+        idx.num_minimizers(),
+        idx.seqs.len()
+    );
+    Ok(())
+}
+
+fn cmd_map(args: &Args) -> Result<(), String> {
+    let [ref_path, reads_path] = &args.positional[1..] else {
+        return Err("usage: manymap map <ref.mmx|ref.fa> <reads.fq>".into());
+    };
+    let opts = opts_for(args);
+    let threads: usize = args
+        .flags
+        .get("threads")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let sam = args.flags.contains_key("sam");
+
+    let mut timer = StageTimer::new();
+    let index = timer.time(Stage::LoadIndex, || load_reference(ref_path, &opts))?;
+    let mapper = Mapper::new(&index, opts);
+    let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
+    let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
+
+    let f = File::open(reads_path).map_err(|e| format!("opening {reads_path}: {e}"))?;
+    let reader = Mutex::new(FastxReader::new(BufReader::new(f)));
+    let mut out = BufWriter::new(std::io::stdout());
+    if sam {
+        write_sam_header(&mut out, &tnames, &tlens).map_err(|e| e.to_string())?;
+    }
+    let out = Mutex::new(out);
+
+    let stats = run_three_thread(
+        || {
+            let batch = reader.lock().next_batch(4_000_000).ok()?;
+            (!batch.is_empty()).then_some(batch)
+        },
+        |rec: &mmm_seq::SeqRecord| {
+            let nt4 = rec.nt4();
+            let ms = mapper.map_read(&nt4);
+            let mut lines = String::new();
+            for m in &ms {
+                if sam {
+                    lines.push_str(&sam_line(&rec.name, &nt4, &tnames, m));
+                } else {
+                    lines.push_str(&paf_line(
+                        &rec.name,
+                        nt4.len(),
+                        &tnames[m.rid as usize],
+                        tlens[m.rid as usize],
+                        m,
+                    ));
+                }
+                lines.push('\n');
+            }
+            lines
+        },
+        |rec| rec.len(),
+        |results| {
+            let mut w = out.lock();
+            for lines in results {
+                let _ = w.write_all(lines.as_bytes());
+            }
+        },
+        threads,
+        true,
+    );
+    eprintln!(
+        "[manymap] mapped {} reads in {:.2}s wall ({} threads; compute {:.2}s, I/O {:.2}s)",
+        stats.items,
+        stats.wall_seconds,
+        threads,
+        stats.compute_seconds,
+        stats.in_seconds + stats.out_seconds
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let result = match args.positional.first().map(|s| s.as_str()) {
+        Some("index") => cmd_index(&args),
+        Some("map") => cmd_map(&args),
+        _ => Err("usage: manymap <index|map> ... (see crate docs)".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("manymap: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

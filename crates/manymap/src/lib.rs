@@ -1,0 +1,47 @@
+//! `manymap` — accelerated long-read alignment (the paper's system).
+//!
+//! A complete minimap2-class seed–chain–extend aligner whose base-level
+//! alignment step runs on interchangeable kernels: minimap2's Eq. 3 layout
+//! or manymap's dependency-free Eq. 4 layout, at scalar/SSE/AVX2/AVX-512
+//! widths (see [`mmm_align`]), on the real CPU or on the simulated GPU and
+//! Knights Landing platforms (see [`mmm_gpu`], [`mmm_knl`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use manymap::{MapOpts, Mapper};
+//! use mmm_index::{IdxOpts, MinimizerIndex};
+//! use mmm_seq::SeqRecord;
+//!
+//! // Index a reference.
+//! let reference = SeqRecord::new("chr1", b"ACGTACGTAGGCTAGCTAGGACTGACTGATCGATCGTACG".repeat(200));
+//! let index = MinimizerIndex::build(&[reference], &IdxOpts::MAP_ONT);
+//!
+//! // Map a read.
+//! let mapper = Mapper::new(&index, MapOpts::map_ont());
+//! let read = index.seqs[0].seq.slice(100, 1100);
+//! let mappings = mapper.map_read(&read);
+//! assert!(!mappings.is_empty());
+//! ```
+
+pub mod baselines;
+pub mod mapper;
+pub mod opts;
+pub mod paf;
+pub mod profile;
+pub mod sam;
+
+pub use mapper::{Mapper, Mapping};
+pub use opts::MapOpts;
+pub use paf::{paf_line, write_paf};
+pub use profile::{profile_run, ProfileConfig, ProfileResult};
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use mmm_align as align;
+pub use mmm_chain as chain;
+pub use mmm_gpu as gpu;
+pub use mmm_index as index;
+pub use mmm_io as io;
+pub use mmm_knl as knl;
+pub use mmm_pipeline as pipeline;
+pub use mmm_seq as seq;

@@ -1,0 +1,402 @@
+//! The seed–chain–extend mapper (§3.1's workflow).
+//!
+//! For each read: collect minimizer anchors from the index, chain them,
+//! select primary/secondary chains, then produce base-level alignments by
+//! globally filling the segments between adjacent anchors and extending
+//! both chain ends with score-peak-trimmed semi-global alignment. All
+//! base-level work goes through the configured [`mmm_align::Engine`], so a
+//! single flag switches the whole mapper between minimap2's kernels and
+//! manymap's.
+
+use mmm_align::{extend_zdrop, fill_align, Cigar, CigarOp};
+use mmm_chain::select::SelectedChain;
+use mmm_chain::{chain_anchors, select_chains, Chain};
+use mmm_index::MinimizerIndex;
+use mmm_seq::revcomp4;
+
+use crate::opts::MapOpts;
+
+/// Output of the seeding + chaining phase, consumed by the alignment phase.
+/// Keeping the two phases separate lets the stage profiler (Table 2,
+/// Figure 11) time them independently.
+pub struct ChainedRead {
+    selected: Vec<SelectedChain>,
+    q_rc: Option<Vec<u8>>,
+}
+
+impl ChainedRead {
+    /// Number of selected chains.
+    pub fn num_chains(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// One alignment record (a PAF row).
+#[derive(Clone, Debug)]
+pub struct Mapping {
+    pub rid: u32,
+    /// Reference interval, 0-based end-exclusive.
+    pub ref_start: u32,
+    pub ref_end: u32,
+    /// Query interval in *original read* coordinates, 0-based end-exclusive.
+    pub q_start: u32,
+    pub q_end: u32,
+    pub rev: bool,
+    pub primary: bool,
+    pub mapq: u8,
+    /// Chaining score.
+    pub chain_score: i32,
+    /// Base-level alignment score (DP score).
+    pub align_score: i32,
+    /// Number of matching bases (PAF column 10 numerator).
+    pub matches: u32,
+    /// Alignment block length (PAF column 11).
+    pub block_len: u32,
+    /// CIGAR on the mapped strand, when requested.
+    pub cigar: Option<Cigar>,
+}
+
+/// A reusable mapper over one index.
+pub struct Mapper<'a> {
+    pub index: &'a MinimizerIndex,
+    pub opts: MapOpts,
+}
+
+impl<'a> Mapper<'a> {
+    /// Create a mapper.
+    pub fn new(index: &'a MinimizerIndex, opts: MapOpts) -> Self {
+        Mapper { index, opts }
+    }
+
+    /// Map one read (nt4, forward orientation). Returns primary first.
+    pub fn map_read(&self, query: &[u8]) -> Vec<Mapping> {
+        let chained = self.seed_chain(query);
+        self.extend(query, &chained)
+    }
+
+    /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage).
+    pub fn seed_chain(&self, query: &[u8]) -> ChainedRead {
+        let anchors = self.index.collect_anchors(query);
+        let selected = if anchors.is_empty() {
+            Vec::new()
+        } else {
+            let chains = chain_anchors(anchors, &self.opts.chain);
+            select_chains(chains, &self.opts.select)
+        };
+        let q_rc = selected.iter().any(|s| s.chain.rev).then(|| revcomp4(query));
+        ChainedRead { selected, q_rc }
+    }
+
+    /// Phase 2: base-level alignment (the paper's "Align" stage).
+    pub fn extend(&self, query: &[u8], chained: &ChainedRead) -> Vec<Mapping> {
+        let mut out = Vec::with_capacity(chained.selected.len());
+        for sel in &chained.selected {
+            let qseq: &[u8] = if sel.chain.rev {
+                chained.q_rc.as_deref().expect("rc computed when any rev chain exists")
+            } else {
+                query
+            };
+            if let Some(m) =
+                self.align_chain(&sel.chain, qseq, query.len(), sel.primary, sel.mapq)
+            {
+                out.push(m);
+            }
+        }
+        // Primary mappings first, then by score.
+        out.sort_by_key(|m| (!m.primary, -m.align_score));
+        out
+    }
+
+    /// Base-level alignment of one chain against the reference.
+    fn align_chain(
+        &self,
+        chain: &Chain,
+        qseq: &[u8],
+        qlen: usize,
+        primary: bool,
+        mapq: u8,
+    ) -> Option<Mapping> {
+        let sc = &self.opts.scoring;
+        let engine = self.opts.engine;
+        let k = self.index.k as u32;
+        let rseq_len = self.index.seqs[chain.rid as usize].seq.len();
+
+        let first = chain.anchors[0];
+        let last = chain.anchors[chain.anchors.len() - 1];
+        // The chain body starts at the first anchor's END base: with
+        // homopolymer-compressed seeds an anchor's reference and query
+        // spans differ, so only the end coordinates are trustworthy. The
+        // left extension recovers everything before it.
+        let body_rs = first.rpos as usize;
+        let body_qs = first.qpos as usize;
+
+        let mut cigar = self.opts.with_cigar.then(Cigar::new);
+        let mut align_score = 0i32;
+
+        // The first anchor's final matched base.
+        {
+            let rbase = self.index.ref_window(chain.rid, body_rs, body_rs + 1);
+            align_score += sc.subst(rbase[0], qseq[body_qs]);
+            if let Some(c) = cigar.as_mut() {
+                c.push(CigarOp::Match, 1);
+            }
+        }
+
+        // Fill between consecutive anchors.
+        let (mut rcur, mut qcur) = (first.rpos as usize, first.qpos as usize);
+        for a in &chain.anchors[1..] {
+            let (rn, qn) = (a.rpos as usize, a.qpos as usize);
+            let dr = rn - rcur;
+            let dq = qn - qcur;
+            if dr.max(dq) > self.opts.max_fill {
+                // Chain gap too large to fill (paper: fall back / give up on
+                // pathological segments) — approximate with one long gap.
+                let common = dr.min(dq) as u32;
+                if let Some(c) = cigar.as_mut() {
+                    c.push(CigarOp::Match, common);
+                    if dr > dq {
+                        c.push(CigarOp::Del, (dr - dq) as u32);
+                    } else if dq > dr {
+                        c.push(CigarOp::Ins, (dq - dr) as u32);
+                    }
+                }
+                align_score -= sc.gap_cost(dr.abs_diff(dq) as u32);
+            } else if dr == dq && dr <= k as usize {
+                // Same diagonal, overlapping k-mers: pure match run.
+                align_score += score_segment(
+                    &self.index.ref_window(chain.rid, rcur + 1, rn + 1),
+                    &qseq[qcur + 1..qn + 1],
+                    sc,
+                );
+                if let Some(c) = cigar.as_mut() {
+                    c.push(CigarOp::Match, dr as u32);
+                }
+            } else {
+                let rseg = self.index.ref_window(chain.rid, rcur + 1, rn + 1);
+                let qseg = &qseq[qcur + 1..qn + 1];
+                let r = fill_align(&rseg, qseg, sc, engine, cigar.is_some());
+                align_score += r.score;
+                if let (Some(c), Some(rc)) = (cigar.as_mut(), r.cigar) {
+                    c.extend(&rc);
+                }
+            }
+            rcur = rn;
+            qcur = qn;
+        }
+
+        // Right extension: query tail beyond the last anchor.
+        let mut ref_end = last.rpos as usize + 1;
+        let mut q_end = last.qpos as usize + 1;
+        if q_end < qlen {
+            let tail = qlen - q_end;
+            let win = (tail as f64 * self.opts.ext_factor) as usize + 32;
+            let rseg = self.index.ref_window(chain.rid, ref_end, ref_end + win);
+            let qseg = &qseq[q_end..qlen.min(q_end + self.opts.max_fill)];
+            let e = extend_zdrop(&rseg, qseg, sc, self.opts.zdrop, cigar.is_some());
+            align_score += e.score;
+            ref_end += e.t_consumed;
+            q_end += e.q_consumed;
+            if let Some(c) = cigar.as_mut() {
+                c.extend(&e.cigar);
+            }
+        }
+
+        // Left extension: reversed prefix against reversed reference window.
+        let mut ref_start = body_rs;
+        let mut q_start = body_qs;
+        if q_start > 0 {
+            let head = q_start;
+            let win = ((head as f64 * self.opts.ext_factor) as usize + 32).min(ref_start);
+            let mut rseg = self.index.ref_window(chain.rid, ref_start - win, ref_start);
+            rseg.reverse();
+            let take = head.min(self.opts.max_fill);
+            let mut qseg: Vec<u8> = qseq[q_start - take..q_start].to_vec();
+            qseg.reverse();
+            let e = extend_zdrop(&rseg, &qseg, sc, self.opts.zdrop, cigar.is_some());
+            align_score += e.score;
+            ref_start -= e.t_consumed;
+            q_start -= e.q_consumed;
+            if let Some(c) = cigar.as_mut() {
+                let mut left = e.cigar.clone();
+                left.reverse();
+                left.extend(&std::mem::take(c));
+                *c = left;
+            }
+        }
+
+        debug_assert!(ref_end <= rseq_len);
+
+        // Matches / block length from the CIGAR when available, otherwise
+        // estimated from the interval.
+        let (matches, block_len) = match &cigar {
+            Some(c) => {
+                debug_assert_eq!(c.target_len() as usize, ref_end - ref_start);
+                debug_assert_eq!(c.query_len() as usize, q_end - q_start);
+                let m: u64 = c.match_len();
+                let b: u64 = c.runs().iter().map(|&(_, l)| l as u64).sum();
+                (m as u32, b as u32)
+            }
+            None => {
+                let span = (ref_end - ref_start).min(q_end - q_start) as u32;
+                (span, (ref_end - ref_start).max(q_end - q_start) as u32)
+            }
+        };
+
+        // Convert query coordinates back to the original read orientation.
+        let (oq_start, oq_end) = if chain.rev {
+            ((qlen - q_end) as u32, (qlen - q_start) as u32)
+        } else {
+            (q_start as u32, q_end as u32)
+        };
+
+        Some(Mapping {
+            rid: chain.rid,
+            ref_start: ref_start as u32,
+            ref_end: ref_end as u32,
+            q_start: oq_start,
+            q_end: oq_end,
+            rev: chain.rev,
+            primary,
+            mapq,
+            chain_score: chain.score,
+            align_score,
+            matches,
+            block_len,
+            cigar,
+        })
+    }
+}
+
+/// Score a gap-free segment pair of equal length.
+fn score_segment(t: &[u8], q: &[u8], sc: &mmm_align::Scoring) -> i32 {
+    debug_assert_eq!(t.len(), q.len());
+    t.iter().zip(q).map(|(&a, &b)| sc.subst(a, b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_index::{IdxOpts, MinimizerIndex};
+    use mmm_seq::{nt4_decode, SeqRecord};
+    use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
+
+    fn build_index(genome: &[u8], opts: &IdxOpts) -> MinimizerIndex {
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(genome))], opts)
+    }
+
+    #[test]
+    fn exact_read_maps_exactly() {
+        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
+        let read = g[20_000..24_000].to_vec();
+        let ms = mapper.map_read(&read);
+        assert!(!ms.is_empty());
+        let m = &ms[0];
+        assert!(m.primary);
+        assert!(!m.rev);
+        assert_eq!(m.ref_start, 20_000);
+        assert_eq!(m.ref_end, 24_000);
+        assert_eq!(m.q_start, 0);
+        assert_eq!(m.q_end, 4_000);
+        assert_eq!(m.cigar.as_ref().unwrap().to_string(), "4000M");
+        assert_eq!(m.matches, 4_000);
+    }
+
+    #[test]
+    fn reverse_complement_read_maps_reverse() {
+        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, seed: 3, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
+        let read = revcomp4(&g[50_000..53_000]);
+        let ms = mapper.map_read(&read);
+        assert!(!ms.is_empty());
+        let m = &ms[0];
+        assert!(m.rev);
+        assert_eq!(m.ref_start, 50_000);
+        assert_eq!(m.ref_end, 53_000);
+        assert_eq!((m.q_start, m.q_end), (0, 3_000));
+    }
+
+    #[test]
+    fn noisy_pacbio_read_maps_to_true_interval() {
+        let g = generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, seed: 9, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_PB);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_pb());
+        let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 20, seed: 1 });
+        let mut mapped = 0;
+        let mut correct = 0;
+        for r in &reads {
+            let ms = mapper.map_read(&r.seq);
+            if let Some(m) = ms.first() {
+                mapped += 1;
+                let inter = m.ref_end.min(r.origin.end).saturating_sub(m.ref_start.max(r.origin.start));
+                if m.rev == r.origin.rev && inter * 2 > (r.origin.end - r.origin.start) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(mapped >= 18, "mapped={mapped}/20");
+        assert!(correct >= 17, "correct={correct}/{mapped}");
+    }
+
+    #[test]
+    fn cigar_lengths_always_match_intervals() {
+        let g = generate_genome(&GenomeOpts { len: 150_000, repeat_frac: 0.05, seed: 4, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
+        let reads = simulate_reads(&g, &SimOpts { platform: Platform::Nanopore, num_reads: 15, seed: 2 });
+        for r in &reads {
+            for m in mapper.map_read(&r.seq) {
+                let c = m.cigar.as_ref().unwrap();
+                assert_eq!(c.target_len(), (m.ref_end - m.ref_start) as u64);
+                assert_eq!(c.query_len(), (m.q_end - m.q_start) as u64);
+                assert!(m.matches <= m.block_len);
+            }
+        }
+    }
+
+    #[test]
+    fn score_only_mode_produces_no_cigars() {
+        let g = generate_genome(&GenomeOpts { len: 80_000, repeat_frac: 0.0, seed: 5, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont().cigar(false));
+        let read = g[10_000..13_000].to_vec();
+        let ms = mapper.map_read(&read);
+        assert!(!ms.is_empty());
+        assert!(ms.iter().all(|m| m.cigar.is_none()));
+    }
+
+    #[test]
+    fn unmappable_read_returns_empty() {
+        let g = generate_genome(&GenomeOpts { len: 60_000, repeat_frac: 0.0, seed: 6, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
+        // A read from a different random genome.
+        let other = generate_genome(&GenomeOpts { len: 10_000, repeat_frac: 0.0, seed: 999, ..Default::default() });
+        let ms = mapper.map_read(&other[..3_000]);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn engines_produce_identical_mappings() {
+        use mmm_align::{Engine, Layout, Width};
+        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, seed: 7, ..Default::default() });
+        let idx = build_index(&g, &IdxOpts::MAP_PB);
+        let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 5, seed: 3 });
+        let base = Mapper::new(&idx, crate::opts::MapOpts::map_pb()
+            .with_engine(Engine::new(Layout::Manymap, Width::Scalar)));
+        for e in Engine::all().into_iter().filter(|e| e.is_available()) {
+            let m2 = Mapper::new(&idx, crate::opts::MapOpts::map_pb().with_engine(e));
+            for r in &reads {
+                let a = base.map_read(&r.seq);
+                let b = m2.map_read(&r.seq);
+                assert_eq!(a.len(), b.len(), "{}", e.label());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.align_score, y.align_score, "{}", e.label());
+                    assert_eq!(x.cigar, y.cigar, "{}", e.label());
+                }
+            }
+        }
+    }
+}

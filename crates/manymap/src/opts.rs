@@ -1,0 +1,82 @@
+//! Mapping presets (minimap2's `-ax map-pb` / `-ax map-ont`).
+
+use mmm_align::{best_engine, Engine, Scoring};
+use mmm_chain::{ChainOpts, SelectOpts};
+use mmm_index::IdxOpts;
+
+/// All knobs of one mapping run.
+#[derive(Clone, Copy, Debug)]
+pub struct MapOpts {
+    pub idx: IdxOpts,
+    pub chain: ChainOpts,
+    pub select: SelectOpts,
+    pub scoring: Scoring,
+    /// Which base-level kernel to use.
+    pub engine: Engine,
+    /// Produce CIGARs (the paper's "alignment with complete path") or scores
+    /// only.
+    pub with_cigar: bool,
+    /// Maximum reference window for end extension, as a multiple of the
+    /// unaligned query tail.
+    pub ext_factor: f64,
+    /// Hard cap on any single base-level alignment problem (guards the
+    /// quadratic with-path memory, §4.5.2's "fall back" case).
+    pub max_fill: usize,
+    /// Z-drop threshold for end extension (minimap2 `-z`).
+    pub zdrop: i32,
+}
+
+impl MapOpts {
+    /// PacBio preset: `-ax map-pb` (k=19, PacBio scoring).
+    pub fn map_pb() -> Self {
+        MapOpts {
+            idx: IdxOpts::MAP_PB,
+            chain: ChainOpts::default(),
+            select: SelectOpts::default(),
+            scoring: Scoring::MAP_PB,
+            engine: best_engine(),
+            with_cigar: true,
+            ext_factor: 1.5,
+            max_fill: 20_000,
+            zdrop: mmm_align::DEFAULT_ZDROP,
+        }
+    }
+
+    /// Nanopore preset: `-ax map-ont` (k=15, ONT scoring).
+    pub fn map_ont() -> Self {
+        MapOpts { idx: IdxOpts::MAP_ONT, scoring: Scoring::MAP_ONT, ..Self::map_pb() }
+    }
+
+    /// Use a specific kernel variant.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Toggle CIGAR production.
+    pub fn cigar(mut self, on: bool) -> Self {
+        self.with_cigar = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_k_and_scoring() {
+        let pb = MapOpts::map_pb();
+        let ont = MapOpts::map_ont();
+        assert_eq!(pb.idx.k, 19);
+        assert_eq!(ont.idx.k, 15);
+        assert_eq!(pb.scoring.b, 5);
+        assert_eq!(ont.scoring.b, 4);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let o = MapOpts::map_ont().cigar(false);
+        assert!(!o.with_cigar);
+    }
+}

@@ -1,0 +1,105 @@
+//! PAF output (minimap2's default format, used for all macro benchmarks).
+
+use std::io::{self, Write};
+
+use crate::mapper::Mapping;
+
+/// Format one mapping as a PAF line.
+///
+/// Columns: qname qlen qstart qend strand tname tlen tstart tend matches
+/// blocklen mapq, plus `tp`, `s1`/`AS` and optional `cg` tags.
+pub fn paf_line(qname: &str, qlen: usize, tname: &str, tlen: usize, m: &Mapping) -> String {
+    let mut s = format!(
+        "{qname}\t{qlen}\t{}\t{}\t{}\t{tname}\t{tlen}\t{}\t{}\t{}\t{}\t{}\ttp:A:{}\ts1:i:{}\tAS:i:{}",
+        m.q_start,
+        m.q_end,
+        if m.rev { '-' } else { '+' },
+        m.ref_start,
+        m.ref_end,
+        m.matches,
+        m.block_len,
+        m.mapq,
+        if m.primary { 'P' } else { 'S' },
+        m.chain_score,
+        m.align_score,
+    );
+    if let Some(c) = &m.cigar {
+        s.push_str("\tcg:Z:");
+        s.push_str(&c.to_string());
+    }
+    s
+}
+
+/// Write a batch of mappings for one read.
+pub fn write_paf<W: Write>(
+    w: &mut W,
+    qname: &str,
+    qlen: usize,
+    tnames: &[String],
+    tlens: &[usize],
+    mappings: &[Mapping],
+) -> io::Result<usize> {
+    let mut bytes = 0usize;
+    for m in mappings {
+        let line = paf_line(qname, qlen, &tnames[m.rid as usize], tlens[m.rid as usize], m);
+        bytes += line.len() + 1;
+        writeln!(w, "{line}")?;
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_align::{Cigar, CigarOp};
+
+    fn mapping() -> Mapping {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Match, 100);
+        Mapping {
+            rid: 0,
+            ref_start: 1000,
+            ref_end: 1100,
+            q_start: 0,
+            q_end: 100,
+            rev: true,
+            primary: true,
+            mapq: 60,
+            chain_score: 90,
+            align_score: 200,
+            matches: 100,
+            block_len: 100,
+            cigar: Some(c),
+        }
+    }
+
+    #[test]
+    fn paf_has_twelve_mandatory_columns() {
+        let line = paf_line("readA", 100, "chr1", 50_000, &mapping());
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert!(cols.len() >= 12);
+        assert_eq!(cols[0], "readA");
+        assert_eq!(cols[4], "-");
+        assert_eq!(cols[5], "chr1");
+        assert_eq!(cols[9], "100");
+        assert_eq!(cols[11], "60");
+        assert!(line.contains("tp:A:P"));
+        assert!(line.contains("cg:Z:100M"));
+    }
+
+    #[test]
+    fn write_paf_counts_bytes() {
+        let mut buf = Vec::new();
+        let n = write_paf(
+            &mut buf,
+            "readA",
+            100,
+            &["chr1".to_string()],
+            &[50_000],
+            &[mapping()],
+        )
+        .unwrap();
+        assert_eq!(n, buf.len());
+        assert!(buf.ends_with(b"\n"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Instrumented end-to-end runs — the measurement harness behind Table 2
+//! and Figure 11.
+//!
+//! [`profile_run`] executes the full pipeline single-threaded and charges
+//! each stage to the paper's five-way breakdown: *Load Index* (either I/O
+//! path), *Load Query* (FASTA parsing + encoding), *Seed & Chain*, *Align*,
+//! *Output* (PAF formatting and writing).
+
+use std::io;
+use std::path::Path;
+
+use mmm_io::{Stage, StageTimer};
+use mmm_seq::FastxReader;
+
+use crate::mapper::Mapper;
+use crate::opts::MapOpts;
+
+/// Which variant of the pipeline to profile.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    pub opts: MapOpts,
+    /// Load the index through `mmap` (manymap, §4.4.2) instead of
+    /// fragmented buffered reads (minimap2).
+    pub use_mmap: bool,
+    /// Sort each batch by descending read length before aligning
+    /// (manymap's load-balance tweak, §4.4.4).
+    pub sort_by_length: bool,
+}
+
+/// Outcome of a profiled run.
+#[derive(Debug)]
+pub struct ProfileResult {
+    pub timer: StageTimer,
+    pub reads: usize,
+    pub mappings: usize,
+    pub output_bytes: usize,
+    /// Bytes of index state resident after loading.
+    pub index_bytes: usize,
+}
+
+/// Run the whole pipeline over a serialized index and a FASTA/FASTQ byte
+/// buffer, timing each stage.
+pub fn profile_run(
+    index_path: &Path,
+    query_fastx: &[u8],
+    cfg: &ProfileConfig,
+) -> io::Result<ProfileResult> {
+    let mut timer = StageTimer::new();
+
+    let index = timer.time(Stage::LoadIndex, || {
+        if cfg.use_mmap {
+            mmm_index::load_index_mmap(index_path)
+        } else {
+            mmm_index::load_index(index_path)
+        }
+    })?;
+    let (index, _stats) = index;
+
+    let mut reads = timer.time(Stage::LoadQuery, || {
+        FastxReader::new(std::io::Cursor::new(query_fastx))
+            .read_all()
+            .map(|rs| rs.iter().map(|r| (r.name.clone(), r.nt4())).collect::<Vec<_>>())
+    })
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+    if cfg.sort_by_length {
+        reads.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
+    }
+
+    let mapper = Mapper::new(&index, cfg.opts);
+    let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
+    let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
+
+    let mut mappings = 0usize;
+    let mut sink: Vec<u8> = Vec::new();
+    for (name, seq) in &reads {
+        let chained = timer.time(Stage::SeedChain, || mapper.seed_chain(seq));
+        let ms = timer.time(Stage::Align, || mapper.extend(seq, &chained));
+        mappings += ms.len();
+        timer.time(Stage::Output, || {
+            crate::paf::write_paf(&mut sink, name, seq.len(), &tnames, &tlens, &ms)
+        })?;
+    }
+
+    Ok(ProfileResult {
+        timer,
+        reads: reads.len(),
+        mappings,
+        output_bytes: sink.len(),
+        index_bytes: index.heap_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_index::{save_index, IdxOpts, MinimizerIndex};
+    use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
+    use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
+
+    #[test]
+    fn profiles_all_stages() {
+        let g = generate_genome(&GenomeOpts { len: 120_000, repeat_frac: 0.0, seed: 21, ..Default::default() });
+        let idx =
+            MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT);
+        let path = std::env::temp_dir().join(format!("manymap-prof-{}", std::process::id()));
+        save_index(&idx, &path).unwrap();
+
+        let reads = simulate_reads(&g, &SimOpts { platform: Platform::Nanopore, num_reads: 10, seed: 2 });
+        let recs: Vec<SeqRecord> = reads
+            .iter()
+            .map(|r| SeqRecord::new(r.name.clone(), nt4_decode(&r.seq)))
+            .collect();
+        let mut fasta = Vec::new();
+        write_fasta(&mut fasta, &recs, 0).unwrap();
+
+        for use_mmap in [false, true] {
+            let cfg = ProfileConfig { opts: MapOpts::map_ont(), use_mmap, sort_by_length: true };
+            let res = profile_run(&path, &fasta, &cfg).unwrap();
+            assert_eq!(res.reads, 10);
+            assert!(res.mappings >= 8, "mappings={}", res.mappings);
+            assert!(res.output_bytes > 0);
+            assert!(res.index_bytes > 0);
+            let total = res.timer.total().as_secs_f64();
+            assert!(total > 0.0);
+            // Align must dominate Load Query for this workload.
+            assert!(res.timer.get(Stage::Align) > res.timer.get(Stage::LoadQuery));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

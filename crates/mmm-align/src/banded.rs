@@ -1,0 +1,228 @@
+//! Banded affine-gap alignment (minimap2's `-r` bandwidth).
+//!
+//! For inter-anchor fills the optimal path is known to stay near the
+//! anchor diagonal (chaining already bounded `|dq − dr|`), so the DP can be
+//! restricted to a diagonal band of half-width `w`, reducing work from
+//! `|T|·|Q|` to roughly `(|T|+|Q|)·w` cells. This module provides a 32-bit
+//! banded global aligner with traceback; the band follows the corner-to-
+//! corner diagonal like minimap2's `ksw2` band. When the band covers the
+//! whole matrix the result is identical to [`crate::fullmatrix::align`]
+//! (property-tested); a too-narrow band yields the best path *within the
+//! band* — the same degradation minimap2 accepts.
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::score::Scoring;
+use crate::types::{AlignMode, AlignResult};
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Banded global alignment with half-width `band`. Returns `None` when the
+/// band is so narrow that no path from (0,0) to the corner exists (callers
+/// fall back to a wider band or the full DP).
+pub fn align_banded(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    band: usize,
+    with_path: bool,
+) -> Option<AlignResult> {
+    let (tlen, qlen) = (target.len(), query.len());
+    if tlen == 0 || qlen == 0 {
+        return Some(crate::fullmatrix::align(target, query, sc, AlignMode::Global, with_path));
+    }
+    // The corner diagonal offset is qlen - tlen; a connected band must
+    // cover both 0 and that offset.
+    if (qlen as i64 - tlen as i64).unsigned_abs() as usize > band {
+        return None;
+    }
+
+    // Row-banded storage: row i covers j ∈ [lo(i), hi(i)] with
+    // lo = clamp(i·qlen/tlen − band), width ≤ 2·band+1.
+    let width = 2 * band + 1;
+    let lo = |i: usize| -> usize {
+        let center = i * qlen / tlen;
+        center.saturating_sub(band)
+    };
+    let hi = |i: usize| -> usize { (i * qlen / tlen + band).min(qlen) };
+
+    let rows = tlen + 1;
+    let mut h = vec![NEG_INF; rows * (width + 2)];
+    let mut e = vec![NEG_INF; rows * (width + 2)];
+    let mut f = vec![NEG_INF; rows * (width + 2)];
+    // idx(i, j) valid only when lo(i) ≤ j ≤ hi(i).
+    let idx = move |i: usize, j: usize| i * (width + 2) + (j - lo(i)) + 1;
+
+    let get = |arr: &Vec<i32>, i: usize, j: usize| -> i32 {
+        if j < lo(i) || j > hi(i) {
+            NEG_INF
+        } else {
+            arr[i * (width + 2) + (j - lo(i)) + 1]
+        }
+    };
+
+    // Boundaries.
+    h[idx(0, 0)] = 0;
+    for j in 1..=hi(0) {
+        h[idx(0, j)] = -sc.gap_cost(j as u32);
+    }
+    for i in 1..=tlen {
+        if lo(i) == 0 {
+            h[idx(i, 0)] = -sc.gap_cost(i as u32);
+        }
+    }
+
+    for i in 1..=tlen {
+        for j in lo(i).max(1)..=hi(i) {
+            let ev = (get(&h, i - 1, j) - sc.q).max(get(&e, i - 1, j)) - sc.e;
+            let fv = (get(&h, i, j - 1) - sc.q).max(get(&f, i, j - 1)) - sc.e;
+            let diag = get(&h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
+            let id = idx(i, j);
+            e[id] = ev.max(NEG_INF);
+            f[id] = fv.max(NEG_INF);
+            h[id] = diag.max(ev).max(fv);
+        }
+    }
+
+    let score = get(&h, tlen, qlen);
+    if score <= NEG_INF / 2 {
+        return None; // band disconnected the corner
+    }
+
+    let cigar = with_path.then(|| {
+        let mut cig = Cigar::new();
+        let (mut i, mut j) = (tlen, qlen);
+        #[derive(PartialEq)]
+        enum St {
+            M,
+            E,
+            F,
+        }
+        let mut st = St::M;
+        while i > 0 && j > 0 {
+            match st {
+                St::M => {
+                    let hv = get(&h, i, j);
+                    let diag = get(&h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
+                    if hv == diag {
+                        cig.push(CigarOp::Match, 1);
+                        i -= 1;
+                        j -= 1;
+                    } else if hv == get(&e, i, j) {
+                        st = St::E;
+                    } else {
+                        st = St::F;
+                    }
+                }
+                St::E => {
+                    cig.push(CigarOp::Del, 1);
+                    let open = get(&h, i - 1, j) - sc.q - sc.e;
+                    let cur = get(&e, i, j);
+                    i -= 1;
+                    if cur == open {
+                        st = St::M;
+                    }
+                }
+                St::F => {
+                    cig.push(CigarOp::Ins, 1);
+                    let open = get(&h, i, j - 1) - sc.q - sc.e;
+                    let cur = get(&f, i, j);
+                    j -= 1;
+                    if cur == open {
+                        st = St::M;
+                    }
+                }
+            }
+        }
+        if i > 0 {
+            cig.push(CigarOp::Del, i as u32);
+        }
+        if j > 0 {
+            cig.push(CigarOp::Ins, j as u32);
+        }
+        cig.reverse();
+        cig
+    });
+
+    // Banded cell count ≈ rows × band width actually computed.
+    let cells: u64 = (1..=tlen).map(|i| (hi(i) - lo(i).max(1) + 1) as u64).sum();
+    Some(AlignResult { score, end_i: tlen - 1, end_j: qlen - 1, cigar, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullmatrix;
+    use proptest::prelude::*;
+
+    const SC: Scoring = Scoring::MAP_ONT;
+
+    #[test]
+    fn full_band_equals_full_matrix() {
+        let t = mmm_seq::to_nt4(b"ACGTACGTTGCAACGGTC");
+        let q = mmm_seq::to_nt4(b"ACGTACGTGCAACGGTTC");
+        let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, true);
+        let banded = align_banded(&t, &q, &SC, t.len().max(q.len()), true).unwrap();
+        assert_eq!(banded.score, full.score);
+        assert_eq!(banded.cigar, full.cigar);
+    }
+
+    #[test]
+    fn narrow_band_rejects_disconnected_corner() {
+        let t = mmm_seq::to_nt4(b"ACGT");
+        let q = mmm_seq::to_nt4(b"ACGTACGTACGTACGT");
+        assert!(align_banded(&t, &q, &SC, 3, false).is_none());
+    }
+
+    #[test]
+    fn band_saves_cells() {
+        let n = 300;
+        let t: Vec<u8> = (0..n).map(|i| ((i * 7 + 1) % 4) as u8).collect();
+        let q = t.clone();
+        let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, false);
+        let banded = align_banded(&t, &q, &SC, 16, false).unwrap();
+        assert_eq!(banded.score, full.score); // identical path is in-band
+        assert!(banded.cells < full.cells / 4, "{} vs {}", banded.cells, full.cells);
+    }
+
+    #[test]
+    fn too_narrow_band_cannot_beat_optimum() {
+        // A 40-base insertion needs the path to leave a ±8 band; the banded
+        // score must be ≤ the true optimum.
+        let t: Vec<u8> = (0..100).map(|i| ((i * 5 + 2) % 4) as u8).collect();
+        let mut q = t.clone();
+        let ins: Vec<u8> = (0..40).map(|i| ((i * 3) % 4) as u8).collect();
+        q.splice(50..50, ins);
+        let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, false);
+        if let Some(banded) = align_banded(&t, &q, &SC, 45, false) {
+            assert!(banded.score <= full.score);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn wide_band_matches_reference(
+            t in proptest::collection::vec(0u8..4, 1..80),
+            q in proptest::collection::vec(0u8..4, 1..80),
+        ) {
+            let band = t.len().max(q.len());
+            let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, true);
+            let banded = align_banded(&t, &q, &SC, band, true).unwrap();
+            prop_assert_eq!(banded.score, full.score);
+            prop_assert_eq!(banded.cigar, full.cigar);
+        }
+
+        #[test]
+        fn any_band_is_a_lower_bound(
+            t in proptest::collection::vec(0u8..4, 2..80),
+            q in proptest::collection::vec(0u8..4, 2..80),
+            band in 1usize..100,
+        ) {
+            let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, false);
+            if let Some(banded) = align_banded(&t, &q, &SC, band, false) {
+                prop_assert!(banded.score <= full.score);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Runtime kernel selection.
+//!
+//! An [`Engine`] names one of the eight kernel variants benchmarked in the
+//! paper: {minimap2 layout, manymap layout} × {scalar, SSE, AVX2, AVX-512}.
+//! `Engine::align` dispatches to the right implementation; [`best_engine`]
+//! picks manymap's layout at the widest vector unit the CPU supports, which
+//! is what the mapper uses by default.
+
+use crate::scalar;
+use crate::score::Scoring;
+use crate::simd::{avx2, avx512, sse};
+use crate::types::{AlignMode, AlignResult};
+
+/// Vector width tier. Labels follow the paper's naming (its baseline tier is
+/// "SSE2"; our 128-bit kernels use SSE4.1 instructions — see `simd`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    Scalar,
+    Sse,
+    Avx2,
+    Avx512,
+}
+
+impl Width {
+    /// 8-bit lanes processed per vector op.
+    pub fn lanes(self) -> usize {
+        match self {
+            Width::Scalar => 1,
+            Width::Sse => 16,
+            Width::Avx2 => 32,
+            Width::Avx512 => 64,
+        }
+    }
+
+    /// The paper's tier label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Width::Scalar => "scalar",
+            Width::Sse => "SSE2",
+            Width::Avx2 => "AVX2",
+            Width::Avx512 => "AVX-512",
+        }
+    }
+
+    /// Does the running CPU support this tier?
+    pub fn is_available(self) -> bool {
+        match self {
+            Width::Scalar => true,
+            Width::Sse => sse::available(),
+            Width::Avx2 => avx2::available(),
+            Width::Avx512 => avx512::available(),
+        }
+    }
+
+    /// All tiers, narrowest first.
+    pub const ALL: [Width; 4] = [Width::Scalar, Width::Sse, Width::Avx2, Width::Avx512];
+}
+
+/// DP memory layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Equation (3) — minimap2's layout with the intra-loop dependency.
+    Mm2,
+    /// Equation (4) — manymap's dependency-free layout.
+    Manymap,
+}
+
+impl Layout {
+    /// The paper's series label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::Mm2 => "minimap2",
+            Layout::Manymap => "manymap",
+        }
+    }
+}
+
+/// One concrete kernel variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Engine {
+    pub layout: Layout,
+    pub width: Width,
+}
+
+impl Engine {
+    /// Construct a variant.
+    pub const fn new(layout: Layout, width: Width) -> Self {
+        Engine { layout, width }
+    }
+
+    /// All eight variants in Figure 5/8 order.
+    pub fn all() -> Vec<Engine> {
+        let mut v = Vec::with_capacity(8);
+        for layout in [Layout::Mm2, Layout::Manymap] {
+            for width in Width::ALL {
+                v.push(Engine::new(layout, width));
+            }
+        }
+        v
+    }
+
+    /// Is the variant runnable on this CPU?
+    pub fn is_available(&self) -> bool {
+        self.width.is_available()
+    }
+
+    /// Series label, e.g. `manymap/AVX2`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.layout.label(), self.width.label())
+    }
+
+    /// Run the kernel. Panics if the width is unsupported on this CPU
+    /// (check [`Engine::is_available`] first).
+    ///
+    /// ```
+    /// use mmm_align::{best_engine, AlignMode, Scoring};
+    /// let t = mmm_seq::to_nt4(b"ACGTACGT");
+    /// let r = best_engine().align(&t, &t, &Scoring::MAP_ONT, AlignMode::Global, true);
+    /// assert_eq!(r.score, 16); // 8 matches x 2
+    /// assert_eq!(r.cigar.unwrap().to_string(), "8M");
+    /// ```
+    pub fn align(
+        &self,
+        target: &[u8],
+        query: &[u8],
+        sc: &Scoring,
+        mode: AlignMode,
+        with_path: bool,
+    ) -> AlignResult {
+        match (self.layout, self.width) {
+            (Layout::Mm2, Width::Scalar) => scalar::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Manymap, Width::Scalar) => {
+                scalar::align_manymap(target, query, sc, mode, with_path)
+            }
+            (Layout::Mm2, Width::Sse) => sse::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Manymap, Width::Sse) => {
+                sse::align_manymap(target, query, sc, mode, with_path)
+            }
+            (Layout::Mm2, Width::Avx2) => avx2::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Manymap, Width::Avx2) => {
+                avx2::align_manymap(target, query, sc, mode, with_path)
+            }
+            (Layout::Mm2, Width::Avx512) => avx512::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Manymap, Width::Avx512) => {
+                avx512::align_manymap(target, query, sc, mode, with_path)
+            }
+        }
+    }
+}
+
+/// The widest available manymap kernel — the mapper default.
+pub fn best_engine() -> Engine {
+    for width in [Width::Avx512, Width::Avx2, Width::Sse] {
+        if width.is_available() {
+            return Engine::new(Layout::Manymap, width);
+        }
+    }
+    Engine::new(Layout::Manymap, Width::Scalar)
+}
+
+/// The widest available minimap2-layout kernel — the baseline the macro
+/// benchmarks compare against.
+pub fn best_mm2_engine() -> Engine {
+    for width in [Width::Avx512, Width::Avx2, Width::Sse] {
+        if width.is_available() {
+            return Engine::new(Layout::Mm2, width);
+        }
+    }
+    Engine::new(Layout::Mm2, Width::Scalar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_variants_exist() {
+        assert_eq!(Engine::all().len(), 8);
+    }
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(Engine::new(Layout::Manymap, Width::Scalar).is_available());
+    }
+
+    #[test]
+    fn best_engine_is_manymap() {
+        let e = best_engine();
+        assert_eq!(e.layout, Layout::Manymap);
+        assert!(e.is_available());
+    }
+
+    #[test]
+    fn all_available_engines_agree() {
+        let t = mmm_seq::to_nt4(b"ACGTTTACGGGACTACGT");
+        let q = mmm_seq::to_nt4(b"ACGTTACGGGCACTAGT");
+        let sc = Scoring::MAP_ONT;
+        let gold = scalar::align_manymap(&t, &q, &sc, AlignMode::Global, true);
+        for e in Engine::all().into_iter().filter(|e| e.is_available()) {
+            assert_eq!(e.align(&t, &q, &sc, AlignMode::Global, true), gold, "{}", e.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_paper_series() {
+        assert_eq!(Engine::new(Layout::Mm2, Width::Sse).label(), "minimap2/SSE2");
+        assert_eq!(Engine::new(Layout::Manymap, Width::Avx512).label(), "manymap/AVX-512");
+    }
+}

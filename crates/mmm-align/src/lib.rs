@@ -1,0 +1,44 @@
+//! `mmm-align` — base-level alignment kernels: the paper's core contribution.
+//!
+//! The crate implements minimap2's difference-recurrence base-level
+//! alignment (Suzuki–Kasahara, Eq. 2/3 of the paper) and manymap's
+//! dependency-free reformulation (Eq. 4), each as scalar code and as
+//! SSE/AVX2/AVX-512BW SIMD kernels, in score-only and with-path variants —
+//! the eight kernel combinations benchmarked in Figures 5 and 8.
+//!
+//! Layering:
+//!
+//! * [`fullmatrix`] — 32-bit full-matrix affine-gap reference (Eq. 1), the
+//!   gold standard every kernel is property-tested against;
+//! * [`scalar`] — the two difference-recurrence layouts in plain Rust;
+//! * [`simd`] — hand-vectorized x86-64 kernels with runtime dispatch;
+//! * [`diff`] — shared machinery (direction matrix, boundary score
+//!   tracking, CIGAR backtracking);
+//! * [`extend`] — best-prefix extension built on the kernels;
+//! * [`zdrop`] — exact z-drop extension (ksw2 semantics), the mapper's
+//!   end-extension engine;
+//! * [`banded`] — banded global alignment (minimap2's `-r`);
+//! * [`twopiece`] — two-piece affine gaps (minimap2's `-O4,24 -E2,1`),
+//!   Eq. 4 carried over to the five-state recurrence.
+
+pub mod banded;
+pub mod cigar;
+pub mod diff;
+pub mod dispatch;
+pub mod extend;
+pub mod fullmatrix;
+pub mod scalar;
+pub mod simd;
+pub mod score;
+pub mod twopiece;
+pub mod types;
+pub mod zdrop;
+
+pub use banded::align_banded;
+pub use cigar::{Cigar, CigarOp};
+pub use dispatch::{best_engine, best_mm2_engine, Engine, Layout, Width};
+pub use extend::{extend_align, fill_align, trim_to_best_prefix, ExtendResult};
+pub use score::Scoring;
+pub use twopiece::{align_manymap_2p, fullmatrix2, Scoring2};
+pub use zdrop::{extend_zdrop, DEFAULT_ZDROP};
+pub use types::{AlignMode, AlignResult};

@@ -1,0 +1,289 @@
+//! Scalar difference-recurrence kernels in both memory layouts.
+//!
+//! [`align_mm2`] implements Equation (3) with minimap2's linear-array layout:
+//! `x`/`v` are indexed by `t`, so cell `(r,t)` must read `X[t-1]`, `V[t-1]`
+//! *before* they are overwritten by the current diagonal — the intra-loop
+//! dependency §4.3.1 describes. The kernel carries the old values in
+//! temporaries (`xlast`/`vlast`), exactly the trick the paper attributes to
+//! minimap2 and the reason its vectorization needs shift instructions.
+//!
+//! [`align_manymap`] implements Equation (4): `x`/`v` are stored at
+//! `t' = t - r + |Q|`. Cell `(r,t)` reads and writes the *same* slots
+//! (`X[t']`, `V[t']`, `U[t]`, `Y[t]`), so the update is a pure in-place
+//! elementwise pass with no temporaries — the paper's contribution, and the
+//! shape the SIMD/SIMT kernels exploit.
+//!
+//! Both kernels produce bit-identical scores and CIGARs to
+//! [`crate::fullmatrix::align`] (property-tested below).
+
+use crate::diff::{backtrack, cell_update, degenerate, DirMatrix, Tracker};
+use crate::score::Scoring;
+use crate::types::{AlignMode, AlignResult};
+
+/// Equation (3): minimap2's layout with the intra-loop dependency resolved
+/// via temporaries.
+pub fn align_mm2(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+
+    let mut u = vec![-e as i8; tlen];
+    let mut v = vec![0i8; tlen];
+    let mut x = vec![0i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8; // u(0,-1): the first gap in column 0 pays the open cost
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        // Boundary x(-1,j), v(-1,j) when the diagonal touches the first row;
+        // otherwise the previous diagonal's X[st-1], V[st-1].
+        let (mut xlast, mut vlast) = if st == 0 {
+            (-qe, if r == 0 { -qe } else { -e })
+        } else {
+            (x[st - 1] as i32, v[st - 1] as i32)
+        };
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        for t in st..=en {
+            let s = sc.subst(target[t], query[r - t]);
+            let (un, vn, xn, yn, d) =
+                cell_update(s, xlast, vlast, y[t] as i32, u[t] as i32, q, qe);
+            // THE DEPENDENCY: save the old X[t]/V[t] for cell t+1 before
+            // overwriting them (minimap2's temporary-variable workaround).
+            xlast = x[t] as i32;
+            vlast = v[t] as i32;
+            u[t] = un;
+            v[t] = vn;
+            x[t] = xn;
+            y[t] = yn;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+        }
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+/// Equation (4): manymap's transformed layout, dependency-free in-place
+/// updates.
+pub fn align_manymap(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+
+    // u, y keep the Eq. 3 indexing by t; x, v move to t' = t - r + |Q|,
+    // which stays in [1, |Q|] — O(|Q|) space, as §4.3.1 notes.
+    let mut u = vec![-e as i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+    let mut v = vec![-e as i8; qlen + 1];
+    let mut x = vec![-qe as i8; qlen + 1];
+    v[qlen] = -qe as i8; // v(-1,0): the first-row gap opens here
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let off = st + qlen - r; // t' of the first cell; t' = t + (qlen - r)
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        for t in st..=en {
+            let tp = t - st + off;
+            let s = sc.subst(target[t], query[r - t]);
+            // In-place, dependency-free updates: each slot is read once and
+            // written once per diagonal.
+            let (un, vn, xn, yn, d) =
+                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            u[t] = un;
+            v[tp] = vn;
+            x[tp] = xn;
+            y[t] = yn;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+        }
+        let v_st0 = v[qlen - r.min(qlen)] as i32; // slot of t = 0 when st == 0
+        let v_en = v[en + qlen - r] as i32;
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v_st0, v_en, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fullmatrix;
+    use proptest::prelude::*;
+
+    const SC: Scoring = Scoring::MAP_ONT;
+
+    fn nt(s: &[u8]) -> Vec<u8> {
+        mmm_seq::to_nt4(s)
+    }
+
+    const MODES: [AlignMode; 4] = [
+        AlignMode::Global,
+        AlignMode::SemiGlobal,
+        AlignMode::TargetSuffixFree,
+        AlignMode::QuerySuffixFree,
+    ];
+
+    fn check_all(t: &[u8], q: &[u8], sc: &Scoring) {
+        for mode in MODES {
+            let gold = fullmatrix::align(t, q, sc, mode, true);
+            for (name, r) in [
+                ("mm2", align_mm2(t, q, sc, mode, true)),
+                ("manymap", align_manymap(t, q, sc, mode, true)),
+            ] {
+                assert_eq!(r.score, gold.score, "{name} score mode={mode:?}");
+                assert_eq!(
+                    (r.end_i, r.end_j),
+                    (gold.end_i, gold.end_j),
+                    "{name} end cell mode={mode:?}"
+                );
+                assert_eq!(r.cigar, gold.cigar, "{name} cigar mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cases_match_reference() {
+        check_all(&nt(b"A"), &nt(b"A"), &SC);
+        check_all(&nt(b"A"), &nt(b"C"), &SC);
+        check_all(&nt(b"AC"), &nt(b"A"), &SC);
+        check_all(&nt(b"A"), &nt(b"AC"), &SC);
+        check_all(&nt(b"ACGT"), &nt(b"ACGT"), &SC);
+        check_all(&nt(b"ACGTACGT"), &nt(b"ACGACGGT"), &SC);
+    }
+
+    #[test]
+    fn ambiguous_bases_match_reference() {
+        check_all(&nt(b"ACNNGT"), &nt(b"ACGTNN"), &SC);
+    }
+
+    #[test]
+    fn asymmetric_lengths_match_reference() {
+        check_all(&nt(b"ACGTACGTACGTACGTACG"), &nt(b"ACG"), &SC);
+        check_all(&nt(b"ACG"), &nt(b"ACGTACGTACGTACGTACG"), &SC);
+    }
+
+    #[test]
+    fn empty_inputs_match_reference() {
+        for mode in MODES {
+            let gold = fullmatrix::align(&nt(b"ACG"), &[], &SC, mode, true);
+            assert_eq!(align_mm2(&nt(b"ACG"), &[], &SC, mode, true), gold);
+            assert_eq!(
+                align_manymap(&[], &nt(b"AC"), &SC, mode, true),
+                fullmatrix::align(&[], &nt(b"AC"), &SC, mode, true)
+            );
+        }
+    }
+
+    #[test]
+    fn score_only_equals_with_path_score() {
+        let t = nt(b"ACGTTTACGGGACTAC");
+        let q = nt(b"ACGTTACGGGCACTAC");
+        for mode in MODES {
+            let a = align_manymap(&t, &q, &SC, mode, false);
+            let b = align_manymap(&t, &q, &SC, mode, true);
+            assert_eq!(a.score, b.score);
+            assert!(a.cigar.is_none());
+        }
+    }
+
+    #[test]
+    fn long_noisy_pair_matches_reference() {
+        // Deterministic pseudo-random pair with ~12% divergence.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let t: Vec<u8> = (0..300).map(|_| (rnd() % 4) as u8).collect();
+        let mut q = t.clone();
+        for _ in 0..36 {
+            let pos = rnd() % q.len();
+            match rnd() % 3 {
+                0 => q[pos] = (rnd() % 4) as u8,
+                1 => {
+                    q.insert(pos, (rnd() % 4) as u8);
+                }
+                _ => {
+                    q.remove(pos);
+                }
+            }
+        }
+        check_all(&t, &q, &SC);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn kernels_match_reference(
+            t in proptest::collection::vec(0u8..5, 1..64),
+            q in proptest::collection::vec(0u8..5, 1..64),
+            a in 1i32..6,
+            b in 0i32..8,
+            gq in 0i32..10,
+            ge in 1i32..6,
+            mode_idx in 0usize..4,
+        ) {
+            let sc = Scoring { a, b, ambi: 1, q: gq, e: ge };
+            prop_assume!(sc.fits_i8());
+            let mode = MODES[mode_idx];
+            let gold = fullmatrix::align(&t, &q, &sc, mode, true);
+            let m1 = align_mm2(&t, &q, &sc, mode, true);
+            let m2 = align_manymap(&t, &q, &sc, mode, true);
+            prop_assert_eq!(m1.score, gold.score);
+            prop_assert_eq!(m2.score, gold.score);
+            prop_assert_eq!((m1.end_i, m1.end_j), (gold.end_i, gold.end_j));
+            prop_assert_eq!((m2.end_i, m2.end_j), (gold.end_i, gold.end_j));
+            prop_assert_eq!(m1.cigar.as_ref(), gold.cigar.as_ref());
+            prop_assert_eq!(m2.cigar.as_ref(), gold.cigar.as_ref());
+        }
+
+        #[test]
+        fn cigar_is_valid_and_score_consistent(
+            t in proptest::collection::vec(0u8..4, 1..48),
+            q in proptest::collection::vec(0u8..4, 1..48),
+        ) {
+            let r = align_manymap(&t, &q, &SC, AlignMode::Global, true);
+            let c = r.cigar.unwrap();
+            prop_assert_eq!(c.target_len(), t.len() as u64);
+            prop_assert_eq!(c.query_len(), q.len() as u64);
+            prop_assert_eq!(c.score(&t, &q, &SC), r.score);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! 256-bit (AVX2) kernels — 32 cells per instruction.
+//!
+//! AVX2 has no single cross-lane byte shift, so the Eq. 3 kernel's
+//! `X[t-1]` access costs a `vperm2i128` + `vpalignr` pair per operand —
+//! the extra shift work the paper identifies as the reason manymap's gain
+//! is largest at this width (§5.2.1).
+
+use core::arch::x86_64::*;
+
+use crate::diff::{backtrack, cell_update, degenerate, DirMatrix, Tracker, E_CONT, F_CONT, SRC_E, SRC_F};
+use crate::score::Scoring;
+use crate::simd::reverse_query;
+use crate::types::{AlignMode, AlignResult};
+
+const L: usize = 32;
+
+/// Runtime support check for this module's kernels.
+pub fn available() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+/// Equation (3) layout with the two-instruction cross-lane byte shift.
+pub fn align_mm2(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    assert!(available(), "AVX2 not available on this CPU");
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    // SAFETY: feature checked above.
+    unsafe { mm2_inner(target, query, sc, mode, with_path) }
+}
+
+/// Equation (4) layout — plain loads and stores only.
+pub fn align_manymap(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    assert!(available(), "AVX2 not available on this CPU");
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    // SAFETY: feature checked above.
+    unsafe { manymap_inner(target, query, sc, mode, with_path) }
+}
+
+/// Shift a 256-bit register left by one byte, filling byte 0 with zero.
+/// AVX2 has no cross-lane byte shift, so this costs a `vperm2i128` plus a
+/// `vpalignr` — a direct port of ksw2's `pslldq` pays this on every operand.
+#[inline(always)]
+unsafe fn shl1_zero(v: __m256i) -> __m256i {
+    let lo_to_hi = _mm256_permute2x128_si256(v, v, 0x08); // [0, v_lo]
+    _mm256_alignr_epi8(v, lo_to_hi, 15)
+}
+
+/// `[v[31]]` in byte 0, zeros elsewhere — the carry produced by ksw2's
+/// `psrldq(v, 15)`, again needing a lane fix-up on AVX2.
+#[inline(always)]
+unsafe fn shr15_carry(v: __m256i) -> __m256i {
+    let hi_to_lo = _mm256_permute2x128_si256(v, v, 0x81); // [v_hi, 0]
+    _mm256_bsrli_epi128(hi_to_lo, 15)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn mm2_inner(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+    let qr = reverse_query(query);
+
+    let mut u = vec![-e as i8; tlen];
+    let mut v = vec![0i8; tlen];
+    let mut x = vec![0i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    let vmatch = _mm256_set1_epi8(sc.a as i8);
+    let vmis = _mm256_set1_epi8(-sc.b as i8);
+    let vambi = _mm256_set1_epi8(-sc.ambi as i8);
+    let vfour = _mm256_set1_epi8(4);
+    let vq = _mm256_set1_epi8(q as i8);
+    let vqe = _mm256_set1_epi8(qe as i8);
+    let zero = _mm256_setzero_si256();
+    let d1 = _mm256_set1_epi8(SRC_E as i8);
+    let d2 = _mm256_set1_epi8(SRC_F as i8);
+    let d4 = _mm256_set1_epi8(E_CONT as i8);
+    let d8 = _mm256_set1_epi8(F_CONT as i8);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let (mut xlast, mut vlast) = if st == 0 {
+            (-qe, if r == 0 { -qe } else { -e })
+        } else {
+            (x[st - 1] as i32, v[st - 1] as i32)
+        };
+        let qbase = st + qlen - 1 - r;
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let n = en - st + 1;
+        let mut t = st;
+
+        // ksw2's shift idiom extended to 256 bits: carry vector + lane-crossing
+        // emulation, five shuffle/logic ops per operand per iteration.
+        let mut xcarry = _mm256_insert_epi8(_mm256_setzero_si256(), xlast as i8, 0);
+        let mut vcarry = _mm256_insert_epi8(_mm256_setzero_si256(), vlast as i8, 0);
+        let mut xtop = xlast;
+        let mut vtop = vlast;
+        for _ in 0..n / L {
+            let tv = _mm256_loadu_si256(target.as_ptr().add(t) as *const __m256i);
+            let qv = _mm256_loadu_si256(qr.as_ptr().add(t - st + qbase) as *const __m256i);
+            let eqm = _mm256_cmpeq_epi8(tv, qv);
+            let amb =
+                _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
+            let mut s = _mm256_blendv_epi8(vmis, vmatch, eqm);
+            s = _mm256_blendv_epi8(s, vambi, amb);
+
+            let xcur = _mm256_loadu_si256(x.as_ptr().add(t) as *const __m256i);
+            let vcur = _mm256_loadu_si256(v.as_ptr().add(t) as *const __m256i);
+            let ut = _mm256_loadu_si256(u.as_ptr().add(t) as *const __m256i);
+            let yt = _mm256_loadu_si256(y.as_ptr().add(t) as *const __m256i);
+            let xsh = _mm256_or_si256(shl1_zero(xcur), xcarry);
+            let vsh = _mm256_or_si256(shl1_zero(vcur), vcarry);
+            xcarry = shr15_carry(xcur);
+            vcarry = shr15_carry(vcur);
+            xtop = _mm256_extract_epi8(xcur, 31) as i8 as i32;
+            vtop = _mm256_extract_epi8(vcur, 31) as i8 as i32;
+
+            let a = _mm256_adds_epi8(xsh, vsh);
+            let b = _mm256_adds_epi8(yt, ut);
+            let za = _mm256_max_epi8(s, a);
+            let z = _mm256_max_epi8(za, b);
+            let un = _mm256_subs_epi8(z, vsh);
+            let vn = _mm256_subs_epi8(z, ut);
+            let xt = _mm256_adds_epi8(_mm256_subs_epi8(a, z), vq);
+            let yt2 = _mm256_adds_epi8(_mm256_subs_epi8(b, z), vq);
+            let xn = _mm256_subs_epi8(_mm256_max_epi8(xt, zero), vqe);
+            let yn = _mm256_subs_epi8(_mm256_max_epi8(yt2, zero), vqe);
+
+            _mm256_storeu_si256(u.as_mut_ptr().add(t) as *mut __m256i, un);
+            _mm256_storeu_si256(v.as_mut_ptr().add(t) as *mut __m256i, vn);
+            _mm256_storeu_si256(x.as_mut_ptr().add(t) as *mut __m256i, xn);
+            _mm256_storeu_si256(y.as_mut_ptr().add(t) as *mut __m256i, yn);
+
+            if let Some(row) = dir_row.as_deref_mut() {
+                let mut d = _mm256_and_si256(_mm256_cmpgt_epi8(a, s), d1);
+                d = _mm256_blendv_epi8(d, d2, _mm256_cmpgt_epi8(b, za));
+                d = _mm256_or_si256(d, _mm256_and_si256(_mm256_cmpgt_epi8(xt, zero), d4));
+                d = _mm256_or_si256(d, _mm256_and_si256(_mm256_cmpgt_epi8(yt2, zero), d8));
+                _mm256_storeu_si256(row.as_mut_ptr().add(t - st) as *mut __m256i, d);
+            }
+            t += L;
+        }
+        if t > st {
+            xlast = xtop;
+            vlast = vtop;
+        }
+        while t <= en {
+            let s = sc.subst(target[t], query[r - t]);
+            let (unw, vnw, xnw, ynw, d) =
+                cell_update(s, xlast, vlast, y[t] as i32, u[t] as i32, q, qe);
+            xlast = x[t] as i32;
+            vlast = v[t] as i32;
+            u[t] = unw;
+            v[t] = vnw;
+            x[t] = xnw;
+            y[t] = ynw;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+            t += 1;
+        }
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn manymap_inner(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+    let qr = reverse_query(query);
+
+    let mut u = vec![-e as i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+    let mut v = vec![-e as i8; qlen + 1];
+    let mut x = vec![-qe as i8; qlen + 1];
+    v[qlen] = -qe as i8;
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    let vmatch = _mm256_set1_epi8(sc.a as i8);
+    let vmis = _mm256_set1_epi8(-sc.b as i8);
+    let vambi = _mm256_set1_epi8(-sc.ambi as i8);
+    let vfour = _mm256_set1_epi8(4);
+    let vq = _mm256_set1_epi8(q as i8);
+    let vqe = _mm256_set1_epi8(qe as i8);
+    let zero = _mm256_setzero_si256();
+    let d1 = _mm256_set1_epi8(SRC_E as i8);
+    let d2 = _mm256_set1_epi8(SRC_F as i8);
+    let d4 = _mm256_set1_epi8(E_CONT as i8);
+    let d8 = _mm256_set1_epi8(F_CONT as i8);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let off = st + qlen - r;
+        let qbase = st + qlen - 1 - r;
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let n = en - st + 1;
+        let mut t = st;
+
+        for _ in 0..n / L {
+            let tp = t - st + off;
+            let tv = _mm256_loadu_si256(target.as_ptr().add(t) as *const __m256i);
+            let qv = _mm256_loadu_si256(qr.as_ptr().add(t - st + qbase) as *const __m256i);
+            let eqm = _mm256_cmpeq_epi8(tv, qv);
+            let amb =
+                _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
+            let mut s = _mm256_blendv_epi8(vmis, vmatch, eqm);
+            s = _mm256_blendv_epi8(s, vambi, amb);
+
+            let xt0 = _mm256_loadu_si256(x.as_ptr().add(tp) as *const __m256i);
+            let vt0 = _mm256_loadu_si256(v.as_ptr().add(tp) as *const __m256i);
+            let ut = _mm256_loadu_si256(u.as_ptr().add(t) as *const __m256i);
+            let yt = _mm256_loadu_si256(y.as_ptr().add(t) as *const __m256i);
+
+            let a = _mm256_adds_epi8(xt0, vt0);
+            let b = _mm256_adds_epi8(yt, ut);
+            let za = _mm256_max_epi8(s, a);
+            let z = _mm256_max_epi8(za, b);
+            let un = _mm256_subs_epi8(z, vt0);
+            let vn = _mm256_subs_epi8(z, ut);
+            let xt = _mm256_adds_epi8(_mm256_subs_epi8(a, z), vq);
+            let yt2 = _mm256_adds_epi8(_mm256_subs_epi8(b, z), vq);
+            let xn = _mm256_subs_epi8(_mm256_max_epi8(xt, zero), vqe);
+            let yn = _mm256_subs_epi8(_mm256_max_epi8(yt2, zero), vqe);
+
+            _mm256_storeu_si256(u.as_mut_ptr().add(t) as *mut __m256i, un);
+            _mm256_storeu_si256(v.as_mut_ptr().add(tp) as *mut __m256i, vn);
+            _mm256_storeu_si256(x.as_mut_ptr().add(tp) as *mut __m256i, xn);
+            _mm256_storeu_si256(y.as_mut_ptr().add(t) as *mut __m256i, yn);
+
+            if let Some(row) = dir_row.as_deref_mut() {
+                let mut d = _mm256_and_si256(_mm256_cmpgt_epi8(a, s), d1);
+                d = _mm256_blendv_epi8(d, d2, _mm256_cmpgt_epi8(b, za));
+                d = _mm256_or_si256(d, _mm256_and_si256(_mm256_cmpgt_epi8(xt, zero), d4));
+                d = _mm256_or_si256(d, _mm256_and_si256(_mm256_cmpgt_epi8(yt2, zero), d8));
+                _mm256_storeu_si256(row.as_mut_ptr().add(t - st) as *mut __m256i, d);
+            }
+            t += L;
+        }
+        while t <= en {
+            let tp = t - st + off;
+            let s = sc.subst(target[t], query[r - t]);
+            let (unw, vnw, xnw, ynw, d) =
+                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            u[t] = unw;
+            v[tp] = vnw;
+            x[tp] = xnw;
+            y[t] = ynw;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+            t += 1;
+        }
+        let v_st0 = v[qlen - r.min(qlen)] as i32;
+        let v_en = v[en + qlen - r] as i32;
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v_st0, v_en, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+    use proptest::prelude::*;
+
+    const SC: Scoring = Scoring::MAP_ONT;
+
+    const MODES: [AlignMode; 4] = [
+        AlignMode::Global,
+        AlignMode::SemiGlobal,
+        AlignMode::TargetSuffixFree,
+        AlignMode::QuerySuffixFree,
+    ];
+
+    #[test]
+    fn handles_vector_boundary_lengths() {
+        if !available() {
+            return;
+        }
+        for len in [31usize, 32, 33, 63, 64, 65, 96] {
+            let t: Vec<u8> = (0..len).map(|i| ((i * 7 + 3) % 4) as u8).collect();
+            let q: Vec<u8> = (0..len).map(|i| ((i * 5 + 1) % 4) as u8).collect();
+            let gold = scalar::align_manymap(&t, &q, &SC, AlignMode::Global, true);
+            assert_eq!(align_mm2(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
+            assert_eq!(align_manymap(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn avx2_kernels_match_scalar(
+            t in proptest::collection::vec(0u8..5, 1..200),
+            q in proptest::collection::vec(0u8..5, 1..200),
+            mode_idx in 0usize..4,
+            with_path in proptest::bool::ANY,
+        ) {
+            prop_assume!(available());
+            let mode = MODES[mode_idx];
+            let gold = scalar::align_manymap(&t, &q, &SC, mode, with_path);
+            prop_assert_eq!(align_mm2(&t, &q, &SC, mode, with_path), gold.clone());
+            prop_assert_eq!(align_manymap(&t, &q, &SC, mode, with_path), gold);
+        }
+    }
+}

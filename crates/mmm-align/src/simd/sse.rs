@@ -1,0 +1,372 @@
+//! 128-bit (SSE4.1) kernels — 16 cells per instruction.
+
+use core::arch::x86_64::*;
+
+use crate::diff::{backtrack, cell_update, degenerate, DirMatrix, Tracker, E_CONT, F_CONT, SRC_E, SRC_F};
+use crate::score::Scoring;
+use crate::simd::reverse_query;
+use crate::types::{AlignMode, AlignResult};
+
+const L: usize = 16;
+
+/// Runtime support check for this module's kernels.
+pub fn available() -> bool {
+    is_x86_feature_detected!("sse4.1")
+}
+
+/// Equation (3) layout, vectorized with the `palignr` byte-shift
+/// (Figure 3a's access pattern).
+pub fn align_mm2(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    assert!(available(), "SSE4.1 not available on this CPU");
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    // SAFETY: feature checked above.
+    unsafe { mm2_inner(target, query, sc, mode, with_path) }
+}
+
+/// Equation (4) layout, vectorized with plain loads/stores (Figure 3b).
+pub fn align_manymap(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    assert!(available(), "SSE4.1 not available on this CPU");
+    if let Some(r) = degenerate(target, query, sc, mode, with_path) {
+        return r;
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    // SAFETY: feature checked above.
+    unsafe { manymap_inner(target, query, sc, mode, with_path) }
+}
+
+#[target_feature(enable = "sse4.1")]
+unsafe fn mm2_inner(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+    let qr = reverse_query(query);
+
+    let mut u = vec![-e as i8; tlen];
+    let mut v = vec![0i8; tlen];
+    let mut x = vec![0i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    let vmatch = _mm_set1_epi8(sc.a as i8);
+    let vmis = _mm_set1_epi8(-sc.b as i8);
+    let vambi = _mm_set1_epi8(-sc.ambi as i8);
+    let vfour = _mm_set1_epi8(4);
+    let vq = _mm_set1_epi8(q as i8);
+    let vqe = _mm_set1_epi8(qe as i8);
+    let zero = _mm_setzero_si128();
+    let d1 = _mm_set1_epi8(SRC_E as i8);
+    let d2 = _mm_set1_epi8(SRC_F as i8);
+    let d4 = _mm_set1_epi8(E_CONT as i8);
+    let d8 = _mm_set1_epi8(F_CONT as i8);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let (mut xlast, mut vlast) = if st == 0 {
+            (-qe, if r == 0 { -qe } else { -e })
+        } else {
+            (x[st - 1] as i32, v[st - 1] as i32)
+        };
+        let qbase = st + qlen - 1 - r; // qr index of the first cell
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let n = en - st + 1;
+        let mut t = st;
+
+        // ksw2's shift idiom: the byte entering lane 0 is carried in a
+        // separate vector; each operand costs a pslldq + por (plus a psrldq
+        // to produce the next carry) — the extra shift instructions of
+        // Figure 3a.
+        let mut xcarry = _mm_insert_epi8(_mm_setzero_si128(), xlast, 0);
+        let mut vcarry = _mm_insert_epi8(_mm_setzero_si128(), vlast, 0);
+        let mut xtop = xlast; // old X[t-1] for the scalar tail
+        let mut vtop = vlast;
+        for _ in 0..n / L {
+            let tv = _mm_loadu_si128(target.as_ptr().add(t) as *const __m128i);
+            let qv = _mm_loadu_si128(qr.as_ptr().add(t - st + qbase) as *const __m128i);
+            let eqm = _mm_cmpeq_epi8(tv, qv);
+            let amb = _mm_or_si128(_mm_cmpeq_epi8(tv, vfour), _mm_cmpeq_epi8(qv, vfour));
+            let mut s = _mm_blendv_epi8(vmis, vmatch, eqm);
+            s = _mm_blendv_epi8(s, vambi, amb);
+
+            let xcur = _mm_loadu_si128(x.as_ptr().add(t) as *const __m128i);
+            let vcur = _mm_loadu_si128(v.as_ptr().add(t) as *const __m128i);
+            let ut = _mm_loadu_si128(u.as_ptr().add(t) as *const __m128i);
+            let yt = _mm_loadu_si128(y.as_ptr().add(t) as *const __m128i);
+            // Figure 3a: the shifted load of the previous diagonal's X/V.
+            let xsh = _mm_or_si128(_mm_bslli_si128(xcur, 1), xcarry);
+            let vsh = _mm_or_si128(_mm_bslli_si128(vcur, 1), vcarry);
+            xcarry = _mm_bsrli_si128(xcur, 15);
+            vcarry = _mm_bsrli_si128(vcur, 15);
+            xtop = _mm_extract_epi8(xcur, 15) as i8 as i32;
+            vtop = _mm_extract_epi8(vcur, 15) as i8 as i32;
+
+            let a = _mm_adds_epi8(xsh, vsh);
+            let b = _mm_adds_epi8(yt, ut);
+            let za = _mm_max_epi8(s, a);
+            let z = _mm_max_epi8(za, b);
+            let un = _mm_subs_epi8(z, vsh);
+            let vn = _mm_subs_epi8(z, ut);
+            let xt = _mm_adds_epi8(_mm_subs_epi8(a, z), vq);
+            let yt2 = _mm_adds_epi8(_mm_subs_epi8(b, z), vq);
+            let xn = _mm_subs_epi8(_mm_max_epi8(xt, zero), vqe);
+            let yn = _mm_subs_epi8(_mm_max_epi8(yt2, zero), vqe);
+
+            _mm_storeu_si128(u.as_mut_ptr().add(t) as *mut __m128i, un);
+            _mm_storeu_si128(v.as_mut_ptr().add(t) as *mut __m128i, vn);
+            _mm_storeu_si128(x.as_mut_ptr().add(t) as *mut __m128i, xn);
+            _mm_storeu_si128(y.as_mut_ptr().add(t) as *mut __m128i, yn);
+
+            if let Some(row) = dir_row.as_deref_mut() {
+                let mut d = _mm_and_si128(_mm_cmpgt_epi8(a, s), d1);
+                d = _mm_blendv_epi8(d, d2, _mm_cmpgt_epi8(b, za));
+                d = _mm_or_si128(d, _mm_and_si128(_mm_cmpgt_epi8(xt, zero), d4));
+                d = _mm_or_si128(d, _mm_and_si128(_mm_cmpgt_epi8(yt2, zero), d8));
+                _mm_storeu_si128(row.as_mut_ptr().add(t - st) as *mut __m128i, d);
+            }
+            t += L;
+        }
+        if t > st {
+            // Hand the last old X/V lane to the scalar tail.
+            xlast = xtop;
+            vlast = vtop;
+        }
+        while t <= en {
+            let s = sc.subst(target[t], query[r - t]);
+            let (unw, vnw, xnw, ynw, d) =
+                cell_update(s, xlast, vlast, y[t] as i32, u[t] as i32, q, qe);
+            xlast = x[t] as i32;
+            vlast = v[t] as i32;
+            u[t] = unw;
+            v[t] = vnw;
+            x[t] = xnw;
+            y[t] = ynw;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+            t += 1;
+        }
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+#[target_feature(enable = "sse4.1")]
+unsafe fn manymap_inner(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+) -> AlignResult {
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+    let qr = reverse_query(query);
+
+    let mut u = vec![-e as i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+    let mut v = vec![-e as i8; qlen + 1];
+    let mut x = vec![-qe as i8; qlen + 1];
+    v[qlen] = -qe as i8;
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen);
+
+    let vmatch = _mm_set1_epi8(sc.a as i8);
+    let vmis = _mm_set1_epi8(-sc.b as i8);
+    let vambi = _mm_set1_epi8(-sc.ambi as i8);
+    let vfour = _mm_set1_epi8(4);
+    let vq = _mm_set1_epi8(q as i8);
+    let vqe = _mm_set1_epi8(qe as i8);
+    let zero = _mm_setzero_si128();
+    let d1 = _mm_set1_epi8(SRC_E as i8);
+    let d2 = _mm_set1_epi8(SRC_F as i8);
+    let d4 = _mm_set1_epi8(E_CONT as i8);
+    let d8 = _mm_set1_epi8(F_CONT as i8);
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let off = st + qlen - r; // t' of the first cell
+        let qbase = st + qlen - 1 - r;
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let n = en - st + 1;
+        let mut t = st;
+
+        for _ in 0..n / L {
+            let tp = t - st + off;
+            let tv = _mm_loadu_si128(target.as_ptr().add(t) as *const __m128i);
+            let qv = _mm_loadu_si128(qr.as_ptr().add(t - st + qbase) as *const __m128i);
+            let eqm = _mm_cmpeq_epi8(tv, qv);
+            let amb = _mm_or_si128(_mm_cmpeq_epi8(tv, vfour), _mm_cmpeq_epi8(qv, vfour));
+            let mut s = _mm_blendv_epi8(vmis, vmatch, eqm);
+            s = _mm_blendv_epi8(s, vambi, amb);
+
+            // Figure 3b: one plain load per operand, no shifts.
+            let xt0 = _mm_loadu_si128(x.as_ptr().add(tp) as *const __m128i);
+            let vt0 = _mm_loadu_si128(v.as_ptr().add(tp) as *const __m128i);
+            let ut = _mm_loadu_si128(u.as_ptr().add(t) as *const __m128i);
+            let yt = _mm_loadu_si128(y.as_ptr().add(t) as *const __m128i);
+
+            let a = _mm_adds_epi8(xt0, vt0);
+            let b = _mm_adds_epi8(yt, ut);
+            let za = _mm_max_epi8(s, a);
+            let z = _mm_max_epi8(za, b);
+            let un = _mm_subs_epi8(z, vt0);
+            let vn = _mm_subs_epi8(z, ut);
+            let xt = _mm_adds_epi8(_mm_subs_epi8(a, z), vq);
+            let yt2 = _mm_adds_epi8(_mm_subs_epi8(b, z), vq);
+            let xn = _mm_subs_epi8(_mm_max_epi8(xt, zero), vqe);
+            let yn = _mm_subs_epi8(_mm_max_epi8(yt2, zero), vqe);
+
+            _mm_storeu_si128(u.as_mut_ptr().add(t) as *mut __m128i, un);
+            _mm_storeu_si128(v.as_mut_ptr().add(tp) as *mut __m128i, vn);
+            _mm_storeu_si128(x.as_mut_ptr().add(tp) as *mut __m128i, xn);
+            _mm_storeu_si128(y.as_mut_ptr().add(t) as *mut __m128i, yn);
+
+            if let Some(row) = dir_row.as_deref_mut() {
+                let mut d = _mm_and_si128(_mm_cmpgt_epi8(a, s), d1);
+                d = _mm_blendv_epi8(d, d2, _mm_cmpgt_epi8(b, za));
+                d = _mm_or_si128(d, _mm_and_si128(_mm_cmpgt_epi8(xt, zero), d4));
+                d = _mm_or_si128(d, _mm_and_si128(_mm_cmpgt_epi8(yt2, zero), d8));
+                _mm_storeu_si128(row.as_mut_ptr().add(t - st) as *mut __m128i, d);
+            }
+            t += L;
+        }
+        while t <= en {
+            let tp = t - st + off;
+            let s = sc.subst(target[t], query[r - t]);
+            let (unw, vnw, xnw, ynw, d) =
+                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            u[t] = unw;
+            v[tp] = vnw;
+            x[tp] = xnw;
+            y[t] = ynw;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+            t += 1;
+        }
+        let v_st0 = v[qlen - r.min(qlen)] as i32;
+        let v_en = v[en + qlen - r] as i32;
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v_st0, v_en, qe);
+    }
+
+    let (score, end_i, end_j) = tracker.finalize(mode);
+    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
+    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+    use proptest::prelude::*;
+
+    const SC: Scoring = Scoring::MAP_ONT;
+
+    const MODES: [AlignMode; 4] = [
+        AlignMode::Global,
+        AlignMode::SemiGlobal,
+        AlignMode::TargetSuffixFree,
+        AlignMode::QuerySuffixFree,
+    ];
+
+    fn random_pair(seed: u64, tlen: usize, edits: usize) -> (Vec<u8>, Vec<u8>) {
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let t: Vec<u8> = (0..tlen).map(|_| (rnd() % 4) as u8).collect();
+        let mut q = t.clone();
+        for _ in 0..edits {
+            let pos = rnd() % q.len();
+            match rnd() % 3 {
+                0 => q[pos] = (rnd() % 4) as u8,
+                1 => q.insert(pos, (rnd() % 4) as u8),
+                _ => {
+                    q.remove(pos);
+                }
+            }
+        }
+        (t, q)
+    }
+
+    #[test]
+    fn matches_scalar_on_long_noisy_pairs() {
+        if !available() {
+            return;
+        }
+        for (seed, len) in [(1u64, 64usize), (2, 100), (3, 257), (4, 500)] {
+            let (t, q) = random_pair(seed, len, len / 8);
+            for mode in MODES {
+                let gold = scalar::align_manymap(&t, &q, &SC, mode, true);
+                let a = align_mm2(&t, &q, &SC, mode, true);
+                let b = align_manymap(&t, &q, &SC, mode, true);
+                assert_eq!(a, gold, "sse mm2 len={len} mode={mode:?}");
+                assert_eq!(b, gold, "sse manymap len={len} mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_vector_boundary_lengths() {
+        if !available() {
+            return;
+        }
+        // Lengths straddling the 16-lane chunk boundary.
+        for len in [15usize, 16, 17, 31, 32, 33, 48] {
+            let (t, q) = random_pair(len as u64, len, 2);
+            let gold = scalar::align_manymap(&t, &q, &SC, AlignMode::Global, true);
+            assert_eq!(align_mm2(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
+            assert_eq!(align_manymap(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sse_kernels_match_scalar(
+            t in proptest::collection::vec(0u8..5, 1..128),
+            q in proptest::collection::vec(0u8..5, 1..128),
+            mode_idx in 0usize..4,
+            with_path in proptest::bool::ANY,
+        ) {
+            prop_assume!(available());
+            let mode = MODES[mode_idx];
+            let gold = scalar::align_manymap(&t, &q, &SC, mode, with_path);
+            prop_assert_eq!(align_mm2(&t, &q, &SC, mode, with_path), gold.clone());
+            prop_assert_eq!(align_manymap(&t, &q, &SC, mode, with_path), gold);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared alignment types.
+
+use crate::cigar::Cigar;
+
+/// Where the alignment is allowed to end.
+///
+/// All modes anchor the *beginning* of both sequences ("the beginnings of
+/// two sequences must be aligned", §3.2); they differ in which ends are
+/// penalty-free:
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlignMode {
+    /// Both sequences must be fully consumed; score at cell
+    /// `(|T|-1, |Q|-1)`.
+    Global,
+    /// Both ends free: maximum over the last row and last column.
+    SemiGlobal,
+    /// The query must be fully consumed; the target may have an unaligned
+    /// suffix (maximum over the last column, `j = |Q|-1`). This is the mode
+    /// the mapper uses to extend a read end across a reference window.
+    TargetSuffixFree,
+    /// The target must be fully consumed; the query may have an unaligned
+    /// suffix (maximum over the last row, `i = |T|-1`).
+    QuerySuffixFree,
+}
+
+/// Result of one base-level alignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignResult {
+    /// Alignment score under the requested mode.
+    pub score: i32,
+    /// Target index (inclusive) of the last aligned cell; `usize::MAX` for
+    /// degenerate empty alignments.
+    pub end_i: usize,
+    /// Query index (inclusive) of the last aligned cell.
+    pub end_j: usize,
+    /// Alignment path, when a with-path kernel was used.
+    pub cigar: Option<Cigar>,
+    /// Number of DP cells evaluated (the numerator of GCUPS).
+    pub cells: u64,
+}
+
+impl AlignResult {
+    /// GCUPS (giga cell updates per second) for this alignment given its
+    /// runtime — the micro-benchmark metric of §5.1.2.
+    pub fn gcups(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.cells as f64 / seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcups_definition() {
+        let r = AlignResult { score: 0, end_i: 0, end_j: 0, cigar: None, cells: 2_000_000_000 };
+        assert!((r.gcups(2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(r.gcups(0.0), 0.0);
+    }
+}

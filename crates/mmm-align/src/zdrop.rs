@@ -1,0 +1,239 @@
+//! Exact z-drop extension — ksw2/minimap2's real extension semantics.
+//!
+//! [`crate::extend`] approximates extension by trimming the semi-global
+//! path to its best prefix. This module implements the exact version: the
+//! alignment starts at (0,0), may end at *any* cell, and the DP stops
+//! early once every cell of a diagonal scores more than `zdrop` below the
+//! best cell seen so far (minimap2's `-z`). Absolute scores are
+//! reconstructed per diagonal from the difference recurrence with one
+//! extra O(width) 32-bit pass — the same trick ksw2's exact mode uses:
+//! `H(r,t) = H(r-1,t-1) + z(r,t)`, which telescopes in place when `t` is
+//! swept downward.
+//!
+//! The kernel itself is the dependency-free Eq. 4 layout, so the extension
+//! inherits manymap's memory behaviour.
+
+use crate::cigar::Cigar;
+use crate::diff::{backtrack, cell_update, DirMatrix, Tracker};
+use crate::extend::ExtendResult;
+use crate::score::Scoring;
+use crate::types::AlignMode;
+
+/// Extension alignment with exact per-cell scores and z-drop termination.
+///
+/// Returns the best-cell score, the consumed prefix lengths and (when
+/// `with_path`) the CIGAR of the path ending at the best cell. A `zdrop`
+/// of `i32::MAX` disables early termination (full local-end search).
+pub fn extend_zdrop(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    zdrop: i32,
+    with_path: bool,
+) -> ExtendResult {
+    if target.is_empty() || query.is_empty() {
+        return ExtendResult { score: 0, t_consumed: 0, q_consumed: 0, cigar: Cigar::new() };
+    }
+    assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
+    assert!(zdrop > 0, "zdrop must be positive");
+    let (tlen, qlen) = (target.len(), query.len());
+    let (q, e) = (sc.q, sc.e);
+    let qe = q + e;
+
+    let mut u = vec![-e as i8; tlen];
+    let mut y = vec![-qe as i8; tlen];
+    u[0] = -qe as i8;
+    let mut v = vec![-e as i8; qlen + 1];
+    let mut x = vec![-qe as i8; qlen + 1];
+    v[qlen] = -qe as i8;
+
+    // Exact 32-bit scores: h32[t] always holds H at the most recent
+    // diagonal that touched row t, maintained via the column identity
+    // H(i, j) = H(i, j-1) + v(i, j) — one add per cell, no cross-lane
+    // dependency (ksw2's exact-score pass).
+    let mut h32 = vec![0i32; tlen];
+
+    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut tracker = Tracker::new(tlen, qlen); // keeps invariants exercised
+    let mut best = (i32::MIN, 0usize, 0usize); // (score, i, j)
+
+    for r in 0..tlen + qlen - 1 {
+        let st = r.saturating_sub(qlen - 1);
+        let en = r.min(tlen - 1);
+        let off = st + qlen - r;
+        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let mut diag_best = i32::MIN;
+        for t in st..=en {
+            let tp = t - st + off;
+            let s = sc.subst(target[t], query[r - t]);
+            let (un, vn, xn, yn, d) =
+                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            u[t] = un;
+            v[tp] = vn;
+            x[tp] = xn;
+            y[t] = yn;
+            if let Some(row) = dir_row.as_deref_mut() {
+                row[t - st] = d;
+            }
+            if t == r {
+                // First visit of row t (j = 0): H(t, -1) = -gap(t+1).
+                h32[t] = -sc.gap_cost(t as u32 + 1);
+            }
+            h32[t] += vn as i32;
+            let h = h32[t];
+            if h > diag_best {
+                diag_best = h;
+            }
+            if h > best.0 {
+                best = (h, t, r - t);
+            }
+        }
+        let v_st0 = v[qlen - r.min(qlen)] as i32;
+        let v_en = v[en + qlen - r] as i32;
+        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v_st0, v_en, qe);
+
+        // z-drop: the whole frontier fell too far below the best cell.
+        if best.0 - diag_best > zdrop {
+            break;
+        }
+    }
+    // The tracker's global invariant only holds if we ran to completion;
+    // consume it without asserting.
+    let _ = tracker;
+
+    if best.0 <= 0 {
+        return ExtendResult { score: 0, t_consumed: 0, q_consumed: 0, cigar: Cigar::new() };
+    }
+    let cigar = dir.map(|d| backtrack(&d, best.1, best.2)).unwrap_or_default();
+    ExtendResult {
+        score: best.0,
+        t_consumed: best.1 + 1,
+        q_consumed: best.2 + 1,
+        cigar,
+    }
+}
+
+/// Convenience: minimap2's default z-drop for long reads (`-z 400`).
+pub const DEFAULT_ZDROP: i32 = 400;
+
+#[allow(unused_imports)]
+use crate::types::AlignResult; // referenced by docs
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: Scoring = Scoring::MAP_ONT;
+
+    /// Independent reference: max-cell score of a global-start DP.
+    fn reference_extension(target: &[u8], query: &[u8], sc: &Scoring) -> (i32, usize, usize) {
+        let (tl, ql) = (target.len(), query.len());
+        let neg = i32::MIN / 4;
+        let cols = ql + 1;
+        let mut h = vec![neg; (tl + 1) * cols];
+        let mut e = vec![neg; (tl + 1) * cols];
+        let mut f = vec![neg; (tl + 1) * cols];
+        h[0] = 0;
+        for i in 1..=tl {
+            h[i * cols] = -sc.gap_cost(i as u32);
+        }
+        for j in 1..=ql {
+            h[j] = -sc.gap_cost(j as u32);
+        }
+        let mut best = (i32::MIN, 0usize, 0usize);
+        for i in 1..=tl {
+            for j in 1..=ql {
+                let ev = (h[(i - 1) * cols + j] - sc.q).max(e[(i - 1) * cols + j]) - sc.e;
+                let fv = (h[i * cols + j - 1] - sc.q).max(f[i * cols + j - 1]) - sc.e;
+                let dg = h[(i - 1) * cols + j - 1] + sc.subst(target[i - 1], query[j - 1]);
+                let hv = dg.max(ev).max(fv);
+                e[i * cols + j] = ev;
+                f[i * cols + j] = fv;
+                h[i * cols + j] = hv;
+                if hv > best.0 {
+                    best = (hv, i, j);
+                }
+            }
+        }
+        best
+    }
+
+    fn noisy(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize
+        };
+        let t: Vec<u8> = (0..len).map(|_| (rnd() % 4) as u8).collect();
+        let mut q = t.clone();
+        for _ in 0..len / 10 {
+            let p = rnd() % q.len();
+            q[p] = (rnd() % 4) as u8;
+        }
+        (t, q)
+    }
+
+    #[test]
+    fn matches_max_cell_reference_without_zdrop() {
+        for (len, seed) in [(40usize, 1u64), (120, 2), (300, 3)] {
+            let (t, q) = noisy(len, seed);
+            let (score, bi, bj) = reference_extension(&t, &q, &SC);
+            let r = extend_zdrop(&t, &q, &SC, i32::MAX, true);
+            assert_eq!(r.score, score.max(0), "len={len}");
+            if score > 0 {
+                assert_eq!((r.t_consumed, r.q_consumed), (bi, bj), "len={len}");
+                assert_eq!(r.cigar.score(&t, &q, &SC), r.score);
+                assert_eq!(r.cigar.target_len() as usize, r.t_consumed);
+                assert_eq!(r.cigar.query_len() as usize, r.q_consumed);
+            }
+        }
+    }
+
+    #[test]
+    fn stops_inside_a_noise_wall() {
+        // 200 matching bases then 1 kb of unrelated sequence: with z-drop
+        // the DP must terminate long before the far corner while still
+        // reporting the 200-base extension.
+        let (mut t, _) = noisy(200, 9);
+        let clean = t.clone();
+        let mut s = 77u64;
+        let mut rnd = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) % 4) as u8
+        };
+        t.extend((0..1000).map(|_| rnd()));
+        let mut q = clean;
+        q.extend((0..1000).map(|_| rnd().wrapping_add(1) % 4));
+        let r = extend_zdrop(&t, &q, &SC, DEFAULT_ZDROP, false);
+        assert!(r.score >= 390, "score={}", r.score); // ~200 matches
+        assert!(r.t_consumed >= 190 && r.t_consumed <= 460, "t={}", r.t_consumed);
+    }
+
+    #[test]
+    fn zdrop_never_increases_the_score() {
+        let (t, q) = noisy(250, 5);
+        let full = extend_zdrop(&t, &q, &SC, i32::MAX, false);
+        for z in [50, 200, 1000] {
+            let dropped = extend_zdrop(&t, &q, &SC, z, false);
+            assert!(dropped.score <= full.score, "z={z}");
+        }
+        // A huge zdrop is equivalent to no zdrop.
+        assert_eq!(extend_zdrop(&t, &q, &SC, 1 << 20, false).score, full.score);
+    }
+
+    #[test]
+    fn hopeless_extension_is_empty() {
+        let t = vec![0u8; 50];
+        let q = vec![1u8; 50];
+        let r = extend_zdrop(&t, &q, &SC, DEFAULT_ZDROP, true);
+        assert_eq!(r.score, 0);
+        assert_eq!(r.t_consumed, 0);
+        assert!(r.cigar.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = extend_zdrop(&[], &[0, 1, 2], &SC, 100, false);
+        assert_eq!(r.score, 0);
+    }
+}

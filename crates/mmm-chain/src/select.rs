@@ -1,0 +1,172 @@
+//! Primary/secondary chain selection and mapping quality.
+//!
+//! Chains whose reference intervals overlap a better chain by more than
+//! `mask_level` are *secondary* to it; the rest are *primary*. MAPQ follows
+//! the minimap2 paper's estimate
+//! `mapq = 40 · (1 − f2/f1) · min(1, m/10) · log f1` clamped to [0, 60],
+//! where `f1`, `f2` are the best and second-best chain scores sharing the
+//! primary's interval and `m` is the anchor count.
+
+use crate::chain::Chain;
+
+/// Selection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectOpts {
+    /// Overlap fraction above which a chain is secondary (`--mask-level`).
+    pub mask_level: f32,
+    /// Keep at most this many secondary chains per primary (`-N`).
+    pub best_n: usize,
+}
+
+impl Default for SelectOpts {
+    fn default() -> Self {
+        SelectOpts { mask_level: 0.5, best_n: 5 }
+    }
+}
+
+/// A selected chain with its primary flag and MAPQ.
+#[derive(Clone, Debug)]
+pub struct SelectedChain {
+    pub chain: Chain,
+    pub primary: bool,
+    pub mapq: u8,
+}
+
+fn overlap_frac(a: &Chain, b: &Chain) -> f32 {
+    if a.rid != b.rid {
+        return 0.0;
+    }
+    let (as_, ae) = a.ref_range();
+    let (bs, be) = b.ref_range();
+    let inter = ae.min(be).saturating_sub(as_.max(bs)) as f32;
+    let shorter = (ae - as_).min(be - bs).max(1) as f32;
+    inter / shorter
+}
+
+/// Split chains into primaries and their secondaries; compute MAPQ for the
+/// primaries. Input must be sorted by descending score (as
+/// [`crate::chain::chain_anchors`] returns).
+pub fn select_chains(chains: Vec<Chain>, opts: &SelectOpts) -> Vec<SelectedChain> {
+    let mut out: Vec<SelectedChain> = Vec::with_capacity(chains.len());
+    // second-best score overlapping each primary (for MAPQ)
+    let mut sub_score: Vec<i32> = Vec::new();
+    let mut n_secondary: Vec<usize> = Vec::new();
+
+    'next: for c in chains {
+        for (k, p) in out.iter().enumerate().filter(|(_, p)| p.primary) {
+            if overlap_frac(&c, &p.chain) > opts.mask_level {
+                if sub_score[k] == 0 {
+                    sub_score[k] = c.score;
+                }
+                if n_secondary[k] < opts.best_n {
+                    n_secondary[k] += 1;
+                    out.push(SelectedChain { chain: c, primary: false, mapq: 0 });
+                }
+                continue 'next;
+            }
+        }
+        out.push(SelectedChain { chain: c, primary: true, mapq: 0 });
+        sub_score.push(0);
+        n_secondary.push(0);
+        // `sub_score`/`n_secondary` are indexed by *output* position of
+        // primaries; keep them aligned.
+        while sub_score.len() < out.len() {
+            sub_score.push(0);
+            n_secondary.push(0);
+        }
+    }
+
+    for (k, sel) in out.iter_mut().enumerate() {
+        if sel.primary {
+            sel.mapq = mapq(sel.chain.score, sub_score.get(k).copied().unwrap_or(0),
+                sel.chain.anchors.len());
+        }
+    }
+    out
+}
+
+/// minimap2's MAPQ estimate. The `log f1` factor is normalized by `log 100`
+/// so a unique chain of score 100 lands at MAPQ 40 and the [0, 60] clamp
+/// only engages for very strong chains.
+pub fn mapq(f1: i32, f2: i32, anchor_count: usize) -> u8 {
+    if f1 <= 0 {
+        return 0;
+    }
+    let ratio = 1.0 - f2.max(0) as f64 / f1 as f64;
+    let m_term = (anchor_count as f64 / 10.0).min(1.0);
+    let q = 40.0 * ratio * m_term * (f1 as f64).ln() / 100f64.ln();
+    q.clamp(0.0, 60.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::Anchor;
+
+    fn chain_at(rid: u32, start: u32, len: u32, score: i32) -> Chain {
+        let anchors = vec![
+            Anchor { rid, rpos: start + 14, qpos: 14, rev: false, span: 15 },
+            Anchor { rid, rpos: start + len - 1, qpos: len - 1, rev: false, span: 15 },
+        ];
+        Chain { anchors, score, rid, rev: false }
+    }
+
+    #[test]
+    fn non_overlapping_chains_are_both_primary() {
+        let chains = vec![chain_at(0, 1000, 500, 100), chain_at(0, 10_000, 500, 80)];
+        let sel = select_chains(chains, &SelectOpts::default());
+        assert!(sel.iter().all(|s| s.primary));
+    }
+
+    #[test]
+    fn overlapping_worse_chain_is_secondary() {
+        let chains = vec![chain_at(0, 1000, 500, 100), chain_at(0, 1100, 500, 60)];
+        let sel = select_chains(chains, &SelectOpts::default());
+        assert!(sel[0].primary);
+        assert!(!sel[1].primary);
+    }
+
+    #[test]
+    fn unique_hit_gets_high_mapq() {
+        // A unique, well-anchored chain: 12 anchors, score 300.
+        let anchors: Vec<Anchor> = (0..12)
+            .map(|k| Anchor { rid: 0, rpos: 1000 + 100 * k, qpos: 14 + 100 * k, rev: false, span: 15 })
+            .collect();
+        let chain = Chain { anchors, score: 300, rid: 0, rev: false };
+        let sel = select_chains(vec![chain], &SelectOpts::default());
+        assert!(sel[0].mapq >= 40, "mapq={}", sel[0].mapq);
+    }
+
+    #[test]
+    fn ambiguous_hit_gets_low_mapq() {
+        // Two near-equal overlapping chains: the primary's mapq collapses.
+        let chains = vec![chain_at(0, 1000, 500, 100), chain_at(0, 1010, 500, 98)];
+        let sel = select_chains(chains, &SelectOpts::default());
+        assert!(sel[0].mapq <= 5, "mapq={}", sel[0].mapq);
+    }
+
+    #[test]
+    fn different_rid_never_masks() {
+        let chains = vec![chain_at(0, 1000, 500, 100), chain_at(1, 1000, 500, 60)];
+        let sel = select_chains(chains, &SelectOpts::default());
+        assert!(sel.iter().all(|s| s.primary));
+    }
+
+    #[test]
+    fn best_n_caps_secondaries() {
+        let mut chains = vec![chain_at(0, 1000, 500, 100)];
+        for k in 0..10 {
+            chains.push(chain_at(0, 1005 + k, 500, 50 - k as i32));
+        }
+        let opts = SelectOpts { mask_level: 0.5, best_n: 3 };
+        let sel = select_chains(chains, &opts);
+        assert_eq!(sel.iter().filter(|s| !s.primary).count(), 3);
+    }
+
+    #[test]
+    fn mapq_monotone_in_ratio() {
+        assert!(mapq(100, 0, 20) > mapq(100, 50, 20));
+        assert!(mapq(100, 50, 20) > mapq(100, 99, 20));
+        assert_eq!(mapq(0, 0, 20), 0);
+    }
+}

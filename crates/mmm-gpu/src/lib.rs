@@ -1,0 +1,34 @@
+//! `mmm-gpu` — a functional simulator of manymap's GPU backend.
+//!
+//! The paper evaluates manymap on a Tesla V100 (Figures 4, 7, 8; §4.5). We
+//! do not have that hardware; this crate substitutes a simulator that is
+//! *functional* — every kernel computes real alignment scores and paths,
+//! bit-identical to the CPU kernels — while its *timing* comes from an
+//! explicit model of the SIMT execution structure:
+//!
+//! * one sequence pair per kernel, one thread block of ≤512 threads
+//!   (§4.5.1), each diagonal processed in `⌈width/threads⌉` lock-step
+//!   chunks;
+//! * the minimap2-layout kernel pays the `tid == 0` branch divergence and a
+//!   `__syncthreads` barrier per chunk (Figure 4a); the manymap-layout
+//!   kernel is branch-free (Figure 4b);
+//! * DP state lives in shared memory when it fits (96 KiB/block on Volta),
+//!   otherwise in global memory at higher access cost (§4.5.2);
+//! * concurrent kernel execution over CUDA streams with the Volta limits:
+//!   80 SMs, 128 resident grids, 16 GB device memory (§4.5.1, Figure 7);
+//! * a per-stream memory pool removes the per-launch allocation latency
+//!   (§4.5.2), and oversized problems fall back to the CPU.
+
+pub mod device;
+pub mod kernel;
+pub mod mempool;
+pub mod runner;
+pub mod simt;
+pub mod stream;
+
+pub use device::DeviceSpec;
+pub use kernel::{run_kernel, GpuKernelKind, KernelRun};
+pub use mempool::MemoryPool;
+pub use runner::{GpuAligner, GpuBatchStats};
+pub use simt::{execute_block, SimtTrace};
+pub use stream::{simulate_batch, BatchReport, KernelJob, StreamConfig};

@@ -1,0 +1,318 @@
+//! The minimizer index: hash table + packed reference sequences.
+
+use std::collections::HashMap;
+
+use mmm_chain::Anchor;
+use mmm_seq::{PackedSeq, SeqRecord};
+
+use crate::minimizer::{minimizers, minimizers_hpc, Minimizer};
+
+/// Index construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IdxOpts {
+    /// k-mer size (`-k`; 19 for map-pb, 15 for map-ont).
+    pub k: usize,
+    /// Minimizer window (`-w`, 10).
+    pub w: usize,
+    /// Fraction of most-frequent minimizers to ignore during seeding
+    /// (`-f`, 2e-4).
+    pub occ_frac: f64,
+    /// Homopolymer-compressed k-mers (`-H`; on for map-pb, matching
+    /// PacBio CLR's indel-dominant errors).
+    pub hpc: bool,
+}
+
+impl IdxOpts {
+    /// minimap2's `map-pb` preset (`-H -k19`).
+    pub const MAP_PB: IdxOpts = IdxOpts { k: 19, w: 10, occ_frac: 2e-4, hpc: true };
+    /// minimap2's `map-ont` preset (`-k15`).
+    pub const MAP_ONT: IdxOpts = IdxOpts { k: 15, w: 10, occ_frac: 2e-4, hpc: false };
+}
+
+impl Default for IdxOpts {
+    fn default() -> Self {
+        IdxOpts::MAP_ONT
+    }
+}
+
+/// One indexed reference sequence.
+#[derive(Clone, Debug)]
+pub struct RefSeq {
+    pub name: String,
+    pub seq: PackedSeq,
+}
+
+/// Packed reference hit: `rid << 40 | pos << 1 | strand`.
+#[inline]
+pub(crate) fn pack_hit(rid: u32, pos: u32, rev: bool) -> u64 {
+    ((rid as u64) << 40) | ((pos as u64) << 1) | rev as u64
+}
+
+#[inline]
+pub(crate) fn unpack_hit(h: u64) -> (u32, u32, bool) {
+    ((h >> 40) as u32, ((h >> 1) & 0x7FFF_FFFF_FF) as u32, h & 1 == 1)
+}
+
+/// The minimizer hash index (minimap2's `mm_idx_t`).
+pub struct MinimizerIndex {
+    pub k: usize,
+    pub w: usize,
+    /// Homopolymer-compressed sketching (queries must match).
+    pub hpc: bool,
+    pub seqs: Vec<RefSeq>,
+    /// minimizer hash → (offset, count) into `positions`.
+    pub(crate) map: HashMap<u64, (u64, u32)>,
+    /// Flat array of packed hits, grouped by minimizer.
+    pub(crate) positions: Vec<u64>,
+    /// Seeding ignores minimizers with more occurrences than this.
+    pub max_occ: u32,
+}
+
+impl MinimizerIndex {
+    /// Build the index over a set of reference records.
+    pub fn build(refs: &[SeqRecord], opts: &IdxOpts) -> Self {
+        // Collect (hash, packed hit) pairs across all references.
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut seqs = Vec::with_capacity(refs.len());
+        for (rid, r) in refs.iter().enumerate() {
+            let nt4 = r.nt4();
+            for m in sketch(&nt4, opts.k, opts.w, opts.hpc) {
+                pairs.push((m.hash, pack_hit(rid as u32, m.pos, m.rev)));
+            }
+            seqs.push(RefSeq { name: r.name.clone(), seq: PackedSeq::from_nt4_lossy(&nt4) });
+        }
+        pairs.sort_unstable();
+
+        let mut map = HashMap::with_capacity(pairs.len() / 2 + 1);
+        let mut positions = Vec::with_capacity(pairs.len());
+        let mut i = 0;
+        while i < pairs.len() {
+            let h = pairs[i].0;
+            let start = positions.len() as u64;
+            let mut j = i;
+            while j < pairs.len() && pairs[j].0 == h {
+                positions.push(pairs[j].1);
+                j += 1;
+            }
+            map.insert(h, (start, (j - i) as u32));
+            i = j;
+        }
+
+        let max_occ = occurrence_cutoff(map.values().map(|&(_, c)| c), opts.occ_frac);
+        MinimizerIndex { k: opts.k, w: opts.w, hpc: opts.hpc, seqs, map, positions, max_occ }
+    }
+
+    /// Hits for one minimizer hash, or an empty slice.
+    pub fn lookup(&self, hash: u64) -> &[u64] {
+        match self.map.get(&hash) {
+            Some(&(off, cnt)) => &self.positions[off as usize..off as usize + cnt as usize],
+            None => &[],
+        }
+    }
+
+    /// Number of distinct minimizers.
+    pub fn num_minimizers(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total stored hits.
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Collect chaining anchors for a query (nt4, forward strand).
+    ///
+    /// Seeds whose minimizer occurs more than `max_occ` times on the
+    /// reference are skipped (the repeat filter, minimap2 `-f`).
+    pub fn collect_anchors(&self, query: &[u8]) -> Vec<Anchor> {
+        let qlen = query.len() as u32;
+        let mut anchors = Vec::new();
+        for m in sketch(query, self.k, self.w, self.hpc) {
+            let hits = self.lookup(m.hash);
+            if hits.is_empty() || hits.len() as u32 > self.max_occ {
+                continue;
+            }
+            for &h in hits {
+                let (rid, rpos, rrev) = unpack_hit(h);
+                let span = if self.hpc { m.span.max(self.k as u8) } else { self.k as u8 };
+                if rrev == m.rev {
+                    anchors.push(Anchor { rid, rpos, qpos: m.pos, rev: false, span });
+                } else {
+                    // Match on the opposite strand: express the query
+                    // position in reverse-complement coordinates (the
+                    // k-mer's original start flips to its rc end).
+                    anchors.push(Anchor {
+                        rid,
+                        rpos,
+                        qpos: qlen - 1 - (m.pos + 1 - span as u32),
+                        rev: true,
+                        span,
+                    });
+                }
+            }
+        }
+        anchors
+    }
+
+    /// Approximate in-memory footprint in bytes (the paper's "Index Size"
+    /// column of Table 5).
+    pub fn heap_bytes(&self) -> usize {
+        let seq_bytes: usize =
+            self.seqs.iter().map(|s| s.seq.heap_bytes() + s.name.capacity()).sum();
+        // HashMap entry ≈ key + value + bucket overhead.
+        seq_bytes + self.map.len() * 24 + self.positions.len() * 8
+    }
+
+    /// Extract a forward-strand window `[start, end)` of reference `rid`.
+    pub fn ref_window(&self, rid: u32, start: usize, end: usize) -> Vec<u8> {
+        let s = &self.seqs[rid as usize].seq;
+        s.slice(start.min(s.len()), end.min(s.len()))
+    }
+}
+
+/// Sketch with or without homopolymer compression.
+#[inline]
+fn sketch(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> {
+    if hpc {
+        minimizers_hpc(seq, k, w)
+    } else {
+        minimizers(seq, k, w)
+    }
+}
+
+/// Occurrence threshold: the `1 - frac` quantile of per-minimizer counts
+/// (minimap2's `mm_idx_cal_max_occ`), at least 10.
+pub(crate) fn occurrence_cutoff(counts: impl Iterator<Item = u32>, frac: f64) -> u32 {
+    let mut v: Vec<u32> = counts.collect();
+    if v.is_empty() || frac <= 0.0 {
+        return u32::MAX;
+    }
+    if v.len() == 1 {
+        return v[0].max(10);
+    }
+    v.sort_unstable();
+    // Drop (at least) the top `frac` fraction of keys: the cutoff is the
+    // largest kept count.
+    let drop = ((frac * v.len() as f64).ceil() as usize).clamp(1, v.len() - 1);
+    v[v.len() - 1 - drop].max(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_seq::nt4_decode;
+
+    fn random_genome(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 4) as u8
+            })
+            .collect()
+    }
+
+    fn build_one(genome: &[u8], opts: &IdxOpts) -> MinimizerIndex {
+        let rec = SeqRecord::new("chr1", nt4_decode(genome));
+        MinimizerIndex::build(&[rec], opts)
+    }
+
+    #[test]
+    fn build_and_lookup_round_trip() {
+        let g = random_genome(20_000, 11);
+        let idx = build_one(&g, &IdxOpts::MAP_ONT);
+        assert!(idx.num_minimizers() > 1000);
+        // Every stored minimizer must be findable.
+        let ms = minimizers(&g, idx.k, idx.w);
+        for m in ms.iter().take(50) {
+            assert!(!idx.lookup(m.hash).is_empty());
+        }
+    }
+
+    #[test]
+    fn exact_substring_produces_diagonal_anchors() {
+        let g = random_genome(50_000, 5);
+        let idx = build_one(&g, &IdxOpts::MAP_ONT);
+        let query = g[10_000..12_000].to_vec();
+        let anchors = idx.collect_anchors(&query);
+        assert!(!anchors.is_empty());
+        // Most anchors must be forward and lie on the diagonal
+        // rpos - qpos = 10_000.
+        let on_diag = anchors
+            .iter()
+            .filter(|a| !a.rev && a.rpos - a.qpos == 10_000)
+            .count();
+        assert!(on_diag as f64 > 0.9 * anchors.len() as f64, "{on_diag}/{}", anchors.len());
+    }
+
+    #[test]
+    fn reverse_complement_query_produces_rev_anchors() {
+        let g = random_genome(50_000, 6);
+        let idx = build_one(&g, &IdxOpts::MAP_ONT);
+        let query = mmm_seq::revcomp4(&g[10_000..12_000]);
+        let anchors = idx.collect_anchors(&query);
+        assert!(!anchors.is_empty());
+        let rev = anchors.iter().filter(|a| a.rev).count();
+        assert!(rev as f64 > 0.9 * anchors.len() as f64);
+    }
+
+    #[test]
+    fn rev_anchor_coordinates_are_consistent() {
+        // For a reverse match, aligning revcomp(query) against the
+        // reference must make (rpos - qpos) constant along the chain.
+        let g = random_genome(30_000, 7);
+        let idx = build_one(&g, &IdxOpts::MAP_ONT);
+        let query = mmm_seq::revcomp4(&g[5_000..7_000]);
+        let mut diag: Vec<i64> =
+            idx.collect_anchors(&query)
+                .iter()
+                .filter(|a| a.rev)
+                .map(|a| a.rpos as i64 - a.qpos as i64)
+                .collect();
+        diag.sort_unstable();
+        let mid = diag[diag.len() / 2];
+        let near = diag.iter().filter(|&&d| (d - mid).abs() < 10).count();
+        assert!(near as f64 > 0.9 * diag.len() as f64);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (rid, pos, rev) in [(0u32, 0u32, false), (3, 123_456, true), (1000, 1 << 30, false)] {
+            assert_eq!(unpack_hit(pack_hit(rid, pos, rev)), (rid, pos, rev));
+        }
+    }
+
+    #[test]
+    fn occurrence_cutoff_quantile() {
+        // 999 singletons and one 1000-count repeat: cutoff at f=1e-3 keeps
+        // the quantile below the repeat.
+        let counts = std::iter::repeat(1u32).take(999).chain(std::iter::once(1000));
+        let cut = occurrence_cutoff(counts, 1e-3);
+        assert!(cut < 1000);
+        assert!(cut >= 10);
+    }
+
+    #[test]
+    fn repeat_filter_drops_high_occurrence_seeds() {
+        // Genome = 60 copies of the same 500 bp unit: every minimizer is
+        // highly repetitive, so with a tiny cutoff no anchors survive.
+        let unit = random_genome(500, 8);
+        let mut g = Vec::new();
+        for _ in 0..60 {
+            g.extend_from_slice(&unit);
+        }
+        let mut idx = build_one(&g, &IdxOpts::MAP_ONT);
+        idx.max_occ = 10;
+        let anchors = idx.collect_anchors(&unit);
+        assert!(anchors.is_empty());
+    }
+
+    #[test]
+    fn ref_window_matches_source() {
+        let g = random_genome(1000, 9);
+        let idx = build_one(&g, &IdxOpts::MAP_ONT);
+        assert_eq!(idx.ref_window(0, 100, 150), g[100..150].to_vec());
+        // Clamped at the end.
+        assert_eq!(idx.ref_window(0, 990, 2000), g[990..].to_vec());
+    }
+}

@@ -1,0 +1,20 @@
+//! `mmm-index` — minimizer sketching and the reference index.
+//!
+//! The seeding substrate of the aligner (§3.1): references are sketched with
+//! `(k, w)` minimizers (Roberts et al.), stored 2-bit packed alongside a
+//! hash table from minimizer hash to reference positions. Queries are
+//! sketched with the same function and each shared minimizer becomes an
+//! anchor for chaining.
+//!
+//! The index serializes to a binary format modeled on minimap2's `.mmi` and
+//! can be loaded through either I/O path of [`mmm_io`]: fragmented buffered
+//! reads (minimap2's loader) or a single memory map (manymap's §4.4.2
+//! optimization) — the two sides of the index-loading experiments.
+
+pub mod index;
+pub mod minimizer;
+pub mod serialize;
+
+pub use index::{IdxOpts, MinimizerIndex, RefSeq};
+pub use minimizer::{hash64, minimizers, Minimizer};
+pub use serialize::{load_index, load_index_mmap, save_index, LoadStats};

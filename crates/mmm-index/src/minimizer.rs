@@ -1,0 +1,281 @@
+//! Minimizer sketching (Roberts et al. 2004, as used by minimap2).
+//!
+//! A `(w, k)` minimizer is the k-mer with the smallest hash among the `w`
+//! consecutive k-mers of a window. Hashing uses minimap2's invertible
+//! 64-bit mix so that low-complexity k-mers (poly-A etc.) do not dominate;
+//! each k-mer is taken on its canonical strand (the lexicographically
+//! smaller of forward/reverse-complement encodings); strand-symmetric
+//! k-mers are skipped, and windows containing ambiguous bases produce no
+//! minimizers.
+
+/// One minimizer: hash value, position of the k-mer's *last* base, the
+/// strand whose encoding was canonical, and the number of original bases
+/// the k-mer covers (= k, or more under homopolymer compression).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Minimizer {
+    pub hash: u64,
+    /// 0-based position of the last base of the k-mer (original
+    /// coordinates).
+    pub pos: u32,
+    /// True when the reverse-complement encoding was canonical.
+    pub rev: bool,
+    /// Original bases spanned (saturated at 255).
+    pub span: u8,
+}
+
+/// minimap2's invertible integer hash (Thomas Wang's 64-bit mix), masked to
+/// `2k` bits.
+#[inline]
+pub fn hash64(key: u64, mask: u64) -> u64 {
+    let mut k = key;
+    k = (!k).wrapping_add(k << 21) & mask;
+    k ^= k >> 24;
+    k = (k.wrapping_add(k << 3)).wrapping_add(k << 8) & mask;
+    k ^= k >> 14;
+    k = (k.wrapping_add(k << 2)).wrapping_add(k << 4) & mask;
+    k ^= k >> 28;
+    k = k.wrapping_add(k << 31) & mask;
+    k
+}
+
+/// Sketch `seq` (nt4 codes) with `(k, w)` minimizers.
+///
+/// Consecutive windows sharing the same minimizer emit it once, matching
+/// minimap2's output density (~`2/(w+1)` of positions).
+///
+/// ```
+/// use mmm_index::minimizers;
+/// let seq = mmm_seq::to_nt4(b"ACGTTGCAACGGTCATACGTTGCA");
+/// let ms = minimizers(&seq, 11, 5);
+/// assert!(!ms.is_empty());
+/// // positions are the k-mer end coordinates, strictly increasing
+/// assert!(ms.windows(2).all(|p| p[0].pos < p[1].pos));
+/// ```
+pub fn minimizers(seq: &[u8], k: usize, w: usize) -> Vec<Minimizer> {
+    minimizers_impl(seq, k, w, false)
+}
+
+/// Sketch with homopolymer compression (minimap2's `-H`, the `map-pb`
+/// default): runs of identical bases collapse to one before k-mer
+/// extraction, which suits PacBio CLR's indel-dominant error profile.
+/// Positions and spans are reported in *original* coordinates.
+pub fn minimizers_hpc(seq: &[u8], k: usize, w: usize) -> Vec<Minimizer> {
+    minimizers_impl(seq, k, w, true)
+}
+
+fn minimizers_impl(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> {
+    assert!(k >= 4 && k <= 28, "k must be in [4, 28]");
+    assert!(w >= 1 && w < 256, "w must be in [1, 255]");
+    let mut out = Vec::with_capacity(seq.len() / (w + 1) * 2 + 16);
+    if seq.len() < k {
+        return out;
+    }
+    let mask: u64 = (1 << (2 * k)) - 1;
+    let shift = 2 * (k - 1);
+    let (mut fwd, mut rc) = (0u64, 0u64);
+    let mut l = 0usize; // (compressed) bases since the last ambiguous base
+
+    // Per-candidate (hash, original end pos, rev, original span);
+    // u64::MAX marks "no k-mer". Under HPC one candidate is produced per
+    // *compressed* position (the last original base of its run).
+    let mut cands: Vec<Minimizer> = Vec::with_capacity(seq.len());
+    // Original start positions of the last k compressed symbols.
+    let mut starts: std::collections::VecDeque<u32> =
+        std::collections::VecDeque::with_capacity(k + 1);
+    let mut i = 0usize;
+    while i < seq.len() {
+        let c = seq[i];
+        // With HPC, consume the whole run of identical bases.
+        let run_start = i;
+        let mut run_end = i + 1;
+        if hpc && c < 4 {
+            while run_end < seq.len() && seq[run_end] == c {
+                run_end += 1;
+            }
+        }
+        if c < 4 {
+            fwd = ((fwd << 2) | c as u64) & mask;
+            rc = (rc >> 2) | ((3 - c as u64) << shift);
+            l += 1;
+            starts.push_back(run_start as u32);
+            if starts.len() > k {
+                starts.pop_front();
+            }
+        } else {
+            l = 0;
+            starts.clear();
+        }
+        let end = run_end - 1;
+        let m = if l >= k && fwd != rc {
+            let (key, rev) = if fwd < rc { (fwd, false) } else { (rc, true) };
+            let start = *starts.front().expect("k symbols tracked") as usize;
+            Minimizer {
+                hash: hash64(key, mask),
+                pos: end as u32,
+                rev,
+                span: (end - start + 1).min(255) as u8,
+            }
+        } else {
+            Minimizer { hash: u64::MAX, pos: end as u32, rev: false, span: 0 }
+        };
+        cands.push(m);
+        i = run_end;
+    }
+
+    // Sliding-window minimum with a monotonic deque over candidate hashes.
+    // The deque keeps indices with non-decreasing hash; ties keep the
+    // earliest (leftmost) k-mer, like minimap2's default.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut last_emitted: Option<(u64, u32)> = None;
+    for i in 0..cands.len() {
+        while let Some(&b) = deque.back() {
+            if cands[b].hash > cands[i].hash {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        while let Some(&f) = deque.front() {
+            if f + w <= i {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        // First full window ends at index k-1+w-1; emit from there on.
+        if i + 1 >= k + w - 1 {
+            let best = cands[*deque.front().expect("window non-empty")];
+            if best.hash != u64::MAX && last_emitted != Some((best.hash, best.pos)) {
+                out.push(best);
+                last_emitted = Some((best.hash, best.pos));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_seq::{revcomp4, to_nt4};
+
+    #[test]
+    fn hash_is_invertible_shaped() {
+        // Different keys must give different hashes (invertibility implies
+        // injectivity within the mask).
+        let mask = (1u64 << 30) - 1;
+        let a = hash64(12345, mask);
+        let b = hash64(12346, mask);
+        assert_ne!(a, b);
+        assert!(a <= mask && b <= mask);
+    }
+
+    #[test]
+    fn short_sequence_has_no_minimizers() {
+        assert!(minimizers(&to_nt4(b"ACGTACGT"), 15, 5).is_empty());
+    }
+
+    #[test]
+    fn w1_emits_every_distinct_kmer_position() {
+        let seq = to_nt4(b"ACGTTGCAACGGTCAT");
+        let ms = minimizers(&seq, 5, 1);
+        // Every position from k-1 on yields a k-mer (none are palindromic
+        // here); all must be emitted with w = 1.
+        assert_eq!(ms.len(), seq.len() - 5 + 1);
+        assert!(ms.windows(2).all(|p| p[0].pos < p[1].pos));
+        assert!(ms.iter().all(|m| m.span == 5));
+    }
+
+    #[test]
+    fn hpc_collapses_homopolymers() {
+        // AAACCCGGGAATT compresses to ACGAT; with k=4, w=1 the compressed
+        // k-mers are ACGA (original span 0..=10) and CGAT (3..=12).
+        // (ACGT-style palindromic k-mers would be strand-ambiguous and
+        // skipped, so the example avoids them.)
+        let seq = to_nt4(b"AAACCCGGGAATT");
+        let ms = minimizers_hpc(&seq, 4, 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].pos, 10); // last A of the AA run
+        assert_eq!(ms[0].span, 11);
+        assert_eq!(ms[1].pos, 12); // last T
+        assert_eq!(ms[1].span, 10);
+    }
+
+    #[test]
+    fn hpc_is_insensitive_to_homopolymer_length_errors() {
+        // The hallmark property: expanding a homopolymer run does not
+        // change the compressed k-mer stream (hash sequence).
+        let a = to_nt4(b"ACGGTCATTACGGACTTACGGTACGATCAG");
+        let mut b = a.clone();
+        b.insert(3, 2); // extend the GG run
+        b.insert(9, 3); // extend a T run
+        let ha: Vec<u64> = minimizers_hpc(&a, 7, 3).iter().map(|m| m.hash).collect();
+        let hb: Vec<u64> = minimizers_hpc(&b, 7, 3).iter().map(|m| m.hash).collect();
+        assert_eq!(ha, hb);
+        // Plain sketching *is* disturbed by the same edits.
+        let pa: Vec<u64> = minimizers(&a, 7, 3).iter().map(|m| m.hash).collect();
+        let pb: Vec<u64> = minimizers(&b, 7, 3).iter().map(|m| m.hash).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn density_is_roughly_two_over_w_plus_one() {
+        // Pseudo-random 20 kb sequence.
+        let mut state = 7u64;
+        let seq: Vec<u8> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 4) as u8
+            })
+            .collect();
+        let (k, w) = (15, 10);
+        let ms = minimizers(&seq, k, w);
+        let density = ms.len() as f64 / seq.len() as f64;
+        let expect = 2.0 / (w as f64 + 1.0);
+        assert!(
+            (density - expect).abs() < expect * 0.25,
+            "density {density:.4} vs expected {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn strand_symmetry() {
+        // The sketch of the reverse complement contains the same hash set.
+        let mut state = 99u64;
+        let seq: Vec<u8> = (0..2_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 4) as u8
+            })
+            .collect();
+        let fwd: std::collections::HashSet<u64> =
+            minimizers(&seq, 15, 10).into_iter().map(|m| m.hash).collect();
+        let rev: std::collections::HashSet<u64> =
+            minimizers(&revcomp4(&seq), 15, 10).into_iter().map(|m| m.hash).collect();
+        let inter = fwd.intersection(&rev).count();
+        // Windows shift slightly between strands; most hashes must survive.
+        assert!(inter as f64 >= 0.8 * fwd.len() as f64, "{inter} of {}", fwd.len());
+    }
+
+    #[test]
+    fn ambiguous_bases_suppress_spanning_kmers() {
+        let clean = to_nt4(b"ACGTTGCAACGGTCATACGTTGCAACGGTCAT");
+        let mut dirty = clean.clone();
+        dirty[16] = 4; // N in the middle
+        let mc = minimizers(&clean, 9, 3);
+        let md = minimizers(&dirty, 9, 3);
+        // No minimizer in the dirty sketch spans position 16.
+        assert!(md.iter().all(|m| {
+            let start = m.pos as usize + 1 - 9;
+            !(start..=m.pos as usize).contains(&16)
+        }));
+        assert!(md.len() < mc.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let seq = to_nt4(b"ACGTTGCAACGGTCATACGTTGCAACGGTCATGGCCTTAA");
+        assert_eq!(minimizers(&seq, 11, 5), minimizers(&seq, 11, 5));
+    }
+}

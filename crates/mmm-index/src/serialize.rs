@@ -1,0 +1,233 @@
+//! Index serialization and the two loading paths of §4.4.2.
+//!
+//! The on-disk format mirrors minimap2's `.mmi` in spirit: a magic header,
+//! per-sequence metadata and packed bases, then the minimizer table as
+//! three flat arrays. Crucially the *format* is identical for both loaders;
+//! only the I/O mechanism differs:
+//!
+//! * [`load_index`] replays minimap2's fragmented loader — one small
+//!   `read` per field through a [`mmm_io::ChunkedReader`];
+//! * [`load_index_mmap`] is manymap's path: `mmap(2)` the file once and
+//!   parse in place with zero-copy bulk array reads.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use mmm_io::{ByteSource, ChunkedReader, Mmap, SliceSource};
+use mmm_seq::PackedSeq;
+
+use crate::index::{MinimizerIndex, RefSeq};
+
+const MAGIC: &[u8; 4] = b"MMX\x01";
+
+/// Timing and syscall statistics from a load, consumed by the Table 2 /
+/// Figure 11 harnesses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadStats {
+    pub seconds: f64,
+    pub read_calls: u64,
+    pub bytes: u64,
+}
+
+/// Write the index to `path`.
+pub fn save_index(idx: &MinimizerIndex, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 20, f);
+    w.write_all(MAGIC)?;
+    w.write_all(&(idx.k as u32).to_le_bytes())?;
+    w.write_all(&(idx.w as u32).to_le_bytes())?;
+    w.write_all(&(idx.hpc as u32).to_le_bytes())?;
+    w.write_all(&idx.max_occ.to_le_bytes())?;
+    w.write_all(&(idx.seqs.len() as u64).to_le_bytes())?;
+    for s in &idx.seqs {
+        w.write_all(&(s.name.len() as u64).to_le_bytes())?;
+        w.write_all(s.name.as_bytes())?;
+        w.write_all(&(s.seq.len() as u64).to_le_bytes())?;
+        w.write_all(&(s.seq.words().len() as u64).to_le_bytes())?;
+        for &word in s.seq.words() {
+            w.write_all(&word.to_le_bytes())?;
+        }
+    }
+    // Minimizer table: keys sorted for determinism, then (offset, count),
+    // then the positions array.
+    let mut keys: Vec<u64> = idx.map.keys().copied().collect();
+    keys.sort_unstable();
+    w.write_all(&(keys.len() as u64).to_le_bytes())?;
+    for &k in &keys {
+        w.write_all(&k.to_le_bytes())?;
+    }
+    for &k in &keys {
+        let (off, cnt) = idx.map[&k];
+        w.write_all(&off.to_le_bytes())?;
+        w.write_all(&(cnt as u64).to_le_bytes())?;
+    }
+    w.write_all(&(idx.positions.len() as u64).to_le_bytes())?;
+    for &p in &idx.positions {
+        w.write_all(&p.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
+    let mut magic = [0u8; 4];
+    src.take_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+    }
+    let k = src.take_u32()? as usize;
+    let w = src.take_u32()? as usize;
+    let hpc = src.take_u32()? != 0;
+    let max_occ = src.take_u32()?;
+    let n_seqs = src.take_u64()? as usize;
+    let mut seqs = Vec::with_capacity(n_seqs);
+    for _ in 0..n_seqs {
+        let name = String::from_utf8_lossy(&src.take_bytes()?).into_owned();
+        let len = src.take_u64()? as usize;
+        let words = src.take_u32_vec()?;
+        seqs.push(RefSeq { name, seq: PackedSeq::from_raw(words, len) });
+    }
+    let n_keys = src.take_u64()? as usize;
+    let keys = {
+        let mut v = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            v.push(src.take_u64()?);
+        }
+        v
+    };
+    let mut map = HashMap::with_capacity(n_keys);
+    for &key in &keys {
+        let off = src.take_u64()?;
+        let cnt = src.take_u64()? as u32;
+        map.insert(key, (off, cnt));
+    }
+    let positions = src.take_u64_vec()?;
+    Ok(MinimizerIndex { k, w, hpc, seqs, map, positions, max_occ })
+}
+
+/// minimap2's loading path: fragmented buffered reads.
+pub fn load_index(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
+    let start = Instant::now();
+    let mut r = ChunkedReader::open(path, 16 * 1024)?;
+    let idx = parse_index(&mut r)?;
+    Ok((
+        idx,
+        LoadStats {
+            seconds: start.elapsed().as_secs_f64(),
+            read_calls: r.read_calls(),
+            bytes: r.bytes_read(),
+        },
+    ))
+}
+
+/// manymap's loading path: one `mmap`, zero-copy parse (§4.4.2).
+pub fn load_index_mmap(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
+    let start = Instant::now();
+    let map = Mmap::open(path)?;
+    let mut src = SliceSource::new(&map);
+    let idx = parse_index(&mut src)?;
+    let bytes = src.position() as u64;
+    Ok((idx, LoadStats { seconds: start.elapsed().as_secs_f64(), read_calls: 1, bytes }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IdxOpts;
+    use mmm_seq::{nt4_decode, SeqRecord};
+
+    fn sample_index() -> MinimizerIndex {
+        let mut state = 31u64;
+        let g: Vec<u8> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 4) as u8
+            })
+            .collect();
+        let recs = vec![
+            SeqRecord::new("chrA", nt4_decode(&g[..20_000])),
+            SeqRecord::new("chrB", nt4_decode(&g[20_000..])),
+        ];
+        MinimizerIndex::build(&recs, &IdxOpts::MAP_ONT)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmm-index-{name}-{}", std::process::id()))
+    }
+
+    fn assert_same(a: &MinimizerIndex, b: &MinimizerIndex) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.hpc, b.hpc);
+        assert_eq!(a.max_occ, b.max_occ);
+        assert_eq!(a.seqs.len(), b.seqs.len());
+        for (x, y) in a.seqs.iter().zip(&b.seqs) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seq, y.seq);
+        }
+        assert_eq!(a.num_minimizers(), b.num_minimizers());
+        assert_eq!(a.num_positions(), b.num_positions());
+        // Spot-check lookups agree.
+        for (&k, _) in a.map.iter().take(100) {
+            assert_eq!(a.lookup(k), b.lookup(k));
+        }
+    }
+
+    #[test]
+    fn round_trip_buffered() {
+        let idx = sample_index();
+        let p = tmp("buffered");
+        save_index(&idx, &p).unwrap();
+        let (back, stats) = load_index(&p).unwrap();
+        assert_same(&idx, &back);
+        // The fragmented loader issues many reads — that is the point.
+        assert!(stats.read_calls > 1000, "read_calls={}", stats.read_calls);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn round_trip_mmap() {
+        let idx = sample_index();
+        let p = tmp("mmap");
+        save_index(&idx, &p).unwrap();
+        let (back, stats) = load_index_mmap(&p).unwrap();
+        assert_same(&idx, &back);
+        assert_eq!(stats.read_calls, 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn both_loaders_agree() {
+        let idx = sample_index();
+        let p = tmp("agree");
+        save_index(&idx, &p).unwrap();
+        let (a, _) = load_index(&p).unwrap();
+        let (b, _) = load_index_mmap(&p).unwrap();
+        assert_same(&a, &b);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn queries_survive_round_trip() {
+        let idx = sample_index();
+        let p = tmp("query");
+        save_index(&idx, &p).unwrap();
+        let (back, _) = load_index_mmap(&p).unwrap();
+        let q = back.seqs[0].seq.slice(5_000, 6_000);
+        let a1 = idx.collect_anchors(&q);
+        let a2 = back.collect_anchors(&q);
+        assert_eq!(a1, a2);
+        assert!(!a1.is_empty());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let p = tmp("corrupt");
+        std::fs::write(&p, b"NOPE").unwrap();
+        assert!(load_index(&p).is_err());
+        assert!(load_index_mmap(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! The baseline loading path: many small buffered reads.
+//!
+//! minimap2's index loader (`mm_idx_load`) performs one `fread` per field —
+//! bucket sizes, then each bucket's key/value arrays, then the packed
+//! sequence — i.e. a highly fragmented read pattern. [`ChunkedReader`]
+//! reproduces that behaviour: every `read_exact` call goes through a small
+//! intermediate buffer, and the per-call overhead can be made explicit for
+//! the KNL model (where single-thread I/O syscall cost dominates, §4.4.2).
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+/// Buffered file reader issuing small reads, with syscall-count accounting.
+pub struct ChunkedReader {
+    inner: BufReader<File>,
+    reads: u64,
+    bytes: u64,
+}
+
+impl ChunkedReader {
+    /// Open `path` with a given buffer capacity. minimap2 uses stdio's
+    /// default (4–64 KiB depending on libc); 16 KiB is representative.
+    pub fn open(path: &Path, buf_capacity: usize) -> io::Result<Self> {
+        let f = File::open(path)?;
+        Ok(ChunkedReader { inner: BufReader::with_capacity(buf_capacity.max(16), f), reads: 0, bytes: 0 })
+    }
+
+    /// Number of `read` calls issued so far.
+    pub fn read_calls(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total bytes delivered so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Read exactly `buf.len()` bytes.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.reads += 1;
+        self.bytes += buf.len() as u64;
+        self.inner.read_exact(buf)
+    }
+
+    /// Read a little-endian u64 (the index format's scalar fields).
+    pub fn read_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read a little-endian u32.
+    pub fn read_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Drain the remainder of the file.
+    pub fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize> {
+        self.reads += 1;
+        let n = self.inner.read_to_end(out)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("mmm-io-chunked-{name}-{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn scalar_reads() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&42u64.to_le_bytes());
+        data.extend_from_slice(&7u32.to_le_bytes());
+        data.extend_from_slice(b"tail");
+        let p = tmpfile("scalars", &data);
+        let mut r = ChunkedReader::open(&p, 4096).unwrap();
+        assert_eq!(r.read_u64().unwrap(), 42);
+        assert_eq!(r.read_u32().unwrap(), 7);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"tail");
+        assert_eq!(r.read_calls(), 3);
+        assert_eq!(r.bytes_read(), data.len() as u64);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn short_file_errors() {
+        let p = tmpfile("short", b"abc");
+        let mut r = ChunkedReader::open(&p, 64).unwrap();
+        assert!(r.read_u64().is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! `mmm-io` — byte-source substrate for manymap.
+//!
+//! Section 4.4.2 of the paper replaces minimap2's fragmented, small-read
+//! index loading with memory-mapped I/O, halving the index load time on KNL.
+//! This crate provides both sides of that comparison:
+//!
+//! * [`mmap::Mmap`] — a real `mmap(2)` wrapper (read-only, with
+//!   `madvise(MADV_SEQUENTIAL)`), used by the fast index-loading path;
+//! * [`buffered::ChunkedReader`] — a deliberately minimap2-like buffered
+//!   reader that issues many small reads, used by the baseline path;
+//! * [`source::ByteSource`] — the common cursor abstraction the index
+//!   deserializer is written against, so the two paths share one parser;
+//! * [`timer`] — stage timers used by every breakdown experiment
+//!   (Table 2, Figure 11).
+
+pub mod buffered;
+pub mod mmap;
+pub mod source;
+pub mod timer;
+
+pub use buffered::ChunkedReader;
+pub use mmap::Mmap;
+pub use source::{ByteSource, SliceSource};
+pub use timer::{Stage, StageTimer};

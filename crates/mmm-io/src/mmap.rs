@@ -1,0 +1,150 @@
+//! Read-only memory mapping of files.
+//!
+//! This is the substrate behind the paper's §4.4.2 optimization: the on-disk
+//! index is mapped into the address space and parsed in place, turning the
+//! original fragmented read pattern into sequential page-fault-driven reads.
+//! Only `mmap`, `munmap` and `madvise` from libc are used.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::ptr;
+use std::slice;
+
+/// A read-only memory-mapped file.
+///
+/// Dereferences to `&[u8]` covering the whole file. The mapping is unmapped
+/// on drop. Zero-length files are handled without calling `mmap` (POSIX
+/// forbids zero-length mappings).
+pub struct Mmap {
+    ptr: *mut libc::c_void,
+    len: usize,
+}
+
+// The mapping is read-only and owned; sharing references across threads is
+// no different from sharing a `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `path` read-only and advise the kernel of sequential access.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Mmap { ptr: ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: fd is valid for the duration of the call; we request a
+        // fresh private read-only mapping and check the result.
+        let p = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                len,
+                libc::PROT_READ,
+                libc::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if p == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        // Sequential advice matches the index parser's access pattern; best
+        // effort, failure is harmless.
+        // SAFETY: p/len describe the mapping we just created.
+        unsafe {
+            libc::madvise(p, len, libc::MADV_SEQUENTIAL);
+        }
+        Ok(Mmap { ptr: p, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by self.
+            unsafe { slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty mapping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                libc::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpfile(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("mmm-io-test-{name}-{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmpfile("basic", b"hello mmap world");
+        let m = Mmap::open(&p).unwrap();
+        assert_eq!(&*m, b"hello mmap world");
+        assert_eq!(m.len(), 16);
+        drop(m);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn zero_length_file() {
+        let p = tmpfile("empty", b"");
+        let m = Mmap::open(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn large_file_round_trip() {
+        let data: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let p = tmpfile("large", &data);
+        let m = Mmap::open(&p).unwrap();
+        assert_eq!(&*m, &data[..]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(Mmap::open(Path::new("/nonexistent/never/file")).is_err());
+    }
+}

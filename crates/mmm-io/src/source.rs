@@ -1,0 +1,186 @@
+//! The cursor abstraction shared by the two index-loading paths.
+//!
+//! The index deserializer is written once against [`ByteSource`]; plugging in
+//! a [`SliceSource`] over an [`crate::Mmap`] gives the manymap path, plugging
+//! in a [`crate::ChunkedReader`] gives the minimap2 path. This mirrors how
+//! the paper changes *only* the I/O mechanism while keeping the format fixed.
+
+use std::io;
+
+/// A forward-only cursor over bytes.
+pub trait ByteSource {
+    /// Fill `buf` completely or fail.
+    fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Borrow the next `n` bytes zero-copy if the source supports it
+    /// (the mmap path does; streaming sources return `None`).
+    fn borrow_exact(&mut self, _n: usize) -> Option<&[u8]> {
+        None
+    }
+
+    /// Little-endian u64.
+    fn take_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.take_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Little-endian u32.
+    fn take_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.take_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Little-endian i32.
+    fn take_i32(&mut self) -> io::Result<i32> {
+        Ok(self.take_u32()? as i32)
+    }
+
+    /// A `u64`-prefixed byte string.
+    fn take_bytes(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.take_u64()? as usize;
+        let mut v = vec![0u8; n];
+        self.take_exact(&mut v)?;
+        Ok(v)
+    }
+
+    /// A `u64`-prefixed vector of little-endian u64s. Uses the zero-copy path
+    /// when available (single large copy instead of per-element reads).
+    fn take_u64_vec(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.take_u64()? as usize;
+        if let Some(raw) = self.borrow_exact(n * 8) {
+            let mut v = Vec::with_capacity(n);
+            for c in raw.chunks_exact(8) {
+                v.push(u64::from_le_bytes(c.try_into().unwrap()));
+            }
+            return Ok(v);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.take_u64()?);
+        }
+        Ok(v)
+    }
+
+    /// A `u64`-prefixed vector of little-endian u32s.
+    fn take_u32_vec(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.take_u64()? as usize;
+        if let Some(raw) = self.borrow_exact(n * 4) {
+            let mut v = Vec::with_capacity(n);
+            for c in raw.chunks_exact(4) {
+                v.push(u32::from_le_bytes(c.try_into().unwrap()));
+            }
+            return Ok(v);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.take_u32()?);
+        }
+        Ok(v)
+    }
+}
+
+/// In-memory source over a byte slice (the mmap path).
+pub struct SliceSource<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Cursor starting at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        SliceSource { data, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+impl ByteSource for SliceSource<'_> {
+    fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        if self.remaining() < buf.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "slice source exhausted"));
+        }
+        buf.copy_from_slice(&self.data[self.pos..self.pos + buf.len()]);
+        self.pos += buf.len();
+        Ok(())
+    }
+
+    fn borrow_exact(&mut self, n: usize) -> Option<&[u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+}
+
+impl ByteSource for crate::ChunkedReader {
+    fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.read_exact(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut d = Vec::new();
+        d.extend_from_slice(&3u64.to_le_bytes());
+        for x in [10u64, 20, 30] {
+            d.extend_from_slice(&x.to_le_bytes());
+        }
+        d.extend_from_slice(&2u64.to_le_bytes());
+        d.extend_from_slice(b"hi");
+        d
+    }
+
+    #[test]
+    fn slice_source_vectors_and_bytes() {
+        let d = sample();
+        let mut s = SliceSource::new(&d);
+        assert_eq!(s.take_u64_vec().unwrap(), vec![10, 20, 30]);
+        assert_eq!(s.take_bytes().unwrap(), b"hi");
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_source_eof() {
+        let mut s = SliceSource::new(b"abc");
+        assert!(s.take_u64().is_err());
+    }
+
+    #[test]
+    fn chunked_reader_source_parses_same_format() {
+        use std::io::Write;
+        let d = sample();
+        let p = std::env::temp_dir().join(format!("mmm-io-src-{}", std::process::id()));
+        std::fs::File::create(&p).unwrap().write_all(&d).unwrap();
+        let mut r = crate::ChunkedReader::open(&p, 4096).unwrap();
+        assert_eq!(r.take_u64_vec().unwrap(), vec![10, 20, 30]);
+        assert_eq!(r.take_bytes().unwrap(), b"hi");
+        // Streaming path issues one read per element: 1 (len) + 3 + 1 (len) + 1.
+        assert_eq!(r.read_calls(), 6);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn u32_vec_round_trip() {
+        let mut d = Vec::new();
+        d.extend_from_slice(&2u64.to_le_bytes());
+        d.extend_from_slice(&1u32.to_le_bytes());
+        d.extend_from_slice(&2u32.to_le_bytes());
+        let mut s = SliceSource::new(&d);
+        assert_eq!(s.take_u32_vec().unwrap(), vec![1, 2]);
+    }
+}

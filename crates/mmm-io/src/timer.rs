@@ -1,0 +1,157 @@
+//! Stage timing, the measurement backbone of Table 2 and Figure 11.
+//!
+//! The paper breaks execution into five stages: *Load Index*, *Load Query*,
+//! *Seed & Chain*, *Align*, *Output*. [`StageTimer`] accumulates wall time
+//! (or externally supplied simulated time) per stage and renders the
+//! percentage breakdown the paper reports.
+
+use std::time::{Duration, Instant};
+
+/// The pipeline stages of the paper's breakdown tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    LoadIndex,
+    LoadQuery,
+    SeedChain,
+    Align,
+    Output,
+}
+
+impl Stage {
+    /// All stages in the paper's row order.
+    pub const ALL: [Stage; 5] =
+        [Stage::LoadIndex, Stage::LoadQuery, Stage::SeedChain, Stage::Align, Stage::Output];
+
+    /// Row label as printed in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::LoadIndex => "Load Index",
+            Stage::LoadQuery => "Load Query",
+            Stage::SeedChain => "Seed & Chain",
+            Stage::Align => "Align",
+            Stage::Output => "Output",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Stage::LoadIndex => 0,
+            Stage::LoadQuery => 1,
+            Stage::SeedChain => 2,
+            Stage::Align => 3,
+            Stage::Output => 4,
+        }
+    }
+}
+
+/// Accumulates per-stage durations. Thread-safe accumulation is done by
+/// merging per-thread timers ([`StageTimer::merge`]).
+#[derive(Clone, Debug, Default)]
+pub struct StageTimer {
+    acc: [Duration; 5],
+}
+
+impl StageTimer {
+    /// Fresh timer with all stages at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure and charge it to `stage`.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.acc[stage.idx()] += start.elapsed();
+        out
+    }
+
+    /// Charge an externally measured (e.g. simulated) duration.
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        self.acc[stage.idx()] += d;
+    }
+
+    /// Charge simulated seconds.
+    pub fn add_secs(&mut self, stage: Stage, secs: f64) {
+        self.acc[stage.idx()] += Duration::from_secs_f64(secs.max(0.0));
+    }
+
+    /// Accumulated time for one stage.
+    pub fn get(&self, stage: Stage) -> Duration {
+        self.acc[stage.idx()]
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.acc.iter().sum()
+    }
+
+    /// Merge another timer (e.g. from a worker thread) into this one.
+    pub fn merge(&mut self, other: &StageTimer) {
+        for i in 0..5 {
+            self.acc[i] += other.acc[i];
+        }
+    }
+
+    /// `(label, seconds, percentage)` rows in Table 2 order.
+    pub fn breakdown(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total().as_secs_f64();
+        Stage::ALL
+            .iter()
+            .map(|&s| {
+                let t = self.get(s).as_secs_f64();
+                (s.label(), t, if total > 0.0 { 100.0 * t / total } else { 0.0 })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut t = StageTimer::new();
+        t.add(Stage::Align, Duration::from_millis(300));
+        t.add(Stage::Align, Duration::from_millis(200));
+        t.add(Stage::Output, Duration::from_millis(500));
+        assert_eq!(t.get(Stage::Align), Duration::from_millis(500));
+        assert_eq!(t.total(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let mut t = StageTimer::new();
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            t.add(*s, Duration::from_millis(100 * (i as u64 + 1)));
+        }
+        let pct: f64 = t.breakdown().iter().map(|r| r.2).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = StageTimer::new();
+        let v = t.time(Stage::SeedChain, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get(Stage::SeedChain) > Duration::ZERO || true); // may be ~0 but non-panicking
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = StageTimer::new();
+        a.add(Stage::LoadIndex, Duration::from_secs(1));
+        let mut b = StageTimer::new();
+        b.add(Stage::LoadIndex, Duration::from_secs(2));
+        b.add(Stage::Align, Duration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.get(Stage::LoadIndex), Duration::from_secs(3));
+        assert_eq!(a.get(Stage::Align), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero_percent() {
+        let rows = StageTimer::new().breakdown();
+        assert!(rows.iter().all(|r| r.2 == 0.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Thread affinity policies (§4.4.3).
+//!
+//! `compact` packs threads onto the fewest cores, `scatter` spreads them
+//! round-robin, and `optimized` (manymap's policy) scatters compute threads
+//! over all but one core, reserving that core for the pipeline's I/O
+//! thread so input/output never contends with alignment workers.
+
+use crate::platform::MachineModel;
+
+/// The three policies of Figure 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AffinityPolicy {
+    Compact,
+    Scatter,
+    Optimized,
+}
+
+impl AffinityPolicy {
+    /// Figure 10 legend labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            AffinityPolicy::Compact => "compact",
+            AffinityPolicy::Scatter => "scatter",
+            AffinityPolicy::Optimized => "optimized",
+        }
+    }
+
+    /// All policies.
+    pub const ALL: [AffinityPolicy; 3] =
+        [AffinityPolicy::Compact, AffinityPolicy::Scatter, AffinityPolicy::Optimized];
+}
+
+/// Result of placing `t` compute threads on a machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreLoad {
+    /// threads assigned to each core (length = machine cores).
+    pub per_core: Vec<usize>,
+    /// Whether one core is held free for I/O.
+    pub io_reserved: bool,
+}
+
+impl CoreLoad {
+    /// Per-thread speed factors (reference-thread units): each of the `h`
+    /// threads on a core delivers `agg(h)/h`.
+    pub fn thread_speeds(&self, m: &MachineModel) -> Vec<f64> {
+        let mut v = Vec::new();
+        for &h in &self.per_core {
+            for _ in 0..h {
+                v.push(m.core_agg(h) / h as f64);
+            }
+        }
+        v
+    }
+
+    /// Total compute throughput in reference-thread units.
+    pub fn total_throughput(&self, m: &MachineModel) -> f64 {
+        self.per_core.iter().map(|&h| m.core_agg(h)).sum()
+    }
+
+    /// Does the I/O thread run uncontended? True when a core is reserved or
+    /// some core is entirely idle.
+    pub fn io_uncontended(&self) -> bool {
+        self.io_reserved || self.per_core.iter().any(|&h| h == 0)
+    }
+}
+
+/// Place `threads` compute threads according to `policy` (thread i → core
+/// ⌊i/k⌋ for compact, i mod P for scatter, as defined in §4.4.3).
+pub fn affinity_assignment(m: &MachineModel, threads: usize, policy: AffinityPolicy) -> CoreLoad {
+    let threads = threads.min(m.max_threads());
+    let mut per_core = vec![0usize; m.cores];
+    match policy {
+        AffinityPolicy::Compact => {
+            for i in 0..threads {
+                per_core[(i / m.threads_per_core).min(m.cores - 1)] += 1;
+            }
+            CoreLoad { per_core, io_reserved: false }
+        }
+        AffinityPolicy::Scatter => {
+            for i in 0..threads {
+                per_core[i % m.cores] += 1;
+            }
+            CoreLoad { per_core, io_reserved: false }
+        }
+        AffinityPolicy::Optimized => {
+            // Reserve the last core for I/O; scatter compute over the rest.
+            let avail = m.cores - 1;
+            let threads = threads.min(avail * m.threads_per_core);
+            for i in 0..threads {
+                per_core[i % avail] += 1;
+            }
+            CoreLoad { per_core, io_reserved: true }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::KNL_7210;
+
+    #[test]
+    fn compact_uses_fewest_cores() {
+        let l = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Compact);
+        assert_eq!(l.per_core.iter().filter(|&&h| h > 0).count(), 16);
+        assert!(l.per_core.iter().all(|&h| h == 0 || h == 4));
+    }
+
+    #[test]
+    fn scatter_uses_all_cores() {
+        let l = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Scatter);
+        assert!(l.per_core.iter().all(|&h| h == 1));
+        let l2 = affinity_assignment(&KNL_7210, 100, AffinityPolicy::Scatter);
+        assert_eq!(l2.per_core.iter().sum::<usize>(), 100);
+        assert!(l2.per_core.iter().all(|&h| h == 1 || h == 2));
+    }
+
+    #[test]
+    fn optimized_reserves_one_core() {
+        let l = affinity_assignment(&KNL_7210, 256, AffinityPolicy::Optimized);
+        assert!(l.io_reserved);
+        assert_eq!(l.per_core[63], 0);
+        assert!(l.io_uncontended());
+    }
+
+    #[test]
+    fn scatter_equals_optimized_below_core_count() {
+        // §5.3.2: same thread assignment when T ≤ cores.
+        let a = affinity_assignment(&KNL_7210, 48, AffinityPolicy::Scatter);
+        let b = affinity_assignment(&KNL_7210, 48, AffinityPolicy::Optimized);
+        assert_eq!(a.total_throughput(&KNL_7210), b.total_throughput(&KNL_7210));
+        // Scatter with idle cores is also effectively uncontended for I/O.
+        assert!(a.io_uncontended());
+    }
+
+    #[test]
+    fn compact_throughput_about_half_of_scatter() {
+        // Figure 10: compact ≈ 2× slower when T ≤ #cores.
+        let c = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Compact)
+            .total_throughput(&KNL_7210);
+        let s = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Scatter)
+            .total_throughput(&KNL_7210);
+        let ratio = s / c;
+        assert!(ratio > 1.7 && ratio < 2.3, "ratio={ratio}");
+    }
+
+    #[test]
+    fn thread_speeds_sum_to_throughput() {
+        let l = affinity_assignment(&KNL_7210, 100, AffinityPolicy::Scatter);
+        let sum: f64 = l.thread_speeds(&KNL_7210).iter().sum();
+        assert!((sum - l.total_throughput(&KNL_7210)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_clamps() {
+        let l = affinity_assignment(&KNL_7210, 10_000, AffinityPolicy::Scatter);
+        assert_eq!(l.per_core.iter().sum::<usize>(), 256);
+    }
+}

@@ -1,0 +1,334 @@
+//! Discrete pipeline simulator (§4.4.4, Figures 9–11).
+//!
+//! Work arrives as batches of per-read costs measured on the reference
+//! host core; the simulator scales them by the machine model, schedules
+//! them over the modeled threads (greedy list scheduling — LPT when the
+//! batch is length-sorted, arrival order otherwise) and plays the batches
+//! through one of the two pipeline designs:
+//!
+//! * **minimap2's 2-thread pipeline** — two pipeline threads alternate
+//!   batches; each executes load → compute → output, so a batch's
+//!   computation overlaps the *other* thread's I/O, but input and output
+//!   share one I/O resource;
+//! * **manymap's 3-thread pipeline** — a dedicated I/O design where input
+//!   and output also overlap each other.
+
+use crate::affinity::{affinity_assignment, AffinityPolicy};
+use crate::platform::MachineModel;
+
+/// One input batch, in reference-core seconds.
+#[derive(Clone, Debug, Default)]
+pub struct WorkBatch {
+    /// Per-read seeding + chaining cost.
+    pub chain_cost: Vec<f64>,
+    /// Per-read base-level alignment cost (parallel index-matched with
+    /// `chain_cost`).
+    pub align_cost: Vec<f64>,
+    /// Input (read loading) cost.
+    pub in_cost: f64,
+    /// Output (formatting + writing) cost.
+    pub out_cost: f64,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineParams {
+    /// manymap's 3-thread design (true) vs minimap2's 2-thread (false).
+    pub dedicated_io: bool,
+    /// Load input through mmap (§4.4.2).
+    pub mmap_input: bool,
+    /// Sort each batch by descending cost before scheduling (§4.4.4's
+    /// long-reads-first balancing).
+    pub sort_by_length: bool,
+    pub affinity: AffinityPolicy,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            dedicated_io: true,
+            mmap_input: true,
+            sort_by_length: true,
+            affinity: AffinityPolicy::Optimized,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineReport {
+    /// End-to-end wall time (simulated seconds).
+    pub total: f64,
+    /// Aggregate stage times (not wall time — stages overlap).
+    pub in_time: f64,
+    pub compute_time: f64,
+    pub out_time: f64,
+}
+
+/// Extra I/O slowdown when the I/O thread shares a busy core.
+const IO_CONTENTION: f64 = 1.25;
+
+/// Makespan of one batch's reads over the modeled threads.
+pub fn batch_compute_makespan(
+    m: &MachineModel,
+    threads: usize,
+    batch: &WorkBatch,
+    sort: bool,
+    affinity: AffinityPolicy,
+) -> f64 {
+    let load = affinity_assignment(m, threads, affinity);
+    let speeds = load.thread_speeds(m);
+    if speeds.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut costs: Vec<f64> = batch
+        .chain_cost
+        .iter()
+        .zip(&batch.align_cost)
+        .map(|(&c, &a)| m.seedchain_time(c) + m.align_time(a))
+        .collect();
+    if sort {
+        costs.sort_by(|x, y| y.partial_cmp(x).expect("finite costs"));
+    }
+    // Greedy list scheduling onto heterogeneous threads.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq)]
+    struct T(f64, usize);
+    impl Eq for T {}
+    impl PartialOrd for T {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for T {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&o.0).expect("finite").then(self.1.cmp(&o.1))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<T>> =
+        (0..speeds.len()).map(|i| Reverse(T(0.0, i))).collect();
+    let mut makespan: f64 = 0.0;
+    for c in costs {
+        let Reverse(T(avail, i)) = heap.pop().expect("non-empty heap");
+        let done = avail + c / speeds[i];
+        makespan = makespan.max(done);
+        heap.push(Reverse(T(done, i)));
+    }
+    makespan
+}
+
+/// Play the batches through the selected pipeline design.
+///
+/// ```
+/// use mmm_knl::{simulate_pipeline, PipelineParams, WorkBatch, KNL_7210};
+/// let batch = WorkBatch {
+///     chain_cost: vec![0.001; 64],
+///     align_cost: vec![0.004; 64],
+///     in_cost: 0.01,
+///     out_cost: 0.01,
+/// };
+/// let p = PipelineParams::default();
+/// let t1 = simulate_pipeline(&KNL_7210, 1, std::slice::from_ref(&batch), &p).total;
+/// let t64 = simulate_pipeline(&KNL_7210, 64, std::slice::from_ref(&batch), &p).total;
+/// assert!(t1 / t64 > 30.0); // near-linear scaling on physical cores
+/// ```
+pub fn simulate_pipeline(
+    m: &MachineModel,
+    threads: usize,
+    batches: &[WorkBatch],
+    p: &PipelineParams,
+) -> PipelineReport {
+    let load = affinity_assignment(m, threads, p.affinity);
+    let io_factor = if load.io_uncontended() { 1.0 } else { IO_CONTENTION };
+
+    let mut rep = PipelineReport::default();
+    let in_t: Vec<f64> = batches
+        .iter()
+        .map(|b| m.read_time(b.in_cost, p.mmap_input) * io_factor)
+        .collect();
+    let out_t: Vec<f64> =
+        batches.iter().map(|b| m.write_time(b.out_cost) * io_factor).collect();
+    let comp_t: Vec<f64> = batches
+        .iter()
+        .map(|b| batch_compute_makespan(m, threads, b, p.sort_by_length, p.affinity))
+        .collect();
+    rep.in_time = in_t.iter().sum();
+    rep.out_time = out_t.iter().sum();
+    rep.compute_time = comp_t.iter().sum();
+
+    let n = batches.len();
+    if n == 0 {
+        return rep;
+    }
+
+    if p.dedicated_io {
+        // 3-thread design: input, compute and output each own a resource.
+        let mut in_free = 0.0f64;
+        let mut comp_free = 0.0f64;
+        let mut out_free = 0.0f64;
+        let mut end_comp = vec![0.0f64; n];
+        for b in 0..n {
+            // Bounded look-ahead: the reader may run at most 2 batches
+            // ahead of the compute stage.
+            let gate = if b >= 2 { end_comp[b - 2] } else { 0.0 };
+            let end_in = in_free.max(gate) + in_t[b];
+            in_free = end_in;
+            let start_comp = end_in.max(comp_free);
+            end_comp[b] = start_comp + comp_t[b];
+            comp_free = end_comp[b];
+            let start_out = end_comp[b].max(out_free);
+            out_free = start_out + out_t[b];
+        }
+        rep.total = out_free;
+    } else {
+        // minimap2's 2-thread design: threads alternate batches; all I/O
+        // (input and output) shares one resource, compute shares another.
+        let mut thread_free = [0.0f64; 2];
+        let mut io_free = 0.0f64;
+        let mut comp_free = 0.0f64;
+        let mut last_end = 0.0f64;
+        for b in 0..n {
+            let t = b % 2;
+            let start_in = thread_free[t].max(io_free);
+            let end_in = start_in + in_t[b];
+            io_free = end_in;
+            let start_comp = end_in.max(comp_free);
+            let end_comp = start_comp + comp_t[b];
+            comp_free = end_comp;
+            let start_out = end_comp.max(io_free);
+            let end_out = start_out + out_t[b];
+            io_free = end_out;
+            thread_free[t] = end_out;
+            last_end = end_out;
+        }
+        rep.total = last_end;
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::KNL_7210;
+
+    /// Batches shaped like the macro workload: compute-heavy with modest
+    /// I/O; costs in reference-core seconds.
+    fn workload(io_weight: f64) -> Vec<WorkBatch> {
+        let mut batches = Vec::new();
+        let mut s = 1234u64;
+        for _ in 0..8 {
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) % 1000) as f64 / 1000.0
+            };
+            let reads = 512;
+            let chain: Vec<f64> = (0..reads).map(|_| 0.002 + 0.004 * rnd()).collect();
+            let align: Vec<f64> = (0..reads).map(|_| 0.004 + 0.016 * rnd()).collect();
+            batches.push(WorkBatch {
+                chain_cost: chain,
+                align_cost: align,
+                in_cost: 0.05 * io_weight,
+                out_cost: 0.1 * io_weight,
+            });
+        }
+        batches
+    }
+
+    fn run(threads: usize, p: &PipelineParams, io_weight: f64) -> f64 {
+        simulate_pipeline(&KNL_7210, threads, &workload(io_weight), p).total
+    }
+
+    #[test]
+    fn near_linear_scaling_to_64_threads() {
+        // Figure 9: 79% parallel efficiency at 64 threads.
+        let p = PipelineParams::default();
+        let t1 = run(1, &p, 1.0);
+        let t64 = run(64, &p, 1.0);
+        let speedup = t1 / t64;
+        assert!(speedup > 45.0 && speedup <= 64.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn hyperthread_gain_is_modest() {
+        // Figure 9: past 64 threads "the performance increase slows down".
+        let p = PipelineParams::default();
+        let t64 = run(64, &p, 1.2);
+        let t256 = run(256, &p, 1.2);
+        let gain = t64 / t256;
+        assert!(gain > 1.1 && gain < 1.9, "gain={gain}");
+    }
+
+    #[test]
+    fn compact_is_about_twice_slower_at_64() {
+        // Figure 10, T ≤ #cores regime.
+        let scatter =
+            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
+        let compact =
+            PipelineParams { affinity: AffinityPolicy::Compact, ..PipelineParams::default() };
+        let ratio = run(64, &compact, 0.5) / run(64, &scatter, 0.5);
+        assert!(ratio > 1.6 && ratio < 2.4, "ratio={ratio}");
+    }
+
+    #[test]
+    fn compact_catches_up_at_full_occupancy() {
+        // Figure 10: compact approaches scatter as T → 256.
+        let scatter =
+            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
+        let compact =
+            PipelineParams { affinity: AffinityPolicy::Compact, ..PipelineParams::default() };
+        let ratio = run(256, &compact, 0.5) / run(256, &scatter, 0.5);
+        assert!(ratio < 1.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn optimized_beats_scatter_when_io_matters() {
+        // Figure 10: up to ~22% at ≥150 threads on the I/O-heavy dataset.
+        let scatter =
+            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
+        let optimized =
+            PipelineParams { affinity: AffinityPolicy::Optimized, ..PipelineParams::default() };
+        let gain = run(200, &scatter, 12.0) / run(200, &optimized, 12.0);
+        assert!(gain > 1.05 && gain < 1.35, "gain={gain}");
+    }
+
+    #[test]
+    fn dedicated_io_pipeline_wins_on_knl() {
+        // §4.4.4: the 2-thread pipeline cannot hide KNL's I/O cost.
+        let two = PipelineParams { dedicated_io: false, ..PipelineParams::default() };
+        let three = PipelineParams { dedicated_io: true, ..PipelineParams::default() };
+        let t2 = run(256, &two, 12.0);
+        let t3 = run(256, &three, 12.0);
+        assert!(t3 < t2, "3-thread {t3} vs 2-thread {t2}");
+    }
+
+    #[test]
+    fn length_sorting_reduces_makespan() {
+        // One giant read scheduled last straggles; longest-first hides it.
+        let mut batch = WorkBatch {
+            chain_cost: vec![0.001; 129],
+            align_cost: vec![0.01; 129],
+            in_cost: 0.0,
+            out_cost: 0.0,
+        };
+        batch.align_cost[128] = 1.0; // the straggler arrives last
+        let unsorted = batch_compute_makespan(&KNL_7210, 64, &batch, false, AffinityPolicy::Scatter);
+        let sorted = batch_compute_makespan(&KNL_7210, 64, &batch, true, AffinityPolicy::Scatter);
+        assert!(sorted < unsorted, "sorted={sorted} unsorted={unsorted}");
+    }
+
+    #[test]
+    fn mmap_reduces_total_when_input_bound() {
+        let plain = PipelineParams { mmap_input: false, ..PipelineParams::default() };
+        let mapped = PipelineParams { mmap_input: true, ..PipelineParams::default() };
+        let tp = run(256, &plain, 20.0);
+        let tm = run(256, &mapped, 20.0);
+        assert!(tm < tp);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let rep = simulate_pipeline(&KNL_7210, 64, &[], &PipelineParams::default());
+        assert_eq!(rep.total, 0.0);
+    }
+}

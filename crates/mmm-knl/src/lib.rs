@@ -1,0 +1,25 @@
+//! `mmm-knl` — machine models for the Knights Landing and CPU platforms.
+//!
+//! The paper's KNL results (Tables 2 and 5, Figures 6, 9, 10, 11) come from
+//! a Xeon Phi 7210 we do not have. This crate substitutes a calibrated
+//! machine model (see DESIGN.md §2): per-stage single-thread slowdowns are
+//! calibrated against the paper's own Table 2 measurements, hyper-thread
+//! aggregation against §5.3.1, and the MCDRAM bandwidth model against
+//! Figure 6. On top of the model sits a discrete pipeline simulator that
+//! reproduces minimap2's 2-thread pipeline and manymap's 3-thread
+//! (dedicated-I/O) redesign, with compute makespans from list scheduling of
+//! per-read costs over the modeled cores.
+//!
+//! The same machinery models the paper's 20-core Xeon Gold 5115 so that
+//! CPU/KNL macro numbers are produced by one code path, with the CPU's
+//! per-core costs measured on the host.
+
+pub mod affinity;
+pub mod des;
+pub mod memory;
+pub mod platform;
+
+pub use affinity::{affinity_assignment, AffinityPolicy, CoreLoad};
+pub use des::{simulate_pipeline, PipelineParams, PipelineReport, WorkBatch};
+pub use memory::{effective_bandwidth, mem_throughput_factor, MemoryMode};
+pub use platform::{MachineModel, KNL_7210, XEON_GOLD_5115};

@@ -1,0 +1,166 @@
+//! Platform specifications (Table 3) and the calibrated cost model.
+
+/// One modeled machine.
+///
+/// `*_slowdown` factors are the per-stage single-thread slowdowns relative
+/// to a reference host core; the KNL values are calibrated directly against
+/// the paper's Table 2 (e.g. Align: 1481.59 s / 79.22 s ≈ 18.7×).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    pub name: &'static str,
+    pub cores: usize,
+    pub threads_per_core: usize,
+    /// Base frequency in MHz (Table 3).
+    pub base_mhz: u32,
+    /// Aggregate per-core throughput with 1..=4 hyper-threads, relative to
+    /// one thread. KNL cores are 2-wide in-order: a second thread helps a
+    /// lot, the fourth barely (§5.3.1's 21% and Figure 10's compact gap).
+    pub ht_agg: [f64; 4],
+    /// Single-thread slowdown of the base-level alignment stage vs the
+    /// reference core.
+    pub align_slowdown: f64,
+    /// Slowdown of the seeding + chaining stage.
+    pub seedchain_slowdown: f64,
+    /// Slowdown of single-thread buffered file reads.
+    pub io_read_slowdown: f64,
+    /// Slowdown of single-thread formatted output.
+    pub io_write_slowdown: f64,
+    /// Speedup of index loading when memory-mapped instead of fragmented
+    /// reads (§4.4.2: "two times faster ... on KNL").
+    pub mmap_speedup: f64,
+    /// Total L2 (MiB) — bandwidth-bound phases spill past this.
+    pub l2_mib: usize,
+}
+
+/// The paper's CPU server: Xeon Gold 5115, 20 cores / 40 threads.
+///
+/// Reference platform: per-stage slowdowns are 1 by definition. SMT on a
+/// big out-of-order core adds ~25%.
+pub const XEON_GOLD_5115: MachineModel = MachineModel {
+    name: "Xeon Gold 5115",
+    cores: 20,
+    threads_per_core: 2,
+    base_mhz: 2400,
+    ht_agg: [1.0, 1.25, 1.25, 1.25],
+    align_slowdown: 1.0,
+    seedchain_slowdown: 1.0,
+    io_read_slowdown: 1.0,
+    io_write_slowdown: 1.0,
+    mmap_speedup: 1.25,
+    l2_mib: 20,
+};
+
+/// The paper's Xeon Phi 7210: 64 cores / 256 threads, 1.3 GHz.
+///
+/// Calibration sources: Table 2 (single-thread per-stage ratios KNL/CPU:
+/// load index 6.1×, load query 8.3×, seed & chain 7.5×, align 18.7×,
+/// output 10.6×), §4.4.2 (mmap halves index loading), §5.3.1 (hyper-thread
+/// yield), Figure 10 (compact ≈ 2× slower below 64 threads ⇒ 4-thread
+/// aggregate ≈ 2).
+pub const KNL_7210: MachineModel = MachineModel {
+    name: "Xeon Phi 7210",
+    cores: 64,
+    threads_per_core: 4,
+    base_mhz: 1300,
+    ht_agg: [1.0, 1.55, 1.8, 2.0],
+    align_slowdown: 18.7,
+    seedchain_slowdown: 7.5,
+    io_read_slowdown: 6.1,
+    io_write_slowdown: 10.6,
+    mmap_speedup: 2.0,
+    l2_mib: 32,
+};
+
+impl MachineModel {
+    /// Time to run `ref_seconds` of reference-core alignment work on one
+    /// thread of this machine.
+    pub fn align_time(&self, ref_seconds: f64) -> f64 {
+        ref_seconds * self.align_slowdown
+    }
+
+    /// Time for `ref_seconds` of reference-core seeding/chaining work.
+    pub fn seedchain_time(&self, ref_seconds: f64) -> f64 {
+        ref_seconds * self.seedchain_slowdown
+    }
+
+    /// Single-thread input time for `ref_seconds` of reference I/O,
+    /// optionally memory-mapped.
+    pub fn read_time(&self, ref_seconds: f64, mmap: bool) -> f64 {
+        let t = ref_seconds * self.io_read_slowdown;
+        if mmap {
+            t / self.mmap_speedup
+        } else {
+            t
+        }
+    }
+
+    /// Single-thread output time.
+    pub fn write_time(&self, ref_seconds: f64) -> f64 {
+        ref_seconds * self.io_write_slowdown
+    }
+
+    /// Total hardware threads.
+    pub fn max_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Aggregate throughput (in reference-thread units of this machine) of
+    /// one core running `h` threads.
+    pub fn core_agg(&self, h: usize) -> f64 {
+        if h == 0 {
+            0.0
+        } else {
+            self.ht_agg[(h - 1).min(3)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_constants() {
+        assert_eq!(KNL_7210.cores, 64);
+        assert_eq!(KNL_7210.max_threads(), 256);
+        assert_eq!(XEON_GOLD_5115.cores, 20);
+        assert_eq!(XEON_GOLD_5115.max_threads(), 40);
+        assert_eq!(KNL_7210.base_mhz, 1300);
+    }
+
+    #[test]
+    fn knl_single_thread_matches_table2_ratios() {
+        // Reproduce Table 2's single-thread totals from the CPU column.
+        let cpu = [4.71, 0.43, 35.79, 79.22, 0.93];
+        let knl_pred = [
+            KNL_7210.read_time(cpu[0], false),
+            KNL_7210.read_time(cpu[1], false) * (8.3 / 6.1), // query parse skew
+            KNL_7210.seedchain_time(cpu[2]),
+            KNL_7210.align_time(cpu[3]),
+            KNL_7210.write_time(cpu[4]),
+        ];
+        let knl_paper = [28.74, 3.58, 266.90, 1481.59, 9.85];
+        for (i, (p, m)) in knl_paper.iter().zip(&knl_pred).enumerate() {
+            let rel = (p - m).abs() / p;
+            assert!(rel < 0.05, "stage {i}: paper {p} model {m}");
+        }
+    }
+
+    #[test]
+    fn mmap_halves_knl_index_load() {
+        let plain = KNL_7210.read_time(10.0, false);
+        let mapped = KNL_7210.read_time(10.0, true);
+        assert!((plain / mapped - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ht_aggregation_shape() {
+        // Monotone, diminishing, and ≈2 at 4 threads (Figure 10's compact
+        // gap); CPU SMT saturates at 2 threads.
+        let a = KNL_7210.ht_agg;
+        assert!(a[0] < a[1] && a[1] < a[2] && a[2] < a[3]);
+        assert!(a[1] - a[0] > a[3] - a[2]);
+        assert!((a[3] - 2.0).abs() < 0.2);
+        assert_eq!(XEON_GOLD_5115.core_agg(2), XEON_GOLD_5115.core_agg(4));
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration-level shape checks of the KNL machine model: the paper's
+//! qualitative findings expressed as invariants over wide parameter ranges
+//! (the unit tests pin single calibration points; these sweep).
+
+use mmm_knl::{
+    affinity_assignment, simulate_pipeline, AffinityPolicy, MemoryMode, PipelineParams,
+    WorkBatch, KNL_7210, XEON_GOLD_5115,
+};
+
+fn batch(reads: usize, align_each: f64, io: f64) -> WorkBatch {
+    WorkBatch {
+        chain_cost: vec![align_each / 4.0; reads],
+        align_cost: vec![align_each; reads],
+        in_cost: io,
+        out_cost: io,
+    }
+}
+
+#[test]
+fn speedup_is_monotone_in_threads_for_any_affinity() {
+    let batches = vec![batch(256, 0.01, 0.2); 4];
+    for policy in AffinityPolicy::ALL {
+        let params = PipelineParams { affinity: policy, ..Default::default() };
+        let mut prev = f64::INFINITY;
+        for t in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let total = simulate_pipeline(&KNL_7210, t, &batches, &params).total;
+            assert!(
+                total <= prev * 1.0001,
+                "{policy:?} threads={t}: {total} > {prev}"
+            );
+            prev = total;
+        }
+    }
+}
+
+#[test]
+fn affinities_converge_at_full_occupancy() {
+    // At 256 threads every policy fills all cores; only the reserved-I/O
+    // core distinguishes optimized, so totals must be within ~15%.
+    let batches = vec![batch(512, 0.008, 0.5); 4];
+    let times: Vec<f64> = AffinityPolicy::ALL
+        .iter()
+        .map(|&a| {
+            simulate_pipeline(
+                &KNL_7210,
+                256,
+                &batches,
+                &PipelineParams { affinity: a, ..Default::default() },
+            )
+            .total
+        })
+        .collect();
+    let (min, max) =
+        times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    assert!(max / min < 1.15, "spread {times:?}");
+}
+
+#[test]
+fn compute_bound_workloads_do_not_care_about_mmap() {
+    let batches = vec![batch(512, 0.05, 0.001); 3];
+    let a = simulate_pipeline(&KNL_7210, 256, &batches, &PipelineParams { mmap_input: true, ..Default::default() });
+    let b = simulate_pipeline(&KNL_7210, 256, &batches, &PipelineParams { mmap_input: false, ..Default::default() });
+    assert!((a.total - b.total).abs() / a.total < 0.02);
+}
+
+#[test]
+fn knl_single_thread_is_an_order_of_magnitude_behind_cpu() {
+    // Table 2's headline: the same single-thread run is ~15× slower.
+    let batches = vec![batch(64, 0.02, 0.1)];
+    let p = PipelineParams::default();
+    let cpu = simulate_pipeline(&XEON_GOLD_5115, 1, &batches, &p).total;
+    let knl = simulate_pipeline(&KNL_7210, 1, &batches, &p).total;
+    let ratio = knl / cpu;
+    assert!(ratio > 10.0 && ratio < 20.0, "ratio={ratio}");
+}
+
+#[test]
+fn assignments_place_every_thread_exactly_once() {
+    for policy in AffinityPolicy::ALL {
+        for t in [1usize, 17, 63, 64, 65, 200, 256] {
+            let load = affinity_assignment(&KNL_7210, t, policy);
+            let placed: usize = load.per_core.iter().sum();
+            let cap = if policy == AffinityPolicy::Optimized {
+                (KNL_7210.cores - 1) * KNL_7210.threads_per_core
+            } else {
+                KNL_7210.cores * KNL_7210.threads_per_core
+            };
+            assert_eq!(placed, t.min(cap), "{policy:?} t={t}");
+            assert!(load.per_core.iter().all(|&h| h <= KNL_7210.threads_per_core));
+        }
+    }
+}
+
+#[test]
+fn memory_mode_ordering_is_stable_in_capacity() {
+    use mmm_knl::memory::effective_bandwidth;
+    for ws_gb in [1u64, 4, 10, 15] {
+        let ws = ws_gb << 30;
+        let ddr = effective_bandwidth(ws, MemoryMode::Ddr);
+        let cache = effective_bandwidth(ws, MemoryMode::Cache);
+        let flat = effective_bandwidth(ws, MemoryMode::Mcdram);
+        assert!(ddr < cache && cache < flat, "ws={ws_gb}GB: {ddr} {cache} {flat}");
+    }
+}

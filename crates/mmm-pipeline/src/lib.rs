@@ -1,0 +1,21 @@
+//! `mmm-pipeline` — the real multi-threaded batch pipelines (§4.4.4).
+//!
+//! minimap2 overlaps I/O with computation through a 2-thread pipeline: two
+//! pipeline threads alternate batches, each performing load → multi-thread
+//! align → output, so one batch's computation hides the other's I/O.
+//! manymap adds a dedicated I/O thread so input and output *also* overlap
+//! each other, and sorts each batch by read length so long reads start
+//! first (better load balance).
+//!
+//! This crate implements both designs generically over any item/result
+//! types using crossbeam channels and scoped threads; the mapper plugs its
+//! seed-chain-extend function in as the map stage. Output order is always
+//! the input order, regardless of scheduling (tested).
+
+pub mod pipeline;
+pub mod pool;
+pub mod sort;
+
+pub use pipeline::{run_three_thread, run_two_thread, PipelineStats};
+pub use pool::par_map_indexed;
+pub use sort::sort_indices_by_len_desc;

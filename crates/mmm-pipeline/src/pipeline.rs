@@ -1,0 +1,267 @@
+//! The two pipeline designs.
+
+use std::time::Instant;
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+
+use crate::pool::par_map_indexed;
+use crate::sort::sort_indices_by_len_desc;
+
+/// Aggregate timings of a pipeline run. Stage seconds are summed across
+/// batches (stages overlap, so they may exceed `wall_seconds`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    pub batches: usize,
+    pub items: usize,
+    pub in_seconds: f64,
+    pub compute_seconds: f64,
+    pub out_seconds: f64,
+    pub wall_seconds: f64,
+}
+
+/// manymap's 3-thread design: a reader thread, the compute stage (worker
+/// pool), and a writer thread, connected by bounded channels so input and
+/// output overlap computation *and* each other.
+///
+/// * `read_batch` returns the next batch or `None` at end of input;
+/// * `map` is applied to every item by `threads` workers (longest-first
+///   when `sort_by_len` is set, via `len_of`);
+/// * `write_batch` consumes results in batch order.
+pub fn run_three_thread<I, R, FIn, FMap, FLen, FOut>(
+    mut read_batch: FIn,
+    map: FMap,
+    len_of: FLen,
+    mut write_batch: FOut,
+    threads: usize,
+    sort_by_len: bool,
+) -> PipelineStats
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Option<Vec<I>> + Send,
+    FMap: Fn(&I) -> R + Sync,
+    FLen: Fn(&I) -> usize + Sync,
+    FOut: FnMut(Vec<R>) + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let wall = Instant::now();
+    let (in_tx, in_rx) = bounded::<Vec<I>>(2);
+    let (out_tx, out_rx) = bounded::<Vec<R>>(2);
+
+    std::thread::scope(|scope| {
+        // Reader.
+        let stats_ref = &stats;
+        scope.spawn(move || loop {
+            let t0 = Instant::now();
+            let batch = read_batch();
+            stats_ref.lock().in_seconds += t0.elapsed().as_secs_f64();
+            match batch {
+                Some(b) => {
+                    if in_tx.send(b).is_err() {
+                        break;
+                    }
+                }
+                None => break, // dropping in_tx closes the channel
+            }
+        });
+
+        // Writer.
+        let stats_ref = &stats;
+        let writer = scope.spawn(move || {
+            while let Ok(out) = out_rx.recv() {
+                let t0 = Instant::now();
+                write_batch(out);
+                stats_ref.lock().out_seconds += t0.elapsed().as_secs_f64();
+            }
+        });
+
+        // Compute stage on this thread.
+        while let Ok(batch) = in_rx.recv() {
+            let t0 = Instant::now();
+            let order = if sort_by_len {
+                sort_indices_by_len_desc(&batch, &len_of)
+            } else {
+                (0..batch.len()).collect()
+            };
+            let results = par_map_indexed(&batch, &order, threads, &map);
+            {
+                let mut s = stats.lock();
+                s.compute_seconds += t0.elapsed().as_secs_f64();
+                s.batches += 1;
+                s.items += batch.len();
+            }
+            if out_tx.send(results).is_err() {
+                break;
+            }
+        }
+        drop(out_tx);
+        writer.join().expect("writer thread");
+    });
+
+    let mut s = stats.into_inner();
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    s
+}
+
+/// minimap2's 2-thread design: two pipeline slots alternate batches, each
+/// running load → compute → output sequentially; the compute sections are
+/// mutually exclusive (they use the whole worker pool), so one slot's
+/// compute overlaps the other slot's I/O only.
+pub fn run_two_thread<I, R, FIn, FMap, FOut>(
+    read_batch: FIn,
+    map: FMap,
+    write_batch: FOut,
+    threads: usize,
+) -> PipelineStats
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Option<Vec<I>> + Send,
+    FMap: Fn(&I) -> R + Sync,
+    FOut: FnMut(Vec<R>) + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let wall = Instant::now();
+    // Shared, locked resources mirroring the design's constraints.
+    let reader = Mutex::new(read_batch);
+    let writer = Mutex::new((write_batch, 0usize)); // (sink, next batch id)
+    let compute = Mutex::new(());
+    let batch_no = Mutex::new(0usize);
+
+    std::thread::scope(|scope| {
+        for _slot in 0..2 {
+            scope.spawn(|| loop {
+                // Load (serialized on the reader).
+                let (my_id, batch) = {
+                    let mut rd = reader.lock();
+                    let t0 = Instant::now();
+                    let b = rd();
+                    stats.lock().in_seconds += t0.elapsed().as_secs_f64();
+                    let mut id = batch_no.lock();
+                    let my = *id;
+                    *id += 1;
+                    match b {
+                        Some(b) => (my, b),
+                        None => break,
+                    }
+                };
+                // Compute (exclusive: uses all worker threads).
+                let results = {
+                    let _guard = compute.lock();
+                    let t0 = Instant::now();
+                    let order: Vec<usize> = (0..batch.len()).collect();
+                    let r = par_map_indexed(&batch, &order, threads, &map);
+                    let mut s = stats.lock();
+                    s.compute_seconds += t0.elapsed().as_secs_f64();
+                    s.batches += 1;
+                    s.items += batch.len();
+                    r
+                };
+                // Output in batch order.
+                loop {
+                    let mut w = writer.lock();
+                    if w.1 == my_id {
+                        let t0 = Instant::now();
+                        (w.0)(results);
+                        w.1 += 1;
+                        stats.lock().out_seconds += t0.elapsed().as_secs_f64();
+                        break;
+                    }
+                    drop(w);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let mut s = stats.into_inner();
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batches(n_batches: usize, per: usize) -> Vec<Vec<u64>> {
+        (0..n_batches).map(|b| (0..per as u64).map(|i| b as u64 * 1000 + i).collect()).collect()
+    }
+
+    fn feeder(mut data: Vec<Vec<u64>>) -> impl FnMut() -> Option<Vec<u64>> + Send {
+        data.reverse();
+        move || data.pop()
+    }
+
+    #[test]
+    fn three_thread_preserves_order() {
+        let input = batches(6, 40);
+        let flat: Vec<u64> = input.iter().flatten().copied().collect();
+        let out = Mutex::new(Vec::new());
+        let stats = run_three_thread(
+            feeder(input),
+            |&x| x * 3,
+            |_| 1,
+            |r| out.lock().extend(r),
+            4,
+            false,
+        );
+        assert_eq!(stats.batches, 6);
+        assert_eq!(stats.items, 240);
+        let got = out.into_inner();
+        assert_eq!(got, flat.iter().map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn three_thread_sorted_compute_still_ordered_output() {
+        let input = vec![vec![5u64, 1, 9, 3], vec![2, 8]];
+        let out = Mutex::new(Vec::new());
+        run_three_thread(
+            feeder(input),
+            |&x| x + 1,
+            |&x| x as usize, // "length" = value, so compute order differs
+            |r| out.lock().extend(r),
+            3,
+            true,
+        );
+        assert_eq!(out.into_inner(), vec![6, 2, 10, 4, 3, 9]);
+    }
+
+    #[test]
+    fn two_thread_preserves_order() {
+        let input = batches(7, 33);
+        let flat: Vec<u64> = input.iter().flatten().copied().collect();
+        let out = Mutex::new(Vec::new());
+        let stats = run_two_thread(feeder(input), |&x| x ^ 7, |r| out.lock().extend(r), 4);
+        assert_eq!(stats.batches, 7);
+        assert_eq!(
+            out.into_inner(),
+            flat.iter().map(|x| x ^ 7).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let out = Mutex::new(Vec::<u64>::new());
+        let stats =
+            run_three_thread(feeder(vec![]), |&x: &u64| x, |_| 1, |r| out.lock().extend(r), 2, true);
+        assert_eq!(stats.batches, 0);
+        assert!(out.into_inner().is_empty());
+    }
+
+    #[test]
+    fn both_designs_agree() {
+        let input = batches(5, 21);
+        let a = {
+            let out = Mutex::new(Vec::new());
+            run_three_thread(feeder(input.clone()), |&x| x * x, |_| 1, |r| out.lock().extend(r), 3, true);
+            out.into_inner()
+        };
+        let b = {
+            let out = Mutex::new(Vec::new());
+            run_two_thread(feeder(input), |&x| x * x, |r| out.lock().extend(r), 3);
+            out.into_inner()
+        };
+        assert_eq!(a, b);
+    }
+}

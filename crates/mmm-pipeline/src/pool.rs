@@ -1,0 +1,73 @@
+//! The per-batch worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Map `f` over `items` with `threads` scoped workers, processing in the
+/// order given by `order` (e.g. longest first) but returning results in the
+/// original item order.
+pub fn par_map_indexed<I, R, F>(items: &[I], order: &[usize], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    assert_eq!(items.len(), order.len(), "order must be a permutation of the items");
+    let threads = threads.max(1);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len().max(1)) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= order.len() {
+                    break;
+                }
+                let idx = order[k];
+                let r = f(&items[idx]);
+                *results[idx].lock() = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let order: Vec<usize> = (0..100).rev().collect(); // process backwards
+        let out = par_map_indexed(&items, &order, 4, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let items = vec![1, 2, 3];
+        let order = vec![0, 1, 2];
+        assert_eq!(par_map_indexed(&items, &order, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = par_map_indexed(&items, &[], 8, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn mismatched_order_panics() {
+        let items = vec![1, 2, 3];
+        par_map_indexed(&items, &[0, 1], 2, |&x| x);
+    }
+}

@@ -1,0 +1,27 @@
+//! Batch sorting (§4.4.4): long reads first, for load balance.
+
+/// Processing order: indices sorted by descending item length. Results are
+/// still emitted in the original order (the pool maps back by index).
+pub fn sort_indices_by_len_desc<T, F: Fn(&T) -> usize>(items: &[T], len_of: F) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(len_of(&items[i])));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_first() {
+        let items = vec![vec![0u8; 3], vec![0; 10], vec![0; 1]];
+        let order = sort_indices_by_len_desc(&items, |v| v.len());
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn stable_for_equal_lengths() {
+        let items = vec![vec![0u8; 5], vec![0; 5], vec![0; 5]];
+        assert_eq!(sort_indices_by_len_desc(&items, |v| v.len()), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pipeline stress tests: ordering and completeness under adversarial
+//! batch shapes, thread counts and workload skew.
+
+use parking_lot::Mutex;
+
+use mmm_pipeline::{par_map_indexed, run_three_thread, run_two_thread, sort_indices_by_len_desc};
+
+fn feeder(batches: Vec<Vec<u64>>) -> impl FnMut() -> Option<Vec<u64>> + Send {
+    let mut b = batches;
+    b.reverse();
+    move || b.pop()
+}
+
+#[test]
+fn many_tiny_batches_keep_order() {
+    // 100 batches of 1 item stress the channel/ordering machinery.
+    let input: Vec<Vec<u64>> = (0..100).map(|i| vec![i]).collect();
+    let out = Mutex::new(Vec::new());
+    let stats = run_three_thread(
+        feeder(input),
+        |&x| x,
+        |_| 1,
+        |r| out.lock().extend(r),
+        4,
+        true,
+    );
+    assert_eq!(stats.batches, 100);
+    assert_eq!(out.into_inner(), (0..100).collect::<Vec<u64>>());
+}
+
+#[test]
+fn skewed_work_is_complete_under_both_designs() {
+    // Item cost varies 1000×; both pipelines must still emit everything in
+    // order.
+    let batches: Vec<Vec<u64>> = (0..6)
+        .map(|b| (0..50).map(|i| (b * 50 + i) as u64).collect())
+        .collect();
+    let work = |&x: &u64| {
+        // Busy-work proportional to a pseudo-random weight.
+        let w = (x * 2654435761) % 1000 + 1;
+        let mut acc = 0u64;
+        for i in 0..w * 50 {
+            acc = acc.wrapping_add(i ^ x);
+        }
+        (x, acc)
+    };
+    let expected: Vec<u64> = (0..300).collect();
+
+    let three = {
+        let out = Mutex::new(Vec::new());
+        run_three_thread(
+            feeder(batches.clone()),
+            work,
+            |&x| (x % 97) as usize,
+            |r| out.lock().extend(r.into_iter().map(|(x, _)| x)),
+            4,
+            true,
+        );
+        out.into_inner()
+    };
+    assert_eq!(three, expected);
+
+    let two = {
+        let out = Mutex::new(Vec::new());
+        run_two_thread(feeder(batches), work, |r| {
+            out.lock().extend(r.into_iter().map(|(x, _)| x))
+        }, 4);
+        out.into_inner()
+    };
+    assert_eq!(two, expected);
+}
+
+#[test]
+fn pool_handles_more_threads_than_items() {
+    let items = vec![10u32, 20];
+    let order = sort_indices_by_len_desc(&items, |&x| x as usize);
+    let out = par_map_indexed(&items, &order, 64, |&x| x + 1);
+    assert_eq!(out, vec![11, 21]);
+}
+
+#[test]
+fn stats_account_every_item_exactly_once() {
+    let batches: Vec<Vec<u64>> = (0..7).map(|b| vec![b; (b as usize % 3) + 1]).collect();
+    let expect_items: usize = batches.iter().map(|b| b.len()).sum();
+    let out = Mutex::new(0usize);
+    let stats = run_three_thread(
+        feeder(batches),
+        |&x| x,
+        |_| 1,
+        |r| *out.lock() += r.len(),
+        2,
+        false,
+    );
+    assert_eq!(stats.items, expect_items);
+    assert_eq!(out.into_inner(), expect_items);
+    assert!(stats.wall_seconds >= 0.0);
+}
+
+#[test]
+fn large_single_batch_parallelism() {
+    let batch: Vec<u64> = (0..10_000).collect();
+    let out = Mutex::new(Vec::new());
+    run_three_thread(
+        feeder(vec![batch]),
+        |&x| x * 2,
+        |&x| x as usize,
+        |r| out.lock().extend(r),
+        8,
+        true,
+    );
+    let got = out.into_inner();
+    assert_eq!(got.len(), 10_000);
+    assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+}

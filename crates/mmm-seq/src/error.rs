@@ -1,0 +1,49 @@
+//! Error type shared by the sequence I/O layer.
+
+use std::fmt;
+
+/// Errors produced while parsing or writing FASTA/FASTQ data.
+#[derive(Debug)]
+pub enum SeqError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally malformed input (message, approximate line number).
+    Parse { msg: String, line: u64 },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqError::Parse { msg, line } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Io(e) => Some(e),
+            SeqError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SeqError::Parse { msg: "bad record".into(), line: 7 };
+        assert_eq!(e.to_string(), "parse error at line 7: bad record");
+        let io = SeqError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Streaming FASTA/FASTQ reader in the style of `kseq.h`.
+//!
+//! minimap2 reads queries in batches through a tiny pull parser; this is the
+//! Rust equivalent. The format (FASTA vs FASTQ) is auto-detected from the
+//! first non-empty line and records of both kinds may not be mixed. Sequence
+//! lines may be wrapped arbitrarily; FASTQ records must have single-line
+//! sequence/quality sections of equal length (the universal modern layout,
+//! and the one every long-read basecaller emits).
+
+use std::io::BufRead;
+
+use crate::error::SeqError;
+use crate::record::SeqRecord;
+
+/// Detected input format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FastxFormat {
+    Fasta,
+    Fastq,
+}
+
+/// Pull parser yielding [`SeqRecord`]s from any [`BufRead`].
+pub struct FastxReader<R: BufRead> {
+    inner: R,
+    line: Vec<u8>,
+    /// Lookahead header line (without the leading marker) carried between
+    /// records.
+    pending_header: Option<Vec<u8>>,
+    format: Option<FastxFormat>,
+    line_no: u64,
+}
+
+impl<R: BufRead> FastxReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        FastxReader { inner, line: Vec::new(), pending_header: None, format: None, line_no: 0 }
+    }
+
+    /// The detected format, once at least one record has been read.
+    pub fn format(&self) -> Option<FastxFormat> {
+        self.format
+    }
+
+    fn read_line(&mut self) -> Result<bool, SeqError> {
+        self.line.clear();
+        let n = self.inner.read_until(b'\n', &mut self.line)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.line_no += 1;
+        while matches!(self.line.last(), Some(b'\n') | Some(b'\r')) {
+            self.line.pop();
+        }
+        Ok(true)
+    }
+
+    fn parse_err(&self, msg: impl Into<String>) -> SeqError {
+        SeqError::Parse { msg: msg.into(), line: self.line_no }
+    }
+
+    fn split_header(header: &[u8]) -> (String, Option<String>) {
+        let text = String::from_utf8_lossy(header);
+        match text.split_once(char::is_whitespace) {
+            Some((name, rest)) => {
+                let rest = rest.trim();
+                (name.to_string(), if rest.is_empty() { None } else { Some(rest.to_string()) })
+            }
+            None => (text.trim().to_string(), None),
+        }
+    }
+
+    /// Read the next record, or `Ok(None)` at end of input.
+    pub fn next_record(&mut self) -> Result<Option<SeqRecord>, SeqError> {
+        // Find a header: either carried over from the previous record or the
+        // next non-empty line.
+        let header = if let Some(h) = self.pending_header.take() {
+            h
+        } else {
+            loop {
+                if !self.read_line()? {
+                    return Ok(None);
+                }
+                if self.line.is_empty() {
+                    continue;
+                }
+                break;
+            }
+            let marker = self.line[0];
+            let fmt = match marker {
+                b'>' => FastxFormat::Fasta,
+                b'@' => FastxFormat::Fastq,
+                _ => return Err(self.parse_err("expected '>' or '@' header")),
+            };
+            match self.format {
+                None => self.format = Some(fmt),
+                Some(f) if f != fmt => {
+                    return Err(self.parse_err("mixed FASTA/FASTQ records in one stream"))
+                }
+                _ => {}
+            }
+            self.line[1..].to_vec()
+        };
+
+        let (name, comment) = Self::split_header(&header);
+        if name.is_empty() {
+            return Err(self.parse_err("empty record name"));
+        }
+
+        match self.format.expect("format set before record body") {
+            FastxFormat::Fasta => {
+                let mut seq = Vec::new();
+                loop {
+                    if !self.read_line()? {
+                        break;
+                    }
+                    if self.line.is_empty() {
+                        continue;
+                    }
+                    if self.line[0] == b'>' {
+                        self.pending_header = Some(self.line[1..].to_vec());
+                        break;
+                    }
+                    if self.line[0] == b'@' {
+                        return Err(self.parse_err("mixed FASTA/FASTQ records in one stream"));
+                    }
+                    seq.extend_from_slice(&self.line);
+                }
+                Ok(Some(SeqRecord { name, comment, seq, qual: None }))
+            }
+            FastxFormat::Fastq => {
+                if !self.read_line()? {
+                    return Err(self.parse_err("truncated FASTQ record: missing sequence"));
+                }
+                let seq = self.line.clone();
+                if !self.read_line()? || self.line.first() != Some(&b'+') {
+                    return Err(self.parse_err("truncated FASTQ record: missing '+' separator"));
+                }
+                if !self.read_line()? {
+                    return Err(self.parse_err("truncated FASTQ record: missing quality"));
+                }
+                let qual = self.line.clone();
+                if qual.len() != seq.len() {
+                    return Err(self.parse_err(format!(
+                        "quality length {} != sequence length {}",
+                        qual.len(),
+                        seq.len()
+                    )));
+                }
+                Ok(Some(SeqRecord { name, comment, seq, qual: Some(qual) }))
+            }
+        }
+    }
+
+    /// Read up to `max_bases` worth of records (at least one if available).
+    /// This mirrors minimap2's `mini_batch_size` batching: the pipeline pulls
+    /// batches of roughly constant base count, not record count.
+    pub fn next_batch(&mut self, max_bases: usize) -> Result<Vec<SeqRecord>, SeqError> {
+        let mut out = Vec::new();
+        let mut bases = 0usize;
+        while bases < max_bases {
+            match self.next_record()? {
+                Some(r) => {
+                    bases += r.len();
+                    out.push(r);
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drain the stream into a vector.
+    pub fn read_all(&mut self) -> Result<Vec<SeqRecord>, SeqError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: BufRead> Iterator for FastxReader<R> {
+    type Item = Result<SeqRecord, SeqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(s: &str) -> FastxReader<Cursor<&[u8]>> {
+        FastxReader::new(Cursor::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_multiline_fasta() {
+        let mut r = reader(">r1 a comment\nACGT\nTTGG\n\n>r2\nA\n");
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.name, "r1");
+        assert_eq!(a.comment.as_deref(), Some("a comment"));
+        assert_eq!(a.seq, b"ACGTTTGG");
+        let b = r.next_record().unwrap().unwrap();
+        assert_eq!(b.name, "r2");
+        assert_eq!(b.seq, b"A");
+        assert!(r.next_record().unwrap().is_none());
+        assert_eq!(r.format(), Some(FastxFormat::Fasta));
+    }
+
+    #[test]
+    fn parses_fastq() {
+        let mut r = reader("@q1\nACGT\n+\nIIII\n@q2 c\nGG\n+q2\nJJ\n");
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.name, "q1");
+        assert_eq!(a.qual.as_deref(), Some(b"IIII".as_slice()));
+        let b = r.next_record().unwrap().unwrap();
+        assert_eq!(b.name, "q2");
+        assert_eq!(b.comment.as_deref(), Some("c"));
+        assert_eq!(b.seq, b"GG");
+        assert!(r.next_record().unwrap().is_none());
+        assert_eq!(r.format(), Some(FastxFormat::Fastq));
+    }
+
+    #[test]
+    fn windows_line_endings() {
+        let mut r = reader(">r\r\nAC\r\nGT\r\n");
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.seq, b"ACGT");
+    }
+
+    #[test]
+    fn rejects_garbage_start() {
+        let mut r = reader("ACGT\n");
+        assert!(matches!(r.next_record(), Err(SeqError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_mixed_formats() {
+        // The '@' header is seen while scanning record `a`'s sequence lines,
+        // so the error surfaces on the first pull.
+        let mut r = reader(">a\nACGT\n@b\nAC\n+\nII\n");
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn rejects_quality_length_mismatch() {
+        let mut r = reader("@q\nACGT\n+\nII\n");
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_fastq() {
+        let mut r = reader("@q\nACGT\n");
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn batching_by_base_count() {
+        let mut r = reader(">a\nAAAA\n>b\nCCCC\n>c\nGGGG\n");
+        let batch = r.next_batch(6).unwrap();
+        assert_eq!(batch.len(), 2); // 4 bases, then 8 ≥ 6 stops after the 2nd
+        let rest = r.next_batch(100).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert!(r.next_batch(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let names: Vec<String> =
+            reader(">a\nA\n>b\nC\n").map(|r| r.unwrap().name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(reader("").next_record().unwrap().is_none());
+        assert!(reader("\n\n").next_record().unwrap().is_none());
+    }
+}

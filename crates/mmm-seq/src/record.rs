@@ -1,0 +1,72 @@
+//! Owned sequence records.
+
+use crate::encode::to_nt4;
+
+/// One FASTA/FASTQ record: name, optional comment, raw ASCII bases and
+/// (for FASTQ) quality string.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeqRecord {
+    /// Record identifier (text up to the first whitespace of the header).
+    pub name: String,
+    /// Remainder of the header line, if any.
+    pub comment: Option<String>,
+    /// Raw ASCII sequence.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string; `None` for FASTA records.
+    pub qual: Option<Vec<u8>>,
+}
+
+impl SeqRecord {
+    /// Convenience constructor for a FASTA-style record.
+    pub fn new(name: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        SeqRecord { name: name.into(), comment: None, seq: seq.into(), qual: None }
+    }
+
+    /// Sequence length in bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True for zero-length sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// nt4-encode the sequence.
+    pub fn nt4(&self) -> Vec<u8> {
+        to_nt4(&self.seq)
+    }
+
+    /// Approximate heap footprint, used by RAM-usage accounting in the
+    /// macro-benchmark harnesses.
+    pub fn heap_bytes(&self) -> usize {
+        self.name.capacity()
+            + self.comment.as_ref().map_or(0, |c| c.capacity())
+            + self.seq.capacity()
+            + self.qual.as_ref().map_or(0, |q| q.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = SeqRecord::new("read1", b"ACGT".to_vec());
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.nt4(), vec![0, 1, 2, 3]);
+        assert!(r.qual.is_none());
+    }
+
+    #[test]
+    fn heap_bytes_counts_all_fields() {
+        let mut r = SeqRecord::new("x", b"ACGT".to_vec());
+        let base = r.heap_bytes();
+        r.qual = Some(b"IIII".to_vec());
+        assert!(r.heap_bytes() > base);
+    }
+}

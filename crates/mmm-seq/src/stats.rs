@@ -1,0 +1,116 @@
+//! Dataset statistics — the quantities reported in Table 4 of the paper
+//! (number of reads, average/maximum length, total bases) plus N50 and GC
+//! content, which the generators use to check the synthetic profiles.
+
+use crate::record::SeqRecord;
+
+/// Summary statistics for a read set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DatasetStats {
+    pub num_reads: usize,
+    pub total_bases: u64,
+    pub mean_len: f64,
+    pub max_len: usize,
+    pub min_len: usize,
+    pub n50: usize,
+    pub gc_fraction: f64,
+}
+
+impl DatasetStats {
+    /// Compute statistics over a record set.
+    pub fn from_records(records: &[SeqRecord]) -> Self {
+        Self::from_lengths_and_gc(
+            records.iter().map(|r| r.len()),
+            records
+                .iter()
+                .flat_map(|r| r.seq.iter())
+                .filter(|&&b| matches!(b, b'G' | b'g' | b'C' | b'c'))
+                .count() as u64,
+        )
+    }
+
+    /// Compute from raw lengths (GC count supplied separately).
+    pub fn from_lengths_and_gc(lengths: impl IntoIterator<Item = usize>, gc_bases: u64) -> Self {
+        let mut lens: Vec<usize> = lengths.into_iter().collect();
+        if lens.is_empty() {
+            return DatasetStats::default();
+        }
+        let total: u64 = lens.iter().map(|&l| l as u64).sum();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        let mut n50 = 0usize;
+        for &l in &lens {
+            acc += l as u64;
+            if acc * 2 >= total {
+                n50 = l;
+                break;
+            }
+        }
+        DatasetStats {
+            num_reads: lens.len(),
+            total_bases: total,
+            mean_len: total as f64 / lens.len() as f64,
+            max_len: max,
+            min_len: min,
+            n50,
+            gc_fraction: if total > 0 { gc_bases as f64 / total as f64 } else { 0.0 },
+        }
+    }
+
+    /// Render the stats as rows shaped like the paper's Table 4 column.
+    pub fn table4_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Number of Reads".into(), format!("{}", self.num_reads)),
+            ("Average Length (bp)".into(), format!("{:.1}", self.mean_len)),
+            ("Maximum Length (bp)".into(), format!("{}", self.max_len)),
+            ("Total Bases".into(), format!("{}", self.total_bases)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let s = DatasetStats::from_records(&[]);
+        assert_eq!(s, DatasetStats::default());
+    }
+
+    #[test]
+    fn basic_stats() {
+        let recs = vec![
+            SeqRecord::new("a", b"ACGT".to_vec()),      // 50% GC
+            SeqRecord::new("b", b"AAAAAAAA".to_vec()),  // 0% GC
+        ];
+        let s = DatasetStats::from_records(&recs);
+        assert_eq!(s.num_reads, 2);
+        assert_eq!(s.total_bases, 12);
+        assert_eq!(s.max_len, 8);
+        assert_eq!(s.min_len, 4);
+        assert!((s.mean_len - 6.0).abs() < 1e-9);
+        assert!((s.gc_fraction - 2.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n50_definition() {
+        // Lengths 10, 5, 3, 2 — total 20; cumulative from largest: 10 ≥ 10.
+        let s = DatasetStats::from_lengths_and_gc([5, 3, 10, 2], 0);
+        assert_eq!(s.n50, 10);
+        // Lengths 4,4,4 — total 12; cumulative 4, 8 ≥ 6 ⇒ n50 = 4.
+        let s = DatasetStats::from_lengths_and_gc([4, 4, 4], 0);
+        assert_eq!(s.n50, 4);
+    }
+
+    #[test]
+    fn table4_shape() {
+        let s = DatasetStats::from_lengths_and_gc([100, 200], 30);
+        let rows = s.table4_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1, "2");
+        assert_eq!(rows[3].1, "300");
+    }
+}

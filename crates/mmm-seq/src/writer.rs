@@ -1,0 +1,92 @@
+//! FASTA/FASTQ emission, used by the synthetic dataset generators.
+
+use std::io::{self, Write};
+
+use crate::record::SeqRecord;
+
+/// Write records as FASTA, wrapping sequence lines at `wrap` columns
+/// (0 = no wrapping).
+pub fn write_fasta<W: Write>(w: &mut W, records: &[SeqRecord], wrap: usize) -> io::Result<()> {
+    for r in records {
+        match &r.comment {
+            Some(c) => writeln!(w, ">{} {}", r.name, c)?,
+            None => writeln!(w, ">{}", r.name)?,
+        }
+        if wrap == 0 {
+            w.write_all(&r.seq)?;
+            writeln!(w)?;
+        } else {
+            for chunk in r.seq.chunks(wrap) {
+                w.write_all(chunk)?;
+                writeln!(w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write records as FASTQ. Records lacking quality get a constant `I` string
+/// (Phred 40), matching what read simulators emit for perfect-confidence data.
+pub fn write_fastq<W: Write>(w: &mut W, records: &[SeqRecord]) -> io::Result<()> {
+    for r in records {
+        match &r.comment {
+            Some(c) => writeln!(w, "@{} {}", r.name, c)?,
+            None => writeln!(w, "@{}", r.name)?,
+        }
+        w.write_all(&r.seq)?;
+        writeln!(w, "\n+")?;
+        match &r.qual {
+            Some(q) => w.write_all(q)?,
+            None => w.write_all(&vec![b'I'; r.seq.len()])?,
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::FastxReader;
+    use std::io::Cursor;
+
+    #[test]
+    fn fasta_round_trip() {
+        let recs = vec![
+            SeqRecord::new("a", b"ACGTACGT".to_vec()),
+            SeqRecord {
+                name: "b".into(),
+                comment: Some("note".into()),
+                seq: b"TT".to_vec(),
+                qual: None,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs, 3).unwrap();
+        let back = FastxReader::new(Cursor::new(buf)).read_all().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let recs = vec![SeqRecord {
+            name: "q".into(),
+            comment: None,
+            seq: b"ACG".to_vec(),
+            qual: Some(b"ABC".to_vec()),
+        }];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        let back = FastxReader::new(Cursor::new(buf)).read_all().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn fastq_synthesizes_quality() {
+        let recs = vec![SeqRecord::new("q", b"ACG".to_vec())];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        let back = FastxReader::new(Cursor::new(buf)).read_all().unwrap();
+        assert_eq!(back[0].qual.as_deref(), Some(b"III".as_slice()));
+    }
+}

@@ -1,0 +1,92 @@
+//! `simreads` — generate a synthetic reference and long-read dataset.
+//!
+//! ```sh
+//! simreads --genome 1000000 --reads 2000 --platform pacbio \
+//!          --out-ref ref.fa --out-reads reads.fa [--seed 42]
+//! ```
+//!
+//! Read names encode the ground truth as
+//! `read{N}!{rname}!{start}!{end}!{+|-}` so `mapeval` can score any PAF
+//! produced from them (the convention of pbsim + paftools mapeval).
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use mmm_seq::{nt4_decode, write_fasta, DatasetStats, SeqRecord};
+use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
+
+fn arg(flags: &std::collections::HashMap<String, String>, k: &str, default: &str) -> String {
+    flags.get(k).cloned().unwrap_or_else(|| default.to_string())
+}
+
+fn main() -> ExitCode {
+    let mut flags = std::collections::HashMap::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            flags.insert(name.to_string(), it.next().unwrap_or_default());
+        }
+    }
+
+    let genome_len: usize = arg(&flags, "genome", "1000000").parse().unwrap_or(1_000_000);
+    let n_reads: usize = arg(&flags, "reads", "2000").parse().unwrap_or(2_000);
+    let seed: u64 = arg(&flags, "seed", "42").parse().unwrap_or(42);
+    let platform = match arg(&flags, "platform", "pacbio").as_str() {
+        "ont" | "nanopore" => Platform::Nanopore,
+        _ => Platform::PacBio,
+    };
+    let out_ref = arg(&flags, "out-ref", "ref.fa");
+    let out_reads = arg(&flags, "out-reads", "reads.fa");
+
+    let genome = generate_genome(&GenomeOpts { len: genome_len, seed, ..Default::default() });
+    let reads = simulate_reads(&genome, &SimOpts { platform, num_reads: n_reads, seed });
+
+    let ref_rec = SeqRecord::new("chr1", nt4_decode(&genome));
+    let read_recs: Vec<SeqRecord> = reads
+        .iter()
+        .map(|r| {
+            let name = format!(
+                "{}!chr1!{}!{}!{}",
+                r.name,
+                r.origin.start,
+                r.origin.end,
+                if r.origin.rev { '-' } else { '+' }
+            );
+            SeqRecord::new(name, nt4_decode(&r.seq))
+        })
+        .collect();
+
+    let write = |path: &str, recs: &[SeqRecord]| -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_fasta(&mut w, recs, 80)
+    };
+    if let Err(e) = write(&out_ref, std::slice::from_ref(&ref_rec)) {
+        eprintln!("simreads: writing {out_ref}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write(&out_reads, &read_recs) {
+        eprintln!("simreads: writing {out_reads}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stats = DatasetStats::from_records(&read_recs);
+    eprintln!(
+        "[simreads] {} ({:?}): {} reads, mean {:.0} bp, max {} bp, {} total bases -> {out_reads}; {} bp reference -> {out_ref}",
+        platform_label(platform),
+        seed,
+        stats.num_reads,
+        stats.mean_len,
+        stats.max_len,
+        stats.total_bases,
+        genome_len,
+    );
+    ExitCode::SUCCESS
+}
+
+fn platform_label(p: Platform) -> &'static str {
+    match p {
+        Platform::PacBio => "PacBio SMRT",
+        Platform::Nanopore => "Nanopore",
+    }
+}

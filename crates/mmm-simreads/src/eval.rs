@@ -1,0 +1,132 @@
+//! Mapping accuracy evaluation (Table 5's error-rate column).
+//!
+//! Following the minimap2 paper's criterion, a read is *correctly mapped*
+//! when its primary alignment lands on the true reference sequence and
+//! strand and the reported interval overlaps the true interval by at least
+//! 10% of the true length. The error rate is the number of wrongly mapped
+//! reads divided by the number of mapped reads, exactly as §5.3.3 defines.
+
+use crate::pbsim::TrueOrigin;
+
+/// One primary mapping produced by an aligner.
+#[derive(Clone, Copy, Debug)]
+pub struct MappingCall {
+    /// Index of the read in the simulated set.
+    pub read_id: usize,
+    pub rid: u32,
+    pub ref_start: u32,
+    pub ref_end: u32,
+    pub rev: bool,
+    pub mapq: u8,
+}
+
+/// Aggregate accuracy numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalSummary {
+    pub total_reads: usize,
+    pub mapped: usize,
+    pub correct: usize,
+    pub wrong: usize,
+}
+
+impl EvalSummary {
+    /// Wrong / mapped — the paper's "Error Rate (%)", already scaled to %.
+    pub fn error_rate_pct(&self) -> f64 {
+        if self.mapped == 0 {
+            return 0.0;
+        }
+        100.0 * self.wrong as f64 / self.mapped as f64
+    }
+
+    /// Mapped / total.
+    pub fn mapped_frac(&self) -> f64 {
+        if self.total_reads == 0 {
+            return 0.0;
+        }
+        self.mapped as f64 / self.total_reads as f64
+    }
+}
+
+/// Is this call correct for the given truth?
+pub fn is_correct(call: &MappingCall, truth: &TrueOrigin) -> bool {
+    if call.rid != truth.rid || call.rev != truth.rev {
+        return false;
+    }
+    let inter = call.ref_end.min(truth.end).saturating_sub(call.ref_start.max(truth.start));
+    let true_len = (truth.end - truth.start).max(1);
+    inter as f64 >= 0.1 * true_len as f64
+}
+
+/// Evaluate a set of primary calls against the ground truth.
+pub fn evaluate(calls: &[MappingCall], truths: &[TrueOrigin]) -> EvalSummary {
+    let mut s = EvalSummary { total_reads: truths.len(), ..Default::default() };
+    for c in calls {
+        s.mapped += 1;
+        if is_correct(c, &truths[c.read_id]) {
+            s.correct += 1;
+        } else {
+            s.wrong += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> TrueOrigin {
+        TrueOrigin { rid: 0, start: 1000, end: 3000, rev: false }
+    }
+
+    fn call(rs: u32, re: u32, rev: bool) -> MappingCall {
+        MappingCall { read_id: 0, rid: 0, ref_start: rs, ref_end: re, rev, mapq: 60 }
+    }
+
+    #[test]
+    fn exact_call_is_correct() {
+        assert!(is_correct(&call(1000, 3000, false), &truth()));
+    }
+
+    #[test]
+    fn partial_overlap_counts() {
+        // 250 bp overlap of a 2000 bp truth = 12.5% ≥ 10%.
+        assert!(is_correct(&call(2750, 4750, false), &truth()));
+        // 100 bp overlap = 5% < 10%.
+        assert!(!is_correct(&call(2900, 4900, false), &truth()));
+    }
+
+    #[test]
+    fn wrong_strand_or_rid_is_wrong() {
+        assert!(!is_correct(&call(1000, 3000, true), &truth()));
+        let mut c = call(1000, 3000, false);
+        c.rid = 1;
+        assert!(!is_correct(&c, &truth()));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let truths = vec![truth(), TrueOrigin { rid: 0, start: 50_000, end: 52_000, rev: true }];
+        let calls = vec![
+            call(1000, 3000, false), // correct for read 0
+            MappingCall { read_id: 1, rid: 0, ref_start: 0, ref_end: 100, rev: true, mapq: 3 },
+        ];
+        let s = evaluate(&calls, &truths);
+        assert_eq!(s.total_reads, 2);
+        assert_eq!(s.mapped, 2);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.wrong, 1);
+        assert!((s.error_rate_pct() - 50.0).abs() < 1e-9);
+        assert!((s.mapped_frac() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmapped_reads_lower_mapped_frac_not_error_rate() {
+        let truths = vec![truth(), truth()];
+        let calls = vec![call(1000, 3000, false)];
+        let s = evaluate(&calls, &truths);
+        assert_eq!(s.mapped, 1);
+        assert_eq!(s.error_rate_pct(), 0.0);
+        assert!((s.mapped_frac() - 0.5).abs() < 1e-9);
+    }
+}

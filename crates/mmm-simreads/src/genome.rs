@@ -1,0 +1,110 @@
+//! Synthetic reference genomes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Genome generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomeOpts {
+    /// Total length in bases.
+    pub len: usize,
+    /// GC fraction (human ≈ 0.41).
+    pub gc: f64,
+    /// Fraction of the genome covered by planted repeat copies
+    /// (human ≈ 0.5; we default lower so scaled-down mapping stays
+    /// well-posed).
+    pub repeat_frac: f64,
+    /// Length of each planted repeat unit.
+    pub repeat_unit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomeOpts {
+    fn default() -> Self {
+        GenomeOpts { len: 1_000_000, gc: 0.41, repeat_frac: 0.1, repeat_unit: 2_000, seed: 42 }
+    }
+}
+
+/// Generate an nt4-encoded genome: i.i.d. bases at the requested GC
+/// content, with repeat units copied to random positions until the target
+/// repeat fraction is reached (repeats are what make the occurrence filter
+/// and MAPQ meaningful).
+pub fn generate_genome(opts: &GenomeOpts) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut g: Vec<u8> = (0..opts.len)
+        .map(|_| {
+            if rng.random::<f64>() < opts.gc {
+                if rng.random::<bool>() {
+                    1
+                } else {
+                    2
+                } // C or G
+            } else if rng.random::<bool>() {
+                0
+            } else {
+                3 // A or T
+            }
+        })
+        .collect();
+
+    if opts.repeat_frac > 0.0 && opts.len > 4 * opts.repeat_unit {
+        let unit_len = opts.repeat_unit;
+        let copies = ((opts.len as f64 * opts.repeat_frac) / unit_len as f64) as usize;
+        // Source unit from the start of the genome.
+        let unit: Vec<u8> = g[..unit_len].to_vec();
+        for _ in 0..copies {
+            let dst = rng.random_range(0..opts.len - unit_len);
+            g[dst..dst + unit_len].copy_from_slice(&unit);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_alphabet() {
+        let g = generate_genome(&GenomeOpts { len: 10_000, ..Default::default() });
+        assert_eq!(g.len(), 10_000);
+        assert!(g.iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let g = generate_genome(&GenomeOpts {
+            len: 200_000,
+            gc: 0.6,
+            repeat_frac: 0.0,
+            ..Default::default()
+        });
+        let gc = g.iter().filter(|&&b| b == 1 || b == 2).count() as f64 / g.len() as f64;
+        assert!((gc - 0.6).abs() < 0.02, "gc={gc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let o = GenomeOpts { len: 5_000, seed: 7, ..Default::default() };
+        assert_eq!(generate_genome(&o), generate_genome(&o));
+        let o2 = GenomeOpts { seed: 8, ..o };
+        assert_ne!(generate_genome(&o), generate_genome(&o2));
+    }
+
+    #[test]
+    fn repeats_are_planted() {
+        let o = GenomeOpts {
+            len: 100_000,
+            repeat_frac: 0.3,
+            repeat_unit: 1_000,
+            ..Default::default()
+        };
+        let g = generate_genome(&o);
+        let unit = &g[..1_000];
+        // Count exact copies of the unit's first 100 bases elsewhere.
+        let probe = &unit[..100];
+        let hits = (1..g.len() - 100).filter(|&i| &g[i..i + 100] == probe).count();
+        assert!(hits >= 10, "hits={hits}");
+    }
+}

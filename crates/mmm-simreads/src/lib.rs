@@ -1,0 +1,18 @@
+//! `mmm-simreads` — synthetic genomes and long reads with ground truth.
+//!
+//! Substitute for the paper's datasets (hg38 + PacBio SMRT + Oxford
+//! Nanopore, Table 4): a reference generator with controllable GC content
+//! and planted repeats, plus a PBSIM-style read sampler with per-platform
+//! error and length profiles. Every simulated read carries its true origin
+//! interval, which the accuracy evaluation (Table 5's error-rate column)
+//! compares against mapping output.
+
+pub mod eval;
+pub mod genome;
+pub mod pbsim;
+pub mod profile;
+
+pub use eval::{evaluate, EvalSummary, MappingCall};
+pub use genome::{generate_genome, GenomeOpts};
+pub use pbsim::{simulate_reads, SimOpts, SimulatedRead, TrueOrigin};
+pub use profile::{ErrorProfile, LengthModel, Platform};

@@ -1,0 +1,170 @@
+//! PBSIM-style read sampling with ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mmm_seq::revcomp4;
+
+use crate::profile::Platform;
+
+/// Where a simulated read truly came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrueOrigin {
+    pub rid: u32,
+    /// Reference interval [start, end) the read was sampled from.
+    pub start: u32,
+    pub end: u32,
+    /// True when the read is the reverse complement of the interval.
+    pub rev: bool,
+}
+
+/// A simulated read: nt4 bases plus its origin.
+#[derive(Clone, Debug)]
+pub struct SimulatedRead {
+    pub name: String,
+    pub seq: Vec<u8>,
+    pub origin: TrueOrigin,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOpts {
+    pub platform: Platform,
+    /// Number of reads to draw.
+    pub num_reads: usize,
+    pub seed: u64,
+}
+
+/// Sample `num_reads` reads from `genome` (one reference, nt4 codes).
+///
+/// Each read picks a uniform start, a platform length, a strand, then
+/// applies per-base substitution/insertion/deletion errors.
+pub fn simulate_reads(genome: &[u8], opts: &SimOpts) -> Vec<SimulatedRead> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let errors = opts.platform.errors();
+    let lengths = opts.platform.lengths();
+    let mut out = Vec::with_capacity(opts.num_reads);
+    for i in 0..opts.num_reads {
+        let want = lengths.sample(&mut rng).min(genome.len() / 2).max(lengths.min_len);
+        let start = rng.random_range(0..genome.len().saturating_sub(want).max(1));
+        let end = (start + want).min(genome.len());
+        let rev = rng.random::<bool>();
+        let template: Vec<u8> = if rev {
+            revcomp4(&genome[start..end])
+        } else {
+            genome[start..end].to_vec()
+        };
+        let seq = corrupt(&template, &errors, &mut rng);
+        out.push(SimulatedRead {
+            name: format!("read{:06}", i),
+            seq,
+            origin: TrueOrigin { rid: 0, start: start as u32, end: end as u32, rev },
+        });
+    }
+    out
+}
+
+/// Apply the error profile to a template.
+fn corrupt(template: &[u8], e: &crate::profile::ErrorProfile, rng: &mut StdRng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(template.len() + template.len() / 8);
+    for &b in template {
+        // Insertions before the base (possibly several).
+        while rng.random::<f64>() < e.ins {
+            out.push(rng.random_range(0..4) as u8);
+        }
+        let r: f64 = rng.random();
+        if r < e.del {
+            continue; // base deleted
+        } else if r < e.del + e.sub {
+            // Substitute with a different base.
+            let nb = (b + rng.random_range(1..4) as u8) % 4;
+            out.push(nb);
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{generate_genome, GenomeOpts};
+    use crate::profile::Platform;
+
+    fn genome() -> Vec<u8> {
+        generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, ..Default::default() })
+    }
+
+    #[test]
+    fn reads_have_origins_within_genome() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &SimOpts { platform: Platform::PacBio, num_reads: 50, seed: 3 },
+        );
+        assert_eq!(reads.len(), 50);
+        for r in &reads {
+            assert!(r.origin.end as usize <= g.len());
+            assert!(r.origin.start < r.origin.end);
+            assert!(!r.seq.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_rate_is_near_profile() {
+        // With errors applied, the read length deviates from the template
+        // by roughly (ins - del) and the identity drops accordingly. Check
+        // length ratio as a cheap proxy.
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &SimOpts { platform: Platform::PacBio, num_reads: 200, seed: 4 },
+        );
+        let mut ratio_sum = 0.0;
+        for r in &reads {
+            let tpl = (r.origin.end - r.origin.start) as f64;
+            ratio_sum += r.seq.len() as f64 / tpl;
+        }
+        let mean_ratio = ratio_sum / reads.len() as f64;
+        // PacBio: +9% insertions, −4.5% deletions ⇒ ≈ +5% length.
+        assert!((mean_ratio - 1.048).abs() < 0.02, "ratio={mean_ratio}");
+    }
+
+    #[test]
+    fn both_strands_are_sampled() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &SimOpts { platform: Platform::Nanopore, num_reads: 100, seed: 5 },
+        );
+        let rev = reads.iter().filter(|r| r.origin.rev).count();
+        assert!(rev > 20 && rev < 80, "rev={rev}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = genome();
+        let o = SimOpts { platform: Platform::PacBio, num_reads: 10, seed: 9 };
+        let a = simulate_reads(&g, &o);
+        let b = simulate_reads(&g, &o);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seq == y.seq && x.origin == y.origin));
+    }
+
+    #[test]
+    fn forward_read_resembles_its_interval() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &SimOpts { platform: Platform::Nanopore, num_reads: 20, seed: 6 },
+        );
+        let r = reads.iter().find(|r| !r.origin.rev).unwrap();
+        // Count matching bases at the same offsets for the first 100
+        // positions — identity must be far above random (25%).
+        let tpl = &g[r.origin.start as usize..r.origin.end as usize];
+        let n = 100.min(tpl.len()).min(r.seq.len());
+        let same = (0..n).filter(|&i| tpl[i] == r.seq[i]).count();
+        assert!(same as f64 / n as f64 > 0.5, "identity={}", same as f64 / n as f64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Sequencing platform profiles.
+//!
+//! Error rates follow the third-generation characteristics the paper cites
+//! (§1): PacBio CLR reads are ~85% accurate and insertion-dominant; Oxford
+//! Nanopore reads are ~90% accurate with a deletion bias and a famously
+//! heavy length tail (Table 4's real dataset has mean ≈ 4 kb but maximum
+//! 514 kb).
+
+use rand::Rng;
+
+/// Which platform to imitate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Platform {
+    /// PacBio SMRT CLR — the paper's simulated dataset.
+    PacBio,
+    /// Oxford Nanopore — the paper's real dataset (flowcell FAB23716).
+    Nanopore,
+}
+
+/// Per-base error rates.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorProfile {
+    pub sub: f64,
+    pub ins: f64,
+    pub del: f64,
+}
+
+impl ErrorProfile {
+    /// PacBio CLR: ~15% total error, insertion-heavy (PBSIM's CLR model).
+    pub const PACBIO: ErrorProfile = ErrorProfile { sub: 0.015, ins: 0.09, del: 0.045 };
+    /// Nanopore R9: ~10% total error, deletion-biased.
+    pub const NANOPORE: ErrorProfile = ErrorProfile { sub: 0.03, ins: 0.03, del: 0.04 };
+
+    /// Total error rate.
+    pub fn total(&self) -> f64 {
+        self.sub + self.ins + self.del
+    }
+}
+
+/// Read length distribution: log-normal with clamping, matching PBSIM's
+/// sampled profiles. `sigma` controls the tail; Nanopore uses a much larger
+/// sigma to reproduce its ultra-long tail.
+#[derive(Clone, Copy, Debug)]
+pub struct LengthModel {
+    pub mu: f64,
+    pub sigma: f64,
+    pub min_len: usize,
+    pub max_len: usize,
+}
+
+impl LengthModel {
+    /// Tuned so the mean lands near Table 4's 5,567 bp with max ≈ 25 kb.
+    pub const PACBIO: LengthModel =
+        LengthModel { mu: 8.45, sigma: 0.55, min_len: 200, max_len: 25_000 };
+    /// Mean near 3,958 bp with a very long tail (paper max: 514 kb).
+    pub const NANOPORE: LengthModel =
+        LengthModel { mu: 7.8, sigma: 1.05, min_len: 200, max_len: 520_000 };
+
+    /// Draw one read length (log-normal via Box–Muller, clamped).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = (self.mu + self.sigma * z).exp();
+        (len as usize).clamp(self.min_len, self.max_len)
+    }
+}
+
+impl Platform {
+    /// The platform's error profile.
+    pub fn errors(&self) -> ErrorProfile {
+        match self {
+            Platform::PacBio => ErrorProfile::PACBIO,
+            Platform::Nanopore => ErrorProfile::NANOPORE,
+        }
+    }
+
+    /// The platform's length model.
+    pub fn lengths(&self) -> LengthModel {
+        match self {
+            Platform::PacBio => LengthModel::PACBIO,
+            Platform::Nanopore => LengthModel::NANOPORE,
+        }
+    }
+
+    /// minimap2 preset name (`-ax` option in the paper's experiments).
+    pub fn preset(&self) -> &'static str {
+        match self {
+            Platform::PacBio => "map-pb",
+            Platform::Nanopore => "map-ont",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn error_totals_match_platform_lore() {
+        assert!((ErrorProfile::PACBIO.total() - 0.15).abs() < 0.01);
+        assert!((ErrorProfile::NANOPORE.total() - 0.10).abs() < 0.01);
+        // PacBio is insertion-dominant; Nanopore is deletion-biased.
+        assert!(ErrorProfile::PACBIO.ins > ErrorProfile::PACBIO.del);
+        assert!(ErrorProfile::NANOPORE.del > ErrorProfile::NANOPORE.sub);
+    }
+
+    #[test]
+    fn pacbio_lengths_match_table4_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lens: Vec<usize> =
+            (0..20_000).map(|_| LengthModel::PACBIO.sample(&mut rng)).collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let max = *lens.iter().max().unwrap();
+        assert!((mean - 5_567.0).abs() < 800.0, "mean={mean}");
+        assert!(max <= 25_000);
+    }
+
+    #[test]
+    fn nanopore_tail_is_much_longer_than_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lens: Vec<usize> =
+            (0..20_000).map(|_| LengthModel::NANOPORE.sample(&mut rng)).collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let max = *lens.iter().max().unwrap();
+        assert!((mean - 3_958.0).abs() < 1_200.0, "mean={mean}");
+        assert!(max as f64 > 10.0 * mean, "max={max} mean={mean}");
+    }
+}

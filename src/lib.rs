@@ -1,0 +1,3 @@
+//! Workspace-root package: hosts `examples/` and cross-crate `tests/`.
+//! The library surface simply re-exports the [`manymap`] public API.
+pub use manymap::*;

@@ -1,0 +1,92 @@
+//! The parallel pipelines must produce byte-identical output to a serial
+//! run, regardless of thread count, batch sorting or pipeline design.
+
+use parking_lot::Mutex;
+
+use manymap::{MapOpts, Mapper};
+use mmm_index::MinimizerIndex;
+use mmm_pipeline::{run_three_thread, run_two_thread};
+use mmm_seq::{nt4_decode, SeqRecord};
+use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
+
+fn workload() -> (MinimizerIndex, Vec<Vec<u8>>, MapOpts) {
+    let genome = generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, seed: 31, ..Default::default() });
+    let opts = MapOpts::map_ont();
+    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let reads = simulate_reads(&genome, &SimOpts { platform: Platform::Nanopore, num_reads: 40, seed: 13 });
+    (index, reads.into_iter().map(|r| r.seq).collect(), opts)
+}
+
+fn serial_output(mapper: &Mapper<'_>, reads: &[Vec<u8>]) -> Vec<String> {
+    reads
+        .iter()
+        .map(|r| {
+            mapper
+                .map_read(r)
+                .iter()
+                .map(|m| format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score))
+                .collect::<Vec<_>>()
+                .join(";")
+        })
+        .collect()
+}
+
+fn feeder(reads: &[Vec<u8>], batch: usize) -> impl FnMut() -> Option<Vec<Vec<u8>>> + Send {
+    let mut chunks: Vec<Vec<Vec<u8>>> = reads.chunks(batch).map(|c| c.to_vec()).collect();
+    chunks.reverse();
+    move || chunks.pop()
+}
+
+#[test]
+fn three_thread_pipeline_matches_serial() {
+    let (index, reads, opts) = workload();
+    let mapper = Mapper::new(&index, opts);
+    let expect = serial_output(&mapper, &reads);
+
+    for threads in [1, 2, 4] {
+        for sort in [false, true] {
+            let out = Mutex::new(Vec::new());
+            run_three_thread(
+                feeder(&reads, 7),
+                |r: &Vec<u8>| {
+                    mapper
+                        .map_read(r)
+                        .iter()
+                        .map(|m| {
+                            format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(";")
+                },
+                |r| r.len(),
+                |batch| out.lock().extend(batch),
+                threads,
+                sort,
+            );
+            assert_eq!(out.into_inner(), expect, "threads={threads} sort={sort}");
+        }
+    }
+}
+
+#[test]
+fn two_thread_pipeline_matches_serial() {
+    let (index, reads, opts) = workload();
+    let mapper = Mapper::new(&index, opts);
+    let expect = serial_output(&mapper, &reads);
+
+    let out = Mutex::new(Vec::new());
+    run_two_thread(
+        feeder(&reads, 9),
+        |r: &Vec<u8>| {
+            mapper
+                .map_read(r)
+                .iter()
+                .map(|m| format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score))
+                .collect::<Vec<_>>()
+                .join(";")
+        },
+        |batch| out.lock().extend(batch),
+        3,
+    );
+    assert_eq!(out.into_inner(), expect);
+}

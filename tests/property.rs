@@ -1,0 +1,107 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning index → chain → align.
+
+use proptest::prelude::*;
+
+use mmm_align::{best_engine, AlignMode, Scoring};
+use mmm_chain::{chain_anchors, ChainOpts};
+use mmm_index::{IdxOpts, MinimizerIndex};
+use mmm_seq::{nt4_decode, revcomp4, SeqRecord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The minimizer sketch is a subsequence-sampling scheme: mapping an
+    /// exact substring of an indexed genome always produces anchors lying
+    /// on the true diagonal.
+    #[test]
+    fn exact_substrings_always_anchor_on_the_diagonal(
+        seed in 0u64..1000,
+        start in 0usize..10_000,
+        len in 1_000usize..3_000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let genome: Vec<u8> = (0..20_000).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4) as u8
+        }).collect();
+        let idx = MinimizerIndex::build(
+            &[SeqRecord::new("g", nt4_decode(&genome))],
+            &IdxOpts::MAP_ONT,
+        );
+        let start = start.min(genome.len() - len);
+        let query = genome[start..start + len].to_vec();
+        let anchors = idx.collect_anchors(&query);
+        prop_assume!(!anchors.is_empty());
+        let on_diag = anchors
+            .iter()
+            .filter(|a| !a.rev && a.rpos as i64 - a.qpos as i64 == start as i64)
+            .count();
+        // Random 20 kb sequences can have chance k-mer repeats, but the
+        // true diagonal must dominate.
+        prop_assert!(on_diag * 2 > anchors.len(), "{on_diag}/{}", anchors.len());
+    }
+
+    /// Chains returned by the chaining DP are strictly colinear.
+    #[test]
+    fn chains_are_strictly_colinear(
+        seed in 0u64..1000,
+        n_anchors in 5usize..80,
+    ) {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let anchors: Vec<mmm_chain::Anchor> = (0..n_anchors)
+            .map(|_| mmm_chain::Anchor {
+                rid: rnd() % 2,
+                rpos: 100 + rnd() % 50_000,
+                qpos: 100 + rnd() % 5_000,
+                rev: rnd() % 2 == 0,
+                span: 15,
+            })
+            .collect();
+        let mut opts = ChainOpts::default();
+        opts.min_score = 1;
+        opts.min_cnt = 1;
+        for chain in chain_anchors(anchors, &opts) {
+            for w in chain.anchors.windows(2) {
+                prop_assert_eq!(w[0].rid, w[1].rid);
+                prop_assert_eq!(w[0].rev, w[1].rev);
+                prop_assert!(w[0].rpos < w[1].rpos);
+                prop_assert!(w[0].qpos < w[1].qpos);
+            }
+        }
+    }
+
+    /// Aligning (T, Q) and (revcomp T, revcomp Q) must give the same global
+    /// score — affine-gap alignment is strand-symmetric.
+    #[test]
+    fn alignment_is_strand_symmetric(
+        t in proptest::collection::vec(0u8..4, 10..200),
+        q in proptest::collection::vec(0u8..4, 10..200),
+    ) {
+        let sc = Scoring::MAP_ONT;
+        let e = best_engine();
+        let fwd = e.align(&t, &q, &sc, AlignMode::Global, false).score;
+        let rev = e.align(&revcomp4(&t), &revcomp4(&q), &sc, AlignMode::Global, false).score;
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Global score is an upper-boundable function: semi-global ≥ global
+    /// (free ends can only help), and both are ≤ perfect-match score.
+    #[test]
+    fn mode_score_ordering(
+        t in proptest::collection::vec(0u8..4, 5..150),
+        q in proptest::collection::vec(0u8..4, 5..150),
+    ) {
+        let sc = Scoring::MAP_ONT;
+        let e = best_engine();
+        let global = e.align(&t, &q, &sc, AlignMode::Global, false).score;
+        let semi = e.align(&t, &q, &sc, AlignMode::SemiGlobal, false).score;
+        prop_assert!(semi >= global);
+        let perfect = sc.a * t.len().min(q.len()) as i32;
+        prop_assert!(semi <= perfect);
+    }
+}
