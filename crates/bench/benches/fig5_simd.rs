@@ -1,37 +1,31 @@
-//! Criterion micro-benchmark behind Figure 5: the two DP layouts across
-//! SIMD widths on a 4 kbp pair, score-only and with-path.
+//! Micro-benchmark behind Figure 5: the two DP layouts across SIMD widths
+//! on a 4 kbp pair, score-only and with-path. Plain timing harness
+//! (median-of-N via [`bench::measure_gcups`]) — no external bench crates.
 //!
 //! Run `cargo bench -p bench --bench fig5_simd`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::{format_table, measure_gcups, noisy_pair, samples_for};
+use mmm_align::{Engine, Scoring, Width};
 
-use bench::noisy_pair;
-use mmm_align::{AlignMode, Engine, Scoring, Width};
-
-fn bench_kernels(c: &mut Criterion) {
-    let (t, q) = noisy_pair(4_000, 11);
+fn main() {
+    let len = 4_000usize;
+    let (t, q) = noisy_pair(len, 11);
     let sc = Scoring::MAP_ONT;
-    let cells = t.len() as u64 * q.len() as u64;
 
     for with_path in [false, true] {
-        let mut group = c.benchmark_group(if with_path {
+        let title = if with_path {
             "fig5/with_path"
         } else {
             "fig5/score_only"
-        });
-        group.throughput(Throughput::Elements(cells));
-        group.sample_size(10);
+        };
+        let mut rows = Vec::new();
         for e in Engine::all() {
             if !e.is_available() || e.width == Width::Scalar {
                 continue;
             }
-            group.bench_function(BenchmarkId::from_parameter(e.label()), |b| {
-                b.iter(|| e.align(&t, &q, &sc, AlignMode::Global, with_path))
-            });
+            let gcups = measure_gcups(e, &t, &q, &sc, with_path, samples_for(len, with_path));
+            rows.push(vec![e.label().to_string(), format!("{gcups:.3}")]);
         }
-        group.finish();
+        print!("{}", format_table(title, &["kernel", "GCUPS"], &rows));
     }
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

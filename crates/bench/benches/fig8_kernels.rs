@@ -1,29 +1,30 @@
-//! Criterion micro-benchmark behind Figure 8's CPU series: kernel
-//! throughput across the paper's sequence lengths (1 k – 16 k here; the
-//! 32 k point is covered by the `fig8` binary to keep bench time bounded).
+//! Micro-benchmark behind Figure 8's CPU series: kernel throughput across
+//! the paper's sequence lengths (1 k – 16 k here; the 32 k point is
+//! covered by the `fig8` binary to keep bench time bounded). Plain timing
+//! harness (median-of-N via [`bench::measure_gcups`]) — no external bench
+//! crates.
 //!
 //! Run `cargo bench -p bench --bench fig8_kernels`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::{format_table, measure_gcups, noisy_pair, samples_for};
+use mmm_align::{best_engine, best_mm2_engine, Scoring};
 
-use bench::noisy_pair;
-use mmm_align::{best_engine, best_mm2_engine, AlignMode, Scoring};
-
-fn bench_lengths(c: &mut Criterion) {
+fn main() {
     let sc = Scoring::MAP_ONT;
-    let mut group = c.benchmark_group("fig8/cpu_score_only");
-    group.sample_size(10);
+    let mut rows = Vec::new();
     for &len in &[1_000usize, 4_000, 16_000] {
         let (t, q) = noisy_pair(len, len as u64);
-        group.throughput(Throughput::Elements(t.len() as u64 * q.len() as u64));
         for (name, e) in [("minimap2", best_mm2_engine()), ("manymap", best_engine())] {
-            group.bench_function(BenchmarkId::new(name, len), |b| {
-                b.iter(|| e.align(&t, &q, &sc, AlignMode::Global, false))
-            });
+            let gcups = measure_gcups(e, &t, &q, &sc, false, samples_for(len, false));
+            rows.push(vec![
+                name.to_string(),
+                len.to_string(),
+                format!("{gcups:.3}"),
+            ]);
         }
     }
-    group.finish();
+    print!(
+        "{}",
+        format_table("fig8/cpu_score_only", &["kernel", "len", "GCUPS"], &rows)
+    );
 }
-
-criterion_group!(benches, bench_lengths);
-criterion_main!(benches);

@@ -14,7 +14,10 @@ fn main() {
         let start = std::time::Instant::now();
         let section = f(quick);
         report.push_str(&section);
-        eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] {name} done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
     print!("{report}");
     if let Ok(mut f) = std::fs::File::create("repro_results.txt") {

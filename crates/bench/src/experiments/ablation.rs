@@ -21,9 +21,22 @@ pub fn run(quick: bool) -> String {
     let mut out = String::new();
 
     // A1: layout alone, no SIMD.
-    let s_mm2 = measure_gcups(Engine::new(Layout::Mm2, Width::Scalar), &t, &q, &sc, false, samples);
-    let s_many =
-        measure_gcups(Engine::new(Layout::Manymap, Width::Scalar), &t, &q, &sc, false, samples);
+    let s_mm2 = measure_gcups(
+        Engine::new(Layout::Mm2, Width::Scalar),
+        &t,
+        &q,
+        &sc,
+        false,
+        samples,
+    );
+    let s_many = measure_gcups(
+        Engine::new(Layout::Manymap, Width::Scalar),
+        &t,
+        &q,
+        &sc,
+        false,
+        samples,
+    );
     out.push_str(&format_table(
         "Ablation A1 — layout only (scalar kernels)",
         &["layout", "GCUPS"],
@@ -40,7 +53,11 @@ pub fn run(quick: bool) -> String {
             continue;
         }
         let g = measure_gcups(Engine::new(Layout::Manymap, w), &t, &q, &sc, false, samples);
-        rows.push(vec![w.label().to_string(), w.lanes().to_string(), format!("{g:.3}")]);
+        rows.push(vec![
+            w.label().to_string(),
+            w.lanes().to_string(),
+            format!("{g:.3}"),
+        ]);
     }
     out.push_str(&format_table(
         "Ablation A2 — vector width (manymap layout)",
@@ -52,11 +69,19 @@ pub fn run(quick: bool) -> String {
     let jobs: Vec<KernelJob> = (0..if quick { 16 } else { 96 })
         .map(|k| {
             let (jt, jq) = noisy_pair(len, 100 + k as u64);
-            KernelJob { target: jt, query: jq, with_path: false }
+            KernelJob {
+                target: jt,
+                query: jq,
+                with_path: false,
+            }
         })
         .collect();
     let gpu = |kind, use_pool| {
-        let cfg = StreamConfig { kind, use_pool, ..Default::default() };
+        let cfg = StreamConfig {
+            kind,
+            use_pool,
+            ..Default::default()
+        };
         simulate_batch(&jobs, &sc, &cfg, &DeviceSpec::V100).sim_seconds
     };
     let g_many = gpu(GpuKernelKind::Manymap, true);
@@ -66,7 +91,11 @@ pub fn run(quick: bool) -> String {
         "Ablation A3 — GPU (simulated seconds)",
         &["variant", "time (s)", "vs manymap"],
         &[
-            vec!["manymap kernel + pool".into(), format!("{g_many:.4}"), "1.00x".into()],
+            vec![
+                "manymap kernel + pool".into(),
+                format!("{g_many:.4}"),
+                "1.00x".into(),
+            ],
             vec![
                 "divergent (minimap2) kernel".into(),
                 format!("{g_mm2:.4}"),
@@ -97,15 +126,37 @@ pub fn run(quick: bool) -> String {
     let full = run_knl(base);
     let variants = [
         ("full manymap pipeline", base),
-        ("no mmap", PipelineParams { mmap_input: false, ..base }),
-        ("2-thread pipeline", PipelineParams { dedicated_io: false, ..base }),
-        ("no batch sorting", PipelineParams { sort_by_length: false, ..base }),
+        (
+            "no mmap",
+            PipelineParams {
+                mmap_input: false,
+                ..base
+            },
+        ),
+        (
+            "2-thread pipeline",
+            PipelineParams {
+                dedicated_io: false,
+                ..base
+            },
+        ),
+        (
+            "no batch sorting",
+            PipelineParams {
+                sort_by_length: false,
+                ..base
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = variants
         .iter()
         .map(|(name, p)| {
             let v = run_knl(*p);
-            vec![name.to_string(), format!("{v:.3}"), format!("{:.2}x", v / full)]
+            vec![
+                name.to_string(),
+                format!("{v:.3}"),
+                format!("{:.2}x", v / full),
+            ]
         })
         .collect();
     out.push_str(&format_table(
@@ -152,7 +203,11 @@ pub fn run(quick: bool) -> String {
         );
         let reads = simulate_reads(
             &g,
-            &SimOpts { platform: Platform::Nanopore, num_reads: if quick { 10 } else { 60 }, seed: 6 },
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: if quick { 10 } else { 60 },
+                seed: 6,
+            },
         );
         let mut dp_correct = 0usize;
         let mut lis_correct = 0usize;
@@ -165,8 +220,7 @@ pub fn run(quick: bool) -> String {
             counted += 1;
             let within = |c: &mmm_chain::Chain| {
                 let (rs, re) = c.ref_range();
-                !c.rev == !r.origin.rev
-                    && re.min(r.origin.end) > rs.max(r.origin.start)
+                c.rev == r.origin.rev && re.min(r.origin.end) > rs.max(r.origin.start)
             };
             if chain_anchors(anchors.clone(), &ChainOpts::default())
                 .first()
@@ -182,8 +236,14 @@ pub fn run(quick: bool) -> String {
             "Ablation A6 — chaining design on a 25%-repeat genome",
             &["method", "top chain on true locus"],
             &[
-                vec!["gap-cost DP (minimap2)".into(), format!("{dp_correct}/{counted}")],
-                vec!["LIS (no gap model)".into(), format!("{lis_correct}/{counted}")],
+                vec![
+                    "gap-cost DP (minimap2)".into(),
+                    format!("{dp_correct}/{counted}"),
+                ],
+                vec![
+                    "LIS (no gap model)".into(),
+                    format!("{lis_correct}/{counted}"),
+                ],
             ],
         ));
     }

@@ -37,20 +37,29 @@ pub fn run(quick: bool) -> String {
             OUT_COST_PER_READ * io_scale,
         );
 
-        let thread_counts: &[usize] =
-            if quick { &[32, 256] } else { &[16, 32, 64, 128, 150, 192, 256] };
+        let thread_counts: &[usize] = if quick {
+            &[32, 256]
+        } else {
+            &[16, 32, 64, 128, 150, 192, 256]
+        };
         let mut rows = Vec::new();
         for &t in thread_counts {
             let mut cells = vec![t.to_string()];
             for policy in AffinityPolicy::ALL {
-                let params = PipelineParams { affinity: policy, ..Default::default() };
+                let params = PipelineParams {
+                    affinity: policy,
+                    ..Default::default()
+                };
                 let r = simulate_pipeline(&KNL_7210, t, &batches, &params);
                 cells.push(format!("{:.3}", r.total));
             }
             rows.push(cells);
         }
         out.push_str(&format_table(
-            &format!("Figure 10 — affinity strategies, {} (simulated seconds)", ds.label),
+            &format!(
+                "Figure 10 — affinity strategies, {} (simulated seconds)",
+                ds.label
+            ),
             &["threads", "compact", "scatter", "optimized"],
             &rows,
         ));

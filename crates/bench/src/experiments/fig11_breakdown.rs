@@ -45,7 +45,11 @@ pub fn run(quick: bool) -> String {
             dedicated_io: manymap,
             mmap_input: manymap,
             sort_by_length: manymap,
-            affinity: if manymap { AffinityPolicy::Optimized } else { AffinityPolicy::Scatter },
+            affinity: if manymap {
+                AffinityPolicy::Optimized
+            } else {
+                AffinityPolicy::Scatter
+            },
         };
         for (machine, threads) in [(&XEON_GOLD_5115, 40usize), (&KNL_7210, 256)] {
             let r = simulate_pipeline(machine, threads, &batches, &params);
@@ -92,7 +96,7 @@ pub fn run(quick: bool) -> String {
             .iter()
             .take(take)
             .map(|r| {
-                let seg = (r.seq.len() / 4).max(64).min(4000);
+                let seg = (r.seq.len() / 4).clamp(64, 4000);
                 KernelJob {
                     target: r.seq[..seg.min(r.seq.len())].to_vec(),
                     query: r.seq[..seg.min(r.seq.len())].to_vec(),
@@ -100,7 +104,12 @@ pub fn run(quick: bool) -> String {
                 }
             })
             .collect();
-        let rep = simulate_batch(&jobs, &Scoring::MAP_PB, &StreamConfig::default(), &DeviceSpec::V100);
+        let rep = simulate_batch(
+            &jobs,
+            &Scoring::MAP_PB,
+            &StreamConfig::default(),
+            &DeviceSpec::V100,
+        );
         let per_read_gpu = rep.sim_seconds / take as f64;
         rest + per_read_gpu * ds.reads.len() as f64
     };
@@ -114,11 +123,19 @@ pub fn run(quick: bool) -> String {
 
     let mut out = format_table(
         "Figure 11 — end-to-end breakdown (modeled from host-metered stage costs)",
-        &["system / platform", "input (s)", "compute (s)", "output (s)", "total (s)"],
+        &[
+            "system / platform",
+            "input (s)",
+            "compute (s)",
+            "output (s)",
+            "total (s)",
+        ],
         &rows,
     );
     let sp = |m: &str| {
-        totals.get(&("minimap2", m)).and_then(|a| totals.get(&("manymap", m)).map(|b| a / b))
+        totals
+            .get(&("minimap2", m))
+            .and_then(|a| totals.get(&("manymap", m)).map(|b| a / b))
     };
     if let (Some(c), Some(k)) = (sp("Xeon Gold 5115"), sp("Xeon Phi 7210")) {
         out.push_str(&format!(

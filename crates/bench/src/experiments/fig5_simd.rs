@@ -19,12 +19,27 @@ pub fn run(quick: bool) -> String {
         let mut rows = Vec::new();
         for width in [Width::Sse, Width::Avx2, Width::Avx512] {
             if !width.is_available() {
-                rows.push(vec![width.label().to_string(), "-".into(), "-".into(), "-".into()]);
+                rows.push(vec![
+                    width.label().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
-            let samples = if quick { 1 } else { samples_for(len, with_path) * 2 };
-            let mm2 =
-                measure_gcups(Engine::new(Layout::Mm2, width), &t, &q, &sc, with_path, samples);
+            let samples = if quick {
+                1
+            } else {
+                samples_for(len, with_path) * 2
+            };
+            let mm2 = measure_gcups(
+                Engine::new(Layout::Mm2, width),
+                &t,
+                &q,
+                &sc,
+                with_path,
+                samples,
+            );
             let many = measure_gcups(
                 Engine::new(Layout::Manymap, width),
                 &t,

@@ -14,7 +14,6 @@ use mmm_align::{best_engine, Scoring};
 use mmm_knl::memory::{effective_bandwidth, KNL_L2_BYTES};
 use mmm_knl::{MemoryMode, KNL_7210};
 
-
 use crate::{format_table, measure_gcups, noisy_pair, samples_for, MICRO_LENGTHS};
 
 /// KNL per-*core* SIMD throughput relative to one host core running the
@@ -50,14 +49,22 @@ pub fn knl_micro_gcups(host_gcups: f64, len: usize, with_path: bool, mode: Memor
         return compute;
     }
     let demand = compute
-        * if with_path { BYTES_PER_CELL_PATH } else { BYTES_PER_CELL_SCORE };
+        * if with_path {
+            BYTES_PER_CELL_PATH
+        } else {
+            BYTES_PER_CELL_SCORE
+        };
     let bw = effective_bandwidth(ws, mode);
     compute * (bw / demand).min(1.0)
 }
 
 pub fn run(quick: bool) -> String {
     let sc = Scoring::MAP_PB;
-    let lengths: &[usize] = if quick { &[1_000, 16_000] } else { &MICRO_LENGTHS };
+    let lengths: &[usize] = if quick {
+        &[1_000, 16_000]
+    } else {
+        &MICRO_LENGTHS
+    };
     let engine = best_engine();
     let mut out = String::new();
 
@@ -65,7 +72,11 @@ pub fn run(quick: bool) -> String {
         let mut rows = Vec::new();
         for &len in lengths {
             let (t, q) = noisy_pair(len, len as u64);
-            let samples = if quick { 1 } else { samples_for(len, with_path) };
+            let samples = if quick {
+                1
+            } else {
+                samples_for(len, with_path)
+            };
             let host = measure_gcups(engine, &t, &q, &sc, with_path, samples);
             let ddr = knl_micro_gcups(host, len, with_path, MemoryMode::Ddr);
             let mc = knl_micro_gcups(host, len, with_path, MemoryMode::Mcdram);
@@ -84,10 +95,18 @@ pub fn run(quick: bool) -> String {
                 if with_path { "b" } else { "a" },
                 if with_path { "with path" } else { "score only" }
             ),
-            &["length", "working set", "DDR GCUPS", "MCDRAM GCUPS", "speedup"],
+            &[
+                "length",
+                "working set",
+                "DDR GCUPS",
+                "MCDRAM GCUPS",
+                "speedup",
+            ],
             &rows,
         ));
     }
-    out.push_str("paper: 6a parity below 16 kbp then up to 5x; 6b ~1.8x until >16 GB then parity\n");
+    out.push_str(
+        "paper: 6a parity below 16 kbp then up to 5x; 6b ~1.8x until >16 GB then parity\n",
+    );
     out
 }

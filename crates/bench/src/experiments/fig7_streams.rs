@@ -17,13 +17,26 @@ pub fn run(quick: bool) -> String {
     let jobs: Vec<KernelJob> = (0..n_jobs)
         .map(|k| {
             let (t, q) = noisy_pair(len, k as u64 + 1);
-            KernelJob { target: t, query: q, with_path: false }
+            KernelJob {
+                target: t,
+                query: q,
+                with_path: false,
+            }
         })
         .collect();
-    let jobs_path: Vec<KernelJob> =
-        jobs.iter().map(|j| KernelJob { with_path: true, ..j.clone() }).collect();
+    let jobs_path: Vec<KernelJob> = jobs
+        .iter()
+        .map(|j| KernelJob {
+            with_path: true,
+            ..j.clone()
+        })
+        .collect();
 
-    let stream_counts: &[usize] = if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64, 128] };
+    let stream_counts: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
     // Functional pass once; the sweep only re-schedules.
     let dev = DeviceSpec::V100;
     let runs_score = execute_jobs(&jobs, &sc, GpuKernelKind::Manymap, 512, &dev);
@@ -31,7 +44,11 @@ pub fn run(quick: bool) -> String {
     let mut rows = Vec::new();
     let mut base = (0.0, 0.0);
     for &s in stream_counts {
-        let cfg = StreamConfig { streams: s, kind: GpuKernelKind::Manymap, ..Default::default() };
+        let cfg = StreamConfig {
+            streams: s,
+            kind: GpuKernelKind::Manymap,
+            ..Default::default()
+        };
         let score = schedule_runs(&jobs, runs_score.clone(), &cfg, &dev);
         let path = schedule_runs(&jobs_path, runs_path.clone(), &cfg, &dev);
         if s == 1 {
@@ -48,7 +65,14 @@ pub fn run(quick: bool) -> String {
     }
     let mut out = format_table(
         &format!("Figure 7 — CUDA streams, {n_jobs} pairs of {len} bp (simulated V100)"),
-        &["streams", "score GCUPS", "speedup", "path GCUPS", "speedup", "max conc"],
+        &[
+            "streams",
+            "score GCUPS",
+            "speedup",
+            "path GCUPS",
+            "speedup",
+            "max conc",
+        ],
         &rows,
     );
     out.push_str("paper: linear to 64 streams; 90x / 77.4x total at 128 streams\n");

@@ -18,14 +18,22 @@ use crate::{format_table, measure_gcups, noisy_pair, samples_for, MICRO_LENGTHS}
 
 pub fn run(quick: bool) -> String {
     let sc = Scoring::MAP_PB;
-    let lengths: &[usize] = if quick { &[1_000, 4_000] } else { &MICRO_LENGTHS };
+    let lengths: &[usize] = if quick {
+        &[1_000, 4_000]
+    } else {
+        &MICRO_LENGTHS
+    };
     let mut out = String::new();
 
     for with_path in [false, true] {
         let mut rows = Vec::new();
         for &len in lengths {
             let (t, q) = noisy_pair(len, len as u64 + 7);
-            let samples = if quick { 1 } else { samples_for(len, with_path) };
+            let samples = if quick {
+                1
+            } else {
+                samples_for(len, with_path)
+            };
 
             // CPU: measured.
             let cpu_mm2 = measure_gcups(best_mm2_engine(), &t, &q, &sc, with_path, samples);
@@ -42,11 +50,18 @@ pub fn run(quick: bool) -> String {
             let jobs: Vec<KernelJob> = (0..n_jobs)
                 .map(|k| {
                     let (jt, jq) = noisy_pair(len, (len + k) as u64);
-                    KernelJob { target: jt, query: jq, with_path }
+                    KernelJob {
+                        target: jt,
+                        query: jq,
+                        with_path,
+                    }
                 })
                 .collect();
             let gpu = |kind| {
-                let cfg = StreamConfig { kind, ..Default::default() };
+                let cfg = StreamConfig {
+                    kind,
+                    ..Default::default()
+                };
                 simulate_batch(&jobs, &sc, &cfg, &DeviceSpec::V100).gcups()
             };
             let gpu_mm2 = gpu(GpuKernelKind::Mm2);

@@ -20,7 +20,10 @@ pub fn run(quick: bool) -> String {
     let n_reads = if quick { 60 } else { 600 };
     let mut out = String::new();
 
-    for ds in [macrodata::pacbio(500_000, n_reads), macrodata::nanopore(500_000, n_reads / 2)] {
+    for ds in [
+        macrodata::pacbio(500_000, n_reads),
+        macrodata::nanopore(500_000, n_reads / 2),
+    ] {
         let opts = if ds.platform == mmm_simreads::Platform::PacBio {
             MapOpts::map_pb()
         } else {
@@ -29,11 +32,13 @@ pub fn run(quick: bool) -> String {
         let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
         let mapper = Mapper::new(&index, opts);
         let reads: Vec<Vec<u8>> = ds.reads.iter().map(|r| r.seq.clone()).collect();
-        let batches =
-            meter_batches(&mapper, &reads, 64, IN_COST_PER_BASE, OUT_COST_PER_READ);
+        let batches = meter_batches(&mapper, &reads, 64, IN_COST_PER_BASE, OUT_COST_PER_READ);
 
-        let thread_counts: &[usize] =
-            if quick { &[1, 64, 256] } else { &[1, 2, 4, 8, 16, 32, 64, 128, 192, 256] };
+        let thread_counts: &[usize] = if quick {
+            &[1, 64, 256]
+        } else {
+            &[1, 2, 4, 8, 16, 32, 64, 128, 192, 256]
+        };
         let params = PipelineParams::default();
         let t1 = simulate_pipeline(&KNL_7210, 1, &batches, &params).total;
         let mut rows = Vec::new();
@@ -49,10 +54,18 @@ pub fn run(quick: bool) -> String {
         }
         out.push_str(&format_table(
             &format!("Figure 9 — KNL thread scaling, {} (simulated)", ds.label),
-            &["threads", "runtime (s)", "speedup", "linear (s)", "efficiency"],
+            &[
+                "threads",
+                "runtime (s)",
+                "speedup",
+                "linear (s)",
+                "efficiency",
+            ],
             &rows,
         ));
     }
-    out.push_str("paper: 50.55x at 64 threads (79% efficiency); +21% from 64->256 on the real dataset\n");
+    out.push_str(
+        "paper: 50.55x at 64 threads (79% efficiency); +21% from 64->256 on the real dataset\n",
+    );
     out
 }

@@ -17,10 +17,13 @@ pub mod table3_hw;
 pub mod table4_datasets;
 pub mod table5_aligners;
 
+/// One experiment entry point: `quick` shrinks the workload.
+pub type Experiment = fn(bool) -> String;
+
 /// All experiments in paper order, with their ids.
-pub fn all() -> Vec<(&'static str, fn(bool) -> String)> {
+pub fn all() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("Table 2", table2_profile::run as fn(bool) -> String),
+        ("Table 2", table2_profile::run as Experiment),
         ("Table 3", table3_hw::run),
         ("Table 4", table4_datasets::run),
         ("Figure 5", fig5_simd::run),

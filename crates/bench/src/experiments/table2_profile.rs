@@ -12,8 +12,8 @@ use manymap::baselines::BaselineId;
 use manymap::{profile_run, ProfileConfig};
 use mmm_index::{save_index, MinimizerIndex};
 use mmm_io::Stage;
-use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
 use mmm_knl::KNL_7210;
+use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
 
 use crate::{format_table, macrodata};
 
@@ -33,7 +33,11 @@ pub fn run(quick: bool) -> String {
     let mut fasta = Vec::new();
     write_fasta(&mut fasta, &recs, 0).expect("in-memory fasta");
 
-    let cfg = ProfileConfig { opts, use_mmap: false, sort_by_length: false };
+    let cfg = ProfileConfig {
+        opts,
+        use_mmap: false,
+        sort_by_length: false,
+    };
     let res = profile_run(&idx_path, &fasta, &cfg).expect("profiled run");
     let _ = std::fs::remove_file(&idx_path);
 

@@ -41,16 +41,8 @@ pub fn run(quick: bool) -> String {
             s_pb.total_bases.to_string(),
             s_ont.total_bases.to_string(),
         ],
-        vec![
-            "paper mean (bp)".into(),
-            "5,567".into(),
-            "3,957.8".into(),
-        ],
-        vec![
-            "paper max (bp)".into(),
-            "24,981".into(),
-            "514,461".into(),
-        ],
+        vec!["paper mean (bp)".into(), "5,567".into(), "3,957.8".into()],
+        vec!["paper max (bp)".into(), "24,981".into(), "514,461".into()],
     ];
     let mut out = format_table(
         "Table 4 — datasets for macro benchmarks (scaled)",

@@ -36,8 +36,13 @@ pub fn run(quick: bool) -> String {
 
         // Accuracy (measured).
         let mut calls = Vec::new();
+        let mut scratch = mmm_align::AlignScratch::new();
         for (i, r) in reads.iter().enumerate() {
-            if let Some(m) = mapper.map_read(r).into_iter().find(|m| m.primary) {
+            if let Some(m) = mapper
+                .map_read_with_scratch(r, &mut scratch)
+                .into_iter()
+                .find(|m| m.primary)
+            {
                 calls.push(MappingCall {
                     read_id: i,
                     rid: m.rid,
@@ -60,8 +65,7 @@ pub fn run(quick: bool) -> String {
             ..PipelineParams::default()
         };
         let cpu = simulate_pipeline(&XEON_GOLD_5115, 40, &batches, &params).total;
-        let knl_raw =
-            simulate_pipeline(&KNL_7210, id.knl_max_threads(), &batches, &params).total;
+        let knl_raw = simulate_pipeline(&KNL_7210, id.knl_max_threads(), &batches, &params).total;
         let knl = knl_raw / id.knl_port_efficiency();
 
         // RAM: index + one read batch + fixed per-thread working buffers
@@ -90,13 +94,7 @@ pub fn run(quick: bool) -> String {
     let mut out = format_table(
         &format!("Table 5 — long-read aligners on the simulated PacBio set ({n_reads} reads)"),
         &[
-            "aligner",
-            "error %",
-            "mapped",
-            "index MB",
-            "CPU s*",
-            "KNL s*",
-            "RAM MB~",
+            "aligner", "error %", "mapped", "index MB", "CPU s*", "KNL s*", "RAM MB~",
         ],
         &rows,
     );

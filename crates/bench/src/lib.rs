@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use mmm_align::{AlignMode, Engine, Scoring};
+use mmm_align::{AlignMode, AlignScratch, Engine, Scoring};
 
 /// The paper's micro-benchmark lengths (§5.1.2: "6 workloads of lengths
 /// from 1 thousand to 32 thousand bp").
@@ -26,7 +26,9 @@ pub const SCALE_NOTE: &str = "(scaled workload: synthetic Mbp genome; shapes, no
 pub fn noisy_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let t: Vec<u8> = (0..len).map(|_| (rnd() % 4) as u8).collect();
@@ -55,10 +57,20 @@ pub fn measure_gcups(
     samples: usize,
 ) -> f64 {
     let cells = t.len() as f64 * q.len() as f64;
+    // One arena reused across samples: after the first call the kernel
+    // runs allocation-free, so the median measures compute, not malloc.
+    let mut scratch = AlignScratch::new();
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
             let start = Instant::now();
-            std::hint::black_box(engine.align(t, q, sc, AlignMode::Global, with_path));
+            std::hint::black_box(engine.align_with_scratch(
+                t,
+                q,
+                sc,
+                AlignMode::Global,
+                with_path,
+                &mut scratch,
+            ));
             start.elapsed().as_secs_f64()
         })
         .collect();
@@ -99,7 +111,9 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row));
@@ -127,22 +141,48 @@ pub mod macrodata {
 
     /// The simulated-PacBio dataset (scaled).
     pub fn pacbio(genome_len: usize, num_reads: usize) -> MacroDataset {
-        let genome = generate_genome(&GenomeOpts { len: genome_len, seed: 42, ..Default::default() });
+        let genome = generate_genome(&GenomeOpts {
+            len: genome_len,
+            seed: 42,
+            ..Default::default()
+        });
         let reads = simulate_reads(
             &genome,
-            &SimOpts { platform: Platform::PacBio, num_reads, seed: 7 },
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads,
+                seed: 7,
+            },
         );
-        MacroDataset { label: "Simulated (PacBio)", platform: Platform::PacBio, genome, reads }
+        MacroDataset {
+            label: "Simulated (PacBio)",
+            platform: Platform::PacBio,
+            genome,
+            reads,
+        }
     }
 
     /// The real-Nanopore-like dataset (scaled).
     pub fn nanopore(genome_len: usize, num_reads: usize) -> MacroDataset {
-        let genome = generate_genome(&GenomeOpts { len: genome_len, seed: 43, ..Default::default() });
+        let genome = generate_genome(&GenomeOpts {
+            len: genome_len,
+            seed: 43,
+            ..Default::default()
+        });
         let reads = simulate_reads(
             &genome,
-            &SimOpts { platform: Platform::Nanopore, num_reads, seed: 8 },
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads,
+                seed: 8,
+            },
         );
-        MacroDataset { label: "Real (Nanopore)", platform: Platform::Nanopore, genome, reads }
+        MacroDataset {
+            label: "Real (Nanopore)",
+            platform: Platform::Nanopore,
+            genome,
+            reads,
+        }
     }
 
     impl MacroDataset {
@@ -170,6 +210,7 @@ pub mod meter {
         out_cost_per_read: f64,
     ) -> Vec<WorkBatch> {
         let mut batches = Vec::new();
+        let mut scratch = mmm_align::AlignScratch::new();
         for chunk in reads.chunks(batch_size.max(1)) {
             let mut chain = Vec::with_capacity(chunk.len());
             let mut align = Vec::with_capacity(chunk.len());
@@ -180,7 +221,7 @@ pub mod meter {
                 let chained = mapper.seed_chain(read);
                 chain.push(t0.elapsed().as_secs_f64());
                 let t1 = Instant::now();
-                std::hint::black_box(mapper.extend(read, &chained));
+                std::hint::black_box(mapper.extend_with_scratch(read, &chained, &mut scratch));
                 align.push(t1.elapsed().as_secs_f64());
             }
             batches.push(WorkBatch {

@@ -86,24 +86,44 @@ impl BaselineId {
         let base = MapOpts::map_pb();
         match self {
             BaselineId::Manymap => base,
-            BaselineId::Minimap2 => {
-                base.with_engine(mmm_align::best_mm2_engine())
-            }
+            BaselineId::Minimap2 => base.with_engine(mmm_align::best_mm2_engine()),
             BaselineId::Minialign => MapOpts {
-                idx: IdxOpts { k: 17, w: 16, occ_frac: 2e-4, hpc: true },
+                idx: IdxOpts {
+                    k: 17,
+                    w: 16,
+                    occ_frac: 2e-4,
+                    hpc: true,
+                },
                 // Coarse interpolation instead of per-segment DP.
                 max_fill: 0,
                 ..base
             },
             BaselineId::Kart => MapOpts {
-                idx: IdxOpts { k: 24, w: 12, occ_frac: 2e-4, hpc: false },
-                chain: ChainOpts { min_cnt: 2, min_score: 20, ..ChainOpts::default() },
-                select: SelectOpts { mask_level: 0.9, best_n: 1 },
+                idx: IdxOpts {
+                    k: 24,
+                    w: 12,
+                    occ_frac: 2e-4,
+                    hpc: false,
+                },
+                chain: ChainOpts {
+                    min_cnt: 2,
+                    min_score: 20,
+                    ..ChainOpts::default()
+                },
+                select: SelectOpts {
+                    mask_level: 0.9,
+                    best_n: 1,
+                },
                 max_fill: 0,
                 ..base
             },
             BaselineId::Blasr => MapOpts {
-                idx: IdxOpts { k: 12, w: 1, occ_frac: 1e-3, hpc: false },
+                idx: IdxOpts {
+                    k: 12,
+                    w: 1,
+                    occ_frac: 1e-3,
+                    hpc: false,
+                },
                 chain: ChainOpts {
                     max_iter: 50_000,
                     max_skip: 1_000,
@@ -112,12 +132,26 @@ impl BaselineId {
                 ..base.with_engine(Engine::new(Layout::Mm2, Width::Scalar))
             },
             BaselineId::Ngmlr => MapOpts {
-                idx: IdxOpts { k: 13, w: 5, occ_frac: 2e-4, hpc: false },
-                chain: ChainOpts { bandwidth: 2_000, max_dist: 10_000, ..ChainOpts::default() },
+                idx: IdxOpts {
+                    k: 13,
+                    w: 5,
+                    occ_frac: 2e-4,
+                    hpc: false,
+                },
+                chain: ChainOpts {
+                    bandwidth: 2_000,
+                    max_dist: 10_000,
+                    ..ChainOpts::default()
+                },
                 ..base.with_engine(Engine::new(Layout::Mm2, Width::Scalar))
             },
             BaselineId::BwaMem => MapOpts {
-                idx: IdxOpts { k: 19, w: 1, occ_frac: 1e-3, hpc: false },
+                idx: IdxOpts {
+                    k: 19,
+                    w: 1,
+                    occ_frac: 1e-3,
+                    hpc: false,
+                },
                 // Short-read chaining: tight insert-size assumptions.
                 chain: ChainOpts {
                     max_dist: 100,
@@ -165,10 +199,21 @@ mod tests {
 
     #[test]
     fn minimap2_model_matches_manymap_results() {
-        let g = generate_genome(&GenomeOpts { len: 80_000, repeat_frac: 0.0, seed: 17, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 80_000,
+            repeat_frac: 0.0,
+            seed: 17,
+            ..Default::default()
+        });
         let rec = SeqRecord::new("chr1", nt4_decode(&g));
-        let reads =
-            simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 8, seed: 5 });
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 8,
+                seed: 5,
+            },
+        );
         let om = BaselineId::Manymap.map_opts();
         let o2 = BaselineId::Minimap2.map_opts();
         let idx = MinimizerIndex::build(&[rec], &om.idx);
@@ -185,12 +230,13 @@ mod tests {
         }
     }
 
-    fn error_rate(id: BaselineId, genome: &[u8], reads: &[mmm_simreads::SimulatedRead]) -> (f64, f64) {
+    fn error_rate(
+        id: BaselineId,
+        genome: &[u8],
+        reads: &[mmm_simreads::SimulatedRead],
+    ) -> (f64, f64) {
         let opts = id.map_opts();
-        let idx = MinimizerIndex::build(
-            &[SeqRecord::new("chr1", nt4_decode(genome))],
-            &opts.idx,
-        );
+        let idx = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(genome))], &opts.idx);
         let mapper = Mapper::new(&idx, opts);
         let mut calls = Vec::new();
         for (i, r) in reads.iter().enumerate() {
@@ -216,7 +262,12 @@ mod tests {
         // from an 8%-diverged copy of the reference (on top of the 15%
         // sequencing error): the k=24 Kart model must lose reads the k=19
         // manymap model still anchors.
-        let g = generate_genome(&GenomeOpts { len: 150_000, repeat_frac: 0.0, seed: 23, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 150_000,
+            repeat_frac: 0.0,
+            seed: 23,
+            ..Default::default()
+        });
         let mut diverged = g.clone();
         let mut state = 77u64;
         for b in diverged.iter_mut() {
@@ -225,8 +276,14 @@ mod tests {
                 *b = (*b + 1 + ((state >> 20) % 3) as u8) % 4;
             }
         }
-        let reads =
-            simulate_reads(&diverged, &SimOpts { platform: Platform::PacBio, num_reads: 30, seed: 11 });
+        let reads = simulate_reads(
+            &diverged,
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 30,
+                seed: 11,
+            },
+        );
         let (mm_err, mm_mapped) = error_rate(BaselineId::Manymap, &g, &reads);
         let (kart_err, kart_mapped) = error_rate(BaselineId::Kart, &g, &reads);
         assert!(

@@ -17,13 +17,13 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use manymap::{paf_line, sam::sam_line, sam::write_sam_header, MapOpts, Mapper};
-use mmm_align::{best_mm2_engine, Engine};
+use mmm_align::{best_mm2_engine, AlignScratch};
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
-use mmm_pipeline::run_three_thread;
+use mmm_pipeline::run_three_thread_with_state;
 use mmm_seq::FastxReader;
 
 struct Args {
@@ -115,7 +115,11 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         .flags
         .get("threads")
         .and_then(|t| t.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     let sam = args.flags.contains_key("sam");
 
     let mut timer = StageTimer::new();
@@ -132,14 +136,18 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     }
     let out = Mutex::new(out);
 
-    let stats = run_three_thread(
+    let stats = run_three_thread_with_state(
         || {
-            let batch = reader.lock().next_batch(4_000_000).ok()?;
+            let batch = reader.lock().unwrap().next_batch(4_000_000).ok()?;
             (!batch.is_empty()).then_some(batch)
         },
-        |rec: &mmm_seq::SeqRecord| {
+        // One scratch arena per persistent worker: the alignment hot path
+        // stops allocating once the buffers have grown to the batch's
+        // largest problem.
+        |_worker| AlignScratch::new(),
+        |scratch: &mut AlignScratch, rec: &mmm_seq::SeqRecord| {
             let nt4 = rec.nt4();
-            let ms = mapper.map_read(&nt4);
+            let ms = mapper.map_read_with_scratch(&nt4, scratch);
             let mut lines = String::new();
             for m in &ms {
                 if sam {
@@ -159,7 +167,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         },
         |rec| rec.len(),
         |results| {
-            let mut w = out.lock();
+            let mut w = out.lock().unwrap();
             for lines in results {
                 let _ = w.write_all(lines.as_bytes());
             }

@@ -80,7 +80,7 @@ fn main() -> ExitCode {
         let Some((truth_rname, truth)) = parse_truth(qname) else {
             continue;
         };
-        let is_primary = cols.iter().any(|c| *c == "tp:A:P");
+        let is_primary = cols.contains(&"tp:A:P");
         if !is_primary && primary.contains_key(qname) {
             continue;
         }
@@ -98,9 +98,12 @@ fn main() -> ExitCode {
     let mut wrong = 0u64;
     let mut per_mapq: Vec<(u8, u64, u64)> = Vec::new(); // (mapq floor, mapped, wrong)
     let mut strata: HashMap<u8, (u64, u64)> = HashMap::new();
-    for (_, (truth_rname, truth, call)) in &primary {
+    for (truth_rname, truth, call) in primary.values() {
         mapped += 1;
-        let inter = call.end.min(truth.end).saturating_sub(call.start.max(truth.start));
+        let inter = call
+            .end
+            .min(truth.end)
+            .saturating_sub(call.start.max(truth.start));
         let ok = call.rname == *truth_rname
             && call.rev == truth.rev
             && inter as f64 >= 0.1 * (truth.end - truth.start).max(1) as f64;
@@ -124,7 +127,11 @@ fn main() -> ExitCode {
     println!("wrong calls:    {wrong}");
     println!(
         "error rate:     {:.3}%",
-        if mapped > 0 { 100.0 * wrong as f64 / mapped as f64 } else { 0.0 }
+        if mapped > 0 {
+            100.0 * wrong as f64 / mapped as f64
+        } else {
+            0.0
+        }
     );
     println!("\nmapq     mapped   wrong   err%");
     for (b, m, w) in per_mapq {

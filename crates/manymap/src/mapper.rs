@@ -8,7 +8,7 @@
 //! single flag switches the whole mapper between minimap2's kernels and
 //! manymap's.
 
-use mmm_align::{extend_zdrop, fill_align, Cigar, CigarOp};
+use mmm_align::{extend_zdrop_with_scratch, fill_align_with_scratch, AlignScratch, Cigar, CigarOp};
 use mmm_chain::select::SelectedChain;
 use mmm_chain::{chain_anchors, select_chains, Chain};
 use mmm_index::MinimizerIndex;
@@ -70,8 +70,15 @@ impl<'a> Mapper<'a> {
 
     /// Map one read (nt4, forward orientation). Returns primary first.
     pub fn map_read(&self, query: &[u8]) -> Vec<Mapping> {
+        self.map_read_with_scratch(query, &mut AlignScratch::new())
+    }
+
+    /// [`Mapper::map_read`] with a caller-provided alignment scratch arena.
+    /// The pipeline workers each hold one scratch for their whole run, so
+    /// the base-level alignment stage stops allocating after warm-up.
+    pub fn map_read_with_scratch(&self, query: &[u8], scratch: &mut AlignScratch) -> Vec<Mapping> {
         let chained = self.seed_chain(query);
-        self.extend(query, &chained)
+        self.extend_with_scratch(query, &chained, scratch)
     }
 
     /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage).
@@ -83,22 +90,43 @@ impl<'a> Mapper<'a> {
             let chains = chain_anchors(anchors, &self.opts.chain);
             select_chains(chains, &self.opts.select)
         };
-        let q_rc = selected.iter().any(|s| s.chain.rev).then(|| revcomp4(query));
+        let q_rc = selected
+            .iter()
+            .any(|s| s.chain.rev)
+            .then(|| revcomp4(query));
         ChainedRead { selected, q_rc }
     }
 
     /// Phase 2: base-level alignment (the paper's "Align" stage).
     pub fn extend(&self, query: &[u8], chained: &ChainedRead) -> Vec<Mapping> {
+        self.extend_with_scratch(query, chained, &mut AlignScratch::new())
+    }
+
+    /// [`Mapper::extend`] with a caller-provided alignment scratch arena.
+    pub fn extend_with_scratch(
+        &self,
+        query: &[u8],
+        chained: &ChainedRead,
+        scratch: &mut AlignScratch,
+    ) -> Vec<Mapping> {
         let mut out = Vec::with_capacity(chained.selected.len());
         for sel in &chained.selected {
             let qseq: &[u8] = if sel.chain.rev {
-                chained.q_rc.as_deref().expect("rc computed when any rev chain exists")
+                chained
+                    .q_rc
+                    .as_deref()
+                    .expect("rc computed when any rev chain exists")
             } else {
                 query
             };
-            if let Some(m) =
-                self.align_chain(&sel.chain, qseq, query.len(), sel.primary, sel.mapq)
-            {
+            if let Some(m) = self.align_chain(
+                &sel.chain,
+                qseq,
+                query.len(),
+                sel.primary,
+                sel.mapq,
+                scratch,
+            ) {
                 out.push(m);
             }
         }
@@ -115,6 +143,7 @@ impl<'a> Mapper<'a> {
         qlen: usize,
         primary: bool,
         mapq: u8,
+        scratch: &mut AlignScratch,
     ) -> Option<Mapping> {
         let sc = &self.opts.scoring;
         let engine = self.opts.engine;
@@ -174,10 +203,11 @@ impl<'a> Mapper<'a> {
             } else {
                 let rseg = self.index.ref_window(chain.rid, rcur + 1, rn + 1);
                 let qseg = &qseq[qcur + 1..qn + 1];
-                let r = fill_align(&rseg, qseg, sc, engine, cigar.is_some());
+                let r = fill_align_with_scratch(&rseg, qseg, sc, engine, cigar.is_some(), scratch);
                 align_score += r.score;
                 if let (Some(c), Some(rc)) = (cigar.as_mut(), r.cigar) {
                     c.extend(&rc);
+                    scratch.recycle(rc);
                 }
             }
             rcur = rn;
@@ -192,12 +222,20 @@ impl<'a> Mapper<'a> {
             let win = (tail as f64 * self.opts.ext_factor) as usize + 32;
             let rseg = self.index.ref_window(chain.rid, ref_end, ref_end + win);
             let qseg = &qseq[q_end..qlen.min(q_end + self.opts.max_fill)];
-            let e = extend_zdrop(&rseg, qseg, sc, self.opts.zdrop, cigar.is_some());
+            let e = extend_zdrop_with_scratch(
+                &rseg,
+                qseg,
+                sc,
+                self.opts.zdrop,
+                cigar.is_some(),
+                scratch,
+            );
             align_score += e.score;
             ref_end += e.t_consumed;
             q_end += e.q_consumed;
             if let Some(c) = cigar.as_mut() {
                 c.extend(&e.cigar);
+                scratch.recycle(e.cigar);
             }
         }
 
@@ -212,14 +250,23 @@ impl<'a> Mapper<'a> {
             let take = head.min(self.opts.max_fill);
             let mut qseg: Vec<u8> = qseq[q_start - take..q_start].to_vec();
             qseg.reverse();
-            let e = extend_zdrop(&rseg, &qseg, sc, self.opts.zdrop, cigar.is_some());
+            let e = extend_zdrop_with_scratch(
+                &rseg,
+                &qseg,
+                sc,
+                self.opts.zdrop,
+                cigar.is_some(),
+                scratch,
+            );
             align_score += e.score;
             ref_start -= e.t_consumed;
             q_start -= e.q_consumed;
             if let Some(c) = cigar.as_mut() {
-                let mut left = e.cigar.clone();
+                let mut left = e.cigar;
                 left.reverse();
-                left.extend(&std::mem::take(c));
+                let body = std::mem::take(c);
+                left.extend(&body);
+                scratch.recycle(body);
                 *c = left;
             }
         }
@@ -286,7 +333,11 @@ mod tests {
 
     #[test]
     fn exact_read_maps_exactly() {
-        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 100_000,
+            repeat_frac: 0.0,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_ONT);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
         let read = g[20_000..24_000].to_vec();
@@ -305,7 +356,12 @@ mod tests {
 
     #[test]
     fn reverse_complement_read_maps_reverse() {
-        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, seed: 3, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 100_000,
+            repeat_frac: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_ONT);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
         let read = revcomp4(&g[50_000..53_000]);
@@ -320,17 +376,32 @@ mod tests {
 
     #[test]
     fn noisy_pacbio_read_maps_to_true_interval() {
-        let g = generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, seed: 9, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 200_000,
+            repeat_frac: 0.0,
+            seed: 9,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_PB);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_pb());
-        let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 20, seed: 1 });
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 20,
+                seed: 1,
+            },
+        );
         let mut mapped = 0;
         let mut correct = 0;
         for r in &reads {
             let ms = mapper.map_read(&r.seq);
             if let Some(m) = ms.first() {
                 mapped += 1;
-                let inter = m.ref_end.min(r.origin.end).saturating_sub(m.ref_start.max(r.origin.start));
+                let inter = m
+                    .ref_end
+                    .min(r.origin.end)
+                    .saturating_sub(m.ref_start.max(r.origin.start));
                 if m.rev == r.origin.rev && inter * 2 > (r.origin.end - r.origin.start) {
                     correct += 1;
                 }
@@ -342,10 +413,22 @@ mod tests {
 
     #[test]
     fn cigar_lengths_always_match_intervals() {
-        let g = generate_genome(&GenomeOpts { len: 150_000, repeat_frac: 0.05, seed: 4, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 150_000,
+            repeat_frac: 0.05,
+            seed: 4,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_ONT);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
-        let reads = simulate_reads(&g, &SimOpts { platform: Platform::Nanopore, num_reads: 15, seed: 2 });
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 15,
+                seed: 2,
+            },
+        );
         for r in &reads {
             for m in mapper.map_read(&r.seq) {
                 let c = m.cigar.as_ref().unwrap();
@@ -358,7 +441,12 @@ mod tests {
 
     #[test]
     fn score_only_mode_produces_no_cigars() {
-        let g = generate_genome(&GenomeOpts { len: 80_000, repeat_frac: 0.0, seed: 5, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 80_000,
+            repeat_frac: 0.0,
+            seed: 5,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_ONT);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont().cigar(false));
         let read = g[10_000..13_000].to_vec();
@@ -369,11 +457,21 @@ mod tests {
 
     #[test]
     fn unmappable_read_returns_empty() {
-        let g = generate_genome(&GenomeOpts { len: 60_000, repeat_frac: 0.0, seed: 6, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 60_000,
+            repeat_frac: 0.0,
+            seed: 6,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_ONT);
         let mapper = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
         // A read from a different random genome.
-        let other = generate_genome(&GenomeOpts { len: 10_000, repeat_frac: 0.0, seed: 999, ..Default::default() });
+        let other = generate_genome(&GenomeOpts {
+            len: 10_000,
+            repeat_frac: 0.0,
+            seed: 999,
+            ..Default::default()
+        });
         let ms = mapper.map_read(&other[..3_000]);
         assert!(ms.is_empty());
     }
@@ -381,11 +479,25 @@ mod tests {
     #[test]
     fn engines_produce_identical_mappings() {
         use mmm_align::{Engine, Layout, Width};
-        let g = generate_genome(&GenomeOpts { len: 100_000, repeat_frac: 0.0, seed: 7, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 100_000,
+            repeat_frac: 0.0,
+            seed: 7,
+            ..Default::default()
+        });
         let idx = build_index(&g, &IdxOpts::MAP_PB);
-        let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 5, seed: 3 });
-        let base = Mapper::new(&idx, crate::opts::MapOpts::map_pb()
-            .with_engine(Engine::new(Layout::Manymap, Width::Scalar)));
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 5,
+                seed: 3,
+            },
+        );
+        let base = Mapper::new(
+            &idx,
+            crate::opts::MapOpts::map_pb().with_engine(Engine::new(Layout::Manymap, Width::Scalar)),
+        );
         for e in Engine::all().into_iter().filter(|e| e.is_available()) {
             let m2 = Mapper::new(&idx, crate::opts::MapOpts::map_pb().with_engine(e));
             for r in &reads {

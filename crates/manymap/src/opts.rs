@@ -44,7 +44,11 @@ impl MapOpts {
 
     /// Nanopore preset: `-ax map-ont` (k=15, ONT scoring).
     pub fn map_ont() -> Self {
-        MapOpts { idx: IdxOpts::MAP_ONT, scoring: Scoring::MAP_ONT, ..Self::map_pb() }
+        MapOpts {
+            idx: IdxOpts::MAP_ONT,
+            scoring: Scoring::MAP_ONT,
+            ..Self::map_pb()
+        }
     }
 
     /// Use a specific kernel variant.

@@ -41,7 +41,13 @@ pub fn write_paf<W: Write>(
 ) -> io::Result<usize> {
     let mut bytes = 0usize;
     for m in mappings {
-        let line = paf_line(qname, qlen, &tnames[m.rid as usize], tlens[m.rid as usize], m);
+        let line = paf_line(
+            qname,
+            qlen,
+            &tnames[m.rid as usize],
+            tlens[m.rid as usize],
+            m,
+        );
         bytes += line.len() + 1;
         writeln!(w, "{line}")?;
     }

@@ -56,12 +56,17 @@ pub fn profile_run(
     })?;
     let (index, _stats) = index;
 
-    let mut reads = timer.time(Stage::LoadQuery, || {
-        FastxReader::new(std::io::Cursor::new(query_fastx))
-            .read_all()
-            .map(|rs| rs.iter().map(|r| (r.name.clone(), r.nt4())).collect::<Vec<_>>())
-    })
-    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut reads = timer
+        .time(Stage::LoadQuery, || {
+            FastxReader::new(std::io::Cursor::new(query_fastx))
+                .read_all()
+                .map(|rs| {
+                    rs.iter()
+                        .map(|r| (r.name.clone(), r.nt4()))
+                        .collect::<Vec<_>>()
+                })
+        })
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
 
     if cfg.sort_by_length {
         reads.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
@@ -73,9 +78,13 @@ pub fn profile_run(
 
     let mut mappings = 0usize;
     let mut sink: Vec<u8> = Vec::new();
+    // Single-threaded run: one scratch arena serves every alignment.
+    let mut scratch = mmm_align::AlignScratch::new();
     for (name, seq) in &reads {
         let chained = timer.time(Stage::SeedChain, || mapper.seed_chain(seq));
-        let ms = timer.time(Stage::Align, || mapper.extend(seq, &chained));
+        let ms = timer.time(Stage::Align, || {
+            mapper.extend_with_scratch(seq, &chained, &mut scratch)
+        });
         mappings += ms.len();
         timer.time(Stage::Output, || {
             crate::paf::write_paf(&mut sink, name, seq.len(), &tnames, &tlens, &ms)
@@ -100,13 +109,25 @@ mod tests {
 
     #[test]
     fn profiles_all_stages() {
-        let g = generate_genome(&GenomeOpts { len: 120_000, repeat_frac: 0.0, seed: 21, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 120_000,
+            repeat_frac: 0.0,
+            seed: 21,
+            ..Default::default()
+        });
         let idx =
             MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT);
         let path = std::env::temp_dir().join(format!("manymap-prof-{}", std::process::id()));
         save_index(&idx, &path).unwrap();
 
-        let reads = simulate_reads(&g, &SimOpts { platform: Platform::Nanopore, num_reads: 10, seed: 2 });
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 10,
+                seed: 2,
+            },
+        );
         let recs: Vec<SeqRecord> = reads
             .iter()
             .map(|r| SeqRecord::new(r.name.clone(), nt4_decode(&r.seq)))
@@ -115,7 +136,11 @@ mod tests {
         write_fasta(&mut fasta, &recs, 0).unwrap();
 
         for use_mmap in [false, true] {
-            let cfg = ProfileConfig { opts: MapOpts::map_ont(), use_mmap, sort_by_length: true };
+            let cfg = ProfileConfig {
+                opts: MapOpts::map_ont(),
+                use_mmap,
+                sort_by_length: true,
+            };
             let res = profile_run(&path, &fasta, &cfg).unwrap();
             assert_eq!(res.reads, 10);
             assert!(res.mappings >= 8, "mappings={}", res.mappings);

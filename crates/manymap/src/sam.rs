@@ -12,11 +12,7 @@ const FLAG_SECONDARY: u16 = 0x100;
 const FLAG_UNMAPPED: u16 = 0x4;
 
 /// Write the SAM header for a reference set.
-pub fn write_sam_header<W: Write>(
-    w: &mut W,
-    tnames: &[String],
-    tlens: &[usize],
-) -> io::Result<()> {
+pub fn write_sam_header<W: Write>(w: &mut W, tnames: &[String], tlens: &[usize]) -> io::Result<()> {
     writeln!(w, "@HD\tVN:1.6\tSO:unknown")?;
     for (n, l) in tnames.iter().zip(tlens) {
         writeln!(w, "@SQ\tSN:{n}\tLN:{l}")?;
@@ -126,9 +122,20 @@ mod tests {
         let line = sam_line("r1", &q, &["chr1".into()], &mapping(true));
         let cols: Vec<&str> = line.split('\t').collect();
         assert_eq!(cols[1], "16");
-        assert_eq!(cols[9], "AACGTT".chars().rev().map(|c| match c {
-            'A' => 'T', 'C' => 'G', 'G' => 'C', 'T' => 'A', x => x,
-        }).collect::<String>());
+        assert_eq!(
+            cols[9],
+            "AACGTT"
+                .chars()
+                .rev()
+                .map(|c| match c {
+                    'A' => 'T',
+                    'C' => 'G',
+                    'G' => 'C',
+                    'T' => 'A',
+                    x => x,
+                })
+                .collect::<String>()
+        );
         // clip5 = qlen - q_end = 1, clip3 = q_start = 1.
         assert_eq!(cols[5], "1S4M1S");
     }

@@ -8,7 +8,12 @@ use mmm_seq::{nt4_decode, SeqRecord};
 use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
 
 fn genome() -> Vec<u8> {
-    generate_genome(&GenomeOpts { len: 250_000, repeat_frac: 0.0, seed: 55, ..Default::default() })
+    generate_genome(&GenomeOpts {
+        len: 250_000,
+        repeat_frac: 0.0,
+        seed: 55,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -19,11 +24,21 @@ fn map_pb_preset_uses_hpc_and_maps_pacbio_reads() {
     let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx);
     assert!(index.hpc);
     let mapper = Mapper::new(&index, opts);
-    let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 30, seed: 9 });
+    let reads = simulate_reads(
+        &g,
+        &SimOpts {
+            platform: Platform::PacBio,
+            num_reads: 30,
+            seed: 9,
+        },
+    );
     let mut correct = 0;
     for r in &reads {
         if let Some(m) = mapper.map_read(&r.seq).into_iter().find(|m| m.primary) {
-            let inter = m.ref_end.min(r.origin.end).saturating_sub(m.ref_start.max(r.origin.start));
+            let inter = m
+                .ref_end
+                .min(r.origin.end)
+                .saturating_sub(m.ref_start.max(r.origin.start));
             if m.rev == r.origin.rev && 2 * inter > r.origin.end - r.origin.start {
                 correct += 1;
             }
@@ -37,11 +52,31 @@ fn hpc_seeding_anchors_at_least_as_many_pacbio_reads() {
     let g = genome();
     let rec = SeqRecord::new("chr1", nt4_decode(&g));
     let plain = MinimizerIndex::build(
-        &[rec.clone()],
-        &IdxOpts { k: 19, w: 10, occ_frac: 2e-4, hpc: false },
+        std::slice::from_ref(&rec),
+        &IdxOpts {
+            k: 19,
+            w: 10,
+            occ_frac: 2e-4,
+            hpc: false,
+        },
     );
-    let hpc = MinimizerIndex::build(&[rec], &IdxOpts { k: 19, w: 10, occ_frac: 2e-4, hpc: true });
-    let reads = simulate_reads(&g, &SimOpts { platform: Platform::PacBio, num_reads: 40, seed: 4 });
+    let hpc = MinimizerIndex::build(
+        &[rec],
+        &IdxOpts {
+            k: 19,
+            w: 10,
+            occ_frac: 2e-4,
+            hpc: true,
+        },
+    );
+    let reads = simulate_reads(
+        &g,
+        &SimOpts {
+            platform: Platform::PacBio,
+            num_reads: 40,
+            seed: 4,
+        },
+    );
     let (mut plain_anchors, mut hpc_anchors) = (0usize, 0usize);
     for r in &reads {
         plain_anchors += plain.collect_anchors(&r.seq).len();

@@ -10,8 +10,9 @@
 //! (property-tested); a too-narrow band yields the best path *within the
 //! band* — the same degradation minimap2 accepts.
 
-use crate::cigar::{Cigar, CigarOp};
+use crate::cigar::CigarOp;
 use crate::score::Scoring;
+use crate::scratch::{reset_fill, AlignScratch};
 use crate::types::{AlignMode, AlignResult};
 
 const NEG_INF: i32 = i32::MIN / 4;
@@ -26,9 +27,28 @@ pub fn align_banded(
     band: usize,
     with_path: bool,
 ) -> Option<AlignResult> {
+    align_banded_with_scratch(target, query, sc, band, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_banded`] with caller-provided buffers (the 32-bit `H`/`E`/`F`
+/// bands live in the scratch arena's `h32`/`e32`/`f32`).
+pub fn align_banded_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    band: usize,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> Option<AlignResult> {
     let (tlen, qlen) = (target.len(), query.len());
     if tlen == 0 || qlen == 0 {
-        return Some(crate::fullmatrix::align(target, query, sc, AlignMode::Global, with_path));
+        return Some(crate::fullmatrix::align(
+            target,
+            query,
+            sc,
+            AlignMode::Global,
+            with_path,
+        ));
     }
     // The corner diagonal offset is qlen - tlen; a connected band must
     // cover both 0 and that offset.
@@ -46,13 +66,20 @@ pub fn align_banded(
     let hi = |i: usize| -> usize { (i * qlen / tlen + band).min(qlen) };
 
     let rows = tlen + 1;
-    let mut h = vec![NEG_INF; rows * (width + 2)];
-    let mut e = vec![NEG_INF; rows * (width + 2)];
-    let mut f = vec![NEG_INF; rows * (width + 2)];
+    let AlignScratch {
+        h32: h,
+        e32: e,
+        f32: f,
+        cigars,
+        ..
+    } = scratch;
+    reset_fill(h, rows * (width + 2), NEG_INF);
+    reset_fill(e, rows * (width + 2), NEG_INF);
+    reset_fill(f, rows * (width + 2), NEG_INF);
     // idx(i, j) valid only when lo(i) ≤ j ≤ hi(i).
     let idx = move |i: usize, j: usize| i * (width + 2) + (j - lo(i)) + 1;
 
-    let get = |arr: &Vec<i32>, i: usize, j: usize| -> i32 {
+    let get = |arr: &[i32], i: usize, j: usize| -> i32 {
         if j < lo(i) || j > hi(i) {
             NEG_INF
         } else {
@@ -73,9 +100,9 @@ pub fn align_banded(
 
     for i in 1..=tlen {
         for j in lo(i).max(1)..=hi(i) {
-            let ev = (get(&h, i - 1, j) - sc.q).max(get(&e, i - 1, j)) - sc.e;
-            let fv = (get(&h, i, j - 1) - sc.q).max(get(&f, i, j - 1)) - sc.e;
-            let diag = get(&h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
+            let ev = (get(h, i - 1, j) - sc.q).max(get(e, i - 1, j)) - sc.e;
+            let fv = (get(h, i, j - 1) - sc.q).max(get(f, i, j - 1)) - sc.e;
+            let diag = get(h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
             let id = idx(i, j);
             e[id] = ev.max(NEG_INF);
             f[id] = fv.max(NEG_INF);
@@ -83,13 +110,13 @@ pub fn align_banded(
         }
     }
 
-    let score = get(&h, tlen, qlen);
+    let score = get(h, tlen, qlen);
     if score <= NEG_INF / 2 {
         return None; // band disconnected the corner
     }
 
     let cigar = with_path.then(|| {
-        let mut cig = Cigar::new();
+        let mut cig = AlignScratch::take_cigar(cigars);
         let (mut i, mut j) = (tlen, qlen);
         #[derive(PartialEq)]
         enum St {
@@ -101,13 +128,13 @@ pub fn align_banded(
         while i > 0 && j > 0 {
             match st {
                 St::M => {
-                    let hv = get(&h, i, j);
-                    let diag = get(&h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
+                    let hv = get(h, i, j);
+                    let diag = get(h, i - 1, j - 1) + sc.subst(target[i - 1], query[j - 1]);
                     if hv == diag {
                         cig.push(CigarOp::Match, 1);
                         i -= 1;
                         j -= 1;
-                    } else if hv == get(&e, i, j) {
+                    } else if hv == get(e, i, j) {
                         st = St::E;
                     } else {
                         st = St::F;
@@ -115,8 +142,8 @@ pub fn align_banded(
                 }
                 St::E => {
                     cig.push(CigarOp::Del, 1);
-                    let open = get(&h, i - 1, j) - sc.q - sc.e;
-                    let cur = get(&e, i, j);
+                    let open = get(h, i - 1, j) - sc.q - sc.e;
+                    let cur = get(e, i, j);
                     i -= 1;
                     if cur == open {
                         st = St::M;
@@ -124,8 +151,8 @@ pub fn align_banded(
                 }
                 St::F => {
                     cig.push(CigarOp::Ins, 1);
-                    let open = get(&h, i, j - 1) - sc.q - sc.e;
-                    let cur = get(&f, i, j);
+                    let open = get(h, i, j - 1) - sc.q - sc.e;
+                    let cur = get(f, i, j);
                     j -= 1;
                     if cur == open {
                         st = St::M;
@@ -145,7 +172,13 @@ pub fn align_banded(
 
     // Banded cell count ≈ rows × band width actually computed.
     let cells: u64 = (1..=tlen).map(|i| (hi(i) - lo(i).max(1) + 1) as u64).sum();
-    Some(AlignResult { score, end_i: tlen - 1, end_j: qlen - 1, cigar, cells })
+    Some(AlignResult {
+        score,
+        end_i: tlen - 1,
+        end_j: qlen - 1,
+        cigar,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -181,7 +214,12 @@ mod tests {
         let full = fullmatrix::align(&t, &q, &SC, AlignMode::Global, false);
         let banded = align_banded(&t, &q, &SC, 16, false).unwrap();
         assert_eq!(banded.score, full.score); // identical path is in-band
-        assert!(banded.cells < full.cells / 4, "{} vs {}", banded.cells, full.cells);
+        assert!(
+            banded.cells < full.cells / 4,
+            "{} vs {}",
+            banded.cells,
+            full.cells
+        );
     }
 
     #[test]

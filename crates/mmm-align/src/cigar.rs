@@ -77,6 +77,12 @@ impl Cigar {
         self.ops.reverse();
     }
 
+    /// Remove all runs, keeping the allocation (so the storage can be
+    /// recycled through [`crate::AlignScratch`]).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
     /// The runs.
     pub fn runs(&self) -> &[(CigarOp, u32)] {
         &self.ops
@@ -89,17 +95,29 @@ impl Cigar {
 
     /// Total query bases consumed.
     pub fn query_len(&self) -> u64 {
-        self.ops.iter().filter(|(op, _)| op.consumes_query()).map(|&(_, l)| l as u64).sum()
+        self.ops
+            .iter()
+            .filter(|(op, _)| op.consumes_query())
+            .map(|&(_, l)| l as u64)
+            .sum()
     }
 
     /// Total target bases consumed.
     pub fn target_len(&self) -> u64 {
-        self.ops.iter().filter(|(op, _)| op.consumes_target()).map(|&(_, l)| l as u64).sum()
+        self.ops
+            .iter()
+            .filter(|(op, _)| op.consumes_target())
+            .map(|&(_, l)| l as u64)
+            .sum()
     }
 
     /// Number of `M` bases.
     pub fn match_len(&self) -> u64 {
-        self.ops.iter().filter(|(op, _)| *op == CigarOp::Match).map(|&(_, l)| l as u64).sum()
+        self.ops
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Match)
+            .map(|&(_, l)| l as u64)
+            .sum()
     }
 
     /// Re-derive the alignment score of this CIGAR against the given
@@ -186,10 +204,10 @@ mod tests {
     fn score_rederivation() {
         let sc = Scoring::MAP_ONT; // a=2 b=4 q=4 e=2
         let t = [0u8, 1, 2, 3]; // ACGT
-        let q = [0u8, 1, 3];    // ACT
+        let q = [0u8, 1, 3]; // ACT
         let mut c = Cigar::new();
         c.push(CigarOp::Match, 2); // A=A, C=C  -> +4
-        c.push(CigarOp::Del, 1);   // skip G    -> -6
+        c.push(CigarOp::Del, 1); // skip G    -> -6
         c.push(CigarOp::Match, 1); // T=T       -> +2
         assert_eq!(c.score(&t, &q, &sc), 0);
     }

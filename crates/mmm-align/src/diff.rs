@@ -48,21 +48,65 @@ pub struct DirMatrix {
     qlen: usize,
 }
 
+impl Default for DirMatrix {
+    fn default() -> Self {
+        DirMatrix::empty()
+    }
+}
+
 impl DirMatrix {
+    /// An unsized matrix holding no storage; size it with
+    /// [`reset`](Self::reset) before use. This is what [`crate::AlignScratch`]
+    /// embeds so the backing store can be recycled across align calls.
+    pub fn empty() -> Self {
+        DirMatrix {
+            data: Vec::new(),
+            offsets: Vec::new(),
+            tlen: 0,
+            qlen: 0,
+        }
+    }
+
     /// Allocate for a `|T| × |Q|` problem.
+    ///
+    /// # Panics
+    /// If either dimension is zero (the diagonal layout is undefined for an
+    /// empty matrix; every kernel routes empty inputs through its
+    /// `degenerate()` gate before building a `DirMatrix`).
     pub fn new(tlen: usize, qlen: usize) -> Self {
+        let mut m = DirMatrix::empty();
+        m.reset(tlen, qlen);
+        m
+    }
+
+    /// Re-size for a `|T| × |Q|` problem, reusing the existing backing store
+    /// (grow-only: no allocation when the new problem fits the old
+    /// capacity). All direction bytes are cleared to zero.
+    ///
+    /// # Panics
+    /// If either dimension is zero — see [`new`](Self::new).
+    pub fn reset(&mut self, tlen: usize, qlen: usize) {
+        assert!(
+            tlen > 0 && qlen > 0,
+            "DirMatrix is undefined for empty inputs ({tlen}x{qlen}); \
+             kernels must take their degenerate() path first"
+        );
         let diags = tlen + qlen - 1;
-        let mut offsets = Vec::with_capacity(diags + 1);
+        self.offsets.clear();
+        self.offsets.reserve(diags + 1);
         let mut acc = 0usize;
-        offsets.push(0);
+        self.offsets.push(0);
         for r in 0..diags {
             let st = r.saturating_sub(qlen - 1);
             let en = r.min(tlen - 1);
             acc += en - st + 1;
-            offsets.push(acc);
+            self.offsets.push(acc);
         }
         debug_assert_eq!(acc, tlen * qlen);
-        DirMatrix { data: vec![0; acc], offsets, tlen, qlen }
+        self.data.clear();
+        self.data.resize(acc, 0);
+        self.tlen = tlen;
+        self.qlen = qlen;
     }
 
     /// Mutable slice of diagonal `r` (length `en - st + 1`).
@@ -116,7 +160,18 @@ pub struct Tracker {
 
 impl Tracker {
     /// Tracker for a `|T| × |Q|` problem.
+    ///
+    /// # Panics
+    /// If either dimension is zero: `diag`'s boundary identities divide the
+    /// walk at `tlen - 1` / `qlen - 1`, which underflow for empty inputs.
+    /// Kernels route empty inputs through `degenerate()` before building a
+    /// `Tracker`.
     pub fn new(tlen: usize, qlen: usize) -> Self {
+        assert!(
+            tlen > 0 && qlen > 0,
+            "Tracker is undefined for empty inputs ({tlen}x{qlen}); \
+             kernels must take their degenerate() path first"
+        );
         Tracker {
             hen: 0,
             hst: 0,
@@ -132,6 +187,7 @@ impl Tracker {
     /// the freshly written `v` values (callers pass the layout-appropriate
     /// slots). `qe = q + e`.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn diag(
         &mut self,
         r: usize,
@@ -193,6 +249,13 @@ impl Tracker {
 /// `(end_i, end_j)` and walking back to the `(0,0)` boundary.
 pub fn backtrack(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
     let mut cig = Cigar::new();
+    backtrack_into(dir, end_i, end_j, &mut cig);
+    cig
+}
+
+/// [`backtrack`] writing into caller-provided (recyclable) CIGAR storage.
+pub fn backtrack_into(dir: &DirMatrix, end_i: usize, end_j: usize, cig: &mut Cigar) {
+    cig.clear();
     let mut i = end_i as isize;
     let mut j = end_j as isize;
     #[derive(PartialEq)]
@@ -215,11 +278,10 @@ pub fn backtrack(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
             },
             State::E => {
                 // We arrived via E(i,j); the open/continue decision for this
-                // gap step is the E_CONT bit of cell (i-1, j).
+                // gap step is the E_CONT bit of cell (i-1, j). (`j >= 0`
+                // holds throughout the loop, so only `i` needs guarding.)
                 cig.push(CigarOp::Del, 1);
-                let cont = i > 0
-                    && j >= 0
-                    && dir.get(i as usize - 1, j as usize) & E_CONT != 0;
+                let cont = i > 0 && dir.get(i as usize - 1, j as usize) & E_CONT != 0;
                 i -= 1;
                 if !cont {
                     state = State::M;
@@ -227,9 +289,7 @@ pub fn backtrack(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
             }
             State::F => {
                 cig.push(CigarOp::Ins, 1);
-                let cont = j > 0
-                    && i >= 0
-                    && dir.get(i as usize, j as usize - 1) & F_CONT != 0;
+                let cont = j > 0 && dir.get(i as usize, j as usize - 1) & F_CONT != 0;
                 j -= 1;
                 if !cont {
                     state = State::M;
@@ -244,7 +304,6 @@ pub fn backtrack(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
         cig.push(CigarOp::Ins, j as u32 + 1);
     }
     cig.reverse();
-    cig
 }
 
 /// Reconstruct a CIGAR from a two-piece direction matrix (see
@@ -252,6 +311,13 @@ pub fn backtrack(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
 /// 2 F, 3 E2, 4 F2); bits 3–6 are the continuation flags of E/F/E2/F2.
 pub fn backtrack2(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
     let mut cig = Cigar::new();
+    backtrack2_into(dir, end_i, end_j, &mut cig);
+    cig
+}
+
+/// [`backtrack2`] writing into caller-provided (recyclable) CIGAR storage.
+pub fn backtrack2_into(dir: &DirMatrix, end_i: usize, end_j: usize, cig: &mut Cigar) {
+    cig.clear();
     let mut i = end_i as isize;
     let mut j = end_j as isize;
     #[derive(Clone, Copy, PartialEq)]
@@ -268,10 +334,30 @@ pub fn backtrack2(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
                     i -= 1;
                     j -= 1;
                 }
-                1 => st = St::Gap { del: true, cont_bit: 8 },
-                2 => st = St::Gap { del: false, cont_bit: 16 },
-                3 => st = St::Gap { del: true, cont_bit: 32 },
-                _ => st = St::Gap { del: false, cont_bit: 64 },
+                1 => {
+                    st = St::Gap {
+                        del: true,
+                        cont_bit: 8,
+                    }
+                }
+                2 => {
+                    st = St::Gap {
+                        del: false,
+                        cont_bit: 16,
+                    }
+                }
+                3 => {
+                    st = St::Gap {
+                        del: true,
+                        cont_bit: 32,
+                    }
+                }
+                _ => {
+                    st = St::Gap {
+                        del: false,
+                        cont_bit: 64,
+                    }
+                }
             },
             St::Gap { del, cont_bit } => {
                 if del {
@@ -299,7 +385,6 @@ pub fn backtrack2(dir: &DirMatrix, end_i: usize, end_j: usize) -> Cigar {
         cig.push(CigarOp::Ins, j as u32 + 1);
     }
     cig.reverse();
-    cig
 }
 
 /// One difference-recurrence cell update (Eq. 3/4 right-hand sides), shared
@@ -353,7 +438,11 @@ pub(crate) fn clamp_i8(v: i32) -> i8 {
         (i8::MIN as i32..=i8::MAX as i32).contains(&v),
         "difference value {v} escapes i8; scoring violates fits_i8"
     );
-    v as i8
+    // Saturate rather than truncate: a release build fed a scoring that
+    // violates fits_i8 (callers are expected to reject those via
+    // `Engine::try_align`) degrades like the SIMD kernels' saturating
+    // arithmetic instead of silently wrapping to a garbage score.
+    v.clamp(i8::MIN as i32, i8::MAX as i32) as i8
 }
 
 /// Shared empty-input handling for all kernels (delegates to the reference
@@ -379,7 +468,7 @@ mod tests {
     #[test]
     fn dir_matrix_layout_covers_all_cells() {
         let m = DirMatrix::new(4, 3);
-        assert_eq!(m.heap_bytes() >= 12, true);
+        assert!(m.heap_bytes() >= 12);
         // Mark every cell via row_mut and read back via get.
         let mut m = DirMatrix::new(4, 3);
         for r in 0usize..(4 + 3 - 1) {

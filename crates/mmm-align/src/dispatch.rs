@@ -8,8 +8,9 @@
 
 use crate::scalar;
 use crate::score::Scoring;
+use crate::scratch::AlignScratch;
 use crate::simd::{avx2, avx512, sse};
-use crate::types::{AlignMode, AlignResult};
+use crate::types::{AlignError, AlignMode, AlignResult};
 
 /// Vector width tier. Labels follow the paper's naming (its baseline tier is
 /// "SSE2"; our 128-bit kernels use SSE4.1 instructions — see `simd`).
@@ -127,24 +128,79 @@ impl Engine {
         mode: AlignMode,
         with_path: bool,
     ) -> AlignResult {
+        self.align_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+    }
+
+    /// [`Engine::align`] with caller-provided buffers: after one warm-up
+    /// call at the largest problem size, repeated calls perform zero heap
+    /// allocations (see [`AlignScratch`]).
+    pub fn align_with_scratch(
+        &self,
+        target: &[u8],
+        query: &[u8],
+        sc: &Scoring,
+        mode: AlignMode,
+        with_path: bool,
+        scratch: &mut AlignScratch,
+    ) -> AlignResult {
         match (self.layout, self.width) {
-            (Layout::Mm2, Width::Scalar) => scalar::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Mm2, Width::Scalar) => {
+                scalar::align_mm2_with_scratch(target, query, sc, mode, with_path, scratch)
+            }
             (Layout::Manymap, Width::Scalar) => {
-                scalar::align_manymap(target, query, sc, mode, with_path)
+                scalar::align_manymap_with_scratch(target, query, sc, mode, with_path, scratch)
             }
-            (Layout::Mm2, Width::Sse) => sse::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Mm2, Width::Sse) => {
+                sse::align_mm2_with_scratch(target, query, sc, mode, with_path, scratch)
+            }
             (Layout::Manymap, Width::Sse) => {
-                sse::align_manymap(target, query, sc, mode, with_path)
+                sse::align_manymap_with_scratch(target, query, sc, mode, with_path, scratch)
             }
-            (Layout::Mm2, Width::Avx2) => avx2::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Mm2, Width::Avx2) => {
+                avx2::align_mm2_with_scratch(target, query, sc, mode, with_path, scratch)
+            }
             (Layout::Manymap, Width::Avx2) => {
-                avx2::align_manymap(target, query, sc, mode, with_path)
+                avx2::align_manymap_with_scratch(target, query, sc, mode, with_path, scratch)
             }
-            (Layout::Mm2, Width::Avx512) => avx512::align_mm2(target, query, sc, mode, with_path),
+            (Layout::Mm2, Width::Avx512) => {
+                avx512::align_mm2_with_scratch(target, query, sc, mode, with_path, scratch)
+            }
             (Layout::Manymap, Width::Avx512) => {
-                avx512::align_manymap(target, query, sc, mode, with_path)
+                avx512::align_manymap_with_scratch(target, query, sc, mode, with_path, scratch)
             }
         }
+    }
+
+    /// [`Engine::align`] with scoring validation: parameters that would
+    /// overflow the kernels' `i8` difference range are rejected with
+    /// [`AlignError::ScoringOverflowsI8`] instead of tripping the kernels'
+    /// assert (or, before that assert existed, silently wrapping in release
+    /// builds).
+    pub fn try_align(
+        &self,
+        target: &[u8],
+        query: &[u8],
+        sc: &Scoring,
+        mode: AlignMode,
+        with_path: bool,
+    ) -> Result<AlignResult, AlignError> {
+        self.try_align_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+    }
+
+    /// [`Engine::try_align`] with caller-provided buffers.
+    pub fn try_align_with_scratch(
+        &self,
+        target: &[u8],
+        query: &[u8],
+        sc: &Scoring,
+        mode: AlignMode,
+        with_path: bool,
+        scratch: &mut AlignScratch,
+    ) -> Result<AlignResult, AlignError> {
+        if !sc.fits_i8() {
+            return Err(AlignError::ScoringOverflowsI8(*sc));
+        }
+        Ok(self.align_with_scratch(target, query, sc, mode, with_path, scratch))
     }
 }
 
@@ -197,13 +253,24 @@ mod tests {
         let sc = Scoring::MAP_ONT;
         let gold = scalar::align_manymap(&t, &q, &sc, AlignMode::Global, true);
         for e in Engine::all().into_iter().filter(|e| e.is_available()) {
-            assert_eq!(e.align(&t, &q, &sc, AlignMode::Global, true), gold, "{}", e.label());
+            assert_eq!(
+                e.align(&t, &q, &sc, AlignMode::Global, true),
+                gold,
+                "{}",
+                e.label()
+            );
         }
     }
 
     #[test]
     fn labels_are_paper_series() {
-        assert_eq!(Engine::new(Layout::Mm2, Width::Sse).label(), "minimap2/SSE2");
-        assert_eq!(Engine::new(Layout::Manymap, Width::Avx512).label(), "manymap/AVX-512");
+        assert_eq!(
+            Engine::new(Layout::Mm2, Width::Sse).label(),
+            "minimap2/SSE2"
+        );
+        assert_eq!(
+            Engine::new(Layout::Manymap, Width::Avx512).label(),
+            "manymap/AVX-512"
+        );
     }
 }

@@ -11,6 +11,7 @@
 use crate::cigar::{Cigar, CigarOp};
 use crate::dispatch::Engine;
 use crate::score::Scoring;
+use crate::scratch::AlignScratch;
 use crate::types::{AlignMode, AlignResult};
 
 /// Result of an end extension.
@@ -37,15 +38,48 @@ pub fn fill_align(
     engine.align(target, query, sc, AlignMode::Global, with_path)
 }
 
+/// [`fill_align`] with caller-provided buffers.
+pub fn fill_align_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    engine: Engine,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> AlignResult {
+    engine.align_with_scratch(target, query, sc, AlignMode::Global, with_path, scratch)
+}
+
 /// Extend across `target` × `query` from their common origin, stopping at
 /// the best-scoring point on the optimal semi-global path.
 pub fn extend_align(target: &[u8], query: &[u8], sc: &Scoring, engine: Engine) -> ExtendResult {
+    extend_align_with_scratch(target, query, sc, engine, &mut AlignScratch::new())
+}
+
+/// [`extend_align`] with caller-provided buffers. The trimmed CIGAR is
+/// rebuilt from the recycle pool, so a warmed scratch makes the whole
+/// extension allocation-free.
+pub fn extend_align_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    engine: Engine,
+    scratch: &mut AlignScratch,
+) -> ExtendResult {
     if target.is_empty() || query.is_empty() {
-        return ExtendResult { score: 0, t_consumed: 0, q_consumed: 0, cigar: Cigar::new() };
+        return ExtendResult {
+            score: 0,
+            t_consumed: 0,
+            q_consumed: 0,
+            cigar: Cigar::new(),
+        };
     }
-    let r = engine.align(target, query, sc, AlignMode::SemiGlobal, true);
+    let r = engine.align_with_scratch(target, query, sc, AlignMode::SemiGlobal, true, scratch);
     let cigar = r.cigar.expect("with_path alignment must produce a cigar");
-    trim_to_best_prefix(&cigar, target, query, sc)
+    let mut out = AlignScratch::take_cigar(&mut scratch.cigars);
+    let trimmed = trim_to_best_prefix_into(&cigar, target, query, sc, &mut out);
+    scratch.recycle(cigar);
+    trimmed
 }
 
 /// Walk the path accumulating score and keep the best-scoring prefix.
@@ -58,6 +92,19 @@ pub fn trim_to_best_prefix(
     query: &[u8],
     sc: &Scoring,
 ) -> ExtendResult {
+    trim_to_best_prefix_into(cigar, target, query, sc, &mut Cigar::new())
+}
+
+/// [`trim_to_best_prefix`] writing the trimmed path into `out` (cleared
+/// first) so its storage can come from a scratch pool.
+pub fn trim_to_best_prefix_into(
+    cigar: &Cigar,
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    out: &mut Cigar,
+) -> ExtendResult {
+    out.clear();
     let mut score = 0i32;
     let (mut i, mut j) = (0usize, 0usize);
     // (score, t_pos, q_pos, ops completed, bases into the next op)
@@ -88,7 +135,6 @@ pub fn trim_to_best_prefix(
         }
     }
     // Rebuild the trimmed cigar.
-    let mut out = Cigar::new();
     for (op_idx, &(op, len)) in cigar.runs().iter().enumerate() {
         if op_idx < best.3 {
             out.push(op, len);
@@ -97,7 +143,12 @@ pub fn trim_to_best_prefix(
             break;
         }
     }
-    ExtendResult { score: best.0, t_consumed: best.1, q_consumed: best.2, cigar: out }
+    ExtendResult {
+        score: best.0,
+        t_consumed: best.1,
+        q_consumed: best.2,
+        cigar: std::mem::take(out),
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +180,11 @@ mod tests {
         let t = nt(b"ACGTACGTACGTTTTTTTTTT");
         let q = nt(b"ACGTACGTACGTGGGGGGGGG");
         let r = extend_align(&t, &q, &SC, best_engine());
-        assert!(r.q_consumed >= 11 && r.q_consumed <= 13, "q_consumed={}", r.q_consumed);
+        assert!(
+            r.q_consumed >= 11 && r.q_consumed <= 13,
+            "q_consumed={}",
+            r.q_consumed
+        );
         assert!(r.score >= 22, "score={}", r.score);
         assert_eq!(r.cigar.query_len() as usize, r.q_consumed);
         assert_eq!(r.cigar.target_len() as usize, r.t_consumed);

@@ -28,17 +28,22 @@ pub mod dispatch;
 pub mod extend;
 pub mod fullmatrix;
 pub mod scalar;
-pub mod simd;
 pub mod score;
+pub mod scratch;
+pub mod simd;
 pub mod twopiece;
 pub mod types;
 pub mod zdrop;
 
-pub use banded::align_banded;
+pub use banded::{align_banded, align_banded_with_scratch};
 pub use cigar::{Cigar, CigarOp};
 pub use dispatch::{best_engine, best_mm2_engine, Engine, Layout, Width};
-pub use extend::{extend_align, fill_align, trim_to_best_prefix, ExtendResult};
+pub use extend::{
+    extend_align, extend_align_with_scratch, fill_align, fill_align_with_scratch,
+    trim_to_best_prefix, trim_to_best_prefix_into, ExtendResult,
+};
 pub use score::Scoring;
-pub use twopiece::{align_manymap_2p, fullmatrix2, Scoring2};
-pub use zdrop::{extend_zdrop, DEFAULT_ZDROP};
-pub use types::{AlignMode, AlignResult};
+pub use scratch::AlignScratch;
+pub use twopiece::{align_manymap_2p, align_manymap_2p_with_scratch, fullmatrix2, Scoring2};
+pub use types::{AlignError, AlignMode, AlignResult};
+pub use zdrop::{extend_zdrop, extend_zdrop_with_scratch, DEFAULT_ZDROP};

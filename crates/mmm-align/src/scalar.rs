@@ -16,8 +16,9 @@
 //! Both kernels produce bit-identical scores and CIGARs to
 //! [`crate::fullmatrix::align`] (property-tested below).
 
-use crate::diff::{backtrack, cell_update, degenerate, DirMatrix, Tracker};
+use crate::diff::{backtrack_into, cell_update, degenerate, Tracker};
 use crate::score::Scoring;
+use crate::scratch::{reset_fill, AlignScratch};
 use crate::types::{AlignMode, AlignResult};
 
 /// Equation (3): minimap2's layout with the intra-loop dependency resolved
@@ -29,6 +30,19 @@ pub fn align_mm2(
     mode: AlignMode,
     with_path: bool,
 ) -> AlignResult {
+    align_mm2_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_mm2`] with caller-provided buffers: zero heap allocations once
+/// the scratch has warmed up to the problem size.
+pub fn align_mm2_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> AlignResult {
     if let Some(r) = degenerate(target, query, sc, mode, with_path) {
         return r;
     }
@@ -37,13 +51,27 @@ pub fn align_mm2(
     let (q, e) = (sc.q, sc.e);
     let qe = q + e;
 
-    let mut u = vec![-e as i8; tlen];
-    let mut v = vec![0i8; tlen];
-    let mut x = vec![0i8; tlen];
-    let mut y = vec![-qe as i8; tlen];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    reset_fill(u, tlen, -e as i8);
+    reset_fill(v, tlen, 0i8);
+    reset_fill(x, tlen, 0i8);
+    reset_fill(y, tlen, -qe as i8);
     u[0] = -qe as i8; // u(0,-1): the first gap in column 0 pays the open cost
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen);
 
     for r in 0..tlen + qlen - 1 {
@@ -56,11 +84,10 @@ pub fn align_mm2(
         } else {
             (x[st - 1] as i32, v[st - 1] as i32)
         };
-        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let mut dir_row = dir.as_deref_mut().map(|d| d.row_mut(r));
         for t in st..=en {
             let s = sc.subst(target[t], query[r - t]);
-            let (un, vn, xn, yn, d) =
-                cell_update(s, xlast, vlast, y[t] as i32, u[t] as i32, q, qe);
+            let (un, vn, xn, yn, d) = cell_update(s, xlast, vlast, y[t] as i32, u[t] as i32, q, qe);
             // THE DEPENDENCY: save the old X[t]/V[t] for cell t+1 before
             // overwriting them (minimap2's temporary-variable workaround).
             xlast = x[t] as i32;
@@ -73,12 +100,31 @@ pub fn align_mm2(
                 row[t - st] = d;
             }
         }
-        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+        tracker.diag(
+            r,
+            st,
+            en,
+            u[st] as i32,
+            u[en] as i32,
+            v[0] as i32,
+            v[en] as i32,
+            qe,
+        );
     }
 
     let (score, end_i, end_j) = tracker.finalize(mode);
-    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
-    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+    let cigar = dir.map(|d| {
+        let mut c = AlignScratch::take_cigar(cigars);
+        backtrack_into(d, end_i, end_j, &mut c);
+        c
+    });
+    AlignResult {
+        score,
+        end_i,
+        end_j,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 /// Equation (4): manymap's transformed layout, dependency-free in-place
@@ -90,6 +136,19 @@ pub fn align_manymap(
     mode: AlignMode,
     with_path: bool,
 ) -> AlignResult {
+    align_manymap_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_manymap`] with caller-provided buffers: zero heap allocations
+/// once the scratch has warmed up to the problem size.
+pub fn align_manymap_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> AlignResult {
     if let Some(r) = degenerate(target, query, sc, mode, with_path) {
         return r;
     }
@@ -100,28 +159,49 @@ pub fn align_manymap(
 
     // u, y keep the Eq. 3 indexing by t; x, v move to t' = t - r + |Q|,
     // which stays in [1, |Q|] — O(|Q|) space, as §4.3.1 notes.
-    let mut u = vec![-e as i8; tlen];
-    let mut y = vec![-qe as i8; tlen];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    reset_fill(u, tlen, -e as i8);
+    reset_fill(y, tlen, -qe as i8);
     u[0] = -qe as i8;
-    let mut v = vec![-e as i8; qlen + 1];
-    let mut x = vec![-qe as i8; qlen + 1];
+    reset_fill(v, qlen + 1, -e as i8);
+    reset_fill(x, qlen + 1, -qe as i8);
     v[qlen] = -qe as i8; // v(-1,0): the first-row gap opens here
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen);
 
     for r in 0..tlen + qlen - 1 {
         let st = r.saturating_sub(qlen - 1);
         let en = r.min(tlen - 1);
         let off = st + qlen - r; // t' of the first cell; t' = t + (qlen - r)
-        let mut dir_row = dir.as_mut().map(|d| d.row_mut(r));
+        let mut dir_row = dir.as_deref_mut().map(|d| d.row_mut(r));
         for t in st..=en {
             let tp = t - st + off;
             let s = sc.subst(target[t], query[r - t]);
             // In-place, dependency-free updates: each slot is read once and
             // written once per diagonal.
-            let (un, vn, xn, yn, d) =
-                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            let (un, vn, xn, yn, d) = cell_update(
+                s,
+                x[tp] as i32,
+                v[tp] as i32,
+                y[t] as i32,
+                u[t] as i32,
+                q,
+                qe,
+            );
             u[t] = un;
             v[tp] = vn;
             x[tp] = xn;
@@ -136,8 +216,18 @@ pub fn align_manymap(
     }
 
     let (score, end_i, end_j) = tracker.finalize(mode);
-    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
-    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+    let cigar = dir.map(|d| {
+        let mut c = AlignScratch::take_cigar(cigars);
+        backtrack_into(d, end_i, end_j, &mut c);
+        c
+    });
+    AlignResult {
+        score,
+        end_i,
+        end_j,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +317,9 @@ mod tests {
         // Deterministic pseudo-random pair with ~12% divergence.
         let mut state = 0x12345678u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let t: Vec<u8> = (0..300).map(|_| (rnd() % 4) as u8).collect();

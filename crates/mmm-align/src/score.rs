@@ -29,10 +29,22 @@ pub struct Scoring {
 impl Scoring {
     /// minimap2's defaults for PacBio CLR reads (`-ax map-pb`:
     /// A=2 B=5 O=4 E=2, collapsed to one-piece affine as in the paper).
-    pub const MAP_PB: Scoring = Scoring { a: 2, b: 5, ambi: 1, q: 4, e: 2 };
+    pub const MAP_PB: Scoring = Scoring {
+        a: 2,
+        b: 5,
+        ambi: 1,
+        q: 4,
+        e: 2,
+    };
 
     /// minimap2's defaults for Oxford Nanopore reads (`-ax map-ont`).
-    pub const MAP_ONT: Scoring = Scoring { a: 2, b: 4, ambi: 1, q: 4, e: 2 };
+    pub const MAP_ONT: Scoring = Scoring {
+        a: 2,
+        b: 4,
+        ambi: 1,
+        q: 4,
+        e: 2,
+    };
 
     /// Substitution score between two nt4 codes.
     #[inline(always)]
@@ -93,7 +105,13 @@ mod tests {
 
     #[test]
     fn extreme_params_rejected() {
-        let s = Scoring { a: 100, b: 100, ambi: 1, q: 50, e: 30, };
+        let s = Scoring {
+            a: 100,
+            b: 100,
+            ambi: 1,
+            q: 50,
+            e: 30,
+        };
         assert!(!s.fits_i8());
     }
 

@@ -7,9 +7,9 @@
 
 use core::arch::x86_64::*;
 
-use crate::diff::{backtrack, cell_update, degenerate, DirMatrix, Tracker, E_CONT, F_CONT, SRC_E, SRC_F};
+use crate::diff::{backtrack_into, cell_update, degenerate, Tracker, E_CONT, F_CONT, SRC_E, SRC_F};
 use crate::score::Scoring;
-use crate::simd::reverse_query;
+use crate::scratch::{reset_fill, reverse_query_into, AlignScratch};
 use crate::types::{AlignMode, AlignResult};
 
 const L: usize = 32;
@@ -27,13 +27,25 @@ pub fn align_mm2(
     mode: AlignMode,
     with_path: bool,
 ) -> AlignResult {
+    align_mm2_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_mm2`] with caller-provided buffers.
+pub fn align_mm2_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> AlignResult {
     assert!(available(), "AVX2 not available on this CPU");
     if let Some(r) = degenerate(target, query, sc, mode, with_path) {
         return r;
     }
     assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
     // SAFETY: feature checked above.
-    unsafe { mm2_inner(target, query, sc, mode, with_path) }
+    unsafe { mm2_inner(target, query, sc, mode, with_path, scratch) }
 }
 
 /// Equation (4) layout — plain loads and stores only.
@@ -44,13 +56,25 @@ pub fn align_manymap(
     mode: AlignMode,
     with_path: bool,
 ) -> AlignResult {
+    align_manymap_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_manymap`] with caller-provided buffers.
+pub fn align_manymap_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    mode: AlignMode,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> AlignResult {
     assert!(available(), "AVX2 not available on this CPU");
     if let Some(r) = degenerate(target, query, sc, mode, with_path) {
         return r;
     }
     assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
     // SAFETY: feature checked above.
-    unsafe { manymap_inner(target, query, sc, mode, with_path) }
+    unsafe { manymap_inner(target, query, sc, mode, with_path, scratch) }
 }
 
 /// Shift a 256-bit register left by one byte, filling byte 0 with zero.
@@ -77,19 +101,35 @@ unsafe fn mm2_inner(
     sc: &Scoring,
     mode: AlignMode,
     with_path: bool,
+    scratch: &mut AlignScratch,
 ) -> AlignResult {
     let (tlen, qlen) = (target.len(), query.len());
     let (q, e) = (sc.q, sc.e);
     let qe = q + e;
-    let qr = reverse_query(query);
 
-    let mut u = vec![-e as i8; tlen];
-    let mut v = vec![0i8; tlen];
-    let mut x = vec![0i8; tlen];
-    let mut y = vec![-qe as i8; tlen];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        qr,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    reverse_query_into(query, qr);
+    reset_fill(u, tlen, -e as i8);
+    reset_fill(v, tlen, 0i8);
+    reset_fill(x, tlen, 0i8);
+    reset_fill(y, tlen, -qe as i8);
     u[0] = -qe as i8;
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen);
 
     let vmatch = _mm256_set1_epi8(sc.a as i8);
@@ -127,8 +167,7 @@ unsafe fn mm2_inner(
             let tv = _mm256_loadu_si256(target.as_ptr().add(t) as *const __m256i);
             let qv = _mm256_loadu_si256(qr.as_ptr().add(t - st + qbase) as *const __m256i);
             let eqm = _mm256_cmpeq_epi8(tv, qv);
-            let amb =
-                _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
+            let amb = _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
             let mut s = _mm256_blendv_epi8(vmis, vmatch, eqm);
             s = _mm256_blendv_epi8(s, vambi, amb);
 
@@ -187,12 +226,31 @@ unsafe fn mm2_inner(
             }
             t += 1;
         }
-        tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+        tracker.diag(
+            r,
+            st,
+            en,
+            u[st] as i32,
+            u[en] as i32,
+            v[0] as i32,
+            v[en] as i32,
+            qe,
+        );
     }
 
     let (score, end_i, end_j) = tracker.finalize(mode);
-    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
-    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+    let cigar = dir.map(|d| {
+        let mut c = AlignScratch::take_cigar(cigars);
+        backtrack_into(d, end_i, end_j, &mut c);
+        c
+    });
+    AlignResult {
+        score,
+        end_i,
+        end_j,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 #[target_feature(enable = "avx2")]
@@ -202,20 +260,36 @@ unsafe fn manymap_inner(
     sc: &Scoring,
     mode: AlignMode,
     with_path: bool,
+    scratch: &mut AlignScratch,
 ) -> AlignResult {
     let (tlen, qlen) = (target.len(), query.len());
     let (q, e) = (sc.q, sc.e);
     let qe = q + e;
-    let qr = reverse_query(query);
 
-    let mut u = vec![-e as i8; tlen];
-    let mut y = vec![-qe as i8; tlen];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        qr,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    reverse_query_into(query, qr);
+    reset_fill(u, tlen, -e as i8);
+    reset_fill(y, tlen, -qe as i8);
     u[0] = -qe as i8;
-    let mut v = vec![-e as i8; qlen + 1];
-    let mut x = vec![-qe as i8; qlen + 1];
+    reset_fill(v, qlen + 1, -e as i8);
+    reset_fill(x, qlen + 1, -qe as i8);
     v[qlen] = -qe as i8;
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen);
 
     let vmatch = _mm256_set1_epi8(sc.a as i8);
@@ -244,8 +318,7 @@ unsafe fn manymap_inner(
             let tv = _mm256_loadu_si256(target.as_ptr().add(t) as *const __m256i);
             let qv = _mm256_loadu_si256(qr.as_ptr().add(t - st + qbase) as *const __m256i);
             let eqm = _mm256_cmpeq_epi8(tv, qv);
-            let amb =
-                _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
+            let amb = _mm256_or_si256(_mm256_cmpeq_epi8(tv, vfour), _mm256_cmpeq_epi8(qv, vfour));
             let mut s = _mm256_blendv_epi8(vmis, vmatch, eqm);
             s = _mm256_blendv_epi8(s, vambi, amb);
 
@@ -282,8 +355,15 @@ unsafe fn manymap_inner(
         while t <= en {
             let tp = t - st + off;
             let s = sc.subst(target[t], query[r - t]);
-            let (unw, vnw, xnw, ynw, d) =
-                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            let (unw, vnw, xnw, ynw, d) = cell_update(
+                s,
+                x[tp] as i32,
+                v[tp] as i32,
+                y[t] as i32,
+                u[t] as i32,
+                q,
+                qe,
+            );
             u[t] = unw;
             v[tp] = vnw;
             x[tp] = xnw;
@@ -299,8 +379,18 @@ unsafe fn manymap_inner(
     }
 
     let (score, end_i, end_j) = tracker.finalize(mode);
-    let cigar = dir.map(|d| backtrack(&d, end_i, end_j));
-    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+    let cigar = dir.map(|d| {
+        let mut c = AlignScratch::take_cigar(cigars);
+        backtrack_into(d, end_i, end_j, &mut c);
+        c
+    });
+    AlignResult {
+        score,
+        end_i,
+        end_j,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 #[cfg(test)]
@@ -327,8 +417,16 @@ mod tests {
             let t: Vec<u8> = (0..len).map(|i| ((i * 7 + 3) % 4) as u8).collect();
             let q: Vec<u8> = (0..len).map(|i| ((i * 5 + 1) % 4) as u8).collect();
             let gold = scalar::align_manymap(&t, &q, &SC, AlignMode::Global, true);
-            assert_eq!(align_mm2(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
-            assert_eq!(align_manymap(&t, &q, &SC, AlignMode::Global, true), gold, "len={len}");
+            assert_eq!(
+                align_mm2(&t, &q, &SC, AlignMode::Global, true),
+                gold,
+                "len={len}"
+            );
+            assert_eq!(
+                align_manymap(&t, &q, &SC, AlignMode::Global, true),
+                gold,
+                "len={len}"
+            );
         }
     }
 

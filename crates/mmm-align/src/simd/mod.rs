@@ -26,9 +26,3 @@ pub mod avx2;
 pub mod avx512;
 #[cfg(target_arch = "x86_64")]
 pub mod sse;
-
-/// Reversed copy of the query, giving diagonal-contiguous access:
-/// `query[r - t] == qr[t + (qlen - 1 - r)]`.
-pub(crate) fn reverse_query(query: &[u8]) -> Vec<u8> {
-    query.iter().rev().copied().collect()
-}

@@ -11,7 +11,8 @@
 //! reference it is property-tested against.
 
 use crate::cigar::{Cigar, CigarOp};
-use crate::diff::{backtrack2, DirMatrix, Tracker};
+use crate::diff::{backtrack2_into, Tracker};
+use crate::scratch::{reset_fill, AlignScratch};
 use crate::types::{AlignMode, AlignResult};
 
 /// Two-piece scoring: `gap(l) = min(q + l·e, q2 + l·e2)`.
@@ -30,7 +31,15 @@ pub struct Scoring2 {
 
 impl Scoring2 {
     /// minimap2's map-pb/map-ont long-read defaults (`-A2 -B4 -O4,24 -E2,1`).
-    pub const LONG_READ: Scoring2 = Scoring2 { a: 2, b: 4, ambi: 1, q: 4, e: 2, q2: 24, e2: 1 };
+    pub const LONG_READ: Scoring2 = Scoring2 {
+        a: 2,
+        b: 4,
+        ambi: 1,
+        q: 4,
+        e: 2,
+        q2: 24,
+        e2: 1,
+    };
 
     /// Substitution score between two nt4 codes.
     #[inline(always)]
@@ -212,7 +221,13 @@ pub fn fullmatrix2(
         cig
     });
 
-    AlignResult { score, end_i: ei - 1, end_j: ej - 1, cigar, cells: tlen as u64 * qlen as u64 }
+    AlignResult {
+        score,
+        end_i: ei - 1,
+        end_j: ej - 1,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 fn degenerate2(
@@ -242,7 +257,13 @@ fn degenerate2(
         }
         c
     });
-    AlignResult { score, end_i: tlen.wrapping_sub(1), end_j: qlen.wrapping_sub(1), cigar, cells: 0 }
+    AlignResult {
+        score,
+        end_i: tlen.wrapping_sub(1),
+        end_j: qlen.wrapping_sub(1),
+        cigar,
+        cells: 0,
+    }
 }
 
 /// Two-piece difference-recurrence kernel in manymap's dependency-free
@@ -253,6 +274,18 @@ pub fn align_manymap_2p(
     sc: &Scoring2,
     mode: AlignMode,
     with_path: bool,
+) -> AlignResult {
+    align_manymap_2p_with_scratch(target, query, sc, mode, with_path, &mut AlignScratch::new())
+}
+
+/// [`align_manymap_2p`] with caller-provided buffers.
+pub fn align_manymap_2p_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring2,
+    mode: AlignMode,
+    with_path: bool,
+    scratch: &mut AlignScratch,
 ) -> AlignResult {
     let (tlen, qlen) = (target.len(), query.len());
     if tlen == 0 || qlen == 0 {
@@ -265,19 +298,35 @@ pub fn align_manymap_2p(
 
     // u, y, y2 indexed by t; v, x, x2 indexed by t' = t − r + |Q|.
     // Boundary deltas now follow the two-piece gap function g(·).
-    let mut u: Vec<i8> = (0..tlen).map(|t| -(g(t + 1) - g(t)) as i8).collect();
-    let mut y = vec![-qe1 as i8; tlen];
-    let mut y2 = vec![-qe2 as i8; tlen];
-    let mut v: Vec<i8> = (0..=qlen)
-        .map(|k| {
-            let j = qlen - k; // slot k is first read as v(-1, j)
-            -(g(j + 1) - g(j)) as i8
-        })
-        .collect();
-    let mut x = vec![-qe1 as i8; qlen + 1];
-    let mut x2 = vec![-qe2 as i8; qlen + 1];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        x2,
+        y2,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    u.clear();
+    u.extend((0..tlen).map(|t| -(g(t + 1) - g(t)) as i8));
+    reset_fill(y, tlen, -qe1 as i8);
+    reset_fill(y2, tlen, -qe2 as i8);
+    v.clear();
+    v.extend((0..=qlen).map(|k| {
+        let j = qlen - k; // slot k is first read as v(-1, j)
+        -(g(j + 1) - g(j)) as i8
+    }));
+    reset_fill(x, qlen + 1, -qe1 as i8);
+    reset_fill(x2, qlen + 1, -qe2 as i8);
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen);
 
     for r in 0..tlen + qlen - 1 {
@@ -343,8 +392,18 @@ pub fn align_manymap_2p(
     }
 
     let (score, end_i, end_j) = tracker.finalize(mode);
-    let cigar = dir.map(|d| backtrack2(&d, end_i, end_j));
-    AlignResult { score, end_i, end_j, cigar, cells: tlen as u64 * qlen as u64 }
+    let cigar = dir.map(|d| {
+        let mut c = AlignScratch::take_cigar(cigars);
+        backtrack2_into(d, end_i, end_j, &mut c);
+        c
+    });
+    AlignResult {
+        score,
+        end_i,
+        end_j,
+        cigar,
+        cells: tlen as u64 * qlen as u64,
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,35 @@
 //! Shared alignment types.
 
 use crate::cigar::Cigar;
+use crate::score::Scoring;
+use std::fmt;
+
+/// Why an alignment request was rejected before any DP ran.
+///
+/// The difference-recurrence kernels keep every cell delta in `i8`
+/// (Suzuki–Kasahara, §3.2); scoring parameters that violate that bound used
+/// to be caught only by a `debug_assert!` and silently wrapped in release
+/// builds. [`crate::Engine::try_align`] now rejects them up front.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlignError {
+    /// The scoring parameters do not satisfy [`Scoring::fits_i8`]: some
+    /// difference value would exceed `i8` range and wrap.
+    ScoringOverflowsI8(Scoring),
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::ScoringOverflowsI8(sc) => write!(
+                f,
+                "scoring parameters {sc:?} overflow the i8 difference range \
+                 (need a+q+e <= 127 and 2(q+e)+max(b,ambi) <= 127, a > 0, e > 0)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
 
 /// Where the alignment is allowed to end.
 ///
@@ -56,7 +85,13 @@ mod tests {
 
     #[test]
     fn gcups_definition() {
-        let r = AlignResult { score: 0, end_i: 0, end_j: 0, cigar: None, cells: 2_000_000_000 };
+        let r = AlignResult {
+            score: 0,
+            end_i: 0,
+            end_j: 0,
+            cigar: None,
+            cells: 2_000_000_000,
+        };
         assert!((r.gcups(2.0) - 1.0).abs() < 1e-12);
         assert_eq!(r.gcups(0.0), 0.0);
     }

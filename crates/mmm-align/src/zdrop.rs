@@ -14,10 +14,10 @@
 //! inherits manymap's memory behaviour.
 
 use crate::cigar::Cigar;
-use crate::diff::{backtrack, cell_update, DirMatrix, Tracker};
+use crate::diff::{backtrack_into, cell_update, Tracker};
 use crate::extend::ExtendResult;
 use crate::score::Scoring;
-use crate::types::AlignMode;
+use crate::scratch::{reset_fill, AlignScratch};
 
 /// Extension alignment with exact per-cell scores and z-drop termination.
 ///
@@ -31,8 +31,32 @@ pub fn extend_zdrop(
     zdrop: i32,
     with_path: bool,
 ) -> ExtendResult {
+    extend_zdrop_with_scratch(
+        target,
+        query,
+        sc,
+        zdrop,
+        with_path,
+        &mut AlignScratch::new(),
+    )
+}
+
+/// [`extend_zdrop`] with caller-provided buffers.
+pub fn extend_zdrop_with_scratch(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    zdrop: i32,
+    with_path: bool,
+    scratch: &mut AlignScratch,
+) -> ExtendResult {
     if target.is_empty() || query.is_empty() {
-        return ExtendResult { score: 0, t_consumed: 0, q_consumed: 0, cigar: Cigar::new() };
+        return ExtendResult {
+            score: 0,
+            t_consumed: 0,
+            q_consumed: 0,
+            cigar: Cigar::new(),
+        };
     }
     assert!(sc.fits_i8(), "scoring parameters must satisfy fits_i8()");
     assert!(zdrop > 0, "zdrop must be positive");
@@ -40,20 +64,35 @@ pub fn extend_zdrop(
     let (q, e) = (sc.q, sc.e);
     let qe = q + e;
 
-    let mut u = vec![-e as i8; tlen];
-    let mut y = vec![-qe as i8; tlen];
+    let AlignScratch {
+        u,
+        v,
+        x,
+        y,
+        h32,
+        dir,
+        cigars,
+        ..
+    } = scratch;
+    reset_fill(u, tlen, -e as i8);
+    reset_fill(y, tlen, -qe as i8);
     u[0] = -qe as i8;
-    let mut v = vec![-e as i8; qlen + 1];
-    let mut x = vec![-qe as i8; qlen + 1];
+    reset_fill(v, qlen + 1, -e as i8);
+    reset_fill(x, qlen + 1, -qe as i8);
     v[qlen] = -qe as i8;
 
     // Exact 32-bit scores: h32[t] always holds H at the most recent
     // diagonal that touched row t, maintained via the column identity
     // H(i, j) = H(i, j-1) + v(i, j) — one add per cell, no cross-lane
     // dependency (ksw2's exact-score pass).
-    let mut h32 = vec![0i32; tlen];
+    reset_fill(h32, tlen, 0i32);
 
-    let mut dir = with_path.then(|| DirMatrix::new(tlen, qlen));
+    let mut dir = if with_path {
+        dir.reset(tlen, qlen);
+        Some(dir)
+    } else {
+        None
+    };
     let mut tracker = Tracker::new(tlen, qlen); // keeps invariants exercised
     let mut best = (i32::MIN, 0usize, 0usize); // (score, i, j)
 
@@ -66,8 +105,15 @@ pub fn extend_zdrop(
         for t in st..=en {
             let tp = t - st + off;
             let s = sc.subst(target[t], query[r - t]);
-            let (un, vn, xn, yn, d) =
-                cell_update(s, x[tp] as i32, v[tp] as i32, y[t] as i32, u[t] as i32, q, qe);
+            let (un, vn, xn, yn, d) = cell_update(
+                s,
+                x[tp] as i32,
+                v[tp] as i32,
+                y[t] as i32,
+                u[t] as i32,
+                q,
+                qe,
+            );
             u[t] = un;
             v[tp] = vn;
             x[tp] = xn;
@@ -102,9 +148,20 @@ pub fn extend_zdrop(
     let _ = tracker;
 
     if best.0 <= 0 {
-        return ExtendResult { score: 0, t_consumed: 0, q_consumed: 0, cigar: Cigar::new() };
+        return ExtendResult {
+            score: 0,
+            t_consumed: 0,
+            q_consumed: 0,
+            cigar: Cigar::new(),
+        };
     }
-    let cigar = dir.map(|d| backtrack(&d, best.1, best.2)).unwrap_or_default();
+    let cigar = dir
+        .map(|d| {
+            let mut c = AlignScratch::take_cigar(cigars);
+            backtrack_into(d, best.1, best.2, &mut c);
+            c
+        })
+        .unwrap_or_default();
     ExtendResult {
         score: best.0,
         t_consumed: best.1 + 1,
@@ -137,8 +194,8 @@ mod tests {
         for i in 1..=tl {
             h[i * cols] = -sc.gap_cost(i as u32);
         }
-        for j in 1..=ql {
-            h[j] = -sc.gap_cost(j as u32);
+        for (j, hj) in h.iter_mut().enumerate().take(ql + 1).skip(1) {
+            *hj = -sc.gap_cost(j as u32);
         }
         let mut best = (i32::MIN, 0usize, 0usize);
         for i in 1..=tl {
@@ -206,7 +263,11 @@ mod tests {
         q.extend((0..1000).map(|_| rnd().wrapping_add(1) % 4));
         let r = extend_zdrop(&t, &q, &SC, DEFAULT_ZDROP, false);
         assert!(r.score >= 390, "score={}", r.score); // ~200 matches
-        assert!(r.t_consumed >= 190 && r.t_consumed <= 460, "t={}", r.t_consumed);
+        assert!(
+            r.t_consumed >= 190 && r.t_consumed <= 460,
+            "t={}",
+            r.t_consumed
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ const MODES: [AlignMode; 4] = [
 #[test]
 fn all_engines_agree_on_fill_workloads() {
     let sc = Scoring::MAP_ONT;
-    let engines: Vec<Engine> = Engine::all().into_iter().filter(|e| e.is_available()).collect();
+    let engines: Vec<Engine> = Engine::all()
+        .into_iter()
+        .filter(|e| e.is_available())
+        .collect();
     assert!(engines.len() >= 2);
     for (len, every, seed) in [(137usize, 9usize, 1u64), (512, 17, 2), (1201, 31, 3)] {
         let (t, q) = fill_like_pair(len, every, seed);
@@ -47,7 +50,12 @@ fn all_engines_agree_on_fill_workloads() {
                 let gold = engines[0].align(&t, &q, &sc, mode, with_path);
                 for e in &engines[1..] {
                     let r = e.align(&t, &q, &sc, mode, with_path);
-                    assert_eq!(r, gold, "{} len={len} mode={mode:?} path={with_path}", e.label());
+                    assert_eq!(
+                        r,
+                        gold,
+                        "{} len={len} mode={mode:?} path={with_path}",
+                        e.label()
+                    );
                 }
             }
         }
@@ -60,7 +68,9 @@ fn two_piece_upgrades_long_indels_without_hurting_clean_pairs() {
     let sc2 = Scoring2::LONG_READ;
     // Clean pair: identical scores (no gaps at all).
     let t: Vec<u8> = (0..400).map(|i| ((i * 7 + 3) % 4) as u8).collect();
-    let one = mmm_align::best_engine().align(&t, &t, &sc1, AlignMode::Global, false).score;
+    let one = mmm_align::best_engine()
+        .align(&t, &t, &sc1, AlignMode::Global, false)
+        .score;
     let two = align_manymap_2p(&t, &t, &sc2, AlignMode::Global, false).score;
     assert_eq!(one, two);
 
@@ -69,7 +79,9 @@ fn two_piece_upgrades_long_indels_without_hurting_clean_pairs() {
     let mut tt = t.clone();
     let ins: Vec<u8> = (0..80).map(|i| ((i * 5 + 1) % 4) as u8).collect();
     tt.splice(200..200, ins);
-    let one = mmm_align::best_engine().align(&tt, &t, &sc1, AlignMode::Global, false).score;
+    let one = mmm_align::best_engine()
+        .align(&tt, &t, &sc1, AlignMode::Global, false)
+        .score;
     let two = align_manymap_2p(&tt, &t, &sc2, AlignMode::Global, false).score;
     assert_eq!(two - one, (4 + 80 * 2) - (24 + 80));
 }
@@ -83,7 +95,10 @@ fn banded_matches_simd_kernels_when_band_is_sufficient() {
     // the optimum.
     let banded = align_banded(&t, &q, &sc, 64, true).expect("band connects the corner");
     assert_eq!(banded.score, full.score);
-    assert_eq!(banded.cigar.as_ref().unwrap().score(&t, &q, &sc), banded.score);
+    assert_eq!(
+        banded.cigar.as_ref().unwrap().score(&t, &q, &sc),
+        banded.score
+    );
     assert!(banded.cells < full.cells / 3);
 }
 

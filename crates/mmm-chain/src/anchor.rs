@@ -37,10 +37,34 @@ mod tests {
     #[test]
     fn sorting_groups_by_rid_and_strand() {
         let mut v = vec![
-            Anchor { rid: 1, rpos: 5, qpos: 1, rev: false, span: 15 },
-            Anchor { rid: 0, rpos: 9, qpos: 2, rev: true, span: 15 },
-            Anchor { rid: 0, rpos: 3, qpos: 3, rev: false, span: 15 },
-            Anchor { rid: 0, rpos: 7, qpos: 1, rev: false, span: 15 },
+            Anchor {
+                rid: 1,
+                rpos: 5,
+                qpos: 1,
+                rev: false,
+                span: 15,
+            },
+            Anchor {
+                rid: 0,
+                rpos: 9,
+                qpos: 2,
+                rev: true,
+                span: 15,
+            },
+            Anchor {
+                rid: 0,
+                rpos: 3,
+                qpos: 3,
+                rev: false,
+                span: 15,
+            },
+            Anchor {
+                rid: 0,
+                rpos: 7,
+                qpos: 1,
+                rev: false,
+                span: 15,
+            },
         ];
         sort_anchors(&mut v);
         assert_eq!(v[0].rpos, 3);

@@ -197,7 +197,13 @@ mod tests {
     use super::*;
 
     fn mk(rid: u32, rpos: u32, qpos: u32) -> Anchor {
-        Anchor { rid, rpos, qpos, rev: false, span: 15 }
+        Anchor {
+            rid,
+            rpos,
+            qpos,
+            rev: false,
+            span: 15,
+        }
     }
 
     fn diagonal_anchors(n: u32, r0: u32, q0: u32) -> Vec<Anchor> {
@@ -225,8 +231,10 @@ mod tests {
     fn distant_clusters_form_separate_chains() {
         let mut a = diagonal_anchors(5, 1_000, 14);
         a.extend(diagonal_anchors(5, 500_000, 14)); // far beyond max_dist
-        let mut opts = ChainOpts::default();
-        opts.min_score = 10;
+        let opts = ChainOpts {
+            min_score: 10,
+            ..Default::default()
+        };
         let chains = chain_anchors(a, &opts);
         assert_eq!(chains.len(), 2);
     }
@@ -241,9 +249,11 @@ mod tests {
             rev: true,
             span: 15,
         }));
-        let mut opts = ChainOpts::default();
-        opts.min_score = 10;
-        opts.min_cnt = 2;
+        let opts = ChainOpts {
+            min_score: 10,
+            min_cnt: 2,
+            ..Default::default()
+        };
         let chains = chain_anchors(a, &opts);
         assert_eq!(chains.len(), 2);
         assert_ne!(chains[0].rev, chains[1].rev);
@@ -277,8 +287,10 @@ mod tests {
         // Next cluster is 3 kb away in reference but 100 bp in query:
         // |dq - dr| ≈ 2900 > bandwidth.
         a.extend(diagonal_anchors(4, 4000, 114));
-        let mut opts = ChainOpts::default();
-        opts.min_score = 10;
+        let opts = ChainOpts {
+            min_score: 10,
+            ..Default::default()
+        };
         let chains = chain_anchors(a, &opts);
         assert_eq!(chains.len(), 2);
     }
@@ -293,9 +305,11 @@ mod tests {
 
     #[test]
     fn min_cnt_filters_short_chains() {
-        let mut opts = ChainOpts::default();
-        opts.min_score = 1;
-        opts.min_cnt = 4;
+        let opts = ChainOpts {
+            min_score: 1,
+            min_cnt: 4,
+            ..Default::default()
+        };
         let chains = chain_anchors(diagonal_anchors(3, 1000, 14), &opts);
         assert!(chains.is_empty());
     }

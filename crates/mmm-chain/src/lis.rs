@@ -102,7 +102,13 @@ mod tests {
     use crate::chain::{chain_anchors, ChainOpts};
 
     fn mk(rpos: u32, qpos: u32) -> Anchor {
-        Anchor { rid: 0, rpos, qpos, rev: false, span: 15 }
+        Anchor {
+            rid: 0,
+            rpos,
+            qpos,
+            rev: false,
+            span: 15,
+        }
     }
 
     #[test]
@@ -158,8 +164,10 @@ mod tests {
         a.extend((0..4).map(|k| mk(201_000 + 100 * k, 20_010 + 100 * k)));
         let lis = chain_lis(a.clone(), 1);
         assert_eq!(lis[0].anchors.len(), 8);
-        let mut opts = ChainOpts::default();
-        opts.min_score = 10;
+        let opts = ChainOpts {
+            min_score: 10,
+            ..Default::default()
+        };
         let dp = chain_anchors(a, &opts);
         assert!(dp.iter().all(|c| c.anchors.len() <= 4));
     }

@@ -20,7 +20,10 @@ pub struct SelectOpts {
 
 impl Default for SelectOpts {
     fn default() -> Self {
-        SelectOpts { mask_level: 0.5, best_n: 5 }
+        SelectOpts {
+            mask_level: 0.5,
+            best_n: 5,
+        }
     }
 }
 
@@ -60,12 +63,20 @@ pub fn select_chains(chains: Vec<Chain>, opts: &SelectOpts) -> Vec<SelectedChain
                 }
                 if n_secondary[k] < opts.best_n {
                     n_secondary[k] += 1;
-                    out.push(SelectedChain { chain: c, primary: false, mapq: 0 });
+                    out.push(SelectedChain {
+                        chain: c,
+                        primary: false,
+                        mapq: 0,
+                    });
                 }
                 continue 'next;
             }
         }
-        out.push(SelectedChain { chain: c, primary: true, mapq: 0 });
+        out.push(SelectedChain {
+            chain: c,
+            primary: true,
+            mapq: 0,
+        });
         sub_score.push(0);
         n_secondary.push(0);
         // `sub_score`/`n_secondary` are indexed by *output* position of
@@ -78,8 +89,11 @@ pub fn select_chains(chains: Vec<Chain>, opts: &SelectOpts) -> Vec<SelectedChain
 
     for (k, sel) in out.iter_mut().enumerate() {
         if sel.primary {
-            sel.mapq = mapq(sel.chain.score, sub_score.get(k).copied().unwrap_or(0),
-                sel.chain.anchors.len());
+            sel.mapq = mapq(
+                sel.chain.score,
+                sub_score.get(k).copied().unwrap_or(0),
+                sel.chain.anchors.len(),
+            );
         }
     }
     out
@@ -105,10 +119,27 @@ mod tests {
 
     fn chain_at(rid: u32, start: u32, len: u32, score: i32) -> Chain {
         let anchors = vec![
-            Anchor { rid, rpos: start + 14, qpos: 14, rev: false, span: 15 },
-            Anchor { rid, rpos: start + len - 1, qpos: len - 1, rev: false, span: 15 },
+            Anchor {
+                rid,
+                rpos: start + 14,
+                qpos: 14,
+                rev: false,
+                span: 15,
+            },
+            Anchor {
+                rid,
+                rpos: start + len - 1,
+                qpos: len - 1,
+                rev: false,
+                span: 15,
+            },
         ];
-        Chain { anchors, score, rid, rev: false }
+        Chain {
+            anchors,
+            score,
+            rid,
+            rev: false,
+        }
     }
 
     #[test]
@@ -130,9 +161,20 @@ mod tests {
     fn unique_hit_gets_high_mapq() {
         // A unique, well-anchored chain: 12 anchors, score 300.
         let anchors: Vec<Anchor> = (0..12)
-            .map(|k| Anchor { rid: 0, rpos: 1000 + 100 * k, qpos: 14 + 100 * k, rev: false, span: 15 })
+            .map(|k| Anchor {
+                rid: 0,
+                rpos: 1000 + 100 * k,
+                qpos: 14 + 100 * k,
+                rev: false,
+                span: 15,
+            })
             .collect();
-        let chain = Chain { anchors, score: 300, rid: 0, rev: false };
+        let chain = Chain {
+            anchors,
+            score: 300,
+            rid: 0,
+            rev: false,
+        };
         let sel = select_chains(vec![chain], &SelectOpts::default());
         assert!(sel[0].mapq >= 40, "mapq={}", sel[0].mapq);
     }
@@ -158,7 +200,10 @@ mod tests {
         for k in 0..10 {
             chains.push(chain_at(0, 1005 + k, 500, 50 - k as i32));
         }
-        let opts = SelectOpts { mask_level: 0.5, best_n: 3 };
+        let opts = SelectOpts {
+            mask_level: 0.5,
+            best_n: 3,
+        };
         let sel = select_chains(chains, &opts);
         assert_eq!(sel.iter().filter(|s| !s.primary).count(), 3);
     }

@@ -72,7 +72,11 @@ pub fn kernel_footprint(tlen: usize, qlen: usize, with_path: bool) -> u64 {
     // Two bytes per cell with path: direction bits plus the packed z
     // values the backtracking pass re-reads (matches §4.5.2's "32 kbp pair
     // needs 2 GB" example).
-    let dir = if with_path { 2 * tlen as u64 * qlen as u64 } else { 0 };
+    let dir = if with_path {
+        2 * tlen as u64 * qlen as u64
+    } else {
+        0
+    };
     seqs + state + dir + 4096
 }
 
@@ -92,6 +96,7 @@ fn state_bytes(tlen: usize, qlen: usize) -> usize {
 /// assert_eq!(run.result.score, 24);
 /// assert!(run.used_shared && run.cycles > 0);
 /// ```
+#[allow(clippy::too_many_arguments)]
 pub fn run_kernel(
     target: &[u8],
     query: &[u8],
@@ -102,7 +107,7 @@ pub fn run_kernel(
     threads: usize,
     dev: &DeviceSpec,
 ) -> KernelRun {
-    assert!(threads >= 32 && threads <= 1024, "block size out of range");
+    assert!((32..=1024).contains(&threads), "block size out of range");
     let (tlen, qlen) = (target.len(), query.len());
 
     // Functional pass — lock-step diagonal semantics. All kernel variants
@@ -170,7 +175,16 @@ mod tests {
     fn results_match_cpu_kernels() {
         let (t, q) = pair(600);
         for kind in [GpuKernelKind::Mm2, GpuKernelKind::Manymap] {
-            let g = run_kernel(&t, &q, &SC, kind, AlignMode::Global, true, 512, &DeviceSpec::V100);
+            let g = run_kernel(
+                &t,
+                &q,
+                &SC,
+                kind,
+                AlignMode::Global,
+                true,
+                512,
+                &DeviceSpec::V100,
+            );
             let c = mmm_align::scalar::align_manymap(&t, &q, &SC, AlignMode::Global, true);
             assert_eq!(g.result, c, "{kind:?}");
         }
@@ -180,8 +194,26 @@ mod tests {
     fn manymap_kernel_is_faster_than_mm2_port() {
         // Figure 8a: up to ~3.2× at 4 kbp.
         let (t, q) = pair(4000);
-        let a = run_kernel(&t, &q, &SC, GpuKernelKind::Mm2, AlignMode::Global, false, 512, &DeviceSpec::V100);
-        let b = run_kernel(&t, &q, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 512, &DeviceSpec::V100);
+        let a = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Mm2,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
+        let b = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
         let speedup = a.cycles as f64 / b.cycles as f64;
         assert!(speedup > 2.0 && speedup < 4.5, "speedup={speedup}");
     }
@@ -191,8 +223,26 @@ mod tests {
         // §5.2.4: past ~16 kbp the score arrays exceed 96 KiB shared.
         let (t8, q8) = pair(8_000);
         let (t32, q32) = pair(32_000);
-        let short = run_kernel(&t8, &q8, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 512, &DeviceSpec::V100);
-        let long = run_kernel(&t32, &q32, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 512, &DeviceSpec::V100);
+        let short = run_kernel(
+            &t8,
+            &q8,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
+        let long = run_kernel(
+            &t32,
+            &q32,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
         assert!(short.used_shared);
         assert!(!long.used_shared);
         // Per-cell cost jumps when spilled.
@@ -206,7 +256,10 @@ mod tests {
         // §4.5.2: "two sequences of 32 thousands bp each, then 2 GB memory
         // is required to calculate the alignment path".
         let f = kernel_footprint(32_000, 32_000, true);
-        assert!(f > 900 << 20 && f < (2u64 << 30) + (1 << 20), "footprint={f}");
+        assert!(
+            f > 900 << 20 && f < (2u64 << 30) + (1 << 20),
+            "footprint={f}"
+        );
         // Score-only stays linear.
         assert!(kernel_footprint(32_000, 32_000, false) < 1 << 20);
     }
@@ -214,8 +267,26 @@ mod tests {
     #[test]
     fn more_threads_reduce_cycles() {
         let (t, q) = pair(4000);
-        let t128 = run_kernel(&t, &q, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 128, &DeviceSpec::V100);
-        let t512 = run_kernel(&t, &q, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 512, &DeviceSpec::V100);
+        let t128 = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            128,
+            &DeviceSpec::V100,
+        );
+        let t512 = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
         assert!(t512.cycles < t128.cycles);
     }
 }

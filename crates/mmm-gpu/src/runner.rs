@@ -37,14 +37,17 @@ impl GpuAligner {
     /// Aligner with the paper's launch configuration (128 streams × 512
     /// threads).
     pub fn new(scoring: Scoring) -> Self {
-        GpuAligner { device: DeviceSpec::V100, config: StreamConfig::default(), scoring }
+        GpuAligner {
+            device: DeviceSpec::V100,
+            config: StreamConfig::default(),
+            scoring,
+        }
     }
 
     /// Align a batch of pairs; oversize problems run on the host CPU.
     pub fn align_batch(&self, jobs: Vec<KernelJob>) -> (Vec<AlignResult>, GpuBatchStats) {
         let report = simulate_batch(&jobs, &self.scoring, &self.config, &self.device);
-        let mut results: Vec<AlignResult> =
-            report.runs.iter().map(|r| r.result.clone()).collect();
+        let mut results: Vec<AlignResult> = report.runs.iter().map(|r| r.result.clone()).collect();
 
         // Re-run fallbacks on the real CPU with the best host kernel.
         let engine = best_engine();
@@ -112,11 +115,18 @@ mod tests {
         // memory: 95k × 95k × 2B ≈ 18 GB.
         let t: Vec<u8> = vec![0; 95_000];
         let q: Vec<u8> = vec![0; 95_000];
-        let jobs = vec![KernelJob { target: t, query: q, with_path: false }, KernelJob {
-            target: vec![0, 1, 2, 3],
-            query: vec![0, 1, 2, 3],
-            with_path: true,
-        }];
+        let jobs = vec![
+            KernelJob {
+                target: t,
+                query: q,
+                with_path: false,
+            },
+            KernelJob {
+                target: vec![0, 1, 2, 3],
+                query: vec![0, 1, 2, 3],
+                with_path: true,
+            },
+        ];
         // Score-only 95k is tiny footprint — no fallback expected here;
         // this test only checks the plumbing doesn't panic on mixed sizes.
         let (results, stats) = aligner.align_batch(jobs);

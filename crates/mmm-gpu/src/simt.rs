@@ -44,7 +44,10 @@ pub fn execute_block(
     kind: GpuKernelKind,
     threads: usize,
 ) -> (i32, SimtTrace) {
-    assert!(!target.is_empty() && !query.is_empty(), "block needs non-empty sequences");
+    assert!(
+        !target.is_empty() && !query.is_empty(),
+        "block needs non-empty sequences"
+    );
     assert!(sc.fits_i8());
     let (tlen, qlen) = (target.len(), query.len());
     let (q, e) = (sc.q, sc.e);
@@ -154,7 +157,16 @@ pub fn execute_block(
                     vcarry = next_carry.1;
                     t += lanes;
                 }
-                tracker.diag(r, st, en, u[st] as i32, u[en] as i32, v[0] as i32, v[en] as i32, qe);
+                tracker.diag(
+                    r,
+                    st,
+                    en,
+                    u[st] as i32,
+                    u[en] as i32,
+                    v[0] as i32,
+                    v[en] as i32,
+                    qe,
+                );
             }
         }
     }
@@ -236,11 +248,31 @@ mod tests {
         // divergence per chunk).
         let (t, q) = pair(2_000, 5);
         let dev = DeviceSpec::V100;
-        let a = run_kernel(&t, &q, &SC, GpuKernelKind::Mm2, AlignMode::Global, false, 512, &dev);
-        let b =
-            run_kernel(&t, &q, &SC, GpuKernelKind::Manymap, AlignMode::Global, false, 512, &dev);
+        let a = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Mm2,
+            AlignMode::Global,
+            false,
+            512,
+            &dev,
+        );
+        let b = run_kernel(
+            &t,
+            &q,
+            &SC,
+            GpuKernelKind::Manymap,
+            AlignMode::Global,
+            false,
+            512,
+            &dev,
+        );
         let model_ratio = a.cycles as f64 / b.cycles as f64;
-        assert!(model_ratio > 1.5 && model_ratio < 5.0, "model ratio {model_ratio}");
+        assert!(
+            model_ratio > 1.5 && model_ratio < 5.0,
+            "model ratio {model_ratio}"
+        );
         let (_, tr_mm2) = execute_block(&t, &q, &SC, GpuKernelKind::Mm2, 512);
         assert!(tr_mm2.barriers > 0);
     }

@@ -173,7 +173,10 @@ pub fn schedule_runs(
     }
 
     BatchReport {
-        runs: runs.into_iter().map(|r| r.expect("all jobs executed")).collect(),
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("all jobs executed"))
+            .collect(),
         sim_seconds: makespan,
         max_concurrency: max_seen,
         fallbacks,
@@ -210,7 +213,10 @@ mod tests {
     }
 
     fn run_streams(streams: usize, n_jobs: usize, len: usize, with_path: bool) -> BatchReport {
-        let cfg = StreamConfig { streams, ..Default::default() };
+        let cfg = StreamConfig {
+            streams,
+            ..Default::default()
+        };
         simulate_batch(&jobs(n_jobs, len, with_path), &SC, &cfg, &DeviceSpec::V100)
     }
 
@@ -231,7 +237,7 @@ mod tests {
         let t64 = run_streams(64, 256, 1000, false).sim_seconds;
         let t128 = run_streams(128, 256, 1000, false).sim_seconds;
         let gain = t64 / t128;
-        assert!(gain >= 1.0 && gain < 1.6, "gain={gain}");
+        assert!((1.0..1.6).contains(&gain), "gain={gain}");
     }
 
     #[test]
@@ -239,19 +245,33 @@ mod tests {
         // Figure 8b's memory-capacity collapse, scaled down: a device with
         // 64 MB can hold only a few 2 kbp with-path kernels (8 MB each),
         // while 300 bp kernels (0.18 MB) run at full concurrency.
-        let dev = DeviceSpec { global_mem: 64 << 20, ..DeviceSpec::V100 };
+        let dev = DeviceSpec {
+            global_mem: 64 << 20,
+            ..DeviceSpec::V100
+        };
         let cfg = StreamConfig::default();
         let rep = simulate_batch(&jobs(32, 2_000, true), &SC, &cfg, &dev);
-        assert!(rep.max_concurrency <= 8, "concurrency={}", rep.max_concurrency);
+        assert!(
+            rep.max_concurrency <= 8,
+            "concurrency={}",
+            rep.max_concurrency
+        );
         let short = simulate_batch(&jobs(32, 300, true), &SC, &cfg, &dev);
-        assert!(short.max_concurrency > 8, "concurrency={}", short.max_concurrency);
+        assert!(
+            short.max_concurrency > 8,
+            "concurrency={}",
+            short.max_concurrency
+        );
     }
 
     #[test]
     fn oversized_jobs_fall_back_to_cpu() {
         // A job whose with-path footprint exceeds device memory must be
         // flagged for CPU fallback (scaled: 6 kbp pair on a 64 MB device).
-        let dev = DeviceSpec { global_mem: 64 << 20, ..DeviceSpec::V100 };
+        let dev = DeviceSpec {
+            global_mem: 64 << 20,
+            ..DeviceSpec::V100
+        };
         let j = jobs(1, 6_000, true); // 72 MB footprint
         let cfg = StreamConfig::default();
         let rep = simulate_batch(&j, &SC, &cfg, &dev);
@@ -264,21 +284,24 @@ mod tests {
     fn results_are_functional() {
         let rep = run_streams(8, 8, 500, true);
         for (r, j) in rep.runs.iter().zip(jobs(8, 500, true)) {
-            let gold = mmm_align::scalar::align_manymap(
-                &j.target,
-                &j.query,
-                &SC,
-                AlignMode::Global,
-                true,
-            );
+            let gold =
+                mmm_align::scalar::align_manymap(&j.target, &j.query, &SC, AlignMode::Global, true);
             assert_eq!(r.result, gold);
         }
     }
 
     #[test]
     fn memory_pool_saves_alloc_latency() {
-        let with_pool = StreamConfig { streams: 4, use_pool: true, ..Default::default() };
-        let no_pool = StreamConfig { streams: 4, use_pool: false, ..Default::default() };
+        let with_pool = StreamConfig {
+            streams: 4,
+            use_pool: true,
+            ..Default::default()
+        };
+        let no_pool = StreamConfig {
+            streams: 4,
+            use_pool: false,
+            ..Default::default()
+        };
         let a = simulate_batch(&jobs(64, 300, false), &SC, &with_pool, &DeviceSpec::V100);
         let b = simulate_batch(&jobs(64, 300, false), &SC, &no_pool, &DeviceSpec::V100);
         assert!(a.sim_seconds < b.sim_seconds);

@@ -24,9 +24,19 @@ pub struct IdxOpts {
 
 impl IdxOpts {
     /// minimap2's `map-pb` preset (`-H -k19`).
-    pub const MAP_PB: IdxOpts = IdxOpts { k: 19, w: 10, occ_frac: 2e-4, hpc: true };
+    pub const MAP_PB: IdxOpts = IdxOpts {
+        k: 19,
+        w: 10,
+        occ_frac: 2e-4,
+        hpc: true,
+    };
     /// minimap2's `map-ont` preset (`-k15`).
-    pub const MAP_ONT: IdxOpts = IdxOpts { k: 15, w: 10, occ_frac: 2e-4, hpc: false };
+    pub const MAP_ONT: IdxOpts = IdxOpts {
+        k: 15,
+        w: 10,
+        occ_frac: 2e-4,
+        hpc: false,
+    };
 }
 
 impl Default for IdxOpts {
@@ -50,7 +60,11 @@ pub(crate) fn pack_hit(rid: u32, pos: u32, rev: bool) -> u64 {
 
 #[inline]
 pub(crate) fn unpack_hit(h: u64) -> (u32, u32, bool) {
-    ((h >> 40) as u32, ((h >> 1) & 0x7FFF_FFFF_FF) as u32, h & 1 == 1)
+    (
+        (h >> 40) as u32,
+        ((h >> 1) & 0x7F_FFFF_FFFF) as u32,
+        h & 1 == 1,
+    )
 }
 
 /// The minimizer hash index (minimap2's `mm_idx_t`).
@@ -79,7 +93,10 @@ impl MinimizerIndex {
             for m in sketch(&nt4, opts.k, opts.w, opts.hpc) {
                 pairs.push((m.hash, pack_hit(rid as u32, m.pos, m.rev)));
             }
-            seqs.push(RefSeq { name: r.name.clone(), seq: PackedSeq::from_nt4_lossy(&nt4) });
+            seqs.push(RefSeq {
+                name: r.name.clone(),
+                seq: PackedSeq::from_nt4_lossy(&nt4),
+            });
         }
         pairs.sort_unstable();
 
@@ -99,7 +116,15 @@ impl MinimizerIndex {
         }
 
         let max_occ = occurrence_cutoff(map.values().map(|&(_, c)| c), opts.occ_frac);
-        MinimizerIndex { k: opts.k, w: opts.w, hpc: opts.hpc, seqs, map, positions, max_occ }
+        MinimizerIndex {
+            k: opts.k,
+            w: opts.w,
+            hpc: opts.hpc,
+            seqs,
+            map,
+            positions,
+            max_occ,
+        }
     }
 
     /// Hits for one minimizer hash, or an empty slice.
@@ -134,9 +159,19 @@ impl MinimizerIndex {
             }
             for &h in hits {
                 let (rid, rpos, rrev) = unpack_hit(h);
-                let span = if self.hpc { m.span.max(self.k as u8) } else { self.k as u8 };
+                let span = if self.hpc {
+                    m.span.max(self.k as u8)
+                } else {
+                    self.k as u8
+                };
                 if rrev == m.rev {
-                    anchors.push(Anchor { rid, rpos, qpos: m.pos, rev: false, span });
+                    anchors.push(Anchor {
+                        rid,
+                        rpos,
+                        qpos: m.pos,
+                        rev: false,
+                        span,
+                    });
                 } else {
                     // Match on the opposite strand: express the query
                     // position in reverse-complement coordinates (the
@@ -157,8 +192,11 @@ impl MinimizerIndex {
     /// Approximate in-memory footprint in bytes (the paper's "Index Size"
     /// column of Table 5).
     pub fn heap_bytes(&self) -> usize {
-        let seq_bytes: usize =
-            self.seqs.iter().map(|s| s.seq.heap_bytes() + s.name.capacity()).sum();
+        let seq_bytes: usize = self
+            .seqs
+            .iter()
+            .map(|s| s.seq.heap_bytes() + s.name.capacity())
+            .sum();
         // HashMap entry ≈ key + value + bucket overhead.
         seq_bytes + self.map.len() * 24 + self.positions.len() * 8
     }
@@ -242,7 +280,11 @@ mod tests {
             .iter()
             .filter(|a| !a.rev && a.rpos - a.qpos == 10_000)
             .count();
-        assert!(on_diag as f64 > 0.9 * anchors.len() as f64, "{on_diag}/{}", anchors.len());
+        assert!(
+            on_diag as f64 > 0.9 * anchors.len() as f64,
+            "{on_diag}/{}",
+            anchors.len()
+        );
     }
 
     #[test]
@@ -263,12 +305,12 @@ mod tests {
         let g = random_genome(30_000, 7);
         let idx = build_one(&g, &IdxOpts::MAP_ONT);
         let query = mmm_seq::revcomp4(&g[5_000..7_000]);
-        let mut diag: Vec<i64> =
-            idx.collect_anchors(&query)
-                .iter()
-                .filter(|a| a.rev)
-                .map(|a| a.rpos as i64 - a.qpos as i64)
-                .collect();
+        let mut diag: Vec<i64> = idx
+            .collect_anchors(&query)
+            .iter()
+            .filter(|a| a.rev)
+            .map(|a| a.rpos as i64 - a.qpos as i64)
+            .collect();
         diag.sort_unstable();
         let mid = diag[diag.len() / 2];
         let near = diag.iter().filter(|&&d| (d - mid).abs() < 10).count();
@@ -277,7 +319,11 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trip() {
-        for (rid, pos, rev) in [(0u32, 0u32, false), (3, 123_456, true), (1000, 1 << 30, false)] {
+        for (rid, pos, rev) in [
+            (0u32, 0u32, false),
+            (3, 123_456, true),
+            (1000, 1 << 30, false),
+        ] {
             assert_eq!(unpack_hit(pack_hit(rid, pos, rev)), (rid, pos, rev));
         }
     }
@@ -286,7 +332,7 @@ mod tests {
     fn occurrence_cutoff_quantile() {
         // 999 singletons and one 1000-count repeat: cutoff at f=1e-3 keeps
         // the quantile below the repeat.
-        let counts = std::iter::repeat(1u32).take(999).chain(std::iter::once(1000));
+        let counts = std::iter::repeat_n(1u32, 999).chain(std::iter::once(1000));
         let cut = occurrence_cutoff(counts, 1e-3);
         assert!(cut < 1000);
         assert!(cut >= 10);

@@ -64,8 +64,8 @@ pub fn minimizers_hpc(seq: &[u8], k: usize, w: usize) -> Vec<Minimizer> {
 }
 
 fn minimizers_impl(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> {
-    assert!(k >= 4 && k <= 28, "k must be in [4, 28]");
-    assert!(w >= 1 && w < 256, "w must be in [1, 255]");
+    assert!((4..=28).contains(&k), "k must be in [4, 28]");
+    assert!((1..256).contains(&w), "w must be in [1, 255]");
     let mut out = Vec::with_capacity(seq.len() / (w + 1) * 2 + 16);
     if seq.len() < k {
         return out;
@@ -116,7 +116,12 @@ fn minimizers_impl(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> 
                 span: (end - start + 1).min(255) as u8,
             }
         } else {
-            Minimizer { hash: u64::MAX, pos: end as u32, rev: false, span: 0 }
+            Minimizer {
+                hash: u64::MAX,
+                pos: end as u32,
+                rev: false,
+                span: 0,
+            }
         };
         cands.push(m);
         i = run_end;
@@ -249,13 +254,21 @@ mod tests {
                 ((state >> 33) % 4) as u8
             })
             .collect();
-        let fwd: std::collections::HashSet<u64> =
-            minimizers(&seq, 15, 10).into_iter().map(|m| m.hash).collect();
-        let rev: std::collections::HashSet<u64> =
-            minimizers(&revcomp4(&seq), 15, 10).into_iter().map(|m| m.hash).collect();
+        let fwd: std::collections::HashSet<u64> = minimizers(&seq, 15, 10)
+            .into_iter()
+            .map(|m| m.hash)
+            .collect();
+        let rev: std::collections::HashSet<u64> = minimizers(&revcomp4(&seq), 15, 10)
+            .into_iter()
+            .map(|m| m.hash)
+            .collect();
         let inter = fwd.intersection(&rev).count();
         // Windows shift slightly between strands; most hashes must survive.
-        assert!(inter as f64 >= 0.8 * fwd.len() as f64, "{inter} of {}", fwd.len());
+        assert!(
+            inter as f64 >= 0.8 * fwd.len() as f64,
+            "{inter} of {}",
+            fwd.len()
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
     let mut magic = [0u8; 4];
     src.take_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad index magic",
+        ));
     }
     let k = src.take_u32()? as usize;
     let w = src.take_u32()? as usize;
@@ -86,7 +89,10 @@ fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
         let name = String::from_utf8_lossy(&src.take_bytes()?).into_owned();
         let len = src.take_u64()? as usize;
         let words = src.take_u32_vec()?;
-        seqs.push(RefSeq { name, seq: PackedSeq::from_raw(words, len) });
+        seqs.push(RefSeq {
+            name,
+            seq: PackedSeq::from_raw(words, len),
+        });
     }
     let n_keys = src.take_u64()? as usize;
     let keys = {
@@ -103,7 +109,15 @@ fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
         map.insert(key, (off, cnt));
     }
     let positions = src.take_u64_vec()?;
-    Ok(MinimizerIndex { k, w, hpc, seqs, map, positions, max_occ })
+    Ok(MinimizerIndex {
+        k,
+        w,
+        hpc,
+        seqs,
+        map,
+        positions,
+        max_occ,
+    })
 }
 
 /// minimap2's loading path: fragmented buffered reads.
@@ -128,7 +142,14 @@ pub fn load_index_mmap(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
     let mut src = SliceSource::new(&map);
     let idx = parse_index(&mut src)?;
     let bytes = src.position() as u64;
-    Ok((idx, LoadStats { seconds: start.elapsed().as_secs_f64(), read_calls: 1, bytes }))
+    Ok((
+        idx,
+        LoadStats {
+            seconds: start.elapsed().as_secs_f64(),
+            read_calls: 1,
+            bytes,
+        },
+    ))
 }
 
 #[cfg(test)]

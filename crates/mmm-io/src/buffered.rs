@@ -23,7 +23,11 @@ impl ChunkedReader {
     /// default (4–64 KiB depending on libc); 16 KiB is representative.
     pub fn open(path: &Path, buf_capacity: usize) -> io::Result<Self> {
         let f = File::open(path)?;
-        Ok(ChunkedReader { inner: BufReader::with_capacity(buf_capacity.max(16), f), reads: 0, bytes: 0 })
+        Ok(ChunkedReader {
+            inner: BufReader::with_capacity(buf_capacity.max(16), f),
+            reads: 0,
+            bytes: 0,
+        })
     }
 
     /// Number of `read` calls issued so far.
@@ -72,8 +76,7 @@ mod tests {
     use std::io::Write;
 
     fn tmpfile(name: &str, contents: &[u8]) -> std::path::PathBuf {
-        let p =
-            std::env::temp_dir().join(format!("mmm-io-chunked-{name}-{}", std::process::id()));
+        let p = std::env::temp_dir().join(format!("mmm-io-chunked-{name}-{}", std::process::id()));
         let mut f = File::create(&p).unwrap();
         f.write_all(contents).unwrap();
         p

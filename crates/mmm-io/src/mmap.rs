@@ -3,8 +3,11 @@
 //! This is the substrate behind the paper's §4.4.2 optimization: the on-disk
 //! index is mapped into the address space and parsed in place, turning the
 //! original fragmented read pattern into sequential page-fault-driven reads.
-//! Only `mmap`, `munmap` and `madvise` from libc are used.
+//! Only `mmap`, `munmap` and `madvise` are used, declared directly against
+//! the platform C library — the build environment has no registry access, so
+//! we do not depend on the `libc` crate for three symbols.
 
+use std::ffi::{c_int, c_void};
 use std::fs::File;
 use std::io;
 use std::os::unix::io::AsRawFd;
@@ -12,13 +15,36 @@ use std::path::Path;
 use std::ptr;
 use std::slice;
 
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    // Values from the Linux UAPI headers; stable ABI on every Linux target.
+    pub const PROT_READ: c_int = 0x1;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+}
+
 /// A read-only memory-mapped file.
 ///
 /// Dereferences to `&[u8]` covering the whole file. The mapping is unmapped
 /// on drop. Zero-length files are handled without calling `mmap` (POSIX
 /// forbids zero-length mappings).
 pub struct Mmap {
-    ptr: *mut libc::c_void,
+    ptr: *mut c_void,
     len: usize,
 }
 
@@ -33,28 +59,31 @@ impl Mmap {
         let file = File::open(path)?;
         let len = file.metadata()?.len() as usize;
         if len == 0 {
-            return Ok(Mmap { ptr: ptr::null_mut(), len: 0 });
+            return Ok(Mmap {
+                ptr: ptr::null_mut(),
+                len: 0,
+            });
         }
         // SAFETY: fd is valid for the duration of the call; we request a
         // fresh private read-only mapping and check the result.
         let p = unsafe {
-            libc::mmap(
+            sys::mmap(
                 ptr::null_mut(),
                 len,
-                libc::PROT_READ,
-                libc::MAP_PRIVATE,
-                file.as_raw_fd(),
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd() as c_int,
                 0,
             )
         };
-        if p == libc::MAP_FAILED {
+        if p == sys::MAP_FAILED {
             return Err(io::Error::last_os_error());
         }
         // Sequential advice matches the index parser's access pattern; best
         // effort, failure is harmless.
         // SAFETY: p/len describe the mapping we just created.
         unsafe {
-            libc::madvise(p, len, libc::MADV_SEQUENTIAL);
+            sys::madvise(p, len, sys::MADV_SEQUENTIAL);
         }
         Ok(Mmap { ptr: p, len })
     }
@@ -97,7 +126,7 @@ impl Drop for Mmap {
             // SAFETY: ptr/len came from a successful mmap and are unmapped
             // exactly once.
             unsafe {
-                libc::munmap(self.ptr, self.len);
+                sys::munmap(self.ptr, self.len);
             }
         }
     }

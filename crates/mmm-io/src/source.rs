@@ -107,7 +107,10 @@ impl<'a> SliceSource<'a> {
 impl ByteSource for SliceSource<'_> {
     fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
         if self.remaining() < buf.len() {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "slice source exhausted"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "slice source exhausted",
+            ));
         }
         buf.copy_from_slice(&self.data[self.pos..self.pos + buf.len()]);
         self.pos += buf.len();

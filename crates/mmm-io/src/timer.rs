@@ -19,8 +19,13 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in the paper's row order.
-    pub const ALL: [Stage; 5] =
-        [Stage::LoadIndex, Stage::LoadQuery, Stage::SeedChain, Stage::Align, Stage::Output];
+    pub const ALL: [Stage; 5] = [
+        Stage::LoadIndex,
+        Stage::LoadQuery,
+        Stage::SeedChain,
+        Stage::Align,
+        Stage::Output,
+    ];
 
     /// Row label as printed in Table 2.
     pub fn label(self) -> &'static str {
@@ -99,7 +104,11 @@ impl StageTimer {
             .iter()
             .map(|&s| {
                 let t = self.get(s).as_secs_f64();
-                (s.label(), t, if total > 0.0 { 100.0 * t / total } else { 0.0 })
+                (
+                    s.label(),
+                    t,
+                    if total > 0.0 { 100.0 * t / total } else { 0.0 },
+                )
             })
             .collect()
     }
@@ -134,7 +143,7 @@ mod tests {
         let mut t = StageTimer::new();
         let v = t.time(Stage::SeedChain, || 41 + 1);
         assert_eq!(v, 42);
-        assert!(t.get(Stage::SeedChain) > Duration::ZERO || true); // may be ~0 but non-panicking
+        let _ = t.get(Stage::SeedChain); // may be ~0; reading back must not panic
     }
 
     #[test]

@@ -26,8 +26,11 @@ impl AffinityPolicy {
     }
 
     /// All policies.
-    pub const ALL: [AffinityPolicy; 3] =
-        [AffinityPolicy::Compact, AffinityPolicy::Scatter, AffinityPolicy::Optimized];
+    pub const ALL: [AffinityPolicy; 3] = [
+        AffinityPolicy::Compact,
+        AffinityPolicy::Scatter,
+        AffinityPolicy::Optimized,
+    ];
 }
 
 /// Result of placing `t` compute threads on a machine.
@@ -60,7 +63,7 @@ impl CoreLoad {
     /// Does the I/O thread run uncontended? True when a core is reserved or
     /// some core is entirely idle.
     pub fn io_uncontended(&self) -> bool {
-        self.io_reserved || self.per_core.iter().any(|&h| h == 0)
+        self.io_reserved || self.per_core.contains(&0)
     }
 }
 
@@ -74,13 +77,19 @@ pub fn affinity_assignment(m: &MachineModel, threads: usize, policy: AffinityPol
             for i in 0..threads {
                 per_core[(i / m.threads_per_core).min(m.cores - 1)] += 1;
             }
-            CoreLoad { per_core, io_reserved: false }
+            CoreLoad {
+                per_core,
+                io_reserved: false,
+            }
         }
         AffinityPolicy::Scatter => {
             for i in 0..threads {
                 per_core[i % m.cores] += 1;
             }
-            CoreLoad { per_core, io_reserved: false }
+            CoreLoad {
+                per_core,
+                io_reserved: false,
+            }
         }
         AffinityPolicy::Optimized => {
             // Reserve the last core for I/O; scatter compute over the rest.
@@ -89,7 +98,10 @@ pub fn affinity_assignment(m: &MachineModel, threads: usize, policy: AffinityPol
             for i in 0..threads {
                 per_core[i % avail] += 1;
             }
-            CoreLoad { per_core, io_reserved: true }
+            CoreLoad {
+                per_core,
+                io_reserved: true,
+            }
         }
     }
 }
@@ -136,10 +148,10 @@ mod tests {
     #[test]
     fn compact_throughput_about_half_of_scatter() {
         // Figure 10: compact ≈ 2× slower when T ≤ #cores.
-        let c = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Compact)
-            .total_throughput(&KNL_7210);
-        let s = affinity_assignment(&KNL_7210, 64, AffinityPolicy::Scatter)
-            .total_throughput(&KNL_7210);
+        let c =
+            affinity_assignment(&KNL_7210, 64, AffinityPolicy::Compact).total_throughput(&KNL_7210);
+        let s =
+            affinity_assignment(&KNL_7210, 64, AffinityPolicy::Scatter).total_throughput(&KNL_7210);
         let ratio = s / c;
         assert!(ratio > 1.7 && ratio < 2.3, "ratio={ratio}");
     }

@@ -103,11 +103,13 @@ pub fn batch_compute_makespan(
     }
     impl Ord for T {
         fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&o.0).expect("finite").then(self.1.cmp(&o.1))
+            self.0
+                .partial_cmp(&o.0)
+                .expect("finite")
+                .then(self.1.cmp(&o.1))
         }
     }
-    let mut heap: BinaryHeap<Reverse<T>> =
-        (0..speeds.len()).map(|i| Reverse(T(0.0, i))).collect();
+    let mut heap: BinaryHeap<Reverse<T>> = (0..speeds.len()).map(|i| Reverse(T(0.0, i))).collect();
     let mut makespan: f64 = 0.0;
     for c in costs {
         let Reverse(T(avail, i)) = heap.pop().expect("non-empty heap");
@@ -140,15 +142,21 @@ pub fn simulate_pipeline(
     p: &PipelineParams,
 ) -> PipelineReport {
     let load = affinity_assignment(m, threads, p.affinity);
-    let io_factor = if load.io_uncontended() { 1.0 } else { IO_CONTENTION };
+    let io_factor = if load.io_uncontended() {
+        1.0
+    } else {
+        IO_CONTENTION
+    };
 
     let mut rep = PipelineReport::default();
     let in_t: Vec<f64> = batches
         .iter()
         .map(|b| m.read_time(b.in_cost, p.mmap_input) * io_factor)
         .collect();
-    let out_t: Vec<f64> =
-        batches.iter().map(|b| m.write_time(b.out_cost) * io_factor).collect();
+    let out_t: Vec<f64> = batches
+        .iter()
+        .map(|b| m.write_time(b.out_cost) * io_factor)
+        .collect();
     let comp_t: Vec<f64> = batches
         .iter()
         .map(|b| batch_compute_makespan(m, threads, b, p.sort_by_length, p.affinity))
@@ -262,10 +270,14 @@ mod tests {
     #[test]
     fn compact_is_about_twice_slower_at_64() {
         // Figure 10, T ≤ #cores regime.
-        let scatter =
-            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
-        let compact =
-            PipelineParams { affinity: AffinityPolicy::Compact, ..PipelineParams::default() };
+        let scatter = PipelineParams {
+            affinity: AffinityPolicy::Scatter,
+            ..PipelineParams::default()
+        };
+        let compact = PipelineParams {
+            affinity: AffinityPolicy::Compact,
+            ..PipelineParams::default()
+        };
         let ratio = run(64, &compact, 0.5) / run(64, &scatter, 0.5);
         assert!(ratio > 1.6 && ratio < 2.4, "ratio={ratio}");
     }
@@ -273,10 +285,14 @@ mod tests {
     #[test]
     fn compact_catches_up_at_full_occupancy() {
         // Figure 10: compact approaches scatter as T → 256.
-        let scatter =
-            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
-        let compact =
-            PipelineParams { affinity: AffinityPolicy::Compact, ..PipelineParams::default() };
+        let scatter = PipelineParams {
+            affinity: AffinityPolicy::Scatter,
+            ..PipelineParams::default()
+        };
+        let compact = PipelineParams {
+            affinity: AffinityPolicy::Compact,
+            ..PipelineParams::default()
+        };
         let ratio = run(256, &compact, 0.5) / run(256, &scatter, 0.5);
         assert!(ratio < 1.1, "ratio={ratio}");
     }
@@ -284,10 +300,14 @@ mod tests {
     #[test]
     fn optimized_beats_scatter_when_io_matters() {
         // Figure 10: up to ~22% at ≥150 threads on the I/O-heavy dataset.
-        let scatter =
-            PipelineParams { affinity: AffinityPolicy::Scatter, ..PipelineParams::default() };
-        let optimized =
-            PipelineParams { affinity: AffinityPolicy::Optimized, ..PipelineParams::default() };
+        let scatter = PipelineParams {
+            affinity: AffinityPolicy::Scatter,
+            ..PipelineParams::default()
+        };
+        let optimized = PipelineParams {
+            affinity: AffinityPolicy::Optimized,
+            ..PipelineParams::default()
+        };
         let gain = run(200, &scatter, 12.0) / run(200, &optimized, 12.0);
         assert!(gain > 1.05 && gain < 1.35, "gain={gain}");
     }
@@ -295,8 +315,14 @@ mod tests {
     #[test]
     fn dedicated_io_pipeline_wins_on_knl() {
         // §4.4.4: the 2-thread pipeline cannot hide KNL's I/O cost.
-        let two = PipelineParams { dedicated_io: false, ..PipelineParams::default() };
-        let three = PipelineParams { dedicated_io: true, ..PipelineParams::default() };
+        let two = PipelineParams {
+            dedicated_io: false,
+            ..PipelineParams::default()
+        };
+        let three = PipelineParams {
+            dedicated_io: true,
+            ..PipelineParams::default()
+        };
         let t2 = run(256, &two, 12.0);
         let t3 = run(256, &three, 12.0);
         assert!(t3 < t2, "3-thread {t3} vs 2-thread {t2}");
@@ -312,15 +338,22 @@ mod tests {
             out_cost: 0.0,
         };
         batch.align_cost[128] = 1.0; // the straggler arrives last
-        let unsorted = batch_compute_makespan(&KNL_7210, 64, &batch, false, AffinityPolicy::Scatter);
+        let unsorted =
+            batch_compute_makespan(&KNL_7210, 64, &batch, false, AffinityPolicy::Scatter);
         let sorted = batch_compute_makespan(&KNL_7210, 64, &batch, true, AffinityPolicy::Scatter);
         assert!(sorted < unsorted, "sorted={sorted} unsorted={unsorted}");
     }
 
     #[test]
     fn mmap_reduces_total_when_input_bound() {
-        let plain = PipelineParams { mmap_input: false, ..PipelineParams::default() };
-        let mapped = PipelineParams { mmap_input: true, ..PipelineParams::default() };
+        let plain = PipelineParams {
+            mmap_input: false,
+            ..PipelineParams::default()
+        };
+        let mapped = PipelineParams {
+            mmap_input: true,
+            ..PipelineParams::default()
+        };
         let tp = run(256, &plain, 20.0);
         let tm = run(256, &mapped, 20.0);
         assert!(tm < tp);

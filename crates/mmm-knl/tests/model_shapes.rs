@@ -3,8 +3,8 @@
 //! (the unit tests pin single calibration points; these sweep).
 
 use mmm_knl::{
-    affinity_assignment, simulate_pipeline, AffinityPolicy, MemoryMode, PipelineParams,
-    WorkBatch, KNL_7210, XEON_GOLD_5115,
+    affinity_assignment, simulate_pipeline, AffinityPolicy, MemoryMode, PipelineParams, WorkBatch,
+    KNL_7210, XEON_GOLD_5115,
 };
 
 fn batch(reads: usize, align_each: f64, io: f64) -> WorkBatch {
@@ -20,7 +20,10 @@ fn batch(reads: usize, align_each: f64, io: f64) -> WorkBatch {
 fn speedup_is_monotone_in_threads_for_any_affinity() {
     let batches = vec![batch(256, 0.01, 0.2); 4];
     for policy in AffinityPolicy::ALL {
-        let params = PipelineParams { affinity: policy, ..Default::default() };
+        let params = PipelineParams {
+            affinity: policy,
+            ..Default::default()
+        };
         let mut prev = f64::INFINITY;
         for t in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
             let total = simulate_pipeline(&KNL_7210, t, &batches, &params).total;
@@ -45,21 +48,41 @@ fn affinities_converge_at_full_occupancy() {
                 &KNL_7210,
                 256,
                 &batches,
-                &PipelineParams { affinity: a, ..Default::default() },
+                &PipelineParams {
+                    affinity: a,
+                    ..Default::default()
+                },
             )
             .total
         })
         .collect();
-    let (min, max) =
-        times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    let (min, max) = times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+        (lo.min(t), hi.max(t))
+    });
     assert!(max / min < 1.15, "spread {times:?}");
 }
 
 #[test]
 fn compute_bound_workloads_do_not_care_about_mmap() {
     let batches = vec![batch(512, 0.05, 0.001); 3];
-    let a = simulate_pipeline(&KNL_7210, 256, &batches, &PipelineParams { mmap_input: true, ..Default::default() });
-    let b = simulate_pipeline(&KNL_7210, 256, &batches, &PipelineParams { mmap_input: false, ..Default::default() });
+    let a = simulate_pipeline(
+        &KNL_7210,
+        256,
+        &batches,
+        &PipelineParams {
+            mmap_input: true,
+            ..Default::default()
+        },
+    );
+    let b = simulate_pipeline(
+        &KNL_7210,
+        256,
+        &batches,
+        &PipelineParams {
+            mmap_input: false,
+            ..Default::default()
+        },
+    );
     assert!((a.total - b.total).abs() / a.total < 0.02);
 }
 
@@ -86,7 +109,10 @@ fn assignments_place_every_thread_exactly_once() {
                 KNL_7210.cores * KNL_7210.threads_per_core
             };
             assert_eq!(placed, t.min(cap), "{policy:?} t={t}");
-            assert!(load.per_core.iter().all(|&h| h <= KNL_7210.threads_per_core));
+            assert!(load
+                .per_core
+                .iter()
+                .all(|&h| h <= KNL_7210.threads_per_core));
         }
     }
 }
@@ -99,6 +125,9 @@ fn memory_mode_ordering_is_stable_in_capacity() {
         let ddr = effective_bandwidth(ws, MemoryMode::Ddr);
         let cache = effective_bandwidth(ws, MemoryMode::Cache);
         let flat = effective_bandwidth(ws, MemoryMode::Mcdram);
-        assert!(ddr < cache && cache < flat, "ws={ws_gb}GB: {ddr} {cache} {flat}");
+        assert!(
+            ddr < cache && cache < flat,
+            "ws={ws_gb}GB: {ddr} {cache} {flat}"
+        );
     }
 }

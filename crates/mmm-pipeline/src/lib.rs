@@ -8,14 +8,20 @@
 //! first (better load balance).
 //!
 //! This crate implements both designs generically over any item/result
-//! types using crossbeam channels and scoped threads; the mapper plugs its
-//! seed-chain-extend function in as the map stage. Output order is always
-//! the input order, regardless of scheduling (tested).
+//! types using bounded std channels and a persistent worker pool
+//! ([`pool::WorkerPool`]): compute threads are spawned once per pipeline
+//! run, each owning a private per-worker state built by a caller-supplied
+//! factory (the mapper passes an alignment scratch arena). The mapper plugs
+//! its seed-chain-extend function in as the map stage. Output order is
+//! always the input order, regardless of scheduling (tested).
 
 pub mod pipeline;
 pub mod pool;
 pub mod sort;
 
-pub use pipeline::{run_three_thread, run_two_thread, PipelineStats};
-pub use pool::par_map_indexed;
+pub use pipeline::{
+    run_three_thread, run_three_thread_with_state, run_two_thread, run_two_thread_with_state,
+    PipelineStats,
+};
+pub use pool::{par_map_indexed, with_worker_pool, WorkerPool};
 pub use sort::sort_indices_by_len_desc;

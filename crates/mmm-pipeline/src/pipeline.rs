@@ -1,11 +1,10 @@
 //! The two pipeline designs.
 
+use std::sync::mpsc::sync_channel;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use crossbeam::channel::bounded;
-use parking_lot::Mutex;
-
-use crate::pool::par_map_indexed;
+use crate::pool::with_worker_pool;
 use crate::sort::sort_indices_by_len_desc;
 
 /// Aggregate timings of a pipeline run. Stage seconds are summed across
@@ -20,19 +19,105 @@ pub struct PipelineStats {
     pub wall_seconds: f64,
 }
 
-/// manymap's 3-thread design: a reader thread, the compute stage (worker
-/// pool), and a writer thread, connected by bounded channels so input and
-/// output overlap computation *and* each other.
+/// manymap's 3-thread design: a reader thread, the compute stage (persistent
+/// worker pool), and a writer thread, connected by bounded channels so input
+/// and output overlap computation *and* each other.
 ///
 /// * `read_batch` returns the next batch or `None` at end of input;
-/// * `map` is applied to every item by `threads` workers (longest-first
-///   when `sort_by_len` is set, via `len_of`);
+/// * each of the `threads` workers builds one private state with
+///   `make_state(worker_idx)` when the pool starts (e.g. an alignment
+///   scratch arena) and keeps it for the whole run;
+/// * `map` is applied to every item (longest-first when `sort_by_len` is
+///   set, via `len_of`);
 /// * `write_batch` consumes results in batch order.
-pub fn run_three_thread<I, R, FIn, FMap, FLen, FOut>(
+pub fn run_three_thread_with_state<I, R, S, FIn, FState, FMap, FLen, FOut>(
     mut read_batch: FIn,
+    make_state: FState,
     map: FMap,
     len_of: FLen,
     mut write_batch: FOut,
+    threads: usize,
+    sort_by_len: bool,
+) -> PipelineStats
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Option<Vec<I>> + Send,
+    FState: Fn(usize) -> S + Sync,
+    FMap: Fn(&mut S, &I) -> R + Sync,
+    FLen: Fn(&I) -> usize + Sync,
+    FOut: FnMut(Vec<R>) + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let wall = Instant::now();
+
+    with_worker_pool(threads, make_state, map, |pool| {
+        let (in_tx, in_rx) = sync_channel::<Vec<I>>(2);
+        let (out_tx, out_rx) = sync_channel::<Vec<R>>(2);
+
+        std::thread::scope(|scope| {
+            // Reader.
+            let stats_ref = &stats;
+            scope.spawn(move || loop {
+                let t0 = Instant::now();
+                let batch = read_batch();
+                stats_ref.lock().unwrap().in_seconds += t0.elapsed().as_secs_f64();
+                match batch {
+                    Some(b) => {
+                        if in_tx.send(b).is_err() {
+                            break;
+                        }
+                    }
+                    None => break, // dropping in_tx closes the channel
+                }
+            });
+
+            // Writer.
+            let stats_ref = &stats;
+            let writer = scope.spawn(move || {
+                while let Ok(out) = out_rx.recv() {
+                    let t0 = Instant::now();
+                    write_batch(out);
+                    stats_ref.lock().unwrap().out_seconds += t0.elapsed().as_secs_f64();
+                }
+            });
+
+            // Compute stage on this thread; workers persist across batches.
+            while let Ok(batch) = in_rx.recv() {
+                let t0 = Instant::now();
+                let order = if sort_by_len {
+                    sort_indices_by_len_desc(&batch, &len_of)
+                } else {
+                    (0..batch.len()).collect()
+                };
+                let results = pool.run_batch(&batch, &order);
+                {
+                    let mut s = stats.lock().unwrap();
+                    s.compute_seconds += t0.elapsed().as_secs_f64();
+                    s.batches += 1;
+                    s.items += batch.len();
+                }
+                if out_tx.send(results).is_err() {
+                    break;
+                }
+            }
+            drop(out_tx);
+            writer.join().expect("writer thread");
+        });
+    });
+
+    let mut s = stats.into_inner().unwrap();
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    s
+}
+
+/// Stateless convenience wrapper around [`run_three_thread_with_state`],
+/// keeping the original `mmm-pipeline` signature.
+pub fn run_three_thread<I, R, FIn, FMap, FLen, FOut>(
+    read_batch: FIn,
+    map: FMap,
+    len_of: FLen,
+    write_batch: FOut,
     threads: usize,
     sort_by_len: bool,
 ) -> PipelineStats
@@ -44,70 +129,101 @@ where
     FLen: Fn(&I) -> usize + Sync,
     FOut: FnMut(Vec<R>) + Send,
 {
-    let stats = Mutex::new(PipelineStats::default());
-    let wall = Instant::now();
-    let (in_tx, in_rx) = bounded::<Vec<I>>(2);
-    let (out_tx, out_rx) = bounded::<Vec<R>>(2);
-
-    std::thread::scope(|scope| {
-        // Reader.
-        let stats_ref = &stats;
-        scope.spawn(move || loop {
-            let t0 = Instant::now();
-            let batch = read_batch();
-            stats_ref.lock().in_seconds += t0.elapsed().as_secs_f64();
-            match batch {
-                Some(b) => {
-                    if in_tx.send(b).is_err() {
-                        break;
-                    }
-                }
-                None => break, // dropping in_tx closes the channel
-            }
-        });
-
-        // Writer.
-        let stats_ref = &stats;
-        let writer = scope.spawn(move || {
-            while let Ok(out) = out_rx.recv() {
-                let t0 = Instant::now();
-                write_batch(out);
-                stats_ref.lock().out_seconds += t0.elapsed().as_secs_f64();
-            }
-        });
-
-        // Compute stage on this thread.
-        while let Ok(batch) = in_rx.recv() {
-            let t0 = Instant::now();
-            let order = if sort_by_len {
-                sort_indices_by_len_desc(&batch, &len_of)
-            } else {
-                (0..batch.len()).collect()
-            };
-            let results = par_map_indexed(&batch, &order, threads, &map);
-            {
-                let mut s = stats.lock();
-                s.compute_seconds += t0.elapsed().as_secs_f64();
-                s.batches += 1;
-                s.items += batch.len();
-            }
-            if out_tx.send(results).is_err() {
-                break;
-            }
-        }
-        drop(out_tx);
-        writer.join().expect("writer thread");
-    });
-
-    let mut s = stats.into_inner();
-    s.wall_seconds = wall.elapsed().as_secs_f64();
-    s
+    run_three_thread_with_state(
+        read_batch,
+        |_| (),
+        |(), item| map(item),
+        len_of,
+        write_batch,
+        threads,
+        sort_by_len,
+    )
 }
 
 /// minimap2's 2-thread design: two pipeline slots alternate batches, each
 /// running load → compute → output sequentially; the compute sections are
 /// mutually exclusive (they use the whole worker pool), so one slot's
 /// compute overlaps the other slot's I/O only.
+pub fn run_two_thread_with_state<I, R, S, FIn, FState, FMap, FOut>(
+    read_batch: FIn,
+    make_state: FState,
+    map: FMap,
+    write_batch: FOut,
+    threads: usize,
+) -> PipelineStats
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Option<Vec<I>> + Send,
+    FState: Fn(usize) -> S + Sync,
+    FMap: Fn(&mut S, &I) -> R + Sync,
+    FOut: FnMut(Vec<R>) + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let wall = Instant::now();
+    // Shared, locked resources mirroring the design's constraints. Batch ids
+    // are handed out under the reader lock — and only when the read actually
+    // produced a batch, so end-of-input never consumes an id (a consumed id
+    // with no batch behind it would wedge the in-order writer below).
+    let reader = Mutex::new((read_batch, 0usize)); // (source, next batch id)
+    let writer = Mutex::new((write_batch, 0usize)); // (sink, next batch id)
+    let writer_turn = Condvar::new();
+    let compute = Mutex::new(());
+
+    with_worker_pool(threads, make_state, map, |pool| {
+        std::thread::scope(|scope| {
+            for _slot in 0..2 {
+                scope.spawn(|| loop {
+                    // Load (serialized on the reader).
+                    let (my_id, batch) = {
+                        let mut rd = reader.lock().unwrap();
+                        let t0 = Instant::now();
+                        let b = (rd.0)();
+                        stats.lock().unwrap().in_seconds += t0.elapsed().as_secs_f64();
+                        match b {
+                            Some(b) => {
+                                let my = rd.1;
+                                rd.1 += 1;
+                                (my, b)
+                            }
+                            None => break,
+                        }
+                    };
+                    // Compute (exclusive: uses the whole worker pool).
+                    let results = {
+                        let _guard = compute.lock().unwrap();
+                        let t0 = Instant::now();
+                        let order: Vec<usize> = (0..batch.len()).collect();
+                        let r = pool.run_batch(&batch, &order);
+                        let mut s = stats.lock().unwrap();
+                        s.compute_seconds += t0.elapsed().as_secs_f64();
+                        s.batches += 1;
+                        s.items += batch.len();
+                        r
+                    };
+                    // Output in batch order, sleeping (not spinning) until
+                    // it is this batch's turn.
+                    let mut w = writer.lock().unwrap();
+                    while w.1 != my_id {
+                        w = writer_turn.wait(w).unwrap();
+                    }
+                    let t0 = Instant::now();
+                    (w.0)(results);
+                    w.1 += 1;
+                    writer_turn.notify_all();
+                    stats.lock().unwrap().out_seconds += t0.elapsed().as_secs_f64();
+                });
+            }
+        });
+    });
+
+    let mut s = stats.into_inner().unwrap();
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    s
+}
+
+/// Stateless convenience wrapper around [`run_two_thread_with_state`],
+/// keeping the original `mmm-pipeline` signature.
 pub fn run_two_thread<I, R, FIn, FMap, FOut>(
     read_batch: FIn,
     map: FMap,
@@ -121,63 +237,13 @@ where
     FMap: Fn(&I) -> R + Sync,
     FOut: FnMut(Vec<R>) + Send,
 {
-    let stats = Mutex::new(PipelineStats::default());
-    let wall = Instant::now();
-    // Shared, locked resources mirroring the design's constraints.
-    let reader = Mutex::new(read_batch);
-    let writer = Mutex::new((write_batch, 0usize)); // (sink, next batch id)
-    let compute = Mutex::new(());
-    let batch_no = Mutex::new(0usize);
-
-    std::thread::scope(|scope| {
-        for _slot in 0..2 {
-            scope.spawn(|| loop {
-                // Load (serialized on the reader).
-                let (my_id, batch) = {
-                    let mut rd = reader.lock();
-                    let t0 = Instant::now();
-                    let b = rd();
-                    stats.lock().in_seconds += t0.elapsed().as_secs_f64();
-                    let mut id = batch_no.lock();
-                    let my = *id;
-                    *id += 1;
-                    match b {
-                        Some(b) => (my, b),
-                        None => break,
-                    }
-                };
-                // Compute (exclusive: uses all worker threads).
-                let results = {
-                    let _guard = compute.lock();
-                    let t0 = Instant::now();
-                    let order: Vec<usize> = (0..batch.len()).collect();
-                    let r = par_map_indexed(&batch, &order, threads, &map);
-                    let mut s = stats.lock();
-                    s.compute_seconds += t0.elapsed().as_secs_f64();
-                    s.batches += 1;
-                    s.items += batch.len();
-                    r
-                };
-                // Output in batch order.
-                loop {
-                    let mut w = writer.lock();
-                    if w.1 == my_id {
-                        let t0 = Instant::now();
-                        (w.0)(results);
-                        w.1 += 1;
-                        stats.lock().out_seconds += t0.elapsed().as_secs_f64();
-                        break;
-                    }
-                    drop(w);
-                    std::thread::yield_now();
-                }
-            });
-        }
-    });
-
-    let mut s = stats.into_inner();
-    s.wall_seconds = wall.elapsed().as_secs_f64();
-    s
+    run_two_thread_with_state(
+        read_batch,
+        |_| (),
+        |(), item| map(item),
+        write_batch,
+        threads,
+    )
 }
 
 #[cfg(test)]
@@ -185,7 +251,9 @@ mod tests {
     use super::*;
 
     fn batches(n_batches: usize, per: usize) -> Vec<Vec<u64>> {
-        (0..n_batches).map(|b| (0..per as u64).map(|i| b as u64 * 1000 + i).collect()).collect()
+        (0..n_batches)
+            .map(|b| (0..per as u64).map(|i| b as u64 * 1000 + i).collect())
+            .collect()
     }
 
     fn feeder(mut data: Vec<Vec<u64>>) -> impl FnMut() -> Option<Vec<u64>> + Send {
@@ -202,13 +270,13 @@ mod tests {
             feeder(input),
             |&x| x * 3,
             |_| 1,
-            |r| out.lock().extend(r),
+            |r| out.lock().unwrap().extend(r),
             4,
             false,
         );
         assert_eq!(stats.batches, 6);
         assert_eq!(stats.items, 240);
-        let got = out.into_inner();
+        let got = out.into_inner().unwrap();
         assert_eq!(got, flat.iter().map(|x| x * 3).collect::<Vec<u64>>());
     }
 
@@ -220,11 +288,11 @@ mod tests {
             feeder(input),
             |&x| x + 1,
             |&x| x as usize, // "length" = value, so compute order differs
-            |r| out.lock().extend(r),
+            |r| out.lock().unwrap().extend(r),
             3,
             true,
         );
-        assert_eq!(out.into_inner(), vec![6, 2, 10, 4, 3, 9]);
+        assert_eq!(out.into_inner().unwrap(), vec![6, 2, 10, 4, 3, 9]);
     }
 
     #[test]
@@ -232,10 +300,15 @@ mod tests {
         let input = batches(7, 33);
         let flat: Vec<u64> = input.iter().flatten().copied().collect();
         let out = Mutex::new(Vec::new());
-        let stats = run_two_thread(feeder(input), |&x| x ^ 7, |r| out.lock().extend(r), 4);
+        let stats = run_two_thread(
+            feeder(input),
+            |&x| x ^ 7,
+            |r| out.lock().unwrap().extend(r),
+            4,
+        );
         assert_eq!(stats.batches, 7);
         assert_eq!(
-            out.into_inner(),
+            out.into_inner().unwrap(),
             flat.iter().map(|x| x ^ 7).collect::<Vec<u64>>()
         );
     }
@@ -243,10 +316,16 @@ mod tests {
     #[test]
     fn empty_stream() {
         let out = Mutex::new(Vec::<u64>::new());
-        let stats =
-            run_three_thread(feeder(vec![]), |&x: &u64| x, |_| 1, |r| out.lock().extend(r), 2, true);
+        let stats = run_three_thread(
+            feeder(vec![]),
+            |&x: &u64| x,
+            |_| 1,
+            |r| out.lock().unwrap().extend(r),
+            2,
+            true,
+        );
         assert_eq!(stats.batches, 0);
-        assert!(out.into_inner().is_empty());
+        assert!(out.into_inner().unwrap().is_empty());
     }
 
     #[test]
@@ -254,14 +333,71 @@ mod tests {
         let input = batches(5, 21);
         let a = {
             let out = Mutex::new(Vec::new());
-            run_three_thread(feeder(input.clone()), |&x| x * x, |_| 1, |r| out.lock().extend(r), 3, true);
-            out.into_inner()
+            run_three_thread(
+                feeder(input.clone()),
+                |&x| x * x,
+                |_| 1,
+                |r| out.lock().unwrap().extend(r),
+                3,
+                true,
+            );
+            out.into_inner().unwrap()
         };
         let b = {
             let out = Mutex::new(Vec::new());
-            run_two_thread(feeder(input), |&x| x * x, |r| out.lock().extend(r), 3);
-            out.into_inner()
+            run_two_thread(
+                feeder(input),
+                |&x| x * x,
+                |r| out.lock().unwrap().extend(r),
+                3,
+            );
+            out.into_inner().unwrap()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stateful_three_thread_threads_state_through_workers() {
+        let input = batches(8, 25);
+        let flat: Vec<u64> = input.iter().flatten().copied().collect();
+        let out = Mutex::new(Vec::new());
+        let stats = run_three_thread_with_state(
+            feeder(input),
+            |widx| (widx, 0u64), // per-worker scratch: (id, items served)
+            |st: &mut (usize, u64), &x: &u64| {
+                st.1 += 1;
+                x * 2
+            },
+            |_| 1,
+            |r| out.lock().unwrap().extend(r),
+            3,
+            true,
+        );
+        assert_eq!(stats.items, 200);
+        assert_eq!(
+            out.into_inner().unwrap(),
+            flat.iter().map(|x| x * 2).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn two_thread_stops_cleanly_at_end_of_input() {
+        // A source that keeps returning None after the end must not wedge
+        // the in-order writer (regression: EOF used to consume a batch id).
+        for _ in 0..20 {
+            let mut remaining = 3;
+            let read = move || {
+                if remaining == 0 {
+                    None
+                } else {
+                    remaining -= 1;
+                    Some(vec![remaining as u64])
+                }
+            };
+            let out = Mutex::new(Vec::new());
+            let stats = run_two_thread(read, |&x| x, |r| out.lock().unwrap().extend(r), 2);
+            assert_eq!(stats.batches, 3);
+            assert_eq!(out.into_inner().unwrap(), vec![2, 1, 0]);
+        }
     }
 }

@@ -1,41 +1,291 @@
-//! The per-batch worker pool.
+//! The persistent worker pool.
+//!
+//! The pool spawns its threads **once per pipeline run** and feeds them one
+//! batch at a time; this replaces the original per-batch scoped-spawn design,
+//! which paid a thread spawn/join plus one `Mutex<Option<R>>` allocation per
+//! item on every batch. Each worker owns a private mutable state value built
+//! by a caller-supplied factory (the mapper passes an alignment scratch
+//! arena, see `mmm-align`'s `AlignScratch`), so the hot loop runs with zero
+//! per-item allocation or locking: indices are claimed with a single
+//! `fetch_add` and results land in a pre-sized `Vec<Option<R>>` through
+//! index-disjoint writes.
+//!
+//! # Batch protocol
+//!
+//! [`WorkerPool::run_batch`] publishes a *job* — raw pointers to the batch
+//! items, the processing order, and the results buffer — under a mutex,
+//! stamped with a fresh epoch, and wakes the workers. Workers drain the index
+//! counter, write their results, and *check in*; the submitter returns only
+//! once every worker has checked in for the epoch. That check-in barrier is
+//! what makes the lifetime-erased pointers sound: no worker can still hold a
+//! stale job (or touch the shared index counter for an old epoch) after
+//! `run_batch` returns, so the borrowed batch may be freed immediately.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
-use parking_lot::Mutex;
+/// A published batch: lifetime-erased views of the submitter's borrows.
+///
+/// Validity is enforced by the check-in barrier in
+/// [`WorkerPool::run_batch`], which outlives every worker's use of these
+/// pointers.
+struct Job<I, R> {
+    items: *const I,
+    order: *const usize,
+    len: usize,
+    results: *mut Option<R>,
+}
 
-/// Map `f` over `items` with `threads` scoped workers, processing in the
-/// order given by `order` (e.g. longest first) but returning results in the
+impl<I, R> Clone for Job<I, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<I, R> Copy for Job<I, R> {}
+
+// SAFETY: a `Job` hands workers shared `&I` access (hence `I: Sync`) and
+// moves produced `R` values across threads (hence `R: Send`). The pointers
+// themselves stay valid for the whole time any worker can observe the job
+// (check-in barrier).
+unsafe impl<I: Sync, R: Send> Send for Job<I, R> {}
+
+struct Slot<I, R> {
+    /// Bumped once per published batch; workers pick up a job when the
+    /// epoch differs from the last one they served.
+    epoch: u64,
+    /// Number of workers that finished serving the current epoch.
+    checked_in: usize,
+    shutdown: bool,
+    job: Option<Job<I, R>>,
+}
+
+struct Shared<I, R> {
+    slot: Mutex<Slot<I, R>>,
+    /// Workers wait here for a new epoch or shutdown.
+    work_cv: Condvar,
+    /// The submitter waits here for all workers to check in.
+    done_cv: Condvar,
+    /// Next unclaimed position in `order`; reset before each publish.
+    next: AtomicUsize,
+    /// Total threads ever spawned — observable proof that the pool spawns
+    /// once per run, not once per batch.
+    spawned: AtomicUsize,
+}
+
+impl<I, R> Shared<I, R> {
+    fn new() -> Self {
+        Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                checked_in: 0,
+                shutdown: false,
+                job: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Handle to a running pool, passed to the body closure of
+/// [`with_worker_pool`]. Submit batches with [`run_batch`](Self::run_batch).
+pub struct WorkerPool<'a, I, R> {
+    shared: &'a Shared<I, R>,
+    threads: usize,
+}
+
+impl<I: Sync, R: Send> WorkerPool<'_, I, R> {
+    /// Number of worker threads serving this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total worker threads spawned since the pool started. Stays equal to
+    /// [`threads`](Self::threads) no matter how many batches run.
+    pub fn threads_spawned(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Map the pool's function over `items`, processing in the order given
+    /// by `order` (e.g. longest first) but returning results in the original
+    /// item order. Blocks until the batch is complete.
+    pub fn run_batch(&self, items: &[I], order: &[usize]) -> Vec<R> {
+        assert_eq!(
+            items.len(),
+            order.len(),
+            "order must be a permutation of the items"
+        );
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+
+        // Publish. The counter reset is ordered before the epoch bump by the
+        // mutex acquire in every worker's pickup path.
+        self.shared.next.store(0, Ordering::Relaxed);
+        {
+            let mut g = self.shared.slot.lock().unwrap();
+            g.epoch += 1;
+            g.checked_in = 0;
+            g.job = Some(Job {
+                items: items.as_ptr(),
+                order: order.as_ptr(),
+                len: items.len(),
+                results: results.as_mut_ptr(),
+            });
+            self.shared.work_cv.notify_all();
+        }
+
+        // Check-in barrier: every worker must finish serving this epoch
+        // before the borrows behind the job pointers can be released.
+        {
+            let mut g = self.shared.slot.lock().unwrap();
+            while g.checked_in != self.threads {
+                g = self.shared.done_cv.wait(g).unwrap();
+            }
+            g.job = None;
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every index processed exactly once"))
+            .collect()
+    }
+}
+
+/// Run `body` with a pool of `threads` persistent workers.
+///
+/// Each worker builds one private state value via `make_state(worker_idx)`
+/// when it starts (never again), and processes items with
+/// `map(&mut state, &item)`. Threads are joined before this returns; on the
+/// way out (including panics in `body`) the pool shuts down cleanly.
+pub fn with_worker_pool<I, R, S, T>(
+    threads: usize,
+    make_state: impl Fn(usize) -> S + Sync,
+    map: impl Fn(&mut S, &I) -> R + Sync,
+    body: impl FnOnce(&WorkerPool<'_, I, R>) -> T,
+) -> T
+where
+    I: Sync,
+    R: Send,
+{
+    let threads = threads.max(1);
+    let shared: Shared<I, R> = Shared::new();
+
+    /// Ensures workers are released even if `body` unwinds.
+    struct Shutdown<'a, I, R>(&'a Shared<I, R>);
+    impl<I, R> Drop for Shutdown<'_, I, R> {
+        fn drop(&mut self) {
+            self.0.slot.lock().unwrap().shutdown = true;
+            self.0.work_cv.notify_all();
+        }
+    }
+
+    /// Per-epoch worker check-in that also fires during unwinding.
+    struct CheckIn<'a, I, R> {
+        shared: &'a Shared<I, R>,
+        threads: usize,
+    }
+    impl<I, R> Drop for CheckIn<'_, I, R> {
+        fn drop(&mut self) {
+            let mut g = match self.shared.slot.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g.checked_in += 1;
+            if g.checked_in == self.threads {
+                self.shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for w in 0..threads {
+            let make_state = &make_state;
+            let map = &map;
+            scope.spawn(move || {
+                shared.spawned.fetch_add(1, Ordering::Relaxed);
+                let mut state = make_state(w);
+                let mut seen_epoch = 0u64;
+                loop {
+                    // Wait for a fresh epoch (or shutdown) and copy its job.
+                    let job = {
+                        let mut g = shared.slot.lock().unwrap();
+                        loop {
+                            if g.shutdown {
+                                return;
+                            }
+                            if g.epoch != seen_epoch {
+                                seen_epoch = g.epoch;
+                                break g.job.expect("published epoch carries a job");
+                            }
+                            g = shared.work_cv.wait(g).unwrap();
+                        }
+                    };
+                    // Check in even if `map` panics below: a missing check-in
+                    // would leave the submitter waiting forever, masking the
+                    // panic as a deadlock. (A panicked item leaves its result
+                    // slot `None`, which the submitter reports.)
+                    let checkin = CheckIn { shared, threads };
+                    // Drain the claim counter. Disjoint `idx` values make the
+                    // result writes race-free.
+                    loop {
+                        let k = shared.next.fetch_add(1, Ordering::Relaxed);
+                        if k >= job.len {
+                            break;
+                        }
+                        // SAFETY: job pointers are valid until every worker
+                        // checks in below; `k < len` bounds both reads, and
+                        // `order` is a permutation so `idx` is in range and
+                        // claimed by exactly one worker.
+                        unsafe {
+                            let idx = *job.order.add(k);
+                            let r = map(&mut state, &*job.items.add(idx));
+                            *job.results.add(idx) = Some(r);
+                        }
+                    }
+                    // Check in: the mutex makes this worker's result writes
+                    // visible to the submitter observing the count.
+                    drop(checkin);
+                }
+            });
+        }
+
+        let guard = Shutdown(shared);
+        let pool = WorkerPool { shared, threads };
+        let out = body(&pool);
+        drop(guard);
+        out
+    })
+}
+
+/// Map `f` over `items` with `threads` workers, processing in the order
+/// given by `order` (e.g. longest first) but returning results in the
 /// original item order.
+///
+/// Compatibility wrapper that stands up a pool for a single batch. Pipelines
+/// should hold a pool for their whole run via [`with_worker_pool`] instead.
 pub fn par_map_indexed<I, R, F>(items: &[I], order: &[usize], threads: usize, f: F) -> Vec<R>
 where
     I: Sync,
     R: Send,
     F: Fn(&I) -> R + Sync,
 {
-    assert_eq!(items.len(), order.len(), "order must be a permutation of the items");
-    let threads = threads.max(1);
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len().max(1)) {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= order.len() {
-                    break;
-                }
-                let idx = order[k];
-                let r = f(&items[idx]);
-                *results[idx].lock() = Some(r);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every index processed exactly once"))
-        .collect()
+    assert_eq!(
+        items.len(),
+        order.len(),
+        "order must be a permutation of the items"
+    );
+    with_worker_pool(
+        threads.min(items.len().max(1)),
+        |_| (),
+        |(), item| f(item),
+        |pool| pool.run_batch(items, order),
+    )
 }
 
 #[cfg(test)]
@@ -54,7 +304,10 @@ mod tests {
     fn single_thread_works() {
         let items = vec![1, 2, 3];
         let order = vec![0, 1, 2];
-        assert_eq!(par_map_indexed(&items, &order, 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(
+            par_map_indexed(&items, &order, 1, |&x| x + 1),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -69,5 +322,78 @@ mod tests {
     fn mismatched_order_panics() {
         let items = vec![1, 2, 3];
         par_map_indexed(&items, &[0, 1], 2, |&x| x);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_batches() {
+        let batches: Vec<Vec<u32>> = (0..50).map(|b| (b * 10..b * 10 + 10).collect()).collect();
+        with_worker_pool(
+            4,
+            |_| 0u64, // per-worker state: items served
+            |served: &mut u64, &x: &u32| {
+                *served += 1;
+                x + 1
+            },
+            |pool| {
+                for batch in &batches {
+                    let order: Vec<usize> = (0..batch.len()).collect();
+                    let out = pool.run_batch(batch, &order);
+                    let want: Vec<u32> = batch.iter().map(|x| x + 1).collect();
+                    assert_eq!(out, want);
+                }
+                assert_eq!(pool.threads_spawned(), 4, "threads spawned once per run");
+            },
+        );
+    }
+
+    #[test]
+    fn worker_state_is_built_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let built = AtomicUsize::new(0);
+        with_worker_pool(
+            3,
+            |_| {
+                built.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), &x: &u32| x,
+            |pool| {
+                for _ in 0..20 {
+                    let items: Vec<u32> = (0..17).collect();
+                    let order: Vec<usize> = (0..17).collect();
+                    pool.run_batch(&items, &order);
+                }
+            },
+        );
+        assert_eq!(built.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn batch_larger_and_smaller_than_pool() {
+        with_worker_pool(
+            8,
+            |_| (),
+            |(), &x: &u64| x * x,
+            |pool| {
+                for n in [1usize, 3, 8, 100] {
+                    let items: Vec<u64> = (0..n as u64).collect();
+                    let order: Vec<usize> = (0..n).collect();
+                    let out = pool.run_batch(&items, &order);
+                    assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<u64>>());
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn body_panic_releases_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_worker_pool(
+                2,
+                |_| (),
+                |(), &x: &u32| x,
+                |_pool: &WorkerPool<'_, u32, u32>| panic!("body bail"),
+            )
+        });
+        assert!(caught.is_err()); // and no deadlock joining the scope
     }
 }

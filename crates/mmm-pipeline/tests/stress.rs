@@ -1,7 +1,7 @@
 //! Pipeline stress tests: ordering and completeness under adversarial
 //! batch shapes, thread counts and workload skew.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use mmm_pipeline::{par_map_indexed, run_three_thread, run_two_thread, sort_indices_by_len_desc};
 
@@ -20,12 +20,12 @@ fn many_tiny_batches_keep_order() {
         feeder(input),
         |&x| x,
         |_| 1,
-        |r| out.lock().extend(r),
+        |r| out.lock().unwrap().extend(r),
         4,
         true,
     );
     assert_eq!(stats.batches, 100);
-    assert_eq!(out.into_inner(), (0..100).collect::<Vec<u64>>());
+    assert_eq!(out.into_inner().unwrap(), (0..100).collect::<Vec<u64>>());
 }
 
 #[test]
@@ -52,20 +52,23 @@ fn skewed_work_is_complete_under_both_designs() {
             feeder(batches.clone()),
             work,
             |&x| (x % 97) as usize,
-            |r| out.lock().extend(r.into_iter().map(|(x, _)| x)),
+            |r| out.lock().unwrap().extend(r.into_iter().map(|(x, _)| x)),
             4,
             true,
         );
-        out.into_inner()
+        out.into_inner().unwrap()
     };
     assert_eq!(three, expected);
 
     let two = {
         let out = Mutex::new(Vec::new());
-        run_two_thread(feeder(batches), work, |r| {
-            out.lock().extend(r.into_iter().map(|(x, _)| x))
-        }, 4);
-        out.into_inner()
+        run_two_thread(
+            feeder(batches),
+            work,
+            |r| out.lock().unwrap().extend(r.into_iter().map(|(x, _)| x)),
+            4,
+        );
+        out.into_inner().unwrap()
     };
     assert_eq!(two, expected);
 }
@@ -87,12 +90,12 @@ fn stats_account_every_item_exactly_once() {
         feeder(batches),
         |&x| x,
         |_| 1,
-        |r| *out.lock() += r.len(),
+        |r| *out.lock().unwrap() += r.len(),
         2,
         false,
     );
     assert_eq!(stats.items, expect_items);
-    assert_eq!(out.into_inner(), expect_items);
+    assert_eq!(out.into_inner().unwrap(), expect_items);
     assert!(stats.wall_seconds >= 0.0);
 }
 
@@ -104,11 +107,11 @@ fn large_single_batch_parallelism() {
         feeder(vec![batch]),
         |&x| x * 2,
         |&x| x as usize,
-        |r| out.lock().extend(r),
+        |r| out.lock().unwrap().extend(r),
         8,
         true,
     );
-    let got = out.into_inner();
+    let got = out.into_inner().unwrap();
     assert_eq!(got.len(), 10_000);
     assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
 }

@@ -38,7 +38,9 @@ pub fn to_nt4(seq: &[u8]) -> Vec<u8> {
 
 /// Decode an nt4 slice back into ASCII.
 pub fn nt4_decode(seq: &[u8]) -> Vec<u8> {
-    seq.iter().map(|&c| BASE_CHARS[(c as usize).min(4)]).collect()
+    seq.iter()
+        .map(|&c| BASE_CHARS[(c as usize).min(4)])
+        .collect()
 }
 
 /// Complement of one nt4 code (`N` maps to `N`).
@@ -92,7 +94,10 @@ impl PackedSeq {
             let code = if c < 4 { c as u32 } else { 0 };
             words[i >> 4] |= code << ((i & 15) << 1);
         }
-        PackedSeq { words, len: seq.len() }
+        PackedSeq {
+            words,
+            len: seq.len(),
+        }
     }
 
     /// Number of bases stored.

@@ -41,9 +41,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = SeqError::Parse { msg: "bad record".into(), line: 7 };
+        let e = SeqError::Parse {
+            msg: "bad record".into(),
+            line: 7,
+        };
         assert_eq!(e.to_string(), "parse error at line 7: bad record");
-        let io = SeqError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = SeqError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
     }
 }

@@ -33,7 +33,13 @@ pub struct FastxReader<R: BufRead> {
 impl<R: BufRead> FastxReader<R> {
     /// Wrap a buffered reader.
     pub fn new(inner: R) -> Self {
-        FastxReader { inner, line: Vec::new(), pending_header: None, format: None, line_no: 0 }
+        FastxReader {
+            inner,
+            line: Vec::new(),
+            pending_header: None,
+            format: None,
+            line_no: 0,
+        }
     }
 
     /// The detected format, once at least one record has been read.
@@ -55,7 +61,10 @@ impl<R: BufRead> FastxReader<R> {
     }
 
     fn parse_err(&self, msg: impl Into<String>) -> SeqError {
-        SeqError::Parse { msg: msg.into(), line: self.line_no }
+        SeqError::Parse {
+            msg: msg.into(),
+            line: self.line_no,
+        }
     }
 
     fn split_header(header: &[u8]) -> (String, Option<String>) {
@@ -63,7 +72,14 @@ impl<R: BufRead> FastxReader<R> {
         match text.split_once(char::is_whitespace) {
             Some((name, rest)) => {
                 let rest = rest.trim();
-                (name.to_string(), if rest.is_empty() { None } else { Some(rest.to_string()) })
+                (
+                    name.to_string(),
+                    if rest.is_empty() {
+                        None
+                    } else {
+                        Some(rest.to_string())
+                    },
+                )
             }
             None => (text.trim().to_string(), None),
         }
@@ -125,7 +141,12 @@ impl<R: BufRead> FastxReader<R> {
                     }
                     seq.extend_from_slice(&self.line);
                 }
-                Ok(Some(SeqRecord { name, comment, seq, qual: None }))
+                Ok(Some(SeqRecord {
+                    name,
+                    comment,
+                    seq,
+                    qual: None,
+                }))
             }
             FastxFormat::Fastq => {
                 if !self.read_line()? {
@@ -146,7 +167,12 @@ impl<R: BufRead> FastxReader<R> {
                         seq.len()
                     )));
                 }
-                Ok(Some(SeqRecord { name, comment, seq, qual: Some(qual) }))
+                Ok(Some(SeqRecord {
+                    name,
+                    comment,
+                    seq,
+                    qual: Some(qual),
+                }))
             }
         }
     }
@@ -269,8 +295,7 @@ mod tests {
 
     #[test]
     fn iterator_interface() {
-        let names: Vec<String> =
-            reader(">a\nA\n>b\nC\n").map(|r| r.unwrap().name).collect();
+        let names: Vec<String> = reader(">a\nA\n>b\nC\n").map(|r| r.unwrap().name).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

@@ -19,7 +19,12 @@ pub struct SeqRecord {
 impl SeqRecord {
     /// Convenience constructor for a FASTA-style record.
     pub fn new(name: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
-        SeqRecord { name: name.into(), comment: None, seq: seq.into(), qual: None }
+        SeqRecord {
+            name: name.into(),
+            comment: None,
+            seq: seq.into(),
+            qual: None,
+        }
     }
 
     /// Sequence length in bases.

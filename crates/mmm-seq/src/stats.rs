@@ -55,7 +55,11 @@ impl DatasetStats {
             max_len: max,
             min_len: min,
             n50,
-            gc_fraction: if total > 0 { gc_bases as f64 / total as f64 } else { 0.0 },
+            gc_fraction: if total > 0 {
+                gc_bases as f64 / total as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -63,7 +67,10 @@ impl DatasetStats {
     pub fn table4_rows(&self) -> Vec<(String, String)> {
         vec![
             ("Number of Reads".into(), format!("{}", self.num_reads)),
-            ("Average Length (bp)".into(), format!("{:.1}", self.mean_len)),
+            (
+                "Average Length (bp)".into(),
+                format!("{:.1}", self.mean_len),
+            ),
             ("Maximum Length (bp)".into(), format!("{}", self.max_len)),
             ("Total Bases".into(), format!("{}", self.total_bases)),
         ]
@@ -83,8 +90,8 @@ mod tests {
     #[test]
     fn basic_stats() {
         let recs = vec![
-            SeqRecord::new("a", b"ACGT".to_vec()),      // 50% GC
-            SeqRecord::new("b", b"AAAAAAAA".to_vec()),  // 0% GC
+            SeqRecord::new("a", b"ACGT".to_vec()),     // 50% GC
+            SeqRecord::new("b", b"AAAAAAAA".to_vec()), // 0% GC
         ];
         let s = DatasetStats::from_records(&recs);
         assert_eq!(s.num_reads, 2);

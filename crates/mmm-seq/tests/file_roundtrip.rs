@@ -51,7 +51,9 @@ fn fastq_file_round_trip() {
         let mut w = BufWriter::new(File::create(&p).unwrap());
         write_fastq(&mut w, &recs).unwrap();
     }
-    let back = FastxReader::new(BufReader::new(File::open(&p).unwrap())).read_all().unwrap();
+    let back = FastxReader::new(BufReader::new(File::open(&p).unwrap()))
+        .read_all()
+        .unwrap();
     assert_eq!(back, recs);
     std::fs::remove_file(&p).unwrap();
 }
@@ -74,7 +76,10 @@ fn batched_reading_covers_the_whole_file_once() {
         names.extend(batch.into_iter().map(|x| x.name));
     }
     assert_eq!(names.len(), 100);
-    assert_eq!(names, recs.iter().map(|r| r.name.clone()).collect::<Vec<_>>());
+    assert_eq!(
+        names,
+        recs.iter().map(|r| r.name.clone()).collect::<Vec<_>>()
+    );
     std::fs::remove_file(&p).unwrap();
 }
 
@@ -87,7 +92,9 @@ fn stats_survive_the_file_round_trip() {
         let mut w = BufWriter::new(File::create(&p).unwrap());
         write_fasta(&mut w, &recs, 70).unwrap();
     }
-    let back = FastxReader::new(BufReader::new(File::open(&p).unwrap())).read_all().unwrap();
+    let back = FastxReader::new(BufReader::new(File::open(&p).unwrap()))
+        .read_all()
+        .unwrap();
     assert_eq!(DatasetStats::from_records(&back), before);
     std::fs::remove_file(&p).unwrap();
 }

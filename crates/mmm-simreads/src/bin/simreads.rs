@@ -29,7 +29,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let genome_len: usize = arg(&flags, "genome", "1000000").parse().unwrap_or(1_000_000);
+    let genome_len: usize = arg(&flags, "genome", "1000000")
+        .parse()
+        .unwrap_or(1_000_000);
     let n_reads: usize = arg(&flags, "reads", "2000").parse().unwrap_or(2_000);
     let seed: u64 = arg(&flags, "seed", "42").parse().unwrap_or(42);
     let platform = match arg(&flags, "platform", "pacbio").as_str() {
@@ -39,8 +41,19 @@ fn main() -> ExitCode {
     let out_ref = arg(&flags, "out-ref", "ref.fa");
     let out_reads = arg(&flags, "out-reads", "reads.fa");
 
-    let genome = generate_genome(&GenomeOpts { len: genome_len, seed, ..Default::default() });
-    let reads = simulate_reads(&genome, &SimOpts { platform, num_reads: n_reads, seed });
+    let genome = generate_genome(&GenomeOpts {
+        len: genome_len,
+        seed,
+        ..Default::default()
+    });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform,
+            num_reads: n_reads,
+            seed,
+        },
+    );
 
     let ref_rec = SeqRecord::new("chr1", nt4_decode(&genome));
     let read_recs: Vec<SeqRecord> = reads

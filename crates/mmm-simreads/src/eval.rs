@@ -52,14 +52,20 @@ pub fn is_correct(call: &MappingCall, truth: &TrueOrigin) -> bool {
     if call.rid != truth.rid || call.rev != truth.rev {
         return false;
     }
-    let inter = call.ref_end.min(truth.end).saturating_sub(call.ref_start.max(truth.start));
+    let inter = call
+        .ref_end
+        .min(truth.end)
+        .saturating_sub(call.ref_start.max(truth.start));
     let true_len = (truth.end - truth.start).max(1);
     inter as f64 >= 0.1 * true_len as f64
 }
 
 /// Evaluate a set of primary calls against the ground truth.
 pub fn evaluate(calls: &[MappingCall], truths: &[TrueOrigin]) -> EvalSummary {
-    let mut s = EvalSummary { total_reads: truths.len(), ..Default::default() };
+    let mut s = EvalSummary {
+        total_reads: truths.len(),
+        ..Default::default()
+    };
     for c in calls {
         s.mapped += 1;
         if is_correct(c, &truths[c.read_id]) {
@@ -76,11 +82,23 @@ mod tests {
     use super::*;
 
     fn truth() -> TrueOrigin {
-        TrueOrigin { rid: 0, start: 1000, end: 3000, rev: false }
+        TrueOrigin {
+            rid: 0,
+            start: 1000,
+            end: 3000,
+            rev: false,
+        }
     }
 
     fn call(rs: u32, re: u32, rev: bool) -> MappingCall {
-        MappingCall { read_id: 0, rid: 0, ref_start: rs, ref_end: re, rev, mapq: 60 }
+        MappingCall {
+            read_id: 0,
+            rid: 0,
+            ref_start: rs,
+            ref_end: re,
+            rev,
+            mapq: 60,
+        }
     }
 
     #[test]
@@ -106,10 +124,25 @@ mod tests {
 
     #[test]
     fn summary_counts() {
-        let truths = vec![truth(), TrueOrigin { rid: 0, start: 50_000, end: 52_000, rev: true }];
+        let truths = vec![
+            truth(),
+            TrueOrigin {
+                rid: 0,
+                start: 50_000,
+                end: 52_000,
+                rev: true,
+            },
+        ];
         let calls = vec![
             call(1000, 3000, false), // correct for read 0
-            MappingCall { read_id: 1, rid: 0, ref_start: 0, ref_end: 100, rev: true, mapq: 3 },
+            MappingCall {
+                read_id: 1,
+                rid: 0,
+                ref_start: 0,
+                ref_end: 100,
+                rev: true,
+                mapq: 3,
+            },
         ];
         let s = evaluate(&calls, &truths);
         assert_eq!(s.total_reads, 2);

@@ -22,7 +22,13 @@ pub struct GenomeOpts {
 
 impl Default for GenomeOpts {
     fn default() -> Self {
-        GenomeOpts { len: 1_000_000, gc: 0.41, repeat_frac: 0.1, repeat_unit: 2_000, seed: 42 }
+        GenomeOpts {
+            len: 1_000_000,
+            gc: 0.41,
+            repeat_frac: 0.1,
+            repeat_unit: 2_000,
+            seed: 42,
+        }
     }
 }
 
@@ -67,7 +73,10 @@ mod tests {
 
     #[test]
     fn length_and_alphabet() {
-        let g = generate_genome(&GenomeOpts { len: 10_000, ..Default::default() });
+        let g = generate_genome(&GenomeOpts {
+            len: 10_000,
+            ..Default::default()
+        });
         assert_eq!(g.len(), 10_000);
         assert!(g.iter().all(|&b| b < 4));
     }
@@ -86,7 +95,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let o = GenomeOpts { len: 5_000, seed: 7, ..Default::default() };
+        let o = GenomeOpts {
+            len: 5_000,
+            seed: 7,
+            ..Default::default()
+        };
         assert_eq!(generate_genome(&o), generate_genome(&o));
         let o2 = GenomeOpts { seed: 8, ..o };
         assert_ne!(generate_genome(&o), generate_genome(&o2));
@@ -104,7 +117,9 @@ mod tests {
         let unit = &g[..1_000];
         // Count exact copies of the unit's first 100 bases elsewhere.
         let probe = &unit[..100];
-        let hits = (1..g.len() - 100).filter(|&i| &g[i..i + 100] == probe).count();
+        let hits = (1..g.len() - 100)
+            .filter(|&i| &g[i..i + 100] == probe)
+            .count();
         assert!(hits >= 10, "hits={hits}");
     }
 }

@@ -45,7 +45,10 @@ pub fn simulate_reads(genome: &[u8], opts: &SimOpts) -> Vec<SimulatedRead> {
     let lengths = opts.platform.lengths();
     let mut out = Vec::with_capacity(opts.num_reads);
     for i in 0..opts.num_reads {
-        let want = lengths.sample(&mut rng).min(genome.len() / 2).max(lengths.min_len);
+        let want = lengths
+            .sample(&mut rng)
+            .min(genome.len() / 2)
+            .max(lengths.min_len);
         let start = rng.random_range(0..genome.len().saturating_sub(want).max(1));
         let end = (start + want).min(genome.len());
         let rev = rng.random::<bool>();
@@ -58,7 +61,12 @@ pub fn simulate_reads(genome: &[u8], opts: &SimOpts) -> Vec<SimulatedRead> {
         out.push(SimulatedRead {
             name: format!("read{:06}", i),
             seq,
-            origin: TrueOrigin { rid: 0, start: start as u32, end: end as u32, rev },
+            origin: TrueOrigin {
+                rid: 0,
+                start: start as u32,
+                end: end as u32,
+                rev,
+            },
         });
     }
     out
@@ -93,7 +101,11 @@ mod tests {
     use crate::profile::Platform;
 
     fn genome() -> Vec<u8> {
-        generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, ..Default::default() })
+        generate_genome(&GenomeOpts {
+            len: 200_000,
+            repeat_frac: 0.0,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -101,7 +113,11 @@ mod tests {
         let g = genome();
         let reads = simulate_reads(
             &g,
-            &SimOpts { platform: Platform::PacBio, num_reads: 50, seed: 3 },
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 50,
+                seed: 3,
+            },
         );
         assert_eq!(reads.len(), 50);
         for r in &reads {
@@ -119,7 +135,11 @@ mod tests {
         let g = genome();
         let reads = simulate_reads(
             &g,
-            &SimOpts { platform: Platform::PacBio, num_reads: 200, seed: 4 },
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 200,
+                seed: 4,
+            },
         );
         let mut ratio_sum = 0.0;
         for r in &reads {
@@ -136,7 +156,11 @@ mod tests {
         let g = genome();
         let reads = simulate_reads(
             &g,
-            &SimOpts { platform: Platform::Nanopore, num_reads: 100, seed: 5 },
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 100,
+                seed: 5,
+            },
         );
         let rev = reads.iter().filter(|r| r.origin.rev).count();
         assert!(rev > 20 && rev < 80, "rev={rev}");
@@ -145,11 +169,18 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = genome();
-        let o = SimOpts { platform: Platform::PacBio, num_reads: 10, seed: 9 };
+        let o = SimOpts {
+            platform: Platform::PacBio,
+            num_reads: 10,
+            seed: 9,
+        };
         let a = simulate_reads(&g, &o);
         let b = simulate_reads(&g, &o);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.seq == y.seq && x.origin == y.origin));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.seq == y.seq && x.origin == y.origin));
     }
 
     #[test]
@@ -157,7 +188,11 @@ mod tests {
         let g = genome();
         let reads = simulate_reads(
             &g,
-            &SimOpts { platform: Platform::Nanopore, num_reads: 20, seed: 6 },
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 20,
+                seed: 6,
+            },
         );
         let r = reads.iter().find(|r| !r.origin.rev).unwrap();
         // Count matching bases at the same offsets for the first 100
@@ -165,6 +200,10 @@ mod tests {
         let tpl = &g[r.origin.start as usize..r.origin.end as usize];
         let n = 100.min(tpl.len()).min(r.seq.len());
         let same = (0..n).filter(|&i| tpl[i] == r.seq[i]).count();
-        assert!(same as f64 / n as f64 > 0.5, "identity={}", same as f64 / n as f64);
+        assert!(
+            same as f64 / n as f64 > 0.5,
+            "identity={}",
+            same as f64 / n as f64
+        );
     }
 }

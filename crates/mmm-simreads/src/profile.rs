@@ -27,9 +27,17 @@ pub struct ErrorProfile {
 
 impl ErrorProfile {
     /// PacBio CLR: ~15% total error, insertion-heavy (PBSIM's CLR model).
-    pub const PACBIO: ErrorProfile = ErrorProfile { sub: 0.015, ins: 0.09, del: 0.045 };
+    pub const PACBIO: ErrorProfile = ErrorProfile {
+        sub: 0.015,
+        ins: 0.09,
+        del: 0.045,
+    };
     /// Nanopore R9: ~10% total error, deletion-biased.
-    pub const NANOPORE: ErrorProfile = ErrorProfile { sub: 0.03, ins: 0.03, del: 0.04 };
+    pub const NANOPORE: ErrorProfile = ErrorProfile {
+        sub: 0.03,
+        ins: 0.03,
+        del: 0.04,
+    };
 
     /// Total error rate.
     pub fn total(&self) -> f64 {
@@ -50,11 +58,19 @@ pub struct LengthModel {
 
 impl LengthModel {
     /// Tuned so the mean lands near Table 4's 5,567 bp with max ≈ 25 kb.
-    pub const PACBIO: LengthModel =
-        LengthModel { mu: 8.45, sigma: 0.55, min_len: 200, max_len: 25_000 };
+    pub const PACBIO: LengthModel = LengthModel {
+        mu: 8.45,
+        sigma: 0.55,
+        min_len: 200,
+        max_len: 25_000,
+    };
     /// Mean near 3,958 bp with a very long tail (paper max: 514 kb).
-    pub const NANOPORE: LengthModel =
-        LengthModel { mu: 7.8, sigma: 1.05, min_len: 200, max_len: 520_000 };
+    pub const NANOPORE: LengthModel = LengthModel {
+        mu: 7.8,
+        sigma: 1.05,
+        min_len: 200,
+        max_len: 520_000,
+    };
 
     /// Draw one read length (log-normal via Box–Muller, clamped).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
@@ -99,6 +115,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the claim
     fn error_totals_match_platform_lore() {
         assert!((ErrorProfile::PACBIO.total() - 0.15).abs() < 0.01);
         assert!((ErrorProfile::NANOPORE.total() - 0.10).abs() < 0.01);
@@ -110,8 +127,9 @@ mod tests {
     #[test]
     fn pacbio_lengths_match_table4_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let lens: Vec<usize> =
-            (0..20_000).map(|_| LengthModel::PACBIO.sample(&mut rng)).collect();
+        let lens: Vec<usize> = (0..20_000)
+            .map(|_| LengthModel::PACBIO.sample(&mut rng))
+            .collect();
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         let max = *lens.iter().max().unwrap();
         assert!((mean - 5_567.0).abs() < 800.0, "mean={mean}");
@@ -121,8 +139,9 @@ mod tests {
     #[test]
     fn nanopore_tail_is_much_longer_than_mean() {
         let mut rng = StdRng::seed_from_u64(2);
-        let lens: Vec<usize> =
-            (0..20_000).map(|_| LengthModel::NANOPORE.sample(&mut rng)).collect();
+        let lens: Vec<usize> = (0..20_000)
+            .map(|_| LengthModel::NANOPORE.sample(&mut rng))
+            .collect();
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         let max = *lens.iter().max().unwrap();
         assert!((mean - 3_958.0).abs() < 1_200.0, "mean={mean}");

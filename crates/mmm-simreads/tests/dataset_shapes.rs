@@ -9,22 +9,33 @@ use mmm_simreads::{
 
 #[test]
 fn pacbio_and_nanopore_contrast_holds_across_seeds() {
-    let genome = generate_genome(&GenomeOpts { len: 400_000, repeat_frac: 0.0, ..Default::default() });
+    let genome = generate_genome(&GenomeOpts {
+        len: 400_000,
+        repeat_frac: 0.0,
+        ..Default::default()
+    });
     for seed in [1u64, 17, 99] {
         let pb = simulate_reads(
             &genome,
-            &SimOpts { platform: Platform::PacBio, num_reads: 800, seed },
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 800,
+                seed,
+            },
         );
         let ont = simulate_reads(
             &genome,
-            &SimOpts { platform: Platform::Nanopore, num_reads: 800, seed },
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 800,
+                seed,
+            },
         );
         let mean = |rs: &[mmm_simreads::SimulatedRead]| {
             rs.iter().map(|r| r.seq.len()).sum::<usize>() as f64 / rs.len() as f64
         };
-        let max = |rs: &[mmm_simreads::SimulatedRead]| {
-            rs.iter().map(|r| r.seq.len()).max().unwrap()
-        };
+        let max =
+            |rs: &[mmm_simreads::SimulatedRead]| rs.iter().map(|r| r.seq.len()).max().unwrap();
         // PacBio: longer mean; Nanopore: much longer tail relative to mean.
         assert!(mean(&pb) > mean(&ont), "seed={seed}");
         assert!(
@@ -37,9 +48,19 @@ fn pacbio_and_nanopore_contrast_holds_across_seeds() {
 #[test]
 fn pacbio_reads_are_net_longer_than_their_template() {
     // Insertion-dominant errors ⇒ read length > template length on average.
-    let genome = generate_genome(&GenomeOpts { len: 300_000, repeat_frac: 0.0, ..Default::default() });
-    let reads =
-        simulate_reads(&genome, &SimOpts { platform: Platform::PacBio, num_reads: 400, seed: 3 });
+    let genome = generate_genome(&GenomeOpts {
+        len: 300_000,
+        repeat_frac: 0.0,
+        ..Default::default()
+    });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform: Platform::PacBio,
+            num_reads: 400,
+            seed: 3,
+        },
+    );
     let net: f64 = reads
         .iter()
         .map(|r| r.seq.len() as f64 / (r.origin.end - r.origin.start) as f64)
@@ -48,8 +69,14 @@ fn pacbio_reads_are_net_longer_than_their_template() {
     assert!(net > 1.02, "net={net}");
 
     // Nanopore is deletion-biased ⇒ slightly shorter than template.
-    let reads =
-        simulate_reads(&genome, &SimOpts { platform: Platform::Nanopore, num_reads: 400, seed: 3 });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 400,
+            seed: 3,
+        },
+    );
     let net: f64 = reads
         .iter()
         .map(|r| r.seq.len() as f64 / (r.origin.end - r.origin.start) as f64)
@@ -60,9 +87,19 @@ fn pacbio_reads_are_net_longer_than_their_template() {
 
 #[test]
 fn origins_cover_the_genome_roughly_uniformly() {
-    let genome = generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, ..Default::default() });
-    let reads =
-        simulate_reads(&genome, &SimOpts { platform: Platform::Nanopore, num_reads: 2_000, seed: 8 });
+    let genome = generate_genome(&GenomeOpts {
+        len: 200_000,
+        repeat_frac: 0.0,
+        ..Default::default()
+    });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 2_000,
+            seed: 8,
+        },
+    );
     // Bucket start positions into 10 deciles; no decile may be empty or
     // hold more than 3× the uniform share.
     let mut buckets = [0usize; 10];
@@ -80,7 +117,12 @@ fn evaluate_is_exactly_the_papers_error_rate_definition() {
     // error rate = wrong / mapped (not / total): unmapped reads must not
     // change it.
     let truths = vec![
-        mmm_simreads::TrueOrigin { rid: 0, start: 0, end: 1000, rev: false };
+        mmm_simreads::TrueOrigin {
+            rid: 0,
+            start: 0,
+            end: 1000,
+            rev: false
+        };
         10
     ];
     let calls: Vec<MappingCall> = (0..4)

@@ -32,7 +32,10 @@ fn noisy_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
 }
 
 fn main() {
-    let len: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
     let (t, q) = noisy_pair(len, 99);
     let sc = Scoring::MAP_ONT;
     let cells = (t.len() as f64) * (q.len() as f64);
@@ -52,13 +55,27 @@ fn main() {
             score = e.align(&t, &q, &sc, AlignMode::Global, false).score;
         }
         let secs = start.elapsed().as_secs_f64() / reps as f64;
-        println!("{:<22} {:>10} {:>12.3}", e.label(), score, cells / secs / 1e9);
+        println!(
+            "{:<22} {:>10} {:>12.3}",
+            e.label(),
+            score,
+            cells / secs / 1e9
+        );
     }
 
     // Simulated GPU kernels: one block of 512 threads each (per-kernel
     // throughput; the stream engine multiplies this by concurrency).
     for kind in [GpuKernelKind::Mm2, GpuKernelKind::Manymap] {
-        let run = run_kernel(&t, &q, &sc, kind, AlignMode::Global, false, 512, &DeviceSpec::V100);
+        let run = run_kernel(
+            &t,
+            &q,
+            &sc,
+            kind,
+            AlignMode::Global,
+            false,
+            512,
+            &DeviceSpec::V100,
+        );
         println!(
             "{:<22} {:>10} {:>12.3}   (simulated; {} cycles, shared={})",
             kind.label(),

@@ -6,7 +6,7 @@
 //! cargo run --release --example pacbio_pipeline
 //! ```
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use manymap::{MapOpts, Mapper};
 use mmm_index::{IdxOpts, MinimizerIndex};
@@ -17,24 +17,43 @@ use mmm_simreads::{
 };
 
 fn main() {
-    let genome = generate_genome(&GenomeOpts { len: 1_000_000, seed: 11, ..Default::default() });
+    let genome = generate_genome(&GenomeOpts {
+        len: 1_000_000,
+        seed: 11,
+        ..Default::default()
+    });
     let index = MinimizerIndex::build(
         &[SeqRecord::new("chr1", nt4_decode(&genome))],
         &IdxOpts::MAP_PB,
     );
-    let reads =
-        simulate_reads(&genome, &SimOpts { platform: Platform::PacBio, num_reads: 300, seed: 3 });
-    println!("dataset: {} reads, {} bases", reads.len(), reads.iter().map(|r| r.seq.len()).sum::<usize>());
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform: Platform::PacBio,
+            num_reads: 300,
+            seed: 3,
+        },
+    );
+    println!(
+        "dataset: {} reads, {} bases",
+        reads.len(),
+        reads.iter().map(|r| r.seq.len()).sum::<usize>()
+    );
 
     let mapper = Mapper::new(&index, MapOpts::map_pb());
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // Feed the pipeline in batches of ~64 reads.
     let mut batches: Vec<Vec<(usize, Vec<u8>)>> = reads
         .chunks(64)
         .enumerate()
         .map(|(b, c)| {
-            c.iter().enumerate().map(|(i, r)| (b * 64 + i, r.seq.clone())).collect()
+            c.iter()
+                .enumerate()
+                .map(|(i, r)| (b * 64 + i, r.seq.clone()))
+                .collect()
         })
         .collect();
     batches.reverse();
@@ -54,13 +73,13 @@ fn main() {
             })
         },
         |(_, seq)| seq.len(),
-        |results| calls.lock().extend(results.into_iter().flatten()),
+        |results| calls.lock().unwrap().extend(results.into_iter().flatten()),
         threads,
         true, // long reads first
     );
 
     let truths: Vec<_> = reads.iter().map(|r| r.origin).collect();
-    let summary = evaluate(&calls.into_inner(), &truths);
+    let summary = evaluate(&calls.into_inner().unwrap(), &truths);
     println!(
         "pipeline: {} batches, {:.2}s wall ({:.2}s compute, {:.2}s I/O overlap)",
         stats.batches,

@@ -11,7 +11,11 @@ use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpt
 
 fn main() {
     // 1. A synthetic 500 kb reference (stand-in for a FASTA file).
-    let genome = generate_genome(&GenomeOpts { len: 500_000, seed: 42, ..Default::default() });
+    let genome = generate_genome(&GenomeOpts {
+        len: 500_000,
+        seed: 42,
+        ..Default::default()
+    });
     let reference = SeqRecord::new("chr1", nt4_decode(&genome));
 
     // 2. Build the minimizer index (the equivalent of `minimap2 -d ref.mmi`).
@@ -27,7 +31,11 @@ fn main() {
     // 3. Simulate a handful of Nanopore reads with known origins.
     let reads = simulate_reads(
         &genome,
-        &SimOpts { platform: Platform::Nanopore, num_reads: 5, seed: 7 },
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 5,
+            seed: 7,
+        },
     );
 
     // 4. Map them (the equivalent of `minimap2 -ax map-ont ref.mmi reads.fq`).
@@ -36,7 +44,13 @@ fn main() {
         for m in mapper.map_read(&r.seq) {
             println!(
                 "{}",
-                paf_line(&r.name, r.seq.len(), &index.seqs[m.rid as usize].name, genome.len(), &m)
+                paf_line(
+                    &r.name,
+                    r.seq.len(),
+                    &index.seqs[m.rid as usize].name,
+                    genome.len(),
+                    &m
+                )
             );
         }
         println!(

@@ -27,7 +27,12 @@ const INS_POS: usize = 300_000;
 const INS_LEN: usize = 200;
 
 fn main() {
-    let reference = generate_genome(&GenomeOpts { len: 450_000, repeat_frac: 0.0, seed: 2024, ..Default::default() });
+    let reference = generate_genome(&GenomeOpts {
+        len: 450_000,
+        repeat_frac: 0.0,
+        seed: 2024,
+        ..Default::default()
+    });
 
     // Donor: reference with a deletion at DEL_POS and an insertion at INS_POS.
     let mut donor = reference.clone();
@@ -35,15 +40,20 @@ fn main() {
     let novel: Vec<u8> = (0..INS_LEN).map(|i| ((i * 13 + 5) % 4) as u8).collect();
     let ins_pos_in_donor = INS_POS - DEL_LEN;
     donor.splice(ins_pos_in_donor..ins_pos_in_donor, novel);
-    println!(
-        "planted truth: DEL {DEL_LEN} bp @ ref:{DEL_POS}, INS {INS_LEN} bp @ ref:{INS_POS}"
-    );
+    println!("planted truth: DEL {DEL_LEN} bp @ ref:{DEL_POS}, INS {INS_LEN} bp @ ref:{INS_POS}");
 
     // Index the reference; sequence the donor.
     let opts = MapOpts::map_ont();
     let index = MinimizerIndex::build(&[SeqRecord::new("ref", nt4_decode(&reference))], &opts.idx);
     let mapper = Mapper::new(&index, opts);
-    let reads = simulate_reads(&donor, &SimOpts { platform: Platform::Nanopore, num_reads: 250, seed: 31 });
+    let reads = simulate_reads(
+        &donor,
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 250,
+            seed: 31,
+        },
+    );
 
     // Collect long-gap evidence from the CIGARs.
     let mut votes: HashMap<(char, u32), u32> = HashMap::new(); // (kind, pos/100) -> count
@@ -72,8 +82,7 @@ fn main() {
     }
 
     // Report loci with ≥3 supporting reads.
-    let mut calls: Vec<((char, u32), u32)> =
-        votes.into_iter().filter(|&(_, n)| n >= 3).collect();
+    let mut calls: Vec<((char, u32), u32)> = votes.into_iter().filter(|&(_, n)| n >= 3).collect();
     calls.sort();
     println!("\nSV calls (kind, ~position, support):");
     let mut found_del = false;
@@ -88,9 +97,7 @@ fn main() {
             found_ins = true;
         }
     }
-    println!(
-        "\ndeletion recovered: {found_del};  insertion recovered: {found_ins}"
-    );
+    println!("\ndeletion recovered: {found_del};  insertion recovered: {found_ins}");
 
     // Refine the deletion locus with the two-piece model: one long gap
     // should survive as a single event with a better score than one-piece.
@@ -111,7 +118,12 @@ fn main() {
         true,
     );
     let longest_del = |c: &mmm_align::Cigar| {
-        c.runs().iter().filter(|(op, _)| *op == CigarOp::Del).map(|&(_, l)| l).max().unwrap_or(0)
+        c.runs()
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Del)
+            .map(|&(_, l)| l)
+            .max()
+            .unwrap_or(0)
     };
     println!(
         "\ntwo-piece refinement at the deletion: score {} (longest D run {}), one-piece score {} (longest D run {})",
@@ -120,6 +132,8 @@ fn main() {
         one.score,
         longest_del(one.cigar.as_ref().unwrap()),
     );
-    println!("(two-piece keeps the {DEL_LEN} bp deletion as one event and scores it {} points higher)",
-        two.score - one.score);
+    println!(
+        "(two-piece keeps the {DEL_LEN} bp deletion as one event and scores it {} points higher)",
+        two.score - one.score
+    );
 }

@@ -33,7 +33,10 @@ fn noisy_pair(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
 fn main() {
     let sc = Scoring::MAP_PB;
     let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..48).map(|k| noisy_pair(3000, k as u64)).collect();
-    let cells: f64 = pairs.iter().map(|(t, q)| t.len() as f64 * q.len() as f64).sum();
+    let cells: f64 = pairs
+        .iter()
+        .map(|(t, q)| t.len() as f64 * q.len() as f64)
+        .sum();
 
     // CPU: real execution with the widest manymap kernel, then projected to
     // the paper's 40-thread Xeon Gold via the machine model.
@@ -46,7 +49,12 @@ fn main() {
         per_read.push(t0.elapsed().as_secs_f64());
     }
     let cpu_single = start.elapsed().as_secs_f64();
-    println!("CPU  ({}, 1 thread, measured): {:.4}s  {:.2} GCUPS", engine.label(), cpu_single, cells / cpu_single / 1e9);
+    println!(
+        "CPU  ({}, 1 thread, measured): {:.4}s  {:.2} GCUPS",
+        engine.label(),
+        cpu_single,
+        cells / cpu_single / 1e9
+    );
 
     let batch = WorkBatch {
         chain_cost: vec![0.0; per_read.len()],
@@ -54,16 +62,29 @@ fn main() {
         in_cost: 0.001,
         out_cost: 0.001,
     };
-    let params = PipelineParams { affinity: AffinityPolicy::Scatter, ..Default::default() };
+    let params = PipelineParams {
+        affinity: AffinityPolicy::Scatter,
+        ..Default::default()
+    };
     let cpu40 = simulate_pipeline(&XEON_GOLD_5115, 40, std::slice::from_ref(&batch), &params);
-    println!("CPU  (Xeon Gold 5115, 40 threads, modeled): {:.4}s", cpu40.total);
+    println!(
+        "CPU  (Xeon Gold 5115, 40 threads, modeled): {:.4}s",
+        cpu40.total
+    );
 
     // GPU: simulated V100, 128 streams × 512 threads.
     let jobs: Vec<KernelJob> = pairs
         .iter()
-        .map(|(t, q)| KernelJob { target: t.clone(), query: q.clone(), with_path: false })
+        .map(|(t, q)| KernelJob {
+            target: t.clone(),
+            query: q.clone(),
+            with_path: false,
+        })
         .collect();
-    let cfg = StreamConfig { kind: GpuKernelKind::Manymap, ..Default::default() };
+    let cfg = StreamConfig {
+        kind: GpuKernelKind::Manymap,
+        ..Default::default()
+    };
     let rep = simulate_batch(&jobs, &sc, &cfg, &DeviceSpec::V100);
     println!(
         "GPU  (Tesla V100, simulated): {:.4}s  {:.2} GCUPS  (peak concurrency {})",
@@ -73,8 +94,16 @@ fn main() {
     );
 
     // KNL: simulated Xeon Phi 7210, 256 threads, optimized affinity.
-    let knl = simulate_pipeline(&KNL_7210, 256, std::slice::from_ref(&batch), &PipelineParams::default());
-    println!("KNL  (Xeon Phi 7210, 256 threads, modeled): {:.4}s", knl.total);
+    let knl = simulate_pipeline(
+        &KNL_7210,
+        256,
+        std::slice::from_ref(&batch),
+        &PipelineParams::default(),
+    );
+    println!(
+        "KNL  (Xeon Phi 7210, 256 threads, modeled): {:.4}s",
+        knl.total
+    );
 
     println!("\n(the GPU wins the kernel micro-benchmark; the CPU stays the most efficient end-to-end platform — the paper's conclusion)");
 }

@@ -1,0 +1,168 @@
+//! Vendored stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of `rand` it actually uses: a seedable
+//! RNG (`rngs::StdRng`), `Rng::random` for `f64`/`bool`, and
+//! `Rng::random_range` over half-open integer ranges.
+//!
+//! The generator is SplitMix64 — statistically solid for simulation
+//! workloads, deterministic for a given seed, and trivially portable. The
+//! streams differ from upstream `rand`'s ChaCha12-based `StdRng`, which only
+//! matters to tests that hard-code expected sequences; this workspace has
+//! none (its tests assert distributional or structural properties).
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the parts of `rand::Rng` the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (`f64` in `[0, 1)`, `bool` fair coin, full-range
+    /// integers).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64. Passes BigCrush for the output function used here; 2^64
+    /// period is ample for test/simulation use.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    /// Alias: the workspace treats small and standard RNGs identically.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Random: Sized {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait RangeSample: Sized {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, irrelevant at test scale.
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..4usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

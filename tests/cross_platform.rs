@@ -27,7 +27,11 @@ fn gpu_simulation_is_bit_identical_to_cpu() {
     let sc = Scoring::MAP_PB;
     let jobs: Vec<KernelJob> = pairs(10, 700)
         .into_iter()
-        .map(|(t, q)| KernelJob { target: t, query: q, with_path: true })
+        .map(|(t, q)| KernelJob {
+            target: t,
+            query: q,
+            with_path: true,
+        })
         .collect();
     let cfg = StreamConfig::default();
     let rep = simulate_batch(&jobs, &sc, &cfg, &DeviceSpec::V100);
@@ -44,19 +48,29 @@ fn headline_claim_gpu_kernel_speedup() {
     let sc = Scoring::MAP_PB;
     let jobs: Vec<KernelJob> = pairs(32, 4_000)
         .into_iter()
-        .map(|(t, q)| KernelJob { target: t, query: q, with_path: false })
+        .map(|(t, q)| KernelJob {
+            target: t,
+            query: q,
+            with_path: false,
+        })
         .collect();
     let t_many = simulate_batch(
         &jobs,
         &sc,
-        &StreamConfig { kind: GpuKernelKind::Manymap, ..Default::default() },
+        &StreamConfig {
+            kind: GpuKernelKind::Manymap,
+            ..Default::default()
+        },
         &DeviceSpec::V100,
     )
     .sim_seconds;
     let t_mm2 = simulate_batch(
         &jobs,
         &sc,
-        &StreamConfig { kind: GpuKernelKind::Mm2, ..Default::default() },
+        &StreamConfig {
+            kind: GpuKernelKind::Mm2,
+            ..Default::default()
+        },
         &DeviceSpec::V100,
     )
     .sim_seconds;

@@ -7,12 +7,21 @@ use mmm_simreads::{
     evaluate, generate_genome, simulate_reads, GenomeOpts, MappingCall, Platform, SimOpts,
 };
 
-fn dataset(
-    platform: Platform,
-    n: usize,
-) -> (Vec<u8>, Vec<mmm_simreads::SimulatedRead>) {
-    let genome = generate_genome(&GenomeOpts { len: 300_000, repeat_frac: 0.05, seed: 99, ..Default::default() });
-    let reads = simulate_reads(&genome, &SimOpts { platform, num_reads: n, seed: 5 });
+fn dataset(platform: Platform, n: usize) -> (Vec<u8>, Vec<mmm_simreads::SimulatedRead>) {
+    let genome = generate_genome(&GenomeOpts {
+        len: 300_000,
+        repeat_frac: 0.05,
+        seed: 99,
+        ..Default::default()
+    });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform,
+            num_reads: n,
+            seed: 5,
+        },
+    );
     (genome, reads)
 }
 
@@ -21,14 +30,18 @@ fn map_all(mapper: &Mapper<'_>, reads: &[mmm_simreads::SimulatedRead]) -> Vec<Ma
         .iter()
         .enumerate()
         .filter_map(|(i, r)| {
-            mapper.map_read(&r.seq).into_iter().find(|m| m.primary).map(|m| MappingCall {
-                read_id: i,
-                rid: m.rid,
-                ref_start: m.ref_start,
-                ref_end: m.ref_end,
-                rev: m.rev,
-                mapq: m.mapq,
-            })
+            mapper
+                .map_read(&r.seq)
+                .into_iter()
+                .find(|m| m.primary)
+                .map(|m| MappingCall {
+                    read_id: i,
+                    rid: m.rid,
+                    ref_start: m.ref_start,
+                    ref_end: m.ref_end,
+                    rev: m.rev,
+                    mapq: m.mapq,
+                })
         })
         .collect()
 }
@@ -42,8 +55,17 @@ fn pacbio_reads_map_accurately() {
     let calls = map_all(&mapper, &reads);
     let truths: Vec<_> = reads.iter().map(|r| r.origin).collect();
     let s = evaluate(&calls, &truths);
-    assert!(s.mapped_frac() > 0.9, "mapped {}/{}", s.mapped, s.total_reads);
-    assert!(s.error_rate_pct() < 5.0, "error rate {:.2}%", s.error_rate_pct());
+    assert!(
+        s.mapped_frac() > 0.9,
+        "mapped {}/{}",
+        s.mapped,
+        s.total_reads
+    );
+    assert!(
+        s.error_rate_pct() < 5.0,
+        "error rate {:.2}%",
+        s.error_rate_pct()
+    );
 }
 
 #[test]
@@ -55,8 +77,17 @@ fn nanopore_reads_map_accurately() {
     let calls = map_all(&mapper, &reads);
     let truths: Vec<_> = reads.iter().map(|r| r.origin).collect();
     let s = evaluate(&calls, &truths);
-    assert!(s.mapped_frac() > 0.9, "mapped {}/{}", s.mapped, s.total_reads);
-    assert!(s.error_rate_pct() < 5.0, "error rate {:.2}%", s.error_rate_pct());
+    assert!(
+        s.mapped_frac() > 0.9,
+        "mapped {}/{}",
+        s.mapped,
+        s.total_reads
+    );
+    assert!(
+        s.error_rate_pct() < 5.0,
+        "error rate {:.2}%",
+        s.error_rate_pct()
+    );
 }
 
 #[test]
@@ -97,8 +128,10 @@ fn every_kernel_engine_maps_identically() {
     use mmm_align::Engine;
     let (genome, reads) = dataset(Platform::PacBio, 8);
     let base_opts = MapOpts::map_pb();
-    let index =
-        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &base_opts.idx);
+    let index = MinimizerIndex::build(
+        &[SeqRecord::new("chr1", nt4_decode(&genome))],
+        &base_opts.idx,
+    );
     let reference = Mapper::new(&index, base_opts);
     let ref_maps: Vec<_> = reads.iter().map(|r| reference.map_read(&r.seq)).collect();
     for e in Engine::all().into_iter().filter(|e| e.is_available()) {
@@ -109,7 +142,12 @@ fn every_kernel_engine_maps_identically() {
             for (g, x) in got.iter().zip(expect) {
                 assert_eq!(g.align_score, x.align_score, "{}", e.label());
                 assert_eq!(g.cigar, x.cigar, "{}", e.label());
-                assert_eq!((g.ref_start, g.ref_end), (x.ref_start, x.ref_end), "{}", e.label());
+                assert_eq!(
+                    (g.ref_start, g.ref_end),
+                    (x.ref_start, x.ref_end),
+                    "{}",
+                    e.label()
+                );
             }
         }
     }

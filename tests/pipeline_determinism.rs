@@ -1,7 +1,7 @@
 //! The parallel pipelines must produce byte-identical output to a serial
 //! run, regardless of thread count, batch sorting or pipeline design.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use manymap::{MapOpts, Mapper};
 use mmm_index::MinimizerIndex;
@@ -10,10 +10,22 @@ use mmm_seq::{nt4_decode, SeqRecord};
 use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
 
 fn workload() -> (MinimizerIndex, Vec<Vec<u8>>, MapOpts) {
-    let genome = generate_genome(&GenomeOpts { len: 200_000, repeat_frac: 0.0, seed: 31, ..Default::default() });
+    let genome = generate_genome(&GenomeOpts {
+        len: 200_000,
+        repeat_frac: 0.0,
+        seed: 31,
+        ..Default::default()
+    });
     let opts = MapOpts::map_ont();
     let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
-    let reads = simulate_reads(&genome, &SimOpts { platform: Platform::Nanopore, num_reads: 40, seed: 13 });
+    let reads = simulate_reads(
+        &genome,
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 40,
+            seed: 13,
+        },
+    );
     (index, reads.into_iter().map(|r| r.seq).collect(), opts)
 }
 
@@ -24,7 +36,12 @@ fn serial_output(mapper: &Mapper<'_>, reads: &[Vec<u8>]) -> Vec<String> {
             mapper
                 .map_read(r)
                 .iter()
-                .map(|m| format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score))
+                .map(|m| {
+                    format!(
+                        "{}:{}-{} {} {}",
+                        m.rid, m.ref_start, m.ref_end, m.rev, m.align_score
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(";")
         })
@@ -53,17 +70,24 @@ fn three_thread_pipeline_matches_serial() {
                         .map_read(r)
                         .iter()
                         .map(|m| {
-                            format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score)
+                            format!(
+                                "{}:{}-{} {} {}",
+                                m.rid, m.ref_start, m.ref_end, m.rev, m.align_score
+                            )
                         })
                         .collect::<Vec<_>>()
                         .join(";")
                 },
                 |r| r.len(),
-                |batch| out.lock().extend(batch),
+                |batch| out.lock().unwrap().extend(batch),
                 threads,
                 sort,
             );
-            assert_eq!(out.into_inner(), expect, "threads={threads} sort={sort}");
+            assert_eq!(
+                out.into_inner().unwrap(),
+                expect,
+                "threads={threads} sort={sort}"
+            );
         }
     }
 }
@@ -81,12 +105,17 @@ fn two_thread_pipeline_matches_serial() {
             mapper
                 .map_read(r)
                 .iter()
-                .map(|m| format!("{}:{}-{} {} {}", m.rid, m.ref_start, m.ref_end, m.rev, m.align_score))
+                .map(|m| {
+                    format!(
+                        "{}:{}-{} {} {}",
+                        m.rid, m.ref_start, m.ref_end, m.rev, m.align_score
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(";")
         },
-        |batch| out.lock().extend(batch),
+        |batch| out.lock().unwrap().extend(batch),
         3,
     );
-    assert_eq!(out.into_inner(), expect);
+    assert_eq!(out.into_inner().unwrap(), expect);
 }
