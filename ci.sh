@@ -17,4 +17,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> fault suite: hostile inputs, injected faults, degradation paths"
+cargo test -q -p mmm-index --test truncated_index
+cargo test -q -p mmm-pipeline --test faults
+cargo test -q -p manymap --test cli_faults
+
 echo "CI OK"

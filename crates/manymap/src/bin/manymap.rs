@@ -6,25 +6,35 @@
 //! manymap index  ref.fa ref.mmx [--preset map-pb|map-ont]
 //! manymap map    ref.mmx reads.fq [--preset ...] [--engine mm2|manymap]
 //!                [--threads N] [--sam] [--no-cigar] [--no-mmap]
+//!                [--max-read-len N]
 //! manymap map    ref.fa  reads.fq   # index built on the fly
 //! ```
 //!
 //! Output (PAF by default, SAM with `--sam`) goes to stdout; stage timings
 //! to stderr.
+//!
+//! Fault behavior: fatal input problems (unreadable files, corrupt index,
+//! a byte stream dying mid-file) abort with a nonzero exit and a message
+//! naming the file and byte offset. Per-read problems (an oversized read, a
+//! worker panic) degrade that read to an unmapped record, are counted, and
+//! reported on stderr; the run still exits 0. `--inject-panic <read-name>`
+//! triggers a deliberate worker panic on the named read, for exercising the
+//! degradation path end-to-end.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 use std::process::ExitCode;
-
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use manymap::{paf_line, sam::sam_line, sam::write_sam_header, MapOpts, Mapper};
+use manymap::sam::{sam_line, sam_unmapped, write_sam_header};
+use manymap::{paf_line, paf_unmapped, MapError, MapOpts, MapReadError, Mapper};
 use mmm_align::{best_mm2_engine, AlignScratch};
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
-use mmm_pipeline::run_three_thread_with_state;
-use mmm_seq::FastxReader;
+use mmm_pipeline::{lock_unpoisoned, try_run_three_thread_with_state, DynError};
+use mmm_seq::{FastxReader, SeqRecord};
 
 struct Args {
     positional: Vec<String>,
@@ -38,7 +48,9 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             let val = match name {
-                "preset" | "engine" | "threads" => it.next().unwrap_or_default(),
+                "preset" | "engine" | "threads" | "max-read-len" | "inject-panic" => {
+                    it.next().unwrap_or_default()
+                }
                 _ => "true".to_string(),
             };
             flags.insert(name.to_string(), val);
@@ -60,10 +72,13 @@ fn opts_for(args: &Args) -> MapOpts {
     if args.flags.contains_key("no-cigar") {
         opts = opts.cigar(false);
     }
+    if let Some(n) = args.flags.get("max-read-len").and_then(|s| s.parse().ok()) {
+        opts.max_read_len = n;
+    }
     opts
 }
 
-fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, String> {
+fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, MapError> {
     if path.ends_with(".mmx") {
         let loader = |p: &Path| load_index_mmap(p);
         let fallback = |p: &Path| load_index(p);
@@ -72,32 +87,46 @@ fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, String> 
         } else {
             loader(Path::new(path))
         }
-        .map_err(|e| format!("loading index {path}: {e}"))?;
+        .map_err(|e| MapError::Index {
+            path: path.to_string(),
+            source: e,
+        })?;
         eprintln!(
             "[manymap] loaded index: {:.3}s, {} read call(s)",
             stats.seconds, stats.read_calls
         );
         Ok(idx)
     } else {
-        let f = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        let f = File::open(path).map_err(|e| MapError::Io {
+            path: path.to_string(),
+            source: e,
+        })?;
         let refs = FastxReader::new(BufReader::new(f))
             .read_all()
-            .map_err(|e| format!("parsing {path}: {e}"))?;
+            .map_err(|e| MapError::Seq {
+                path: path.to_string(),
+                source: e,
+            })?;
         if refs.is_empty() {
-            return Err(format!("{path}: no sequences"));
+            return Err(MapError::Usage(format!("{path}: no sequences")));
         }
         eprintln!("[manymap] indexing {} reference sequence(s)...", refs.len());
         Ok(MinimizerIndex::build(&refs, &opts.idx))
     }
 }
 
-fn cmd_index(args: &Args) -> Result<(), String> {
+fn cmd_index(args: &Args) -> Result<(), MapError> {
     let [input, output] = &args.positional[1..] else {
-        return Err("usage: manymap index <ref.fa> <out.mmx>".into());
+        return Err(MapError::Usage(
+            "usage: manymap index <ref.fa> <out.mmx>".into(),
+        ));
     };
     let opts = opts_for(args);
     let idx = load_reference(input, &opts)?;
-    save_index(&idx, Path::new(output)).map_err(|e| format!("writing {output}: {e}"))?;
+    save_index(&idx, Path::new(output)).map_err(|e| MapError::Io {
+        path: output.to_string(),
+        source: e,
+    })?;
     eprintln!(
         "[manymap] wrote {output}: {} minimizers over {} sequence(s)",
         idx.num_minimizers(),
@@ -106,9 +135,22 @@ fn cmd_index(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_map(args: &Args) -> Result<(), String> {
+/// The record emitted for a degraded read: SAM or PAF unmapped placeholder.
+fn unmapped_record(rec: &SeqRecord, sam: bool) -> String {
+    let mut s = if sam {
+        sam_unmapped(&rec.name, &rec.nt4())
+    } else {
+        paf_unmapped(&rec.name, rec.len())
+    };
+    s.push('\n');
+    s
+}
+
+fn cmd_map(args: &Args) -> Result<(), MapError> {
     let [ref_path, reads_path] = &args.positional[1..] else {
-        return Err("usage: manymap map <ref.mmx|ref.fa> <reads.fq>".into());
+        return Err(MapError::Usage(
+            "usage: manymap map <ref.mmx|ref.fa> <reads.fq>".into(),
+        ));
     };
     let opts = opts_for(args);
     let threads: usize = args
@@ -121,6 +163,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
                 .unwrap_or(1)
         });
     let sam = args.flags.contains_key("sam");
+    let inject_panic = args.flags.get("inject-panic").cloned();
 
     let mut timer = StageTimer::new();
     let index = timer.time(Stage::LoadIndex, || load_reference(ref_path, &opts))?;
@@ -128,26 +171,67 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
     let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
 
-    let f = File::open(reads_path).map_err(|e| format!("opening {reads_path}: {e}"))?;
+    let f = File::open(reads_path).map_err(|e| MapError::Io {
+        path: reads_path.to_string(),
+        source: e,
+    })?;
     let reader = Mutex::new(FastxReader::new(BufReader::new(f)));
     let mut out = BufWriter::new(std::io::stdout());
     if sam {
-        write_sam_header(&mut out, &tnames, &tlens).map_err(|e| e.to_string())?;
+        write_sam_header(&mut out, &tnames, &tlens).map_err(|e| MapError::Io {
+            path: "stdout".into(),
+            source: e,
+        })?;
     }
     let out = Mutex::new(out);
 
-    let stats = run_three_thread_with_state(
+    // Per-read degradation counters, reported on stderr after the run.
+    let too_long = AtomicUsize::new(0);
+    let align_rejected = AtomicUsize::new(0);
+    let panicked = AtomicUsize::new(0);
+
+    // A worker panic degrades the read instead of killing the run: the
+    // handler reports the offending read once and substitutes an unmapped
+    // record, so output still accounts for every input read.
+    let on_panic = |rec: &SeqRecord, msg: &str| -> String {
+        panicked.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "manymap: worker panicked on read '{}' ({msg}); emitting unmapped record",
+            rec.name
+        );
+        unmapped_record(rec, sam)
+    };
+
+    let stats = try_run_three_thread_with_state(
+        // A mid-file read error (device fault, malformed record) aborts the
+        // run with the file name and position — it is never EOF.
         || {
-            let batch = reader.lock().unwrap().next_batch(4_000_000).ok()?;
-            (!batch.is_empty()).then_some(batch)
+            let batch = lock_unpoisoned(&reader)
+                .next_batch(4_000_000)
+                .map_err(|e| -> DynError { format!("{reads_path}: {e}").into() })?;
+            Ok((!batch.is_empty()).then_some(batch))
         },
         // One scratch arena per persistent worker: the alignment hot path
         // stops allocating once the buffers have grown to the batch's
         // largest problem.
         |_worker| AlignScratch::new(),
-        |scratch: &mut AlignScratch, rec: &mmm_seq::SeqRecord| {
+        |scratch: &mut AlignScratch, rec: &SeqRecord| {
+            if inject_panic.as_deref() == Some(rec.name.as_str()) {
+                panic!("injected panic for read '{}'", rec.name);
+            }
             let nt4 = rec.nt4();
-            let ms = mapper.map_read_with_scratch(&nt4, scratch);
+            let ms = match mapper.try_map_read_with_scratch(&nt4, scratch) {
+                Ok(ms) => ms,
+                Err(e) => {
+                    match e {
+                        MapReadError::ReadTooLong { .. } => &too_long,
+                        MapReadError::Align(_) => &align_rejected,
+                    }
+                    .fetch_add(1, Ordering::Relaxed);
+                    eprintln!("manymap: read '{}' degraded to unmapped: {e}", rec.name);
+                    return unmapped_record(rec, sam);
+                }
+            };
             let mut lines = String::new();
             for m in &ms {
                 if sam {
@@ -166,15 +250,26 @@ fn cmd_map(args: &Args) -> Result<(), String> {
             lines
         },
         |rec| rec.len(),
+        // A write error (e.g. a closed pipe, a full disk) aborts the run.
         |results| {
-            let mut w = out.lock().unwrap();
+            let mut w = lock_unpoisoned(&out);
             for lines in results {
-                let _ = w.write_all(lines.as_bytes());
+                w.write_all(lines.as_bytes())
+                    .map_err(|e| -> DynError { format!("writing output: {e}").into() })?;
             }
+            Ok(())
         },
+        Some(&on_panic),
         threads,
         true,
-    );
+    )
+    .map_err(MapError::Pipeline)?;
+
+    lock_unpoisoned(&out).flush().map_err(|e| MapError::Io {
+        path: "stdout".into(),
+        source: e,
+    })?;
+
     eprintln!(
         "[manymap] mapped {} reads in {:.2}s wall ({} threads; compute {:.2}s, I/O {:.2}s)",
         stats.items,
@@ -183,6 +278,18 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         stats.compute_seconds,
         stats.in_seconds + stats.out_seconds
     );
+    let (tl, ar, pk) = (
+        too_long.load(Ordering::Relaxed),
+        align_rejected.load(Ordering::Relaxed),
+        panicked.load(Ordering::Relaxed),
+    );
+    if tl + ar + pk > 0 {
+        eprintln!(
+            "[manymap] {} read(s) degraded to unmapped: {tl} over the length limit, \
+             {ar} alignment-rejected, {pk} worker panic(s)",
+            tl + ar + pk
+        );
+    }
     Ok(())
 }
 
@@ -191,7 +298,9 @@ fn main() -> ExitCode {
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("index") => cmd_index(&args),
         Some("map") => cmd_map(&args),
-        _ => Err("usage: manymap <index|map> ... (see crate docs)".into()),
+        _ => Err(MapError::Usage(
+            "usage: manymap <index|map> ... (see crate docs)".into(),
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -70,7 +70,15 @@ fn main() -> ExitCode {
     let mut primary: HashMap<String, (String, Truth, Call)> = HashMap::new();
     let mut lines = 0u64;
     for line in reader.lines() {
-        let Ok(line) = line else { break };
+        // A mid-stream read error must not silently truncate the evaluation:
+        // stats over a partial PAF would look plausible but be wrong.
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("mapeval: {path}: read error after line {lines}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         lines += 1;
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 12 {

@@ -24,16 +24,20 @@
 //! assert!(!mappings.is_empty());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod baselines;
+pub mod error;
 pub mod mapper;
 pub mod opts;
 pub mod paf;
 pub mod profile;
 pub mod sam;
 
-pub use mapper::{Mapper, Mapping};
+pub use error::MapError;
+pub use mapper::{MapReadError, Mapper, Mapping};
 pub use opts::MapOpts;
-pub use paf::{paf_line, write_paf};
+pub use paf::{paf_line, paf_unmapped, write_paf};
 pub use profile::{profile_run, ProfileConfig, ProfileResult};
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -8,13 +8,47 @@
 //! single flag switches the whole mapper between minimap2's kernels and
 //! manymap's.
 
-use mmm_align::{extend_zdrop_with_scratch, fill_align_with_scratch, AlignScratch, Cigar, CigarOp};
+use mmm_align::{
+    extend_zdrop_with_scratch, fill_align_with_scratch, AlignError, AlignScratch, Cigar, CigarOp,
+};
 use mmm_chain::select::SelectedChain;
 use mmm_chain::{chain_anchors, select_chains, Chain};
 use mmm_index::MinimizerIndex;
 use mmm_seq::revcomp4;
 
 use crate::opts::MapOpts;
+
+/// Why one read could not be aligned. These are per-read conditions: the
+/// pipeline degrades the read to an unmapped record (with a counted reason)
+/// and keeps going, rather than aborting the whole run.
+#[derive(Debug)]
+pub enum MapReadError {
+    /// The read exceeds [`MapOpts::max_read_len`]; base-level alignment
+    /// would need an unreasonable amount of memory.
+    ReadTooLong { len: usize, max: usize },
+    /// The configured scoring cannot run on the 8-bit kernels.
+    Align(AlignError),
+}
+
+impl std::fmt::Display for MapReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapReadError::ReadTooLong { len, max } => {
+                write!(f, "read length {len} exceeds the {max} bp limit")
+            }
+            MapReadError::Align(e) => write!(f, "alignment rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapReadError::ReadTooLong { .. } => None,
+            MapReadError::Align(e) => Some(e),
+        }
+    }
+}
 
 /// Output of the seeding + chaining phase, consumed by the alignment phase.
 /// Keeping the two phases separate lets the stage profiler (Table 2,
@@ -81,6 +115,29 @@ impl<'a> Mapper<'a> {
         self.extend_with_scratch(query, &chained, scratch)
     }
 
+    /// Fallible [`Mapper::map_read_with_scratch`]: per-read conditions that
+    /// would trip kernel asserts or exhaust memory are rejected up front as
+    /// [`MapReadError`] so the caller can degrade the read instead of
+    /// crashing the worker.
+    pub fn try_map_read_with_scratch(
+        &self,
+        query: &[u8],
+        scratch: &mut AlignScratch,
+    ) -> Result<Vec<Mapping>, MapReadError> {
+        if query.len() > self.opts.max_read_len {
+            return Err(MapReadError::ReadTooLong {
+                len: query.len(),
+                max: self.opts.max_read_len,
+            });
+        }
+        if !self.opts.scoring.fits_i8() {
+            return Err(MapReadError::Align(AlignError::ScoringOverflowsI8(
+                self.opts.scoring,
+            )));
+        }
+        Ok(self.map_read_with_scratch(query, scratch))
+    }
+
     /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage).
     pub fn seed_chain(&self, query: &[u8]) -> ChainedRead {
         let anchors = self.index.collect_anchors(query);
@@ -111,13 +168,13 @@ impl<'a> Mapper<'a> {
     ) -> Vec<Mapping> {
         let mut out = Vec::with_capacity(chained.selected.len());
         for sel in &chained.selected {
-            let qseq: &[u8] = if sel.chain.rev {
-                chained
-                    .q_rc
-                    .as_deref()
-                    .expect("rc computed when any rev chain exists")
-            } else {
-                query
+            // `seed_chain` computes `q_rc` whenever any selected chain is
+            // reverse; if that invariant ever broke, skip the chain rather
+            // than crash the worker.
+            let qseq: &[u8] = match (sel.chain.rev, chained.q_rc.as_deref()) {
+                (true, Some(rc)) => rc,
+                (true, None) => continue,
+                (false, _) => query,
             };
             if let Some(m) = self.align_chain(
                 &sel.chain,

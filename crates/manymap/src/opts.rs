@@ -24,6 +24,9 @@ pub struct MapOpts {
     pub max_fill: usize,
     /// Z-drop threshold for end extension (minimap2 `-z`).
     pub zdrop: i32,
+    /// Reads longer than this are rejected per-read (degraded to unmapped)
+    /// rather than aligned; guards worker memory against pathological input.
+    pub max_read_len: usize,
 }
 
 impl MapOpts {
@@ -39,6 +42,7 @@ impl MapOpts {
             ext_factor: 1.5,
             max_fill: 20_000,
             zdrop: mmm_align::DEFAULT_ZDROP,
+            max_read_len: 100_000_000,
         }
     }
 

@@ -30,6 +30,14 @@ pub fn paf_line(qname: &str, qlen: usize, tname: &str, tlen: usize, m: &Mapping)
     s
 }
 
+/// Format an unmapped-read placeholder line (12 mandatory columns with `*`
+/// target fields and a `tp:A:U` tag). Emitted when a read is degraded —
+/// e.g. its worker panicked or it exceeded the length limit — so the output
+/// still accounts for every input read.
+pub fn paf_unmapped(qname: &str, qlen: usize) -> String {
+    format!("{qname}\t{qlen}\t0\t0\t*\t*\t0\t0\t0\t0\t0\t0\ttp:A:U")
+}
+
 /// Write a batch of mappings for one read.
 pub fn write_paf<W: Write>(
     w: &mut W,
@@ -91,6 +99,18 @@ mod tests {
         assert_eq!(cols[11], "60");
         assert!(line.contains("tp:A:P"));
         assert!(line.contains("cg:Z:100M"));
+    }
+
+    #[test]
+    fn unmapped_line_has_twelve_columns() {
+        let line = paf_unmapped("readB", 777);
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 13); // 12 mandatory + tp tag
+        assert_eq!(cols[0], "readB");
+        assert_eq!(cols[1], "777");
+        assert_eq!(cols[4], "*");
+        assert_eq!(cols[5], "*");
+        assert_eq!(cols[12], "tp:A:U");
     }
 
     #[test]

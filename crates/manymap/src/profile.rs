@@ -6,12 +6,12 @@
 //! path), *Load Query* (FASTA parsing + encoding), *Seed & Chain*, *Align*,
 //! *Output* (PAF formatting and writing).
 
-use std::io;
 use std::path::Path;
 
 use mmm_io::{Stage, StageTimer};
 use mmm_seq::FastxReader;
 
+use crate::error::MapError;
 use crate::mapper::Mapper;
 use crate::opts::MapOpts;
 
@@ -44,7 +44,7 @@ pub fn profile_run(
     index_path: &Path,
     query_fastx: &[u8],
     cfg: &ProfileConfig,
-) -> io::Result<ProfileResult> {
+) -> Result<ProfileResult, MapError> {
     let mut timer = StageTimer::new();
 
     let index = timer.time(Stage::LoadIndex, || {
@@ -53,8 +53,11 @@ pub fn profile_run(
         } else {
             mmm_index::load_index(index_path)
         }
+    });
+    let (index, _stats) = index.map_err(|e| MapError::Index {
+        path: index_path.display().to_string(),
+        source: e,
     })?;
-    let (index, _stats) = index;
 
     let mut reads = timer
         .time(Stage::LoadQuery, || {
@@ -66,7 +69,10 @@ pub fn profile_run(
                         .collect::<Vec<_>>()
                 })
         })
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        .map_err(|e| MapError::Seq {
+            path: "<query buffer>".into(),
+            source: e,
+        })?;
 
     if cfg.sort_by_length {
         reads.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
@@ -86,9 +92,14 @@ pub fn profile_run(
             mapper.extend_with_scratch(seq, &chained, &mut scratch)
         });
         mappings += ms.len();
-        timer.time(Stage::Output, || {
-            crate::paf::write_paf(&mut sink, name, seq.len(), &tnames, &tlens, &ms)
-        })?;
+        timer
+            .time(Stage::Output, || {
+                crate::paf::write_paf(&mut sink, name, seq.len(), &tnames, &tlens, &ms)
+            })
+            .map_err(|e| MapError::Io {
+                path: "<output buffer>".into(),
+                source: e,
+            })?;
     }
 
     Ok(ProfileResult {

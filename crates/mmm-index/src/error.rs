@@ -1,0 +1,117 @@
+//! Typed errors for index loading and parsing.
+//!
+//! The deserializer distinguishes three failure classes so callers can
+//! report them precisely: the file could not be opened at all, the byte
+//! stream died mid-parse (a device-level fault), or the bytes arrived fine
+//! but do not describe a valid index (corruption/truncation). The latter two
+//! carry the byte offset where parsing stopped, so a truncated or
+//! bit-flipped `.mmx` file is reported as "corrupt index at byte N", never
+//! as a panic or an out-of-memory abort.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors from [`crate::load_index`] / [`crate::load_index_mmap`] /
+/// [`crate::parse_index`].
+#[derive(Debug)]
+pub enum IndexError {
+    /// The index file could not be opened or mapped.
+    Open { path: PathBuf, source: io::Error },
+    /// The underlying byte source failed mid-parse (I/O fault, not bad
+    /// bytes). `offset` is the stream position where the fault surfaced,
+    /// when the source tracks one.
+    Io {
+        offset: Option<u64>,
+        source: io::Error,
+    },
+    /// The bytes were delivered but do not form a valid index: bad magic,
+    /// truncation, or a length prefix that contradicts the file size.
+    Corrupt { offset: Option<u64>, what: String },
+}
+
+impl IndexError {
+    /// Classify an `io::Error` raised while parsing at `offset`.
+    ///
+    /// `InvalidData` and `UnexpectedEof` mean the bytes themselves are wrong
+    /// (hostile length prefix, truncated file) — that is corruption, not an
+    /// I/O fault.
+    pub(crate) fn from_parse(offset: Option<u64>, e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => IndexError::Corrupt {
+                offset,
+                what: e.to_string(),
+            },
+            _ => IndexError::Io { offset, source: e },
+        }
+    }
+
+    /// True when the error indicates a malformed/truncated index rather
+    /// than a device fault.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, IndexError::Corrupt { .. })
+    }
+}
+
+fn write_at(f: &mut fmt::Formatter<'_>, offset: &Option<u64>) -> fmt::Result {
+    match offset {
+        Some(o) => write!(f, " at byte {o}"),
+        None => Ok(()),
+    }
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Open { path, source } => {
+                write!(f, "cannot open index {}: {source}", path.display())
+            }
+            IndexError::Io { offset, source } => {
+                write!(f, "index read failed")?;
+                write_at(f, offset)?;
+                write!(f, ": {source}")
+            }
+            IndexError::Corrupt { offset, what } => {
+                write!(f, "corrupt index")?;
+                write_at(f, offset)?;
+                write!(f, ": {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Open { source, .. } | IndexError::Io { source, .. } => Some(source),
+            IndexError::Corrupt { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let e = IndexError::from_parse(
+            Some(20),
+            io::Error::new(io::ErrorKind::InvalidData, "length prefix 999 exceeds file"),
+        );
+        assert!(e.is_corrupt());
+        let s = e.to_string();
+        assert!(s.contains("corrupt index at byte 20"), "{s}");
+        assert!(s.contains("length prefix"), "{s}");
+
+        let e = IndexError::from_parse(Some(4), io::Error::other("disk on fire"));
+        assert!(!e.is_corrupt());
+        assert!(e.to_string().contains("index read failed at byte 4"));
+
+        let e = IndexError::Open {
+            path: PathBuf::from("/no/such.mmx"),
+            source: io::Error::from(io::ErrorKind::NotFound),
+        };
+        assert!(e.to_string().contains("/no/such.mmx"));
+    }
+}

@@ -11,10 +11,14 @@
 //! reads (minimap2's loader) or a single memory map (manymap's §4.4.2
 //! optimization) — the two sides of the index-loading experiments.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod index;
 pub mod minimizer;
 pub mod serialize;
 
+pub use error::IndexError;
 pub use index::{IdxOpts, MinimizerIndex, RefSeq};
 pub use minimizer::{hash64, minimizers, Minimizer};
-pub use serialize::{load_index, load_index_mmap, save_index, LoadStats};
+pub use serialize::{load_index, load_index_mmap, parse_index, save_index, LoadStats};

@@ -106,22 +106,24 @@ fn minimizers_impl(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> 
             starts.clear();
         }
         let end = run_end - 1;
-        let m = if l >= k && fwd != rc {
-            let (key, rev) = if fwd < rc { (fwd, false) } else { (rc, true) };
-            let start = *starts.front().expect("k symbols tracked") as usize;
-            Minimizer {
-                hash: hash64(key, mask),
-                pos: end as u32,
-                rev,
-                span: (end - start + 1).min(255) as u8,
+        // `l >= k` guarantees `starts` holds k tracked symbol starts; the
+        // match keeps that invariant panic-free even if it ever broke.
+        let m = match starts.front() {
+            Some(&start) if l >= k && fwd != rc => {
+                let (key, rev) = if fwd < rc { (fwd, false) } else { (rc, true) };
+                Minimizer {
+                    hash: hash64(key, mask),
+                    pos: end as u32,
+                    rev,
+                    span: (end - start as usize + 1).min(255) as u8,
+                }
             }
-        } else {
-            Minimizer {
+            _ => Minimizer {
                 hash: u64::MAX,
                 pos: end as u32,
                 rev: false,
                 span: 0,
-            }
+            },
         };
         cands.push(m);
         i = run_end;
@@ -148,12 +150,15 @@ fn minimizers_impl(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> 
                 break;
             }
         }
-        // First full window ends at index k-1+w-1; emit from there on.
+        // First full window ends at index k-1+w-1; emit from there on. The
+        // deque is never empty here (index i was just pushed).
         if i + 1 >= k + w - 1 {
-            let best = cands[*deque.front().expect("window non-empty")];
-            if best.hash != u64::MAX && last_emitted != Some((best.hash, best.pos)) {
-                out.push(best);
-                last_emitted = Some((best.hash, best.pos));
+            if let Some(&front) = deque.front() {
+                let best = cands[front];
+                if best.hash != u64::MAX && last_emitted != Some((best.hash, best.pos)) {
+                    out.push(best);
+                    last_emitted = Some((best.hash, best.pos));
+                }
             }
         }
     }

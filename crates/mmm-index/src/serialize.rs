@@ -18,6 +18,7 @@ use std::time::Instant;
 use mmm_io::{ByteSource, ChunkedReader, Mmap, SliceSource};
 use mmm_seq::PackedSeq;
 
+use crate::error::IndexError;
 use crate::index::{MinimizerIndex, RefSeq};
 
 const MAGIC: &[u8; 4] = b"MMX\x01";
@@ -70,7 +71,33 @@ pub fn save_index(idx: &MinimizerIndex, path: &Path) -> io::Result<()> {
     w.flush()
 }
 
-fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
+/// Read a `u64` element count and sanity-check it against the bytes left in
+/// the source. Every counted element occupies at least `min_bytes_each`
+/// bytes on disk, so a count that claims more data than remains is corrupt —
+/// rejecting it here turns a hostile/bit-flipped prefix into `InvalidData`
+/// instead of a multi-gigabyte allocation.
+fn bounded_count<S: ByteSource>(src: &mut S, min_bytes_each: u64, what: &str) -> io::Result<usize> {
+    let n = src.take_u64()?;
+    if let Some(rem) = src.remaining_hint() {
+        match n.checked_mul(min_bytes_each) {
+            Some(need) if need <= rem => {}
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{what} count {n} exceeds the {rem} bytes remaining"),
+                ))
+            }
+        }
+    }
+    usize::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} count {n} does not fit in memory"),
+        )
+    })
+}
+
+fn parse_index_inner<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
     let mut magic = [0u8; 4];
     src.take_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -83,18 +110,31 @@ fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
     let w = src.take_u32()? as usize;
     let hpc = src.take_u32()? != 0;
     let max_occ = src.take_u32()?;
-    let n_seqs = src.take_u64()? as usize;
+    // Each sequence record is at least 24 bytes (three u64 length fields).
+    let n_seqs = bounded_count(src, 24, "sequence")?;
     let mut seqs = Vec::with_capacity(n_seqs);
     for _ in 0..n_seqs {
         let name = String::from_utf8_lossy(&src.take_bytes()?).into_owned();
         let len = src.take_u64()? as usize;
         let words = src.take_u32_vec()?;
+        // `PackedSeq::from_raw` asserts this invariant; a corrupt image must
+        // surface as a typed error, not a panic.
+        if words.len() != len.div_ceil(16) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "sequence '{name}': {} packed words cannot hold {len} bases",
+                    words.len()
+                ),
+            ));
+        }
         seqs.push(RefSeq {
             name,
             seq: PackedSeq::from_raw(words, len),
         });
     }
-    let n_keys = src.take_u64()? as usize;
+    // Each key contributes 8 bytes to the key array and 16 to (off, cnt).
+    let n_keys = bounded_count(src, 24, "minimizer key")?;
     let keys = {
         let mut v = Vec::with_capacity(n_keys);
         for _ in 0..n_keys {
@@ -120,10 +160,23 @@ fn parse_index<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
     })
 }
 
+/// Parse an index image from any [`ByteSource`].
+///
+/// All failures are typed: a malformed or truncated image yields
+/// [`IndexError::Corrupt`] with the byte offset where parsing stopped, a
+/// device fault yields [`IndexError::Io`]. This never panics and never
+/// allocates more than the source can actually deliver.
+pub fn parse_index<S: ByteSource>(src: &mut S) -> Result<MinimizerIndex, IndexError> {
+    parse_index_inner(src).map_err(|e| IndexError::from_parse(src.stream_position(), e))
+}
+
 /// minimap2's loading path: fragmented buffered reads.
-pub fn load_index(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
+pub fn load_index(path: &Path) -> Result<(MinimizerIndex, LoadStats), IndexError> {
     let start = Instant::now();
-    let mut r = ChunkedReader::open(path, 16 * 1024)?;
+    let mut r = ChunkedReader::open(path, 16 * 1024).map_err(|e| IndexError::Open {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
     let idx = parse_index(&mut r)?;
     Ok((
         idx,
@@ -136,9 +189,12 @@ pub fn load_index(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
 }
 
 /// manymap's loading path: one `mmap`, zero-copy parse (§4.4.2).
-pub fn load_index_mmap(path: &Path) -> io::Result<(MinimizerIndex, LoadStats)> {
+pub fn load_index_mmap(path: &Path) -> Result<(MinimizerIndex, LoadStats), IndexError> {
     let start = Instant::now();
-    let map = Mmap::open(path)?;
+    let map = Mmap::open(path).map_err(|e| IndexError::Open {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
     let mut src = SliceSource::new(&map);
     let idx = parse_index(&mut src)?;
     let bytes = src.position() as u64;

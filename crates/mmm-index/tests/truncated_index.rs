@@ -1,0 +1,154 @@
+//! Hostile-input suite for the index deserializer.
+//!
+//! Property: no byte stream — truncated, bit-flipped, or length-patched —
+//! may make [`parse_index`] panic or allocate unboundedly. Every failure
+//! must surface as a typed [`IndexError`], and a clean mid-stream I/O error
+//! must be distinguishable from corruption.
+
+use mmm_index::{parse_index, save_index, IdxOpts, IndexError, MinimizerIndex};
+use mmm_io::{ByteSource, FaultMode, FaultSource, SliceSource};
+use mmm_seq::SeqRecord;
+use proptest::prelude::*;
+
+/// `expect_err` needs `Debug` on the success type; `MinimizerIndex` has
+/// none, so unwrap the error by hand.
+fn must_fail(r: Result<MinimizerIndex, IndexError>, ctx: &str) -> IndexError {
+    match r {
+        Ok(_) => panic!("{ctx}: hostile input parsed as a full index"),
+        Err(e) => e,
+    }
+}
+
+/// Build a small two-sequence index and return its on-disk bytes.
+fn serialized_index() -> Vec<u8> {
+    let refs = vec![
+        SeqRecord::new(
+            "chrA",
+            b"ACGTACGTAGGCTAGCTAGGACTGACTGATCGATCGTACG".repeat(40),
+        ),
+        SeqRecord::new(
+            "chrB",
+            b"TTGACCAGTTGACCAGCCGGAATTCCGGTTAACCGGTTAA".repeat(25),
+        ),
+    ];
+    let idx = MinimizerIndex::build(&refs, &IdxOpts::MAP_ONT);
+    let path = std::env::temp_dir().join(format!(
+        "mmm-truncated-index-{}-{:?}.mmx",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    save_index(&idx, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
+#[test]
+fn full_file_round_trips() {
+    let bytes = serialized_index();
+    let idx = parse_index(&mut SliceSource::new(&bytes)).unwrap();
+    assert_eq!(idx.seqs.len(), 2);
+    assert!(idx.num_minimizers() > 0);
+}
+
+/// Exhaustive: every strict prefix of a valid index must yield a typed
+/// error — never a panic, never an `Ok`.
+#[test]
+fn every_strict_prefix_is_a_typed_error() {
+    let bytes = serialized_index();
+    for len in 0..bytes.len() {
+        let mut src = SliceSource::new(&bytes[..len]);
+        match parse_index(&mut src) {
+            Ok(_) => panic!(
+                "prefix of {len}/{} bytes parsed as a full index",
+                bytes.len()
+            ),
+            Err(e) => {
+                // Truncation is corruption (UnexpectedEof), and the message
+                // must carry a byte offset for the operator.
+                assert!(e.is_corrupt(), "prefix {len}: unexpected kind: {e}");
+                assert!(e.to_string().contains("byte"), "prefix {len}: {e}");
+            }
+        }
+    }
+}
+
+/// Length prefixes patched to hostile values must be rejected as corrupt
+/// before any allocation is attempted, not passed to `Vec::with_capacity`.
+#[test]
+fn hostile_length_prefixes_are_rejected_without_allocating() {
+    let bytes = serialized_index();
+    // Offset 20: the u64 sequence count (after magic + k/w/hpc/max_occ).
+    // Offset 28: the u64 name-length prefix of the first sequence.
+    for offset in [20usize, 28] {
+        for patch in [u64::MAX, u64::MAX / 8, 1 << 40, (bytes.len() as u64) + 1] {
+            let mut evil = bytes.clone();
+            evil[offset..offset + 8].copy_from_slice(&patch.to_le_bytes());
+            let err = must_fail(
+                parse_index(&mut SliceSource::new(&evil)),
+                "patched length prefix",
+            );
+            assert!(err.is_corrupt(), "offset {offset} patch {patch:#x}: {err}");
+        }
+    }
+}
+
+/// Blast every aligned u64 of the file with 0xFF: the parser may accept or
+/// reject, but must never panic and never balloon allocation.
+#[test]
+fn corruption_sweep_never_panics() {
+    let bytes = serialized_index();
+    for offset in (0..bytes.len().saturating_sub(8)).step_by(8) {
+        let mut evil = bytes.clone();
+        for b in &mut evil[offset..offset + 8] {
+            *b ^= 0xFF;
+        }
+        let _ = parse_index(&mut SliceSource::new(&evil));
+    }
+}
+
+/// A device error mid-stream must surface as an I/O error (retryable), not
+/// be misreported as file corruption.
+#[test]
+fn mid_stream_fault_is_io_not_corruption() {
+    let bytes = serialized_index();
+    let cut = bytes.len() as u64 / 2;
+
+    let mut src = FaultSource::new(SliceSource::new(&bytes), cut, FaultMode::Error);
+    let err = must_fail(parse_index(&mut src), "device fault");
+    assert!(!err.is_corrupt(), "device fault misclassified: {err}");
+    assert!(matches!(err, IndexError::Io { .. }));
+    assert!(err.to_string().contains("injected"), "{err}");
+
+    // The same cut point as a truncation is corruption.
+    let mut src = FaultSource::new(SliceSource::new(&bytes), cut, FaultMode::Truncate);
+    let err = must_fail(parse_index(&mut src), "truncation");
+    assert!(err.is_corrupt(), "truncation misclassified: {err}");
+}
+
+proptest! {
+    /// Randomized variant of the sweep: arbitrary 8-byte patches at
+    /// arbitrary offsets never panic the parser.
+    #[test]
+    fn random_patches_never_panic(offset in 0usize..4096, patch in 0u64..u64::MAX) {
+        let bytes = serialized_index();
+        let offset = offset % bytes.len().saturating_sub(8).max(1);
+        let mut evil = bytes.clone();
+        let patch = patch.to_le_bytes();
+        let end = (offset + 8).min(evil.len());
+        evil[offset..end].copy_from_slice(&patch[..end - offset]);
+        let _ = parse_index(&mut SliceSource::new(&evil));
+    }
+
+    /// Random fault points: the parse always terminates with a typed error
+    /// whose offset never exceeds the number of bytes actually delivered.
+    #[test]
+    fn random_fault_points_yield_typed_errors(cut in 0u64..8192) {
+        let bytes = serialized_index();
+        let cut = cut % bytes.len() as u64;
+        let mut src = FaultSource::new(SliceSource::new(&bytes), cut, FaultMode::Error);
+        let err = must_fail(parse_index(&mut src), "strict-prefix fault");
+        prop_assert!(src.stream_position().unwrap_or(0) <= cut);
+        prop_assert!(!err.to_string().is_empty());
+    }
+}

@@ -16,6 +16,9 @@ pub struct ChunkedReader {
     inner: BufReader<File>,
     reads: u64,
     bytes: u64,
+    /// File length at open time, when the filesystem reports one; lets the
+    /// [`crate::ByteSource`] impl bound length-prefixed reads.
+    len: Option<u64>,
 }
 
 impl ChunkedReader {
@@ -23,10 +26,12 @@ impl ChunkedReader {
     /// default (4–64 KiB depending on libc); 16 KiB is representative.
     pub fn open(path: &Path, buf_capacity: usize) -> io::Result<Self> {
         let f = File::open(path)?;
+        let len = f.metadata().ok().map(|m| m.len());
         Ok(ChunkedReader {
             inner: BufReader::with_capacity(buf_capacity.max(16), f),
             reads: 0,
             bytes: 0,
+            len,
         })
     }
 
@@ -40,11 +45,19 @@ impl ChunkedReader {
         self.bytes
     }
 
-    /// Read exactly `buf.len()` bytes.
+    /// Bytes left before end of file, when the length is known.
+    pub fn remaining(&self) -> Option<u64> {
+        self.len.map(|l| l.saturating_sub(self.bytes))
+    }
+
+    /// Read exactly `buf.len()` bytes. Byte accounting reflects completed
+    /// reads only, so [`bytes_read`](Self::bytes_read) doubles as the error
+    /// offset after a failure.
     pub fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
         self.reads += 1;
+        self.inner.read_exact(buf)?;
         self.bytes += buf.len() as u64;
-        self.inner.read_exact(buf)
+        Ok(())
     }
 
     /// Read a little-endian u64 (the index format's scalar fields).

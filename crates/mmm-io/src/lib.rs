@@ -11,14 +11,19 @@
 //! * [`source::ByteSource`] — the common cursor abstraction the index
 //!   deserializer is written against, so the two paths share one parser;
 //! * [`timer`] — stage timers used by every breakdown experiment
-//!   (Table 2, Figure 11).
+//!   (Table 2, Figure 11);
+//! * [`fault`] — fault-injection wrappers used by the robustness suite.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod buffered;
+pub mod fault;
 pub mod mmap;
 pub mod source;
 pub mod timer;
 
 pub use buffered::ChunkedReader;
+pub use fault::{FaultMode, FaultSource};
 pub use mmap::Mmap;
 pub use source::{ByteSource, SliceSource};
 pub use timer::{Stage, StageTimer};

@@ -7,6 +7,20 @@
 
 use std::io;
 
+/// Initial capacity granted to length-prefixed reads whose source cannot
+/// bound its remaining bytes: growth past this point is paid for by actual
+/// delivered bytes, so a hostile prefix hits `UnexpectedEof` before it can
+/// drive an out-of-memory abort.
+const UNBOUNDED_PREALLOC: usize = 1 << 16;
+
+fn corrupt(offset: Option<u64>, msg: impl std::fmt::Display) -> io::Error {
+    let at = match offset {
+        Some(o) => format!(" at byte {o}"),
+        None => String::new(),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, format!("{msg}{at}"))
+}
+
 /// A forward-only cursor over bytes.
 pub trait ByteSource {
     /// Fill `buf` completely or fail.
@@ -15,6 +29,20 @@ pub trait ByteSource {
     /// Borrow the next `n` bytes zero-copy if the source supports it
     /// (the mmap path does; streaming sources return `None`).
     fn borrow_exact(&mut self, _n: usize) -> Option<&[u8]> {
+        None
+    }
+
+    /// Bytes consumed so far, when the source tracks it (used to locate
+    /// corruption in error messages).
+    fn stream_position(&self) -> Option<u64> {
+        None
+    }
+
+    /// Upper bound on the bytes still available, when cheaply knowable.
+    /// Length-prefixed reads validate their prefix against this bound, so a
+    /// corrupt or hostile prefix is a typed [`io::ErrorKind::InvalidData`]
+    /// instead of a multi-gigabyte allocation.
+    fn remaining_hint(&self) -> Option<u64> {
         None
     }
 
@@ -37,26 +65,75 @@ pub trait ByteSource {
         Ok(self.take_u32()? as i32)
     }
 
+    /// Read a `u64` element-count prefix for elements of `elem_size` bytes,
+    /// validating it against [`remaining_hint`](Self::remaining_hint) and
+    /// rejecting byte-size overflow.
+    fn take_len_prefix(&mut self, elem_size: u64) -> io::Result<usize> {
+        let at = self.stream_position();
+        let n = self.take_u64()?;
+        let bytes = n.checked_mul(elem_size).ok_or_else(|| {
+            corrupt(
+                at,
+                format!("length prefix {n} (x{elem_size} bytes) overflows"),
+            )
+        })?;
+        if let Some(rem) = self.remaining_hint() {
+            if bytes > rem {
+                return Err(corrupt(
+                    at,
+                    format!("length prefix {n} ({bytes} bytes) exceeds the {rem} bytes remaining"),
+                ));
+            }
+        }
+        usize::try_from(n)
+            .map_err(|_| corrupt(at, format!("length prefix {n} exceeds the address space")))
+    }
+
     /// A `u64`-prefixed byte string.
     fn take_bytes(&mut self) -> io::Result<Vec<u8>> {
-        let n = self.take_u64()? as usize;
-        let mut v = vec![0u8; n];
-        self.take_exact(&mut v)?;
+        let n = self.take_len_prefix(1)?;
+        if let Some(raw) = self.borrow_exact(n) {
+            return Ok(raw.to_vec());
+        }
+        if self.remaining_hint().is_some() {
+            // The prefix was validated against the remaining length above.
+            let mut v = vec![0u8; n];
+            self.take_exact(&mut v)?;
+            return Ok(v);
+        }
+        // Unbounded source: grow with delivered bytes instead of trusting
+        // the prefix up front.
+        let mut v = Vec::with_capacity(n.min(UNBOUNDED_PREALLOC));
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(UNBOUNDED_PREALLOC);
+            let old = v.len();
+            v.resize(old + take, 0);
+            self.take_exact(&mut v[old..])?;
+            left -= take;
+        }
         Ok(v)
     }
 
     /// A `u64`-prefixed vector of little-endian u64s. Uses the zero-copy path
     /// when available (single large copy instead of per-element reads).
     fn take_u64_vec(&mut self) -> io::Result<Vec<u64>> {
-        let n = self.take_u64()? as usize;
+        let n = self.take_len_prefix(8)?;
         if let Some(raw) = self.borrow_exact(n * 8) {
             let mut v = Vec::with_capacity(n);
             for c in raw.chunks_exact(8) {
-                v.push(u64::from_le_bytes(c.try_into().unwrap()));
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                v.push(u64::from_le_bytes(b));
             }
             return Ok(v);
         }
-        let mut v = Vec::with_capacity(n);
+        let bounded = self.remaining_hint().is_some();
+        let mut v = Vec::with_capacity(if bounded {
+            n
+        } else {
+            n.min(UNBOUNDED_PREALLOC / 8)
+        });
         for _ in 0..n {
             v.push(self.take_u64()?);
         }
@@ -65,15 +142,22 @@ pub trait ByteSource {
 
     /// A `u64`-prefixed vector of little-endian u32s.
     fn take_u32_vec(&mut self) -> io::Result<Vec<u32>> {
-        let n = self.take_u64()? as usize;
+        let n = self.take_len_prefix(4)?;
         if let Some(raw) = self.borrow_exact(n * 4) {
             let mut v = Vec::with_capacity(n);
             for c in raw.chunks_exact(4) {
-                v.push(u32::from_le_bytes(c.try_into().unwrap()));
+                let mut b = [0u8; 4];
+                b.copy_from_slice(c);
+                v.push(u32::from_le_bytes(b));
             }
             return Ok(v);
         }
-        let mut v = Vec::with_capacity(n);
+        let bounded = self.remaining_hint().is_some();
+        let mut v = Vec::with_capacity(if bounded {
+            n
+        } else {
+            n.min(UNBOUNDED_PREALLOC / 4)
+        });
         for _ in 0..n {
             v.push(self.take_u32()?);
         }
@@ -109,7 +193,12 @@ impl ByteSource for SliceSource<'_> {
         if self.remaining() < buf.len() {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                "slice source exhausted",
+                format!(
+                    "slice source exhausted at byte {} ({} wanted, {} left)",
+                    self.pos,
+                    buf.len(),
+                    self.remaining()
+                ),
             ));
         }
         buf.copy_from_slice(&self.data[self.pos..self.pos + buf.len()]);
@@ -125,11 +214,27 @@ impl ByteSource for SliceSource<'_> {
         self.pos += n;
         Some(s)
     }
+
+    fn stream_position(&self) -> Option<u64> {
+        Some(self.pos as u64)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining() as u64)
+    }
 }
 
 impl ByteSource for crate::ChunkedReader {
     fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
         self.read_exact(buf)
+    }
+
+    fn stream_position(&self) -> Option<u64> {
+        Some(self.bytes_read())
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.remaining()
     }
 }
 
@@ -185,5 +290,68 @@ mod tests {
         d.extend_from_slice(&2u32.to_le_bytes());
         let mut s = SliceSource::new(&d);
         assert_eq!(s.take_u32_vec().unwrap(), vec![1, 2]);
+    }
+
+    /// A hostile length prefix must yield `InvalidData`, not an allocation
+    /// of the claimed size (which would abort the process).
+    #[test]
+    fn hostile_length_prefix_is_invalid_data() {
+        for n in [u64::MAX, u64::MAX / 8 + 1, 1 << 60, 1 << 40] {
+            let mut d = Vec::new();
+            d.extend_from_slice(&n.to_le_bytes());
+            d.extend_from_slice(b"tiny");
+            let mut s = SliceSource::new(&d);
+            let e = s.take_bytes().unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "n={n}");
+            let mut s = SliceSource::new(&d);
+            let e = s.take_u64_vec().unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "n={n}");
+            let mut s = SliceSource::new(&d);
+            let e = s.take_u32_vec().unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "n={n}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_on_file_source() {
+        use std::io::Write;
+        let mut d = Vec::new();
+        d.extend_from_slice(&(1u64 << 59).to_le_bytes());
+        d.extend_from_slice(b"tail");
+        let p = std::env::temp_dir().join(format!("mmm-io-hostile-{}", std::process::id()));
+        std::fs::File::create(&p).unwrap().write_all(&d).unwrap();
+        let mut r = crate::ChunkedReader::open(&p, 4096).unwrap();
+        let e = r.take_u64_vec().unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Errors from bounded reads name the offending offset.
+    #[test]
+    fn bound_error_names_offset() {
+        let mut d = Vec::new();
+        d.extend_from_slice(&7u64.to_le_bytes()); // 7 bytes claimed, 2 present
+        d.extend_from_slice(b"hi");
+        let mut s = SliceSource::new(&d);
+        let e = s.take_bytes().unwrap_err();
+        assert!(e.to_string().contains("at byte 0"), "{e}");
+    }
+
+    /// A source with no remaining bound still fails with EOF (not OOM) on a
+    /// large-but-plausible prefix: growth is paid for by delivered bytes.
+    #[test]
+    fn unbounded_source_hits_eof_not_oom() {
+        struct Unhinted<'a>(SliceSource<'a>);
+        impl ByteSource for Unhinted<'_> {
+            fn take_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+                self.0.take_exact(buf)
+            }
+        }
+        let mut d = Vec::new();
+        d.extend_from_slice(&(1u64 << 33).to_le_bytes()); // 8 GiB claimed
+        d.extend_from_slice(&[0u8; 64]);
+        let mut s = Unhinted(SliceSource::new(&d));
+        let e = s.take_bytes().unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

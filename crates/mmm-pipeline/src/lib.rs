@@ -15,13 +15,21 @@
 //! its seed-chain-extend function in as the map stage. Output order is
 //! always the input order, regardless of scheduling (tested).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod fault;
 pub mod pipeline;
 pub mod pool;
 pub mod sort;
+pub mod sync;
 
+pub use error::{DynError, PipelineError};
+pub use fault::{failing_every, panicking_map};
 pub use pipeline::{
     run_three_thread, run_three_thread_with_state, run_two_thread, run_two_thread_with_state,
-    PipelineStats,
+    try_run_three_thread_with_state, try_run_two_thread_with_state, PanicHandler, PipelineStats,
 };
-pub use pool::{par_map_indexed, with_worker_pool, WorkerPool};
+pub use pool::{par_map_indexed, with_worker_pool, BatchOutcome, ItemPanic, WorkerPool};
 pub use sort::sort_indices_by_len_desc;
+pub use sync::{lock_unpoisoned, wait_unpoisoned};

@@ -1,11 +1,20 @@
 //! The two pipeline designs.
+//!
+//! Each design comes in two flavors: a fallible `try_*` entry point where
+//! the read/write stages return `Result` and worker panics are caught (the
+//! real pipelines, used by the CLI), and the original infallible signature,
+//! now a thin wrapper that panics on failure (used by tests and benches
+//! whose stages cannot fail).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
-use crate::pool::with_worker_pool;
+use crate::error::{DynError, PipelineError};
+use crate::pool::{with_worker_pool, BatchOutcome};
 use crate::sort::sort_indices_by_len_desc;
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 
 /// Aggregate timings of a pipeline run. Stage seconds are summed across
 /// batches (stages overlap, so they may exceed `wall_seconds`).
@@ -13,23 +22,200 @@ use crate::sort::sort_indices_by_len_desc;
 pub struct PipelineStats {
     pub batches: usize,
     pub items: usize,
+    /// Items whose worker panicked and that were degraded through the
+    /// `on_item_panic` handler instead of producing a real result.
+    pub failed_items: usize,
     pub in_seconds: f64,
     pub compute_seconds: f64,
     pub out_seconds: f64,
     pub wall_seconds: f64,
 }
 
+/// Handler invoked for an item whose worker panicked: receives the item and
+/// the panic message, returns the substitute result (e.g. an "unmapped"
+/// record). Installing one turns worker panics into per-item degradation;
+/// without one the first panic aborts the run with
+/// [`PipelineError::WorkerPanic`].
+pub type PanicHandler<'a, I, R> = Option<&'a (dyn Fn(&I, &str) -> R + Sync)>;
+
+fn record_error(slot: &Mutex<Option<PipelineError>>, e: PipelineError) {
+    let mut g = lock_unpoisoned(slot);
+    if g.is_none() {
+        *g = Some(e);
+    }
+}
+
+/// Substitute handler results for panicked items, or produce the fatal
+/// error if no handler is installed. Returns `Err(fatal)` to abort.
+fn settle_batch<I, R>(
+    batch: &[I],
+    outcome: BatchOutcome<R>,
+    on_item_panic: PanicHandler<'_, I, R>,
+) -> Result<(Vec<R>, usize), PipelineError> {
+    let BatchOutcome {
+        mut results,
+        panics,
+    } = outcome;
+    let failed = panics.len();
+    if !panics.is_empty() {
+        match on_item_panic {
+            Some(handler) => {
+                for p in &panics {
+                    results[p.index] = Some(handler(&batch[p.index], &p.message));
+                }
+            }
+            None => {
+                let p = &panics[0];
+                return Err(PipelineError::WorkerPanic {
+                    item_index: p.index,
+                    message: p.message.clone(),
+                });
+            }
+        }
+    }
+    // Every `None` slot carries a panic entry (the pool synthesizes one),
+    // so after substitution the flatten drops nothing.
+    Ok((results.into_iter().flatten().collect(), failed))
+}
+
+fn finish(
+    stats: Mutex<PipelineStats>,
+    failure: Mutex<Option<PipelineError>>,
+    wall: Instant,
+) -> Result<PipelineStats, PipelineError> {
+    if let Some(e) = lock_unpoisoned(&failure).take() {
+        return Err(e);
+    }
+    let mut s = stats.into_inner().unwrap_or_else(PoisonError::into_inner);
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    Ok(s)
+}
+
 /// manymap's 3-thread design: a reader thread, the compute stage (persistent
 /// worker pool), and a writer thread, connected by bounded channels so input
 /// and output overlap computation *and* each other.
 ///
-/// * `read_batch` returns the next batch or `None` at end of input;
+/// * `read_batch` returns the next batch, `Ok(None)` at end of input, or an
+///   error that stops the run with [`PipelineError::Read`];
 /// * each of the `threads` workers builds one private state with
 ///   `make_state(worker_idx)` when the pool starts (e.g. an alignment
 ///   scratch arena) and keeps it for the whole run;
 /// * `map` is applied to every item (longest-first when `sort_by_len` is
-///   set, via `len_of`);
-/// * `write_batch` consumes results in batch order.
+///   set, via `len_of`); a panic in `map` is caught per item and handled by
+///   `on_item_panic` (see [`PanicHandler`]);
+/// * `write_batch` consumes results in batch order; an error stops the run
+///   with [`PipelineError::Write`].
+///
+/// On error the pipeline shuts down promptly and cleanly: no deadlock, no
+/// poisoned stats, and the first failure is the one reported.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_three_thread_with_state<I, R, S, FIn, FState, FMap, FLen, FOut>(
+    mut read_batch: FIn,
+    make_state: FState,
+    map: FMap,
+    len_of: FLen,
+    mut write_batch: FOut,
+    on_item_panic: PanicHandler<'_, I, R>,
+    threads: usize,
+    sort_by_len: bool,
+) -> Result<PipelineStats, PipelineError>
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Result<Option<Vec<I>>, DynError> + Send,
+    FState: Fn(usize) -> S + Sync,
+    FMap: Fn(&mut S, &I) -> R + Sync,
+    FLen: Fn(&I) -> usize + Sync,
+    FOut: FnMut(Vec<R>) -> Result<(), DynError> + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let failure = Mutex::new(None::<PipelineError>);
+    let wall = Instant::now();
+
+    with_worker_pool(threads, make_state, map, |pool| {
+        let (in_tx, in_rx) = sync_channel::<Vec<I>>(2);
+        let (out_tx, out_rx) = sync_channel::<Vec<R>>(2);
+
+        std::thread::scope(|scope| {
+            // Reader.
+            let stats_ref = &stats;
+            let failure_ref = &failure;
+            scope.spawn(move || loop {
+                let t0 = Instant::now();
+                let batch = read_batch();
+                lock_unpoisoned(stats_ref).in_seconds += t0.elapsed().as_secs_f64();
+                match batch {
+                    Ok(Some(b)) => {
+                        if in_tx.send(b).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break, // dropping in_tx closes the channel
+                    Err(e) => {
+                        record_error(failure_ref, PipelineError::Read(e));
+                        break;
+                    }
+                }
+            });
+
+            // Writer.
+            let writer = scope.spawn(move || {
+                while let Ok(out) = out_rx.recv() {
+                    let t0 = Instant::now();
+                    let r = write_batch(out);
+                    lock_unpoisoned(stats_ref).out_seconds += t0.elapsed().as_secs_f64();
+                    if let Err(e) = r {
+                        record_error(failure_ref, PipelineError::Write(e));
+                        break; // dropping out_rx fails the compute send
+                    }
+                }
+            });
+
+            // Compute stage on this thread; workers persist across batches.
+            let in_rx = in_rx; // owned here so it can be dropped early below
+            while let Ok(batch) = in_rx.recv() {
+                let t0 = Instant::now();
+                let order = if sort_by_len {
+                    sort_indices_by_len_desc(&batch, &len_of)
+                } else {
+                    (0..batch.len()).collect()
+                };
+                let outcome = pool.run_batch_catching(&batch, &order);
+                let settled = settle_batch(&batch, outcome, on_item_panic);
+                let results = match settled {
+                    Ok((results, failed)) => {
+                        let mut s = lock_unpoisoned(&stats);
+                        s.compute_seconds += t0.elapsed().as_secs_f64();
+                        s.batches += 1;
+                        s.items += batch.len();
+                        s.failed_items += failed;
+                        results
+                    }
+                    Err(fatal) => {
+                        record_error(&failure, fatal);
+                        break;
+                    }
+                };
+                if out_tx.send(results).is_err() {
+                    break;
+                }
+            }
+            // Unblock the reader (its send fails once the channel is gone)
+            // and close the writer's input, then surface writer panics.
+            drop(in_rx);
+            drop(out_tx);
+            if let Err(payload) = writer.join() {
+                std::panic::resume_unwind(payload);
+            }
+        });
+    });
+
+    finish(stats, failure, wall)
+}
+
+/// Infallible wrapper around [`try_run_three_thread_with_state`] keeping the
+/// original signature: stages cannot fail, and a worker panic is re-raised
+/// on the calling thread with the item index attached.
 pub fn run_three_thread_with_state<I, R, S, FIn, FState, FMap, FLen, FOut>(
     mut read_batch: FIn,
     make_state: FState,
@@ -48,67 +234,24 @@ where
     FLen: Fn(&I) -> usize + Sync,
     FOut: FnMut(Vec<R>) + Send,
 {
-    let stats = Mutex::new(PipelineStats::default());
-    let wall = Instant::now();
-
-    with_worker_pool(threads, make_state, map, |pool| {
-        let (in_tx, in_rx) = sync_channel::<Vec<I>>(2);
-        let (out_tx, out_rx) = sync_channel::<Vec<R>>(2);
-
-        std::thread::scope(|scope| {
-            // Reader.
-            let stats_ref = &stats;
-            scope.spawn(move || loop {
-                let t0 = Instant::now();
-                let batch = read_batch();
-                stats_ref.lock().unwrap().in_seconds += t0.elapsed().as_secs_f64();
-                match batch {
-                    Some(b) => {
-                        if in_tx.send(b).is_err() {
-                            break;
-                        }
-                    }
-                    None => break, // dropping in_tx closes the channel
-                }
-            });
-
-            // Writer.
-            let stats_ref = &stats;
-            let writer = scope.spawn(move || {
-                while let Ok(out) = out_rx.recv() {
-                    let t0 = Instant::now();
-                    write_batch(out);
-                    stats_ref.lock().unwrap().out_seconds += t0.elapsed().as_secs_f64();
-                }
-            });
-
-            // Compute stage on this thread; workers persist across batches.
-            while let Ok(batch) = in_rx.recv() {
-                let t0 = Instant::now();
-                let order = if sort_by_len {
-                    sort_indices_by_len_desc(&batch, &len_of)
-                } else {
-                    (0..batch.len()).collect()
-                };
-                let results = pool.run_batch(&batch, &order);
-                {
-                    let mut s = stats.lock().unwrap();
-                    s.compute_seconds += t0.elapsed().as_secs_f64();
-                    s.batches += 1;
-                    s.items += batch.len();
-                }
-                if out_tx.send(results).is_err() {
-                    break;
-                }
-            }
-            drop(out_tx);
-            writer.join().expect("writer thread");
-        });
-    });
-
-    let mut s = stats.into_inner().unwrap();
-    s.wall_seconds = wall.elapsed().as_secs_f64();
-    s
+    match try_run_three_thread_with_state(
+        move || Ok(read_batch()),
+        make_state,
+        map,
+        len_of,
+        move |r| {
+            write_batch(r);
+            Ok(())
+        },
+        None,
+        threads,
+        sort_by_len,
+    ) {
+        Ok(s) => s,
+        Err(e @ PipelineError::WorkerPanic { .. }) => panic!("{e}"),
+        // The wrapped stages never return errors.
+        Err(e) => panic!("infallible pipeline stage failed: {e}"),
+    }
 }
 
 /// Stateless convenience wrapper around [`run_three_thread_with_state`],
@@ -144,11 +287,139 @@ where
 /// running load → compute → output sequentially; the compute sections are
 /// mutually exclusive (they use the whole worker pool), so one slot's
 /// compute overlaps the other slot's I/O only.
-pub fn run_two_thread_with_state<I, R, S, FIn, FState, FMap, FOut>(
+///
+/// Fault semantics match [`try_run_three_thread_with_state`]. A failing slot
+/// raises a shared abort flag (and wakes any slot parked on the in-order
+/// writer condvar) so the run always terminates — a batch id that will never
+/// be written cannot wedge the other slot.
+pub fn try_run_two_thread_with_state<I, R, S, FIn, FState, FMap, FOut>(
     read_batch: FIn,
     make_state: FState,
     map: FMap,
     write_batch: FOut,
+    on_item_panic: PanicHandler<'_, I, R>,
+    threads: usize,
+) -> Result<PipelineStats, PipelineError>
+where
+    I: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Result<Option<Vec<I>>, DynError> + Send,
+    FState: Fn(usize) -> S + Sync,
+    FMap: Fn(&mut S, &I) -> R + Sync,
+    FOut: FnMut(Vec<R>) -> Result<(), DynError> + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let failure = Mutex::new(None::<PipelineError>);
+    let wall = Instant::now();
+    // Shared, locked resources mirroring the design's constraints. Batch ids
+    // are handed out under the reader lock — and only when the read actually
+    // produced a batch, so end-of-input never consumes an id (a consumed id
+    // with no batch behind it would wedge the in-order writer below).
+    let reader = Mutex::new((read_batch, 0usize)); // (source, next batch id)
+    let writer = Mutex::new((write_batch, 0usize)); // (sink, next batch id)
+    let writer_turn = Condvar::new();
+    let compute = Mutex::new(());
+    let abort = AtomicBool::new(false);
+
+    // Record the first failure and wake every slot parked on the writer
+    // condvar. The flag is raised under the writer lock so a slot checking
+    // it before waiting cannot miss the wakeup.
+    let trigger_abort = |e: PipelineError| {
+        record_error(&failure, e);
+        let _w = lock_unpoisoned(&writer);
+        abort.store(true, Ordering::SeqCst);
+        writer_turn.notify_all();
+    };
+
+    with_worker_pool(threads, make_state, map, |pool| {
+        std::thread::scope(|scope| {
+            for _slot in 0..2 {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Load (serialized on the reader).
+                    let (my_id, batch) = {
+                        let mut rd = lock_unpoisoned(&reader);
+                        let t0 = Instant::now();
+                        let b = (rd.0)();
+                        lock_unpoisoned(&stats).in_seconds += t0.elapsed().as_secs_f64();
+                        match b {
+                            Ok(Some(b)) => {
+                                let my = rd.1;
+                                rd.1 += 1;
+                                (my, b)
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                drop(rd);
+                                trigger_abort(PipelineError::Read(e));
+                                break;
+                            }
+                        }
+                    };
+                    // Compute (exclusive: uses the whole worker pool).
+                    let settled = {
+                        let _guard = lock_unpoisoned(&compute);
+                        let t0 = Instant::now();
+                        let order: Vec<usize> = (0..batch.len()).collect();
+                        let outcome = pool.run_batch_catching(&batch, &order);
+                        let settled = settle_batch(&batch, outcome, on_item_panic);
+                        if let Ok((_, failed)) = &settled {
+                            let mut s = lock_unpoisoned(&stats);
+                            s.compute_seconds += t0.elapsed().as_secs_f64();
+                            s.batches += 1;
+                            s.items += batch.len();
+                            s.failed_items += failed;
+                        }
+                        settled
+                    };
+                    let results = match settled {
+                        Ok((results, _)) => results,
+                        Err(fatal) => {
+                            trigger_abort(fatal);
+                            break;
+                        }
+                    };
+                    // Output in batch order, sleeping (not spinning) until
+                    // it is this batch's turn — or the run aborts.
+                    let mut w = lock_unpoisoned(&writer);
+                    while !abort.load(Ordering::SeqCst) && w.1 != my_id {
+                        w = wait_unpoisoned(&writer_turn, w);
+                    }
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let r = (w.0)(results);
+                    match r {
+                        Ok(()) => {
+                            w.1 += 1;
+                            writer_turn.notify_all();
+                            drop(w);
+                            lock_unpoisoned(&stats).out_seconds += t0.elapsed().as_secs_f64();
+                        }
+                        Err(e) => {
+                            drop(w);
+                            trigger_abort(PipelineError::Write(e));
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+    });
+
+    finish(stats, failure, wall)
+}
+
+/// Infallible wrapper around [`try_run_two_thread_with_state`] keeping the
+/// original signature; a worker panic is re-raised on the calling thread.
+pub fn run_two_thread_with_state<I, R, S, FIn, FState, FMap, FOut>(
+    mut read_batch: FIn,
+    make_state: FState,
+    map: FMap,
+    mut write_batch: FOut,
     threads: usize,
 ) -> PipelineStats
 where
@@ -159,67 +430,22 @@ where
     FMap: Fn(&mut S, &I) -> R + Sync,
     FOut: FnMut(Vec<R>) + Send,
 {
-    let stats = Mutex::new(PipelineStats::default());
-    let wall = Instant::now();
-    // Shared, locked resources mirroring the design's constraints. Batch ids
-    // are handed out under the reader lock — and only when the read actually
-    // produced a batch, so end-of-input never consumes an id (a consumed id
-    // with no batch behind it would wedge the in-order writer below).
-    let reader = Mutex::new((read_batch, 0usize)); // (source, next batch id)
-    let writer = Mutex::new((write_batch, 0usize)); // (sink, next batch id)
-    let writer_turn = Condvar::new();
-    let compute = Mutex::new(());
-
-    with_worker_pool(threads, make_state, map, |pool| {
-        std::thread::scope(|scope| {
-            for _slot in 0..2 {
-                scope.spawn(|| loop {
-                    // Load (serialized on the reader).
-                    let (my_id, batch) = {
-                        let mut rd = reader.lock().unwrap();
-                        let t0 = Instant::now();
-                        let b = (rd.0)();
-                        stats.lock().unwrap().in_seconds += t0.elapsed().as_secs_f64();
-                        match b {
-                            Some(b) => {
-                                let my = rd.1;
-                                rd.1 += 1;
-                                (my, b)
-                            }
-                            None => break,
-                        }
-                    };
-                    // Compute (exclusive: uses the whole worker pool).
-                    let results = {
-                        let _guard = compute.lock().unwrap();
-                        let t0 = Instant::now();
-                        let order: Vec<usize> = (0..batch.len()).collect();
-                        let r = pool.run_batch(&batch, &order);
-                        let mut s = stats.lock().unwrap();
-                        s.compute_seconds += t0.elapsed().as_secs_f64();
-                        s.batches += 1;
-                        s.items += batch.len();
-                        r
-                    };
-                    // Output in batch order, sleeping (not spinning) until
-                    // it is this batch's turn.
-                    let mut w = writer.lock().unwrap();
-                    while w.1 != my_id {
-                        w = writer_turn.wait(w).unwrap();
-                    }
-                    let t0 = Instant::now();
-                    (w.0)(results);
-                    w.1 += 1;
-                    writer_turn.notify_all();
-                    stats.lock().unwrap().out_seconds += t0.elapsed().as_secs_f64();
-                });
-            }
-        });
-    });
-
-    let mut s = stats.into_inner().unwrap();
-    s.wall_seconds = wall.elapsed().as_secs_f64();
-    s
+    match try_run_two_thread_with_state(
+        move || Ok(read_batch()),
+        make_state,
+        map,
+        move |r| {
+            write_batch(r);
+            Ok(())
+        },
+        None,
+        threads,
+    ) {
+        Ok(s) => s,
+        Err(e @ PipelineError::WorkerPanic { .. }) => panic!("{e}"),
+        // The wrapped stages never return errors.
+        Err(e) => panic!("infallible pipeline stage failed: {e}"),
+    }
 }
 
 /// Stateless convenience wrapper around [`run_two_thread_with_state`],
@@ -276,6 +502,7 @@ mod tests {
         );
         assert_eq!(stats.batches, 6);
         assert_eq!(stats.items, 240);
+        assert_eq!(stats.failed_items, 0);
         let got = out.into_inner().unwrap();
         assert_eq!(got, flat.iter().map(|x| x * 3).collect::<Vec<u64>>());
     }

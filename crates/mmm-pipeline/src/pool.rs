@@ -21,8 +21,40 @@
 //! stale job (or touch the shared index counter for an old epoch) after
 //! `run_batch` returns, so the borrowed batch may be freed immediately.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+
+/// A panic caught while a worker processed one item.
+#[derive(Clone, Debug)]
+pub struct ItemPanic {
+    /// Original index of the item in the submitted batch.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+/// Outcome of [`WorkerPool::run_batch_catching`]: per-item results in
+/// original order, plus any panics caught along the way. An item whose
+/// worker panicked has `None` in `results` and an entry in `panics`.
+#[derive(Debug)]
+pub struct BatchOutcome<R> {
+    pub results: Vec<Option<R>>,
+    pub panics: Vec<ItemPanic>,
+}
+
+/// Render a panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A published batch: lifetime-erased views of the submitter's borrows.
 ///
@@ -57,6 +89,9 @@ struct Slot<I, R> {
     checked_in: usize,
     shutdown: bool,
     job: Option<Job<I, R>>,
+    /// Panics caught while serving the current epoch; drained by the
+    /// submitter after the check-in barrier.
+    panics: Vec<ItemPanic>,
 }
 
 struct Shared<I, R> {
@@ -80,6 +115,7 @@ impl<I, R> Shared<I, R> {
                 checked_in: 0,
                 shutdown: false,
                 job: None,
+                panics: Vec::new(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -111,14 +147,22 @@ impl<I: Sync, R: Send> WorkerPool<'_, I, R> {
     /// Map the pool's function over `items`, processing in the order given
     /// by `order` (e.g. longest first) but returning results in the original
     /// item order. Blocks until the batch is complete.
-    pub fn run_batch(&self, items: &[I], order: &[usize]) -> Vec<R> {
+    ///
+    /// A panic in the mapped function is caught per item: the batch still
+    /// completes, the panicked item's slot is `None`, and the panic message
+    /// (with the item's index) is reported in [`BatchOutcome::panics`]. The
+    /// pool itself never deadlocks or poisons on a worker panic.
+    pub fn run_batch_catching(&self, items: &[I], order: &[usize]) -> BatchOutcome<R> {
         assert_eq!(
             items.len(),
             order.len(),
             "order must be a permutation of the items"
         );
         if items.is_empty() {
-            return Vec::new();
+            return BatchOutcome {
+                results: Vec::new(),
+                panics: Vec::new(),
+            };
         }
         let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
         results.resize_with(items.len(), || None);
@@ -127,9 +171,10 @@ impl<I: Sync, R: Send> WorkerPool<'_, I, R> {
         // mutex acquire in every worker's pickup path.
         self.shared.next.store(0, Ordering::Relaxed);
         {
-            let mut g = self.shared.slot.lock().unwrap();
+            let mut g = lock_unpoisoned(&self.shared.slot);
             g.epoch += 1;
             g.checked_in = 0;
+            g.panics.clear();
             g.job = Some(Job {
                 items: items.as_ptr(),
                 order: order.as_ptr(),
@@ -141,17 +186,48 @@ impl<I: Sync, R: Send> WorkerPool<'_, I, R> {
 
         // Check-in barrier: every worker must finish serving this epoch
         // before the borrows behind the job pointers can be released.
-        {
-            let mut g = self.shared.slot.lock().unwrap();
+        let mut panics = {
+            let mut g = lock_unpoisoned(&self.shared.slot);
             while g.checked_in != self.threads {
-                g = self.shared.done_cv.wait(g).unwrap();
+                g = wait_unpoisoned(&self.shared.done_cv, g);
             }
             g.job = None;
-        }
+            std::mem::take(&mut g.panics)
+        };
 
+        // A worker that failed to rebuild its state abandons claimed items
+        // without a recorded panic; surface those holes too so callers can
+        // always account for every item.
+        for (i, r) in results.iter().enumerate() {
+            if r.is_none() && !panics.iter().any(|p| p.index == i) {
+                panics.push(ItemPanic {
+                    index: i,
+                    message: "item abandoned after a worker failed to rebuild its state".into(),
+                });
+            }
+        }
+        panics.sort_by_key(|p| p.index);
+        BatchOutcome { results, panics }
+    }
+
+    /// Panic-propagating wrapper around
+    /// [`run_batch_catching`](Self::run_batch_catching): any worker panic is
+    /// re-raised on the submitting thread with the item index attached.
+    pub fn run_batch(&self, items: &[I], order: &[usize]) -> Vec<R> {
+        let BatchOutcome { results, panics } = self.run_batch_catching(items, order);
+        if let Some(p) = panics.first() {
+            panic!(
+                "worker panicked while processing item {}: {}",
+                p.index, p.message
+            );
+        }
         results
             .into_iter()
-            .map(|r| r.expect("every index processed exactly once"))
+            .enumerate()
+            .map(|(i, r)| match r {
+                Some(v) => v,
+                None => panic!("item {i} left unprocessed"),
+            })
             .collect()
     }
 }
@@ -179,7 +255,7 @@ where
     struct Shutdown<'a, I, R>(&'a Shared<I, R>);
     impl<I, R> Drop for Shutdown<'_, I, R> {
         fn drop(&mut self) {
-            self.0.slot.lock().unwrap().shutdown = true;
+            lock_unpoisoned(&self.0.slot).shutdown = true;
             self.0.work_cv.notify_all();
         }
     }
@@ -209,21 +285,29 @@ where
             let map = &map;
             scope.spawn(move || {
                 shared.spawned.fetch_add(1, Ordering::Relaxed);
-                let mut state = make_state(w);
+                // A panic in `make_state` leaves the worker state-less; it
+                // still checks in every epoch (so batches complete) but
+                // claims no items — the rest of the pool covers them.
+                let mut state: Option<S> =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| make_state(w))).ok();
                 let mut seen_epoch = 0u64;
                 loop {
                     // Wait for a fresh epoch (or shutdown) and copy its job.
                     let job = {
-                        let mut g = shared.slot.lock().unwrap();
+                        let mut g = lock_unpoisoned(&shared.slot);
                         loop {
                             if g.shutdown {
                                 return;
                             }
                             if g.epoch != seen_epoch {
                                 seen_epoch = g.epoch;
-                                break g.job.expect("published epoch carries a job");
+                                if let Some(j) = g.job {
+                                    break j;
+                                }
+                                // A published epoch always carries a job;
+                                // tolerate a missing one by waiting on.
                             }
-                            g = shared.work_cv.wait(g).unwrap();
+                            g = wait_unpoisoned(&shared.work_cv, g);
                         }
                     };
                     // Check in even if `map` panics below: a missing check-in
@@ -233,7 +317,7 @@ where
                     let checkin = CheckIn { shared, threads };
                     // Drain the claim counter. Disjoint `idx` values make the
                     // result writes race-free.
-                    loop {
+                    while state.is_some() {
                         let k = shared.next.fetch_add(1, Ordering::Relaxed);
                         if k >= job.len {
                             break;
@@ -242,10 +326,28 @@ where
                         // checks in below; `k < len` bounds both reads, and
                         // `order` is a permutation so `idx` is in range and
                         // claimed by exactly one worker.
-                        unsafe {
-                            let idx = *job.order.add(k);
-                            let r = map(&mut state, &*job.items.add(idx));
-                            *job.results.add(idx) = Some(r);
+                        let idx = unsafe { *job.order.add(k) };
+                        let outcome = match state.as_mut() {
+                            Some(st) => std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                // SAFETY: as above — idx is in range and
+                                // uniquely claimed, so the result write is
+                                // race-free.
+                                unsafe {
+                                    let r = map(st, &*job.items.add(idx));
+                                    *job.results.add(idx) = Some(r);
+                                }
+                            })),
+                            None => break,
+                        };
+                        if let Err(payload) = outcome {
+                            lock_unpoisoned(&shared.slot).panics.push(ItemPanic {
+                                index: idx,
+                                message: panic_message(payload),
+                            });
+                            // The panic may have left this worker's state
+                            // inconsistent — rebuild before the next item.
+                            state =
+                                std::panic::catch_unwind(AssertUnwindSafe(|| make_state(w))).ok();
                         }
                     }
                     // Check in: the mutex makes this worker's result writes
@@ -380,6 +482,75 @@ mod tests {
                     let out = pool.run_batch(&items, &order);
                     assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<u64>>());
                 }
+            },
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_caught_batch_completes() {
+        let items: Vec<u32> = (0..50).collect();
+        let order: Vec<usize> = (0..50).collect();
+        with_worker_pool(
+            4,
+            |_| (),
+            |(), &x: &u32| {
+                if x == 17 {
+                    panic!("poison pill {x}");
+                }
+                x * 2
+            },
+            |pool| {
+                let out = pool.run_batch_catching(&items, &order);
+                assert_eq!(out.panics.len(), 1);
+                assert_eq!(out.panics[0].index, 17);
+                assert!(out.panics[0].message.contains("poison pill 17"));
+                assert!(out.results[17].is_none());
+                let ok = out.results.iter().filter(|r| r.is_some()).count();
+                assert_eq!(ok, 49);
+                // The pool survives: the same threads serve another batch.
+                let out2 = pool.run_batch_catching(&items[..10], &order[..10]);
+                assert!(out2.panics.is_empty());
+                assert_eq!(out2.results.iter().filter(|r| r.is_some()).count(), 10);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked while processing item 3")]
+    fn legacy_run_batch_propagates_worker_panic() {
+        let items: Vec<u32> = (0..8).collect();
+        let order: Vec<usize> = (0..8).collect();
+        with_worker_pool(
+            2,
+            |_| (),
+            |(), &x: &u32| {
+                if x == 3 {
+                    panic!("bad item");
+                }
+                x
+            },
+            |pool| pool.run_batch(&items, &order),
+        );
+    }
+
+    #[test]
+    fn state_factory_panic_does_not_deadlock() {
+        // Worker 1's state factory always panics; worker 0 carries the load.
+        let items: Vec<u32> = (0..20).collect();
+        let order: Vec<usize> = (0..20).collect();
+        with_worker_pool(
+            2,
+            |w| {
+                if w == 1 {
+                    panic!("no state for worker 1");
+                }
+            },
+            |(), &x: &u32| x + 1,
+            |pool| {
+                let out = pool.run_batch_catching(&items, &order);
+                assert!(out.panics.is_empty(), "{:?}", out.panics);
+                let vals: Vec<u32> = out.results.into_iter().flatten().collect();
+                assert_eq!(vals, (1..=20).collect::<Vec<u32>>());
             },
         );
     }

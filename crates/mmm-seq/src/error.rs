@@ -5,16 +5,38 @@ use std::fmt;
 /// Errors produced while parsing or writing FASTA/FASTQ data.
 #[derive(Debug)]
 pub enum SeqError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure with no position information (e.g. from the
+    /// writers, via `From<std::io::Error>`).
     Io(std::io::Error),
+    /// I/O failure at a known position in the input stream. The reader
+    /// produces these so a mid-file device error can be reported with the
+    /// byte offset and line where the stream died.
+    IoAt {
+        offset: u64,
+        line: u64,
+        source: std::io::Error,
+    },
     /// Structurally malformed input (message, approximate line number).
     Parse { msg: String, line: u64 },
+}
+
+impl SeqError {
+    /// True for errors caused by the underlying byte stream (as opposed to
+    /// well-delivered but malformed records).
+    pub fn is_io(&self) -> bool {
+        matches!(self, SeqError::Io(_) | SeqError::IoAt { .. })
+    }
 }
 
 impl fmt::Display for SeqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SeqError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqError::IoAt {
+                offset,
+                line,
+                source,
+            } => write!(f, "I/O error at byte {offset} (line {line}): {source}"),
             SeqError::Parse { msg, line } => write!(f, "parse error at line {line}: {msg}"),
         }
     }
@@ -24,6 +46,7 @@ impl std::error::Error for SeqError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SeqError::Io(e) => Some(e),
+            SeqError::IoAt { source, .. } => Some(source),
             SeqError::Parse { .. } => None,
         }
     }

@@ -28,6 +28,7 @@ pub struct FastxReader<R: BufRead> {
     pending_header: Option<Vec<u8>>,
     format: Option<FastxFormat>,
     line_no: u64,
+    byte_no: u64,
 }
 
 impl<R: BufRead> FastxReader<R> {
@@ -39,6 +40,7 @@ impl<R: BufRead> FastxReader<R> {
             pending_header: None,
             format: None,
             line_no: 0,
+            byte_no: 0,
         }
     }
 
@@ -47,12 +49,30 @@ impl<R: BufRead> FastxReader<R> {
         self.format
     }
 
+    /// 1-based line number of the last line read.
+    pub fn line_number(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Bytes consumed from the underlying stream so far.
+    pub fn byte_offset(&self) -> u64 {
+        self.byte_no
+    }
+
     fn read_line(&mut self) -> Result<bool, SeqError> {
         self.line.clear();
-        let n = self.inner.read_until(b'\n', &mut self.line)?;
+        let n = self
+            .inner
+            .read_until(b'\n', &mut self.line)
+            .map_err(|e| SeqError::IoAt {
+                offset: self.byte_no,
+                line: self.line_no,
+                source: e,
+            })?;
         if n == 0 {
             return Ok(false);
         }
+        self.byte_no += n as u64;
         self.line_no += 1;
         while matches!(self.line.last(), Some(b'\n') | Some(b'\r')) {
             self.line.pop();
@@ -122,7 +142,14 @@ impl<R: BufRead> FastxReader<R> {
             return Err(self.parse_err("empty record name"));
         }
 
-        match self.format.expect("format set before record body") {
+        // The format is always set by the time a header exists; a `None`
+        // here would be an internal inconsistency, surfaced as a parse
+        // error rather than a panic.
+        let format = match self.format {
+            Some(f) => f,
+            None => return Err(self.parse_err("record body before any format-setting header")),
+        };
+        match format {
             FastxFormat::Fasta => {
                 let mut seq = Vec::new();
                 loop {
@@ -303,5 +330,55 @@ mod tests {
     fn empty_input_is_empty() {
         assert!(reader("").next_record().unwrap().is_none());
         assert!(reader("\n\n").next_record().unwrap().is_none());
+    }
+
+    /// A mid-stream device error must surface as `SeqError::IoAt` carrying
+    /// the byte offset where the stream died — not as end-of-input.
+    #[test]
+    fn mid_stream_io_error_carries_offset() {
+        struct Dying {
+            data: Cursor<Vec<u8>>,
+            ok_bytes: u64,
+        }
+        impl std::io::Read for Dying {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.data.position() >= self.ok_bytes {
+                    return Err(std::io::Error::other("device died"));
+                }
+                let left = (self.ok_bytes - self.data.position()) as usize;
+                let n = left.min(buf.len());
+                self.data.read(&mut buf[..n])
+            }
+        }
+        let text = b">a\nACGT\n>b\nGGGG\n".to_vec();
+        let mut r = FastxReader::new(std::io::BufReader::with_capacity(
+            4,
+            Dying {
+                data: Cursor::new(text),
+                ok_bytes: 11,
+            },
+        ));
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.name, "a");
+        let err = loop {
+            match r.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("error swallowed as end-of-input"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.is_io());
+        let text = err.to_string();
+        assert!(text.contains("at byte"), "{text}");
+        assert!(text.contains("device died"), "{text}");
+    }
+
+    #[test]
+    fn offsets_track_consumed_bytes() {
+        let mut r = reader(">a\nACGT\n>b\nC\n");
+        r.next_record().unwrap().unwrap();
+        // Reading record `a` consumes through `>b`'s header (lookahead).
+        assert_eq!(r.byte_offset(), 11);
+        assert_eq!(r.line_number(), 3);
     }
 }

@@ -36,8 +36,8 @@ impl DatasetStats {
             return DatasetStats::default();
         }
         let total: u64 = lens.iter().map(|&l| l as u64).sum();
-        let max = *lens.iter().max().unwrap();
-        let min = *lens.iter().min().unwrap();
+        let max = lens.iter().max().copied().unwrap_or(0);
+        let min = lens.iter().min().copied().unwrap_or(0);
         lens.sort_unstable_by(|a, b| b.cmp(a));
         let mut acc = 0u64;
         let mut n50 = 0usize;
