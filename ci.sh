@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xtask verify: source lints, kernel oracle, miri subset, interleavings"
+cargo run -p xtask -- verify
+
+echo "==> cargo doc (workspace, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 

@@ -23,7 +23,9 @@ pub fn run(quick: bool) -> String {
     let opts = BaselineId::Minimap2.map_opts();
     let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
     let idx_path = std::env::temp_dir().join(format!("bench-table2-{}.mmx", std::process::id()));
-    save_index(&index, &idx_path).expect("index serialization");
+    if let Err(e) = save_index(&index, &idx_path) {
+        return format!("table2_profile: index serialization failed: {e}");
+    }
 
     let recs: Vec<SeqRecord> = ds
         .reads
@@ -31,14 +33,22 @@ pub fn run(quick: bool) -> String {
         .map(|r| SeqRecord::new(r.name.clone(), nt4_decode(&r.seq)))
         .collect();
     let mut fasta = Vec::new();
-    write_fasta(&mut fasta, &recs, 0).expect("in-memory fasta");
+    if let Err(e) = write_fasta(&mut fasta, &recs, 0) {
+        return format!("table2_profile: in-memory fasta failed: {e}");
+    }
 
     let cfg = ProfileConfig {
         opts,
         use_mmap: false,
         sort_by_length: false,
     };
-    let res = profile_run(&idx_path, &fasta, &cfg).expect("profiled run");
+    let res = match profile_run(&idx_path, &fasta, &cfg) {
+        Ok(res) => res,
+        Err(e) => {
+            let _ = std::fs::remove_file(&idx_path);
+            return format!("table2_profile: profiled run failed: {e}");
+        }
+    };
     let _ = std::fs::remove_file(&idx_path);
 
     // KNL column: calibrated per-stage slowdowns (Table 2 ratios).

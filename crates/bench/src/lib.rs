@@ -74,7 +74,7 @@ pub fn measure_gcups(
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times.sort_by(|a, b| a.total_cmp(b));
     cells / times[times.len() / 2] / 1e9
 }
 

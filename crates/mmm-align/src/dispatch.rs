@@ -6,11 +6,67 @@
 //! picks manymap's layout at the widest vector unit the CPU supports, which
 //! is what the mapper uses by default.
 
+use std::sync::OnceLock;
+
 use crate::scalar;
 use crate::score::Scoring;
 use crate::scratch::AlignScratch;
 use crate::simd::{avx2, avx512, sse};
 use crate::types::{AlignError, AlignMode, AlignResult};
+
+/// SIMD tiers turned off by the `MMM_DISABLE_SIMD` environment override —
+/// the escape hatch for debugging a suspect kernel in production and for
+/// forcing the scalar fallback path in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DisabledTiers {
+    pub sse: bool,
+    pub avx2: bool,
+    pub avx512: bool,
+}
+
+impl DisabledTiers {
+    /// No tier disabled (the default when the variable is unset).
+    pub const NONE: DisabledTiers = DisabledTiers {
+        sse: false,
+        avx2: false,
+        avx512: false,
+    };
+
+    /// Every SIMD tier disabled: scalar kernels only.
+    pub const ALL_SIMD: DisabledTiers = DisabledTiers {
+        sse: true,
+        avx2: true,
+        avx512: true,
+    };
+}
+
+/// Parse an `MMM_DISABLE_SIMD` value: a comma/space-separated list of tier
+/// names (`sse`, `avx2`, `avx512`/`avx-512`), or `all`/`1` for every tier.
+/// Unknown tokens are ignored rather than rejected — a typo in a debugging
+/// override must never take the mapper down.
+pub fn parse_disable_list(value: &str) -> DisabledTiers {
+    let mut d = DisabledTiers::NONE;
+    for token in value.split([',', ' ', ';']) {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "sse" | "sse2" | "sse4.1" => d.sse = true,
+            "avx2" => d.avx2 = true,
+            "avx512" | "avx-512" | "avx512f" => d.avx512 = true,
+            "all" | "1" | "true" => d = DisabledTiers::ALL_SIMD,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// The process-wide override, read from `MMM_DISABLE_SIMD` once on first
+/// dispatch and cached (the hot path must not re-read the environment).
+fn env_disabled() -> DisabledTiers {
+    static CACHE: OnceLock<DisabledTiers> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("MMM_DISABLE_SIMD") {
+        Ok(v) => parse_disable_list(&v),
+        Err(_) => DisabledTiers::NONE,
+    })
+}
 
 /// Vector width tier. Labels follow the paper's naming (its baseline tier is
 /// "SSE2"; our 128-bit kernels use SSE4.1 instructions — see `simd`).
@@ -43,13 +99,20 @@ impl Width {
         }
     }
 
-    /// Does the running CPU support this tier?
+    /// Does the running CPU support this tier, and is it not disabled by
+    /// the `MMM_DISABLE_SIMD` override?
     pub fn is_available(self) -> bool {
+        self.is_available_unless(env_disabled())
+    }
+
+    /// [`Width::is_available`] against an explicit disable mask — the pure
+    /// form the env-independent tests drive directly.
+    pub fn is_available_unless(self, disabled: DisabledTiers) -> bool {
         match self {
             Width::Scalar => true,
-            Width::Sse => sse::available(),
-            Width::Avx2 => avx2::available(),
-            Width::Avx512 => avx512::available(),
+            Width::Sse => !disabled.sse && sse::available(),
+            Width::Avx2 => !disabled.avx2 && avx2::available(),
+            Width::Avx512 => !disabled.avx512 && avx512::available(),
         }
     }
 
@@ -204,25 +267,26 @@ impl Engine {
     }
 }
 
-/// The widest available manymap kernel — the mapper default.
+/// The widest available manymap kernel — the mapper default. Honors the
+/// `MMM_DISABLE_SIMD` override.
 pub fn best_engine() -> Engine {
-    for width in [Width::Avx512, Width::Avx2, Width::Sse] {
-        if width.is_available() {
-            return Engine::new(Layout::Manymap, width);
-        }
-    }
-    Engine::new(Layout::Manymap, Width::Scalar)
+    best_engine_unless(Layout::Manymap, env_disabled())
 }
 
 /// The widest available minimap2-layout kernel — the baseline the macro
-/// benchmarks compare against.
+/// benchmarks compare against. Honors the `MMM_DISABLE_SIMD` override.
 pub fn best_mm2_engine() -> Engine {
+    best_engine_unless(Layout::Mm2, env_disabled())
+}
+
+/// Widest-first selection against an explicit disable mask.
+pub fn best_engine_unless(layout: Layout, disabled: DisabledTiers) -> Engine {
     for width in [Width::Avx512, Width::Avx2, Width::Sse] {
-        if width.is_available() {
-            return Engine::new(Layout::Mm2, width);
+        if width.is_available_unless(disabled) {
+            return Engine::new(layout, width);
         }
     }
-    Engine::new(Layout::Mm2, Width::Scalar)
+    Engine::new(layout, Width::Scalar)
 }
 
 #[cfg(test)]
@@ -259,6 +323,92 @@ mod tests {
                 "{}",
                 e.label()
             );
+        }
+    }
+
+    #[test]
+    fn disable_list_parses_each_tier() {
+        assert_eq!(parse_disable_list(""), DisabledTiers::NONE);
+        assert_eq!(
+            parse_disable_list("sse"),
+            DisabledTiers {
+                sse: true,
+                ..DisabledTiers::NONE
+            }
+        );
+        assert_eq!(
+            parse_disable_list("AVX2"),
+            DisabledTiers {
+                avx2: true,
+                ..DisabledTiers::NONE
+            }
+        );
+        assert_eq!(
+            parse_disable_list("avx-512"),
+            DisabledTiers {
+                avx512: true,
+                ..DisabledTiers::NONE
+            }
+        );
+        assert_eq!(
+            parse_disable_list("sse, avx2,avx512"),
+            DisabledTiers::ALL_SIMD
+        );
+        assert_eq!(parse_disable_list("all"), DisabledTiers::ALL_SIMD);
+        // Typos never disable (or enable) anything by accident.
+        assert_eq!(parse_disable_list("sse3;banana"), DisabledTiers::NONE);
+    }
+
+    #[test]
+    fn disabling_each_tier_falls_back_to_the_next_narrower() {
+        // Scalar survives any mask.
+        assert!(Width::Scalar.is_available_unless(DisabledTiers::ALL_SIMD));
+        for w in [Width::Sse, Width::Avx2, Width::Avx512] {
+            assert!(!w.is_available_unless(DisabledTiers::ALL_SIMD), "{w:?}");
+        }
+        let e = best_engine_unless(Layout::Manymap, DisabledTiers::ALL_SIMD);
+        assert_eq!(e, Engine::new(Layout::Manymap, Width::Scalar));
+        // Masking only the widest supported tier steps down one level.
+        if Width::Avx512.is_available_unless(DisabledTiers::NONE) {
+            let d = DisabledTiers {
+                avx512: true,
+                ..DisabledTiers::NONE
+            };
+            assert_eq!(best_engine_unless(Layout::Manymap, d).width, Width::Avx2);
+        }
+        if Width::Avx2.is_available_unless(DisabledTiers::NONE) {
+            let d = DisabledTiers {
+                avx2: true,
+                avx512: true,
+                ..DisabledTiers::NONE
+            };
+            assert_eq!(best_engine_unless(Layout::Mm2, d).width, Width::Sse);
+        }
+    }
+
+    #[test]
+    fn forced_scalar_output_is_identical_per_tier() {
+        // Forcing each tier off must not change results: whatever
+        // `best_engine_unless` picks agrees exactly with the scalar gold.
+        let t = mmm_seq::to_nt4(b"ACGTTTACGGGACTACGTTACGACT");
+        let q = mmm_seq::to_nt4(b"ACGTTACGGGCACTAGTTAGACT");
+        let sc = Scoring::MAP_ONT;
+        let gold = scalar::align_manymap(&t, &q, &sc, AlignMode::Global, true);
+        for d in [
+            DisabledTiers::NONE,
+            DisabledTiers {
+                avx512: true,
+                ..DisabledTiers::NONE
+            },
+            DisabledTiers {
+                avx2: true,
+                avx512: true,
+                ..DisabledTiers::NONE
+            },
+            DisabledTiers::ALL_SIMD,
+        ] {
+            let e = best_engine_unless(Layout::Manymap, d);
+            assert_eq!(e.align(&t, &q, &sc, AlignMode::Global, true), gold, "{d:?}");
         }
     }
 

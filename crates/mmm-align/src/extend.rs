@@ -75,7 +75,9 @@ pub fn extend_align_with_scratch(
         };
     }
     let r = engine.align_with_scratch(target, query, sc, AlignMode::SemiGlobal, true, scratch);
-    let cigar = r.cigar.expect("with_path alignment must produce a cigar");
+    // `with_path = true` always yields a path; an absent one degrades to an
+    // empty extension rather than panicking mid-pipeline.
+    let cigar = r.cigar.unwrap_or_default();
     let mut out = AlignScratch::take_cigar(&mut scratch.cigars);
     let trimmed = trim_to_best_prefix_into(&cigar, target, query, sc, &mut out);
     scratch.recycle(cigar);

@@ -1,0 +1,155 @@
+//! The Equation 4 anti-diagonal coordinate transform, in one place.
+//!
+//! The manymap layout walks the DP matrix by anti-diagonals `r = t + q` and
+//! stores the query-indexed difference vectors at the shifted column
+//!
+//! ```text
+//! t' = t - r + |Q|        (Eq. 4)
+//! ```
+//!
+//! so that consecutive `t` on one diagonal touch consecutive `t'` slots and
+//! the intra-diagonal dependency of minimap2's layout (Eq. 3) disappears.
+//! Every kernel — scalar, SSE, AVX2, AVX-512 — walks the same geometry;
+//! this module is the single audited definition of that geometry, so the
+//! index arithmetic scattered through the kernels can be checked (and
+//! property-tested) once.
+//!
+//! Invariants, each enforced by a property test below over band widths 1,
+//! 2 and `|Q|`:
+//!
+//! * round-trip: `t_of(r, tprime(r, t)) == t` for every in-band `(r, t)`;
+//! * range: `tprime` maps the band of diagonal `r` into `1..=|Q|`;
+//! * contiguity: `tprime(r, t + 1) == tprime(r, t) + 1` (vector loads are
+//!   unit-stride);
+//! * coverage: the bands of all `tlen + qlen - 1` diagonals partition the
+//!   `tlen × qlen` cell set.
+
+/// Anti-diagonal addressing for a `tlen × qlen` DP matrix (both non-zero;
+/// the kernels return early on empty inputs before building one of these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Eq4 {
+    tlen: usize,
+    qlen: usize,
+}
+
+impl Eq4 {
+    /// Addressing for a `tlen × qlen` matrix.
+    #[inline]
+    pub fn new(tlen: usize, qlen: usize) -> Self {
+        debug_assert!(tlen > 0 && qlen > 0, "empty matrices have no diagonals");
+        Eq4 { tlen, qlen }
+    }
+
+    /// Number of anti-diagonals: `r` ranges over `0..diagonals()`.
+    #[inline]
+    pub fn diagonals(self) -> usize {
+        self.tlen + self.qlen - 1
+    }
+
+    /// The in-band target range `(st, en)` of diagonal `r`: cells
+    /// `(t, r - t)` for `t` in `st..=en` are exactly the matrix cells on
+    /// the diagonal.
+    #[inline]
+    pub fn band(self, r: usize) -> (usize, usize) {
+        debug_assert!(r < self.diagonals());
+        (r.saturating_sub(self.qlen - 1), r.min(self.tlen - 1))
+    }
+
+    /// Eq. 4: the shifted column `t' = t - r + |Q|` of in-band cell
+    /// `(r, t)`. Computed add-first so it never underflows `usize`.
+    #[inline]
+    pub fn tprime(self, r: usize, t: usize) -> usize {
+        debug_assert!({
+            let (st, en) = self.band(r);
+            (st..=en).contains(&t)
+        });
+        t + self.qlen - r
+    }
+
+    /// Inverse of [`Eq4::tprime`]: the target index of shifted column `tp`
+    /// on diagonal `r`.
+    #[inline]
+    pub fn t_of(self, r: usize, tp: usize) -> usize {
+        debug_assert!((1..=self.qlen).contains(&tp));
+        tp + r - self.qlen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Check every documented invariant over the full diagonal sweep.
+    fn check_all_invariants(tlen: usize, qlen: usize) {
+        let g = Eq4::new(tlen, qlen);
+        assert_eq!(g.diagonals(), tlen + qlen - 1);
+        let mut cells = 0usize;
+        for r in 0..g.diagonals() {
+            let (st, en) = g.band(r);
+            assert!(st <= en, "band of r={r} is non-empty");
+            assert!(en - st < tlen.min(qlen), "band width bounded");
+            let mut prev_tp = None;
+            for t in st..=en {
+                // The cell is really in the matrix.
+                let q = r - t;
+                assert!(t < tlen && q < qlen, "(r={r}, t={t})");
+                cells += 1;
+                let tp = g.tprime(r, t);
+                // Range: Eq. 4 lands in 1..=qlen.
+                assert!((1..=qlen).contains(&tp), "t'={tp} out of range");
+                // Round-trip.
+                assert_eq!(g.t_of(r, tp), t, "round-trip at (r={r}, t={t})");
+                // Contiguity: unit stride along the diagonal.
+                if let Some(p) = prev_tp {
+                    assert_eq!(tp, p + 1, "stride at (r={r}, t={t})");
+                }
+                prev_tp = Some(tp);
+            }
+        }
+        // Coverage: the diagonals partition the matrix.
+        assert_eq!(cells, tlen * qlen);
+    }
+
+    #[test]
+    fn matches_the_kernels_inline_arithmetic() {
+        // The kernels compute `off = st + qlen - r; tp = t - st + off`.
+        // Eq4::tprime must be that exact value.
+        for (tlen, qlen) in [(7usize, 5usize), (5, 7), (1, 9), (9, 1), (4, 4)] {
+            let g = Eq4::new(tlen, qlen);
+            for r in 0..g.diagonals() {
+                let (st, en) = g.band(r);
+                let off = st + qlen - r;
+                for t in st..=en {
+                    assert_eq!(g.tprime(r, t), t - st + off);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Band width 1: a single-column query (every diagonal holds one
+        // cell on the query axis).
+        #[test]
+        fn roundtrips_at_band_width_one(tlen in 1usize..80) {
+            check_all_invariants(tlen, 1);
+            check_all_invariants(1, tlen); // and the single-row transpose
+        }
+
+        // Band width 2.
+        #[test]
+        fn roundtrips_at_band_width_two(tlen in 2usize..80) {
+            check_all_invariants(tlen, 2);
+            check_all_invariants(2, tlen);
+        }
+
+        // Full band |Q|: arbitrary rectangles, including squares, where
+        // interior diagonals reach the maximum width min(|T|, |Q|).
+        #[test]
+        fn roundtrips_at_full_band(tlen in 1usize..48, qlen in 1usize..48) {
+            check_all_invariants(tlen, qlen);
+        }
+    }
+}

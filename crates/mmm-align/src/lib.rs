@@ -27,6 +27,7 @@ pub mod diff;
 pub mod dispatch;
 pub mod extend;
 pub mod fullmatrix;
+pub mod layout;
 pub mod scalar;
 pub mod score;
 pub mod scratch;
@@ -37,7 +38,10 @@ pub mod zdrop;
 
 pub use banded::{align_banded, align_banded_with_scratch};
 pub use cigar::{Cigar, CigarOp};
-pub use dispatch::{best_engine, best_mm2_engine, Engine, Layout, Width};
+pub use dispatch::{
+    best_engine, best_engine_unless, best_mm2_engine, parse_disable_list, DisabledTiers, Engine,
+    Layout, Width,
+};
 pub use extend::{
     extend_align, extend_align_with_scratch, fill_align, fill_align_with_scratch,
     trim_to_best_prefix, trim_to_best_prefix_into, ExtendResult,

@@ -17,6 +17,7 @@
 //! [`crate::fullmatrix::align`] (property-tested below).
 
 use crate::diff::{backtrack_into, cell_update, degenerate, Tracker};
+use crate::layout::Eq4;
 use crate::score::Scoring;
 use crate::scratch::{reset_fill, AlignScratch};
 use crate::types::{AlignMode, AlignResult};
@@ -74,9 +75,9 @@ pub fn align_mm2_with_scratch(
     };
     let mut tracker = Tracker::new(tlen, qlen);
 
-    for r in 0..tlen + qlen - 1 {
-        let st = r.saturating_sub(qlen - 1);
-        let en = r.min(tlen - 1);
+    let geom = Eq4::new(tlen, qlen);
+    for r in 0..geom.diagonals() {
+        let (st, en) = geom.band(r);
         // Boundary x(-1,j), v(-1,j) when the diagonal touches the first row;
         // otherwise the previous diagonal's X[st-1], V[st-1].
         let (mut xlast, mut vlast) = if st == 0 {
@@ -183,13 +184,12 @@ pub fn align_manymap_with_scratch(
     };
     let mut tracker = Tracker::new(tlen, qlen);
 
-    for r in 0..tlen + qlen - 1 {
-        let st = r.saturating_sub(qlen - 1);
-        let en = r.min(tlen - 1);
-        let off = st + qlen - r; // t' of the first cell; t' = t + (qlen - r)
+    let geom = Eq4::new(tlen, qlen);
+    for r in 0..geom.diagonals() {
+        let (st, en) = geom.band(r);
         let mut dir_row = dir.as_deref_mut().map(|d| d.row_mut(r));
         for t in st..=en {
-            let tp = t - st + off;
+            let tp = geom.tprime(r, t); // Eq. 4: t' = t - r + |Q|
             let s = sc.subst(target[t], query[r - t]);
             // In-place, dependency-free updates: each slot is read once and
             // written once per diagonal.

@@ -80,6 +80,9 @@ pub fn align_manymap_with_scratch(
 /// Shift a 256-bit register left by one byte, filling byte 0 with zero.
 /// AVX2 has no cross-lane byte shift, so this costs a `vperm2i128` plus a
 /// `vpalignr` — a direct port of ksw2's `pslldq` pays this on every operand.
+///
+/// # Safety
+/// Requires AVX2; only called from `#[target_feature(enable = "avx2")]` fns.
 #[inline(always)]
 unsafe fn shl1_zero(v: __m256i) -> __m256i {
     let lo_to_hi = _mm256_permute2x128_si256(v, v, 0x08); // [0, v_lo]
@@ -88,12 +91,18 @@ unsafe fn shl1_zero(v: __m256i) -> __m256i {
 
 /// `[v[31]]` in byte 0, zeros elsewhere — the carry produced by ksw2's
 /// `psrldq(v, 15)`, again needing a lane fix-up on AVX2.
+///
+/// # Safety
+/// Requires AVX2; only called from `#[target_feature(enable = "avx2")]` fns.
 #[inline(always)]
 unsafe fn shr15_carry(v: __m256i) -> __m256i {
     let hi_to_lo = _mm256_permute2x128_si256(v, v, 0x81); // [v_hi, 0]
     _mm256_bsrli_epi128(hi_to_lo, 15)
 }
 
+/// # Safety
+/// Caller must ensure AVX2 is available — the public wrappers above assert
+/// `available()` before dispatching here.
 #[target_feature(enable = "avx2")]
 unsafe fn mm2_inner(
     target: &[u8],
@@ -253,6 +262,9 @@ unsafe fn mm2_inner(
     }
 }
 
+/// # Safety
+/// Caller must ensure AVX2 is available — the public wrappers above assert
+/// `available()` before dispatching here.
 #[target_feature(enable = "avx2")]
 unsafe fn manymap_inner(
     target: &[u8],
@@ -393,7 +405,8 @@ unsafe fn manymap_inner(
     }
 }
 
-#[cfg(test)]
+// Miri cannot execute vendor intrinsics; the simd tests are host-only.
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::scalar;

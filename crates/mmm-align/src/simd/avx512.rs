@@ -24,6 +24,9 @@ pub fn available() -> bool {
 /// Shift a 512-bit register left by one byte with zero fill. Bytes crossing
 /// the four 128-bit lane boundaries need an extra qword permute — the cost a
 /// direct port of ksw2's `pslldq` pays at this width.
+///
+/// # Safety
+/// Requires AVX-512F/BW; only called from `#[target_feature]`-gated fns.
 #[inline(always)]
 unsafe fn shl1_zero(v: __m512i) -> __m512i {
     let within = _mm512_bslli_epi128(v, 1);
@@ -34,6 +37,9 @@ unsafe fn shl1_zero(v: __m512i) -> __m512i {
 }
 
 /// `[v[63]]` in byte 0, zeros elsewhere — the next iteration's carry.
+///
+/// # Safety
+/// Requires AVX-512F/BW; only called from `#[target_feature]`-gated fns.
 #[inline(always)]
 unsafe fn shr63_carry(v: __m512i) -> __m512i {
     let crossers = _mm512_bsrli_epi128(v, 15);
@@ -105,6 +111,9 @@ unsafe fn extract_last(v: __m512i) -> i32 {
     _mm_extract_epi8(lane, 15) as i8 as i32
 }
 
+/// # Safety
+/// Caller must ensure AVX-512F/BW are available — the public wrappers above
+/// assert `available()` before dispatching here.
 #[target_feature(enable = "avx512f,avx512bw")]
 unsafe fn mm2_inner(
     target: &[u8],
@@ -270,6 +279,9 @@ unsafe fn mm2_inner(
     }
 }
 
+/// # Safety
+/// Caller must ensure AVX-512F/BW are available — the public wrappers above
+/// assert `available()` before dispatching here.
 #[target_feature(enable = "avx512f,avx512bw")]
 unsafe fn manymap_inner(
     target: &[u8],
@@ -416,7 +428,8 @@ unsafe fn manymap_inner(
     }
 }
 
-#[cfg(test)]
+// Miri cannot execute vendor intrinsics; the simd tests are host-only.
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::scalar;

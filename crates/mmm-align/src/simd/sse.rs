@@ -73,6 +73,9 @@ pub fn align_manymap_with_scratch(
     unsafe { manymap_inner(target, query, sc, mode, with_path, scratch) }
 }
 
+/// # Safety
+/// Caller must ensure SSE4.1 is available — the public wrappers above assert
+/// `available()` before dispatching here.
 #[target_feature(enable = "sse4.1")]
 unsafe fn mm2_inner(
     target: &[u8],
@@ -236,6 +239,9 @@ unsafe fn mm2_inner(
     }
 }
 
+/// # Safety
+/// Caller must ensure SSE4.1 is available — the public wrappers above assert
+/// `available()` before dispatching here.
 #[target_feature(enable = "sse4.1")]
 unsafe fn manymap_inner(
     target: &[u8],
@@ -377,7 +383,8 @@ unsafe fn manymap_inner(
     }
 }
 
-#[cfg(test)]
+// Miri cannot execute vendor intrinsics; the simd tests are host-only.
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::scalar;

@@ -5,6 +5,8 @@
 //!
 //! A counting global allocator makes the claim checkable: the counter is
 //! thread-local so the other tests in this binary can't perturb it.
+// Drives every available SIMD tier, which Miri cannot execute.
+#![cfg(not(miri))]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -20,18 +22,24 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: pure pass-through to `System` plus a thread-local counter bump —
+// every allocator contract obligation is delegated unchanged, and the
+// caller-supplied layout/pointer invariants are forwarded verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: same layout the caller passed, forwarded to `System`.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` on `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` on `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -2,6 +2,8 @@
 //! scoring is rejected with a real error (not a release-mode wraparound),
 //! and empty inputs take the degenerate path everywhere instead of
 //! underflowing the diagonal bookkeeping.
+// Drives every available SIMD tier, which Miri cannot execute.
+#![cfg(not(miri))]
 
 use mmm_align::diff::{DirMatrix, Tracker};
 use mmm_align::{

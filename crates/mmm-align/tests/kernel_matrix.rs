@@ -1,6 +1,8 @@
 //! Integration matrix over the whole kernel zoo: every engine × every mode
 //! × both outputs on workloads shaped like real inter-anchor fills, plus
 //! the relationships between the one-piece, two-piece and banded aligners.
+// Drives every available SIMD tier, which Miri cannot execute.
+#![cfg(not(miri))]
 
 use mmm_align::{
     align_banded, align_manymap_2p, fullmatrix2, AlignMode, Engine, Scoring, Scoring2,

@@ -78,7 +78,8 @@ fn lis_one_group(group: &[Anchor], min_cnt: usize) -> Option<Chain> {
         return None;
     }
     let mut idxs = Vec::with_capacity(tails.len());
-    let mut cur = *tails.last().expect("non-empty LIS");
+    // Non-empty: the min_cnt guard above rejected empty chains.
+    let mut cur = *tails.last()?;
     loop {
         idxs.push(cur);
         if parent[cur] == usize::MAX {

@@ -137,7 +137,11 @@ pub fn schedule_runs(
     for (i, d) in durations.iter().enumerate() {
         let Some(dur) = d else { continue };
         let s = i % cfg.streams.max(1);
-        let fp = runs[i].as_ref().expect("run recorded").footprint;
+        // A recorded duration implies a recorded run; skip defensively if not.
+        let Some(run) = runs[i].as_ref() else {
+            continue;
+        };
+        let fp = run.footprint;
         // Earliest start: stream free, and capacity available.
         let mut start = stream_free[s].max(clock);
         loop {
@@ -173,10 +177,7 @@ pub fn schedule_runs(
     }
 
     BatchReport {
-        runs: runs
-            .into_iter()
-            .map(|r| r.expect("all jobs executed"))
-            .collect(),
+        runs: runs.into_iter().flatten().collect(),
         sim_seconds: makespan,
         max_concurrency: max_seen,
         fallbacks,

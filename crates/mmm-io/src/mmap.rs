@@ -48,8 +48,8 @@ pub struct Mmap {
     len: usize,
 }
 
-// The mapping is read-only and owned; sharing references across threads is
-// no different from sharing a `&[u8]`.
+// SAFETY: the mapping is read-only and owned; sharing references across
+// threads is no different from sharing a `&[u8]`.
 unsafe impl Send for Mmap {}
 unsafe impl Sync for Mmap {}
 

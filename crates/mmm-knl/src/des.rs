@@ -88,7 +88,7 @@ pub fn batch_compute_makespan(
         .map(|(&c, &a)| m.seedchain_time(c) + m.align_time(a))
         .collect();
     if sort {
-        costs.sort_by(|x, y| y.partial_cmp(x).expect("finite costs"));
+        costs.sort_by(|x, y| y.total_cmp(x));
     }
     // Greedy list scheduling onto heterogeneous threads.
     use std::cmp::Reverse;
@@ -103,16 +103,16 @@ pub fn batch_compute_makespan(
     }
     impl Ord for T {
         fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&o.0)
-                .expect("finite")
-                .then(self.1.cmp(&o.1))
+            self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
         }
     }
     let mut heap: BinaryHeap<Reverse<T>> = (0..speeds.len()).map(|i| Reverse(T(0.0, i))).collect();
     let mut makespan: f64 = 0.0;
     for c in costs {
-        let Reverse(T(avail, i)) = heap.pop().expect("non-empty heap");
+        // Seeded with one entry per thread; empty only if `speeds` is empty.
+        let Some(Reverse(T(avail, i))) = heap.pop() else {
+            break;
+        };
         let done = avail + c / speeds[i];
         makespan = makespan.max(done);
         heap.push(Reverse(T(done, i)));

@@ -326,6 +326,7 @@ where
                         // checks in below; `k < len` bounds both reads, and
                         // `order` is a permutation so `idx` is in range and
                         // claimed by exactly one worker.
+                        // xtask-allow: raw-ptr-arith — claim-counter distribution needs untracked shared slices; bounds barrier-protected as documented above
                         let idx = unsafe { *job.order.add(k) };
                         let outcome = match state.as_mut() {
                             Some(st) => std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -333,7 +334,9 @@ where
                                 // uniquely claimed, so the result write is
                                 // race-free.
                                 unsafe {
+                                    // xtask-allow: raw-ptr-arith — uniquely claimed idx, barrier-bounded read
                                     let r = map(st, &*job.items.add(idx));
+                                    // xtask-allow: raw-ptr-arith — uniquely claimed idx, race-free write
                                     *job.results.add(idx) = Some(r);
                                 }
                             })),

@@ -1,0 +1,645 @@
+//! Model-checked interleaving audits of the pipeline synchronization
+//! protocols, run with the vendored `loom-lite` cooperative scheduler.
+//!
+//! The existing fault tests catch timing bugs only when the OS happens to
+//! schedule the bad interleaving; these tests *enumerate* the schedules. Each
+//! model is a faithful abstraction of one protocol from `mmm-pipeline`:
+//!
+//! * the minimap2 2-thread design's in-order writer hand-off
+//!   (`try_run_two_thread_with_state`): batch ids handed out under the reader
+//!   lock, a `writer_turn` condvar serializing output, and an abort flag
+//!   raised *under the writer lock* so a slot checking the flag before
+//!   parking cannot miss the wakeup;
+//! * the persistent worker pool's epoch/check-in barrier (`pool.rs`),
+//!   including the per-item panic path (panicking items are recorded and the
+//!   worker still checks in) and the state-factory-failure path (a stateless
+//!   worker claims nothing but still checks in);
+//! * the manymap 3-thread design's bounded-channel stage coupling, abstracted
+//!   as two capacity-2 condvar ring buffers (`sync_channel(2)` in the real
+//!   code).
+//!
+//! Two further models are deliberately broken — the historical/near-miss
+//! variants of the protocols — and assert that the checker *catches* them, so
+//! a regression in the checker itself cannot silently pass the real models.
+//!
+//! Schedule bounds (documented in DESIGN.md §8): the 2-thread hand-off models
+//! are explored exhaustively (`max_preemptions: None`, every schedule), the
+//! 3-thread models under a CHESS-style preemption bound of 2, which is known
+//! to expose the overwhelming majority of real interleaving bugs while
+//! keeping the schedule count polynomial.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use loom_lite::sync::atomic::{AtomicBool, AtomicUsize};
+use loom_lite::sync::{Condvar, Mutex};
+use loom_lite::{model, thread, Builder, Report};
+
+// ---------------------------------------------------------------------------
+// Model 1: the 2-thread pipeline's in-order writer hand-off.
+// ---------------------------------------------------------------------------
+
+/// One explored execution of the two-slot pipeline protocol from
+/// `try_run_two_thread_with_state`, parameterized over the fault to inject.
+///
+/// `n_batches` reads succeed, then the source returns end-of-input forever
+/// (the real regression surface: EOF must not consume a batch id). When
+/// `fail_write_id` is set, writing that batch id fails and the slot triggers
+/// the abort protocol. `abort_under_writer_lock` selects between the real
+/// protocol (flag raised under the writer lock) and the broken variant the
+/// comment in `pipeline.rs` warns about.
+fn two_slot_execution(
+    n_batches: usize,
+    fail_write_id: Option<usize>,
+    abort_under_writer_lock: bool,
+) {
+    // (next id to hand out, batches read so far) — the real code's
+    // `Mutex<(read_batch, next_id)>`.
+    let reader = Arc::new(Mutex::new((0usize, 0usize)));
+    // next batch id the writer will accept — the real code's
+    // `Mutex<(write_batch, next_id)>`.
+    let writer = Arc::new(Mutex::new(0usize));
+    let writer_turn = Arc::new(Condvar::new());
+    let compute = Arc::new(Mutex::new(())); // whole-pool exclusivity
+    let abort = Arc::new(AtomicBool::new(false));
+    let written = Arc::new(Mutex::new(Vec::<usize>::new()));
+    let failed = Arc::new(Mutex::new(Option::<usize>::None));
+
+    let mut slots = Vec::new();
+    for _slot in 0..2 {
+        let reader = Arc::clone(&reader);
+        let writer = Arc::clone(&writer);
+        let writer_turn = Arc::clone(&writer_turn);
+        let compute = Arc::clone(&compute);
+        let abort = Arc::clone(&abort);
+        let written = Arc::clone(&written);
+        let failed = Arc::clone(&failed);
+        slots.push(thread::spawn(move || loop {
+            if abort.load() {
+                break;
+            }
+            // Load: a batch id is consumed only when a batch was produced,
+            // never at end-of-input.
+            let my_id = {
+                let mut rd = reader.lock();
+                if rd.1 < n_batches {
+                    rd.1 += 1;
+                    let my = rd.0;
+                    rd.0 += 1;
+                    my
+                } else {
+                    break; // EOF: no id consumed
+                }
+            };
+            // Compute: exclusive, uses the whole worker pool.
+            {
+                let _guard = compute.lock();
+            }
+            // Output in batch order, parking until it is this batch's turn
+            // or the run aborts.
+            let mut w = writer.lock();
+            while !abort.load() && *w != my_id {
+                w = writer_turn.wait(w);
+            }
+            if abort.load() {
+                break;
+            }
+            if fail_write_id == Some(my_id) {
+                drop(w);
+                // trigger_abort(): record the failure, then raise the flag
+                // and wake every parked slot. The real protocol holds the
+                // writer lock across store+notify.
+                {
+                    let mut f = failed.lock();
+                    if f.is_none() {
+                        *f = Some(my_id);
+                    }
+                }
+                if abort_under_writer_lock {
+                    let _w = writer.lock();
+                    abort.store(true);
+                    writer_turn.notify_all();
+                } else {
+                    // BROKEN: without the lock, store+notify can land between
+                    // another slot's abort check and its wait — lost wakeup.
+                    abort.store(true);
+                    writer_turn.notify_all();
+                }
+                break;
+            }
+            written.lock().push(my_id);
+            *w += 1;
+            writer_turn.notify_all();
+            drop(w);
+        }));
+    }
+    for h in slots {
+        h.join();
+    }
+
+    // Post-conditions, checked on every explored schedule.
+    let written = written.lock().clone();
+    match fail_write_id {
+        None => {
+            assert_eq!(
+                written,
+                (0..n_batches).collect::<Vec<_>>(),
+                "batches must be written exactly once, in order"
+            );
+            assert!(!abort.load(), "clean runs must not abort");
+        }
+        Some(bad) => {
+            assert_eq!(
+                written,
+                (0..bad).collect::<Vec<_>>(),
+                "exactly the batches before the failing id are written, in order"
+            );
+            assert!(abort.load(), "a write failure must raise the abort flag");
+            assert_eq!(*failed.lock(), Some(bad), "the first failure is recorded");
+        }
+    }
+}
+
+/// The condvar hand-off core in isolation, small enough for *exhaustive*
+/// exploration: each slot arrives holding one batch id (the id assignment
+/// itself is serialized by the reader lock and covered by the full
+/// [`two_slot_execution`] model) and runs the exact writer-turn loop from
+/// `try_run_two_thread_with_state` (`while !abort && turn != my_id { wait }`),
+/// writes, advances the turn, and notifies. The slot holding id 1 is spawned
+/// first, so the "late batch arrives at the writer early" contention is the
+/// leftmost schedule, not a corner case. Batch order is asserted
+/// structurally: the turn counter only advances in id order.
+fn handoff_execution(fail_write_id: Option<usize>, abort_under_writer_lock: bool) {
+    let writer = Arc::new(Mutex::new(0usize)); // next id the writer accepts
+    let writer_turn = Arc::new(Condvar::new());
+    let abort = Arc::new(AtomicBool::new(false));
+
+    let mut slots = Vec::new();
+    for my_id in [1usize, 0] {
+        let writer = Arc::clone(&writer);
+        let writer_turn = Arc::clone(&writer_turn);
+        let abort = Arc::clone(&abort);
+        slots.push(thread::spawn(move || {
+            let mut w = writer.lock();
+            while !abort.load() && *w != my_id {
+                w = writer_turn.wait(w);
+            }
+            if abort.load() {
+                return;
+            }
+            if fail_write_id == Some(my_id) {
+                drop(w);
+                if abort_under_writer_lock {
+                    let _w = writer.lock();
+                    abort.store(true);
+                    writer_turn.notify_all();
+                } else {
+                    // BROKEN: without the lock, store+notify can land between
+                    // another slot's abort check and its wait — lost wakeup.
+                    abort.store(true);
+                    writer_turn.notify_all();
+                }
+                return;
+            }
+            *w += 1;
+            writer_turn.notify_all();
+        }));
+    }
+    for h in slots {
+        h.join();
+    }
+
+    let turn = *writer.lock();
+    match fail_write_id {
+        None => assert_eq!(turn, 2, "both batches written, in order"),
+        Some(bad) => {
+            assert_eq!(turn, bad, "exactly the batches before the failure wrote");
+            assert!(abort.load(), "a write failure must raise the abort flag");
+        }
+    }
+}
+
+/// Acceptance gate: every 2-thread schedule of the condvar hand-off
+/// completes without deadlock or lost wakeup, exhaustively enumerated
+/// (`max_preemptions: None`).
+#[test]
+fn handoff_all_schedules_clean() {
+    let report: Report = model(|| handoff_execution(None, true));
+    assert!(report.complete, "exploration hit the schedule cap");
+    assert!(
+        report.schedules >= 100,
+        "suspiciously few schedules ({}) — the model lost its concurrency",
+        report.schedules
+    );
+    println!("hand-off: {} schedules, exhaustive", report.schedules);
+}
+
+/// A failing write must abort the other slot promptly on every schedule — in
+/// particular the slot parked on the writer-turn condvar waiting for a batch
+/// id that will now never be written.
+#[test]
+fn handoff_abort_wakes_parked_writer_on_all_schedules() {
+    let report = model(|| handoff_execution(Some(0), true));
+    assert!(report.complete, "exploration hit the schedule cap");
+    println!("hand-off abort: {} schedules, exhaustive", report.schedules);
+}
+
+/// Checker meta-test: the broken abort variant (flag raised *without* the
+/// writer lock) admits a schedule where the store+notify land between a
+/// parked slot's abort check and its wait. The wakeup is lost, the slot
+/// parks forever, and loom-lite must report the deadlock.
+#[test]
+fn handoff_abort_without_writer_lock_is_caught() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| handoff_execution(Some(0), false));
+    }));
+    let msg = match result {
+        Ok(_) => panic!("the lost-wakeup abort variant was not detected"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into()),
+    };
+    assert!(
+        msg.contains("deadlock"),
+        "expected a deadlock report, got: {msg}"
+    );
+}
+
+/// The full two-slot pipeline (reader ids, compute exclusivity, writer turn,
+/// EOF tail) over two batches: clean on every schedule at preemption
+/// bound 3. The full model has too many scheduling points for exhaustive
+/// exploration; the hand-off core above covers that exhaustively.
+#[test]
+fn two_slot_pipeline_eof_clean_at_bound() {
+    let report = Builder {
+        max_preemptions: Some(3),
+        ..Builder::default()
+    }
+    .check(|| two_slot_execution(2, None, true));
+    assert!(report.complete, "exploration hit the schedule cap");
+    println!(
+        "two-slot pipeline + EOF: {} schedules at preemption bound 3",
+        report.schedules
+    );
+}
+
+/// The full two-slot pipeline with a failing write: aborts cleanly (no
+/// deadlock, failure recorded) on every schedule at preemption bound 3.
+#[test]
+fn two_slot_pipeline_abort_clean_at_bound() {
+    let report = Builder {
+        max_preemptions: Some(3),
+        ..Builder::default()
+    }
+    .check(|| two_slot_execution(2, Some(0), true));
+    assert!(report.complete, "exploration hit the schedule cap");
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: the worker pool's epoch/check-in barrier.
+// ---------------------------------------------------------------------------
+
+/// Shared pool state mirroring `pool.rs`'s `Slot`: the epoch stamp, the
+/// check-in count, the shutdown flag, the published job (just its length
+/// here), and the caught-panic log.
+struct SlotState {
+    epoch: u64,
+    checked_in: usize,
+    shutdown: bool,
+    job_len: Option<usize>,
+    panics: Vec<usize>,
+}
+
+/// One explored execution of the pool protocol: a submitter publishes
+/// `batches` jobs of `items` items to 2 persistent workers and waits on the
+/// check-in barrier for each.
+///
+/// `worker1_stateless` models a state factory that panicked: the worker must
+/// claim nothing yet still check in every epoch. `panic_item` models a `map`
+/// panic on that item index: the claiming worker records it and moves on
+/// (the real code's per-item `catch_unwind` + state rebuild), and the barrier
+/// must still release the submitter. `broken_skip_checkin_on_panic` is the
+/// near-miss variant where the panicking worker forgets to check in.
+fn pool_execution(
+    batches: usize,
+    items: usize,
+    worker1_stateless: bool,
+    panic_item: Option<usize>,
+    broken_skip_checkin_on_panic: bool,
+) {
+    const THREADS: usize = 2;
+    let slot = Arc::new(Mutex::new(SlotState {
+        epoch: 0,
+        checked_in: THREADS, // pre-batch steady state: nobody owes a check-in
+        shutdown: false,
+        job_len: None,
+        panics: Vec::new(),
+    }));
+    let work_cv = Arc::new(Condvar::new());
+    let done_cv = Arc::new(Condvar::new());
+    let next = Arc::new(AtomicUsize::new(0));
+    let results = Arc::new(Mutex::new(Vec::<Option<usize>>::new()));
+
+    let mut workers = Vec::new();
+    for w in 0..THREADS {
+        let slot = Arc::clone(&slot);
+        let work_cv = Arc::clone(&work_cv);
+        let done_cv = Arc::clone(&done_cv);
+        let next = Arc::clone(&next);
+        let results = Arc::clone(&results);
+        workers.push(thread::spawn(move || {
+            // `make_state` ran once at spawn; `None` = the factory panicked.
+            let mut state = if w == 1 && worker1_stateless {
+                None
+            } else {
+                Some(())
+            };
+            let mut seen_epoch = 0u64;
+            loop {
+                // Wait for a fresh epoch (or shutdown) and copy its job.
+                let len = {
+                    let mut g = slot.lock();
+                    loop {
+                        if g.shutdown {
+                            return;
+                        }
+                        if g.epoch != seen_epoch {
+                            seen_epoch = g.epoch;
+                            if let Some(len) = g.job_len {
+                                break len;
+                            }
+                        }
+                        g = work_cv.wait(g);
+                    }
+                };
+                // Drain the claim counter with disjoint indices.
+                let mut owes_checkin = true;
+                while state.is_some() {
+                    let k = next.fetch_add(1);
+                    if k >= len {
+                        break;
+                    }
+                    if panic_item == Some(k) {
+                        // `map` panicked on item k: record it, rebuild state,
+                        // keep draining — the item's slot stays `None`.
+                        slot.lock().panics.push(k);
+                        state = Some(());
+                        if broken_skip_checkin_on_panic {
+                            // BROKEN: bail without checking in; the submitter
+                            // waits for this worker forever.
+                            owes_checkin = false;
+                            break;
+                        }
+                    } else {
+                        results.lock()[k] = Some(k * 2);
+                    }
+                }
+                // Check in (the real code does this via a drop guard so it
+                // also fires while unwinding).
+                if owes_checkin {
+                    let mut g = slot.lock();
+                    g.checked_in += 1;
+                    if g.checked_in == THREADS {
+                        done_cv.notify_all();
+                    }
+                } else {
+                    return;
+                }
+            }
+        }));
+    }
+
+    // Submitter (the pipeline's compute stage).
+    for _ in 0..batches {
+        results.lock().clear();
+        for _ in 0..items {
+            results.lock().push(None);
+        }
+        next.store(0);
+        {
+            let mut g = slot.lock();
+            g.epoch += 1;
+            g.checked_in = 0;
+            g.panics.clear();
+            g.job_len = Some(items);
+            work_cv.notify_all();
+        }
+        // Check-in barrier: only after it may the job borrows be released.
+        let panics = {
+            let mut g = slot.lock();
+            while g.checked_in != THREADS {
+                g = done_cv.wait(g);
+            }
+            g.job_len = None;
+            std::mem::take(&mut g.panics)
+        };
+        // Barrier post-conditions per batch.
+        let res = results.lock().clone();
+        for (i, r) in res.iter().enumerate() {
+            if panic_item == Some(i) {
+                assert!(r.is_none(), "panicked item {i} must have no result");
+                assert!(panics.contains(&i), "panicked item {i} must be recorded");
+            } else {
+                assert_eq!(*r, Some(i * 2), "item {i} processed exactly once");
+            }
+        }
+    }
+    {
+        let mut g = slot.lock();
+        g.shutdown = true;
+        work_cv.notify_all();
+    }
+    for h in workers {
+        h.join();
+    }
+}
+
+/// The epoch/check-in barrier releases the submitter on every schedule, with
+/// every item processed exactly once — the property that makes the pool's
+/// lifetime-erased job pointers sound.
+#[test]
+fn pool_barrier_all_schedules_clean() {
+    let report = Builder {
+        max_preemptions: Some(2),
+        ..Builder::default()
+    }
+    .check(|| pool_execution(2, 2, false, None, false));
+    assert!(report.complete, "exploration hit the schedule cap");
+    println!(
+        "pool barrier: {} schedules at preemption bound 2",
+        report.schedules
+    );
+}
+
+/// A worker whose state factory panicked claims no items but still checks in:
+/// the barrier must release and the other worker must cover the whole batch.
+#[test]
+fn pool_stateless_worker_never_wedges_the_barrier() {
+    let report = Builder {
+        max_preemptions: Some(2),
+        ..Builder::default()
+    }
+    .check(|| pool_execution(2, 2, true, None, false));
+    assert!(report.complete, "exploration hit the schedule cap");
+}
+
+/// A `map` panic is recorded per item and the worker rebuilds and continues;
+/// the barrier still releases on every schedule.
+#[test]
+fn pool_item_panic_still_checks_in() {
+    let report = Builder {
+        max_preemptions: Some(2),
+        ..Builder::default()
+    }
+    .check(|| pool_execution(1, 3, false, Some(1), false));
+    assert!(report.complete, "exploration hit the schedule cap");
+}
+
+/// Checker meta-test: the near-miss variant where a panicking worker skips
+/// its check-in must be reported — the submitter waits on `done_cv` forever.
+#[test]
+fn pool_missing_checkin_is_caught() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder {
+            max_preemptions: Some(2),
+            ..Builder::default()
+        }
+        .check(|| pool_execution(1, 3, false, Some(1), true));
+    }));
+    let msg = match result {
+        Ok(_) => panic!("the missing check-in was not detected"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into()),
+    };
+    assert!(
+        msg.contains("deadlock"),
+        "expected a deadlock report, got: {msg}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: the 3-thread pipeline's bounded-channel coupling.
+// ---------------------------------------------------------------------------
+
+/// A condvar-based bounded queue abstracting `std::sync::mpsc::sync_channel`:
+/// `send` parks while full, `recv` parks while empty, and closing wakes every
+/// parked receiver (`recv` then drains the buffer before reporting
+/// disconnect, exactly like `mpsc`).
+struct BoundedQueue {
+    state: Mutex<(VecDeque<usize>, bool)>, // (buffer, closed)
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl BoundedQueue {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Returns false when the receiving side is gone.
+    fn send(&self, v: usize) -> bool {
+        let mut g = self.state.lock();
+        while g.0.len() == self.cap && !g.1 {
+            g = self.not_full.wait(g);
+        }
+        if g.1 {
+            return false;
+        }
+        g.0.push_back(v);
+        self.not_empty.notify_all();
+        true
+    }
+
+    fn recv(&self) -> Option<usize> {
+        let mut g = self.state.lock();
+        loop {
+            if let Some(v) = g.0.pop_front() {
+                self.not_full.notify_all();
+                return Some(v);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.not_empty.wait(g);
+        }
+    }
+
+    fn close(&self) {
+        let mut g = self.state.lock();
+        g.1 = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// One explored execution of the 3-stage pipeline: reader → compute → writer
+/// over two capacity-2 queues, with EOF propagating as channel closure
+/// (dropping `in_tx` / `out_tx` in the real code).
+fn three_stage_execution(n_batches: usize) {
+    let chan_in = Arc::new(BoundedQueue::new(2));
+    let chan_out = Arc::new(BoundedQueue::new(2));
+    let written = Arc::new(Mutex::new(Vec::<usize>::new()));
+
+    let reader = {
+        let chan_in = Arc::clone(&chan_in);
+        thread::spawn(move || {
+            for b in 0..n_batches {
+                if !chan_in.send(b) {
+                    break;
+                }
+            }
+            chan_in.close(); // EOF: dropping in_tx closes the channel
+        })
+    };
+    let writer = {
+        let chan_out = Arc::clone(&chan_out);
+        let written = Arc::clone(&written);
+        thread::spawn(move || {
+            while let Some(v) = chan_out.recv() {
+                written.lock().push(v);
+            }
+        })
+    };
+    // Compute stage runs on this thread, like the real pipeline.
+    while let Some(b) = chan_in.recv() {
+        if !chan_out.send(b * 10) {
+            break;
+        }
+    }
+    chan_out.close();
+    reader.join();
+    writer.join();
+
+    assert_eq!(
+        written.lock().clone(),
+        (0..n_batches).map(|b| b * 10).collect::<Vec<_>>(),
+        "the 3-stage pipeline must deliver every batch, in order"
+    );
+}
+
+/// The reader/compute/writer coupling delivers every batch in order and
+/// shuts down on EOF without deadlock on every schedule at preemption
+/// bound 2 (3 threads are beyond exhaustive reach; see DESIGN.md §8).
+#[test]
+fn three_stage_channels_all_bounded_schedules_clean() {
+    let report = Builder {
+        max_preemptions: Some(2),
+        ..Builder::default()
+    }
+    .check(|| three_stage_execution(3));
+    assert!(report.complete, "exploration hit the schedule cap");
+    println!(
+        "three-stage channels: {} schedules at preemption bound 2",
+        report.schedules
+    );
+}

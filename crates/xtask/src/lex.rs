@@ -1,0 +1,372 @@
+//! A minimal Rust surface lexer for the custom lints.
+//!
+//! The lints in [`crate::lints`] need to tell *code* apart from *comments*
+//! and *string/char literals* — nothing more. This module scans a source
+//! file once and produces two parallel per-line views:
+//!
+//! * `code`: the source with comment text and literal contents blanked to
+//!   spaces (quote/delimiter characters are kept so token shapes survive);
+//! * `comment`: only the comment text (line and block comments, including
+//!   doc comments), everything else blanked.
+//!
+//! Both views preserve line structure exactly, so `views[i]` always
+//! describes source line `i + 1` and lint findings carry real line numbers.
+//!
+//! The scanner understands nested block comments, raw strings with any hash
+//! count (`r#".."#`, `br##".."##`), byte strings, escapes in string/char
+//! literals, and the char-literal vs. lifetime ambiguity (`'a'` vs. `'a`).
+//! It does not attempt full tokenization — that is rustc's job; anything
+//! that compiles is scanned faithfully enough for the lint rules.
+
+/// One source line, split into its code part and its comment part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineView {
+    pub code: String,
+    pub comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    /// Inside `".."` (escapes active).
+    Str,
+    /// Inside `r##".."##` with the given hash count (no escapes).
+    RawStr(u32),
+    /// Inside `'..'` (escapes active).
+    CharLit,
+}
+
+/// Is this a character-literal opener rather than a lifetime?
+///
+/// `chars[i]` is a `'`. A char literal is `'x'`, `'\n'`, `'\u{..}'`; a
+/// lifetime is `'ident` with no closing quote right after one identifier
+/// character (`'a>` / `'a,` / `'a ` / `'static`).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+    }
+}
+
+/// How many `#` follow position `i`, for raw-string delimiters.
+fn hashes_at(chars: &[char], i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Scan a whole file into per-line code/comment views.
+pub fn scan(src: &str) -> Vec<LineView> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut views = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    // Push `c` to one view and pad the other, keeping columns aligned.
+    macro_rules! emit {
+        (code $c:expr) => {{
+            code.push($c);
+            comment.push(' ');
+        }};
+        (comment $c:expr) => {{
+            code.push(' ');
+            comment.push($c);
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A newline always ends the physical line; line comments end
+            // here too, everything else carries over.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            views.push(LineView {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    emit!(comment '/');
+                    emit!(comment '/');
+                    i += 2;
+                    state = State::LineComment;
+                } else if c == '/' && next == Some('*') {
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    i += 2;
+                    state = State::BlockComment(1);
+                } else if c == '"' {
+                    emit!(code '"');
+                    i += 1;
+                    state = State::Str;
+                } else if c == 'r' && (next == Some('"') || next == Some('#')) {
+                    // Possible raw string r".." / r#".."#; only commit when
+                    // the hashes are followed by a quote (else it's just an
+                    // identifier like `r#keyword` usage or a lone `r`).
+                    let h = hashes_at(&chars, i + 1);
+                    if chars.get(i + 1 + h as usize) == Some(&'"') {
+                        for _ in 0..(h as usize + 2) {
+                            emit!(code chars[i]);
+                            i += 1;
+                        }
+                        state = State::RawStr(h);
+                    } else {
+                        emit!(code c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('"') {
+                    emit!(code 'b');
+                    emit!(code '"');
+                    i += 2;
+                    state = State::Str;
+                } else if c == 'b'
+                    && next == Some('r')
+                    && (chars.get(i + 2) == Some(&'"') || chars.get(i + 2) == Some(&'#'))
+                {
+                    let h = hashes_at(&chars, i + 2);
+                    if chars.get(i + 2 + h as usize) == Some(&'"') {
+                        for _ in 0..(h as usize + 3) {
+                            emit!(code chars[i]);
+                            i += 1;
+                        }
+                        state = State::RawStr(h);
+                    } else {
+                        emit!(code c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('\'') {
+                    emit!(code 'b');
+                    emit!(code '\'');
+                    i += 2;
+                    state = State::CharLit;
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        emit!(code '\'');
+                        i += 1;
+                        state = State::CharLit;
+                    } else {
+                        emit!(code '\''); // lifetime tick stays code
+                        i += 1;
+                    }
+                } else {
+                    emit!(code c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                emit!(comment c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    emit!(comment '*');
+                    emit!(comment '/');
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    emit!(comment c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    emit!(code ' ');
+                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                        emit!(code ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    emit!(code '"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    emit!(code ' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(h) => {
+                if c == '"' && hashes_at(&chars, i + 1) >= h {
+                    emit!(code '"');
+                    i += 1;
+                    for _ in 0..h {
+                        emit!(code '#');
+                        i += 1;
+                    }
+                    state = State::Normal;
+                } else {
+                    emit!(code ' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    emit!(code ' ');
+                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                        emit!(code ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    emit!(code '\'');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    emit!(code ' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        views.push(LineView { code, comment });
+    }
+    views
+}
+
+/// True when `needle` occurs in `hay` delimited by non-identifier chars —
+/// `unsafe` matches in `unsafe {` but not in `unsafely` or `is_unsafe`.
+pub fn has_word(hay: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !hay[..at].chars().next_back().is_some_and(is_ident);
+        let after = at + needle.len();
+        let after_ok = after >= hay.len() || !hay[after..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|v| v.code).collect()
+    }
+
+    fn comment_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|v| v.comment).collect()
+    }
+
+    #[test]
+    fn line_comments_split_out() {
+        let v = scan("let x = 1; // SAFETY: fine\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].code.contains("let x = 1;"));
+        assert!(!v[0].code.contains("SAFETY"));
+        assert!(v[0].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn strings_are_blanked_in_code() {
+        let c = code_of("let s = \"unsafe { } // not a comment\";\n");
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[0].contains("//"));
+        assert!(c[0].contains("let s = \""));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let c = code_of("let s = \"a\\\"unsafe\"; unsafe {}\n");
+        assert!(!c[0].contains("a\\"));
+        assert!(c[0].contains("unsafe {}"), "{}", c[0]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code_of("let s = r#\"unsafe \" still\"#; transmute()\n");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("transmute"));
+        let c = code_of("let s = br##\"x\"# y\"##; .unwrap()\n");
+        assert!(!c[0].contains("x\"# y"));
+        assert!(c[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b\n";
+        let c = code_of(src);
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains("still"));
+        assert!(comment_of(src)[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let src = "x/*\nunsafe\n*/y\n";
+        let c = code_of(src);
+        assert_eq!(c.len(), 3);
+        assert!(!c[1].contains("unsafe"));
+        assert!(c[2].contains('y'));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("let a: &'a str = x; let q = 'q'; let n = '\\n';\n");
+        // Lifetime survives as code; char literal contents are blanked.
+        assert!(c[0].contains("&'a str"));
+        assert!(!c[0].contains('q') || !c[0].contains("'q'"));
+        let c = code_of("let c = '\"'; unsafe {}\n");
+        // A quote inside a char literal must not open a string.
+        assert!(c[0].contains("unsafe {}"), "{}", c[0]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let c = code_of("let b = b\"abc\"; let x = b'z'; keep\n");
+        assert!(!c[0].contains("abc"));
+        assert!(c[0].contains("keep"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(has_word("x unsafe", "unsafe"));
+        assert!(!has_word("unsafely", "unsafe"));
+        assert!(!has_word("is_unsafe", "unsafe"));
+        assert!(has_word("(unsafe)", "unsafe"));
+    }
+
+    #[test]
+    fn line_numbers_align() {
+        let src = "one\ntwo // c\nthree\n";
+        let v = scan(src);
+        assert_eq!(v.len(), 3);
+        assert!(v[0].code.contains("one"));
+        assert!(v[1].code.contains("two") && v[1].comment.contains('c'));
+        assert!(v[2].code.contains("three"));
+    }
+}

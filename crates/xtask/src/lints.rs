@@ -1,0 +1,682 @@
+//! The repo-native lint rules — invariants clippy cannot express.
+//!
+//! Every rule reports `error[<rule>]: <path>:<line>: <message>` and can be
+//! suppressed for one site with a justified `// xtask-allow: <rule> —
+//! <why>` comment on the same line or the line above (see DESIGN.md §8).
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `safety-comment` | every `unsafe` site carries a `// SAFETY:` comment naming the invariant |
+//! | `target-feature-gate` | `#[target_feature]` fns are private `unsafe fn`s inside `mmm-align/src/simd/`, reachable only through the dispatch gate |
+//! | `no-transmute` | `std::mem::transmute` is banned outright |
+//! | `raw-ptr-arith` | raw-pointer arithmetic only in `simd/` and `mmap.rs` |
+//! | `no-unwrap` | no `unwrap`/`expect` in non-test lib code |
+//! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) has a `*_with_scratch` variant |
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{has_word, scan, LineView};
+
+pub const RULES: [&str; 6] = [
+    "safety-comment",
+    "target-feature-gate",
+    "no-transmute",
+    "raw-ptr-arith",
+    "no-unwrap",
+    "scratch-variant",
+];
+
+/// One lint finding, printable as `error[rule]: path:line: message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: String,
+    pub path: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}:{}: {}",
+            self.rule,
+            self.path.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` (skipping `target/`).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Everything the per-file rules need, computed in one pass.
+struct FileCtx<'a> {
+    rel: &'a Path,
+    views: &'a [LineView],
+    /// `allows[line]` = rules suppressed at that line (1-based).
+    allows: BTreeMap<usize, BTreeSet<String>>,
+    /// 1-based lines inside `#[cfg(test)]` / `#[test]` item bodies.
+    test_lines: Vec<bool>,
+    /// 1-based lines inside `unsafe { .. }` blocks or `unsafe fn` bodies.
+    unsafe_lines: Vec<bool>,
+}
+
+/// Parse `xtask-allow: <rule> <justification>` suppressions. A suppression
+/// with no justification is itself a violation — the comment must say *why*.
+/// The directive must open the comment (after the `//` markers); a mention
+/// of `xtask-allow:` mid-prose (like this one) is not a directive.
+fn parse_allows(
+    rel: &Path,
+    views: &[LineView],
+    out: &mut Vec<Violation>,
+) -> BTreeMap<usize, BTreeSet<String>> {
+    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (idx, v) in views.iter().enumerate() {
+        let line = idx + 1;
+        let opener = v.comment.trim_start_matches(['/', '!', '*', ' ']);
+        let Some(rest) = opener.strip_prefix("xtask-allow:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let rule: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+            .collect();
+        let justification = rest[rule.len()..]
+            .trim_start_matches([' ', '\u{2014}', '-', ':', '('])
+            .trim();
+        if !RULES.contains(&rule.as_str()) {
+            out.push(Violation {
+                rule: "xtask-allow".into(),
+                path: rel.to_path_buf(),
+                line,
+                message: format!("unknown rule {rule:?} in xtask-allow (known: {RULES:?})"),
+            });
+            continue;
+        }
+        if justification.len() < 10 {
+            out.push(Violation {
+                rule: "xtask-allow".into(),
+                path: rel.to_path_buf(),
+                line,
+                message: format!(
+                    "xtask-allow: {rule} needs a justification, e.g. \
+                     `// xtask-allow: {rule} — <why this site is sound>`"
+                ),
+            });
+            continue;
+        }
+        // The suppression covers its own line and the next one, so it can
+        // sit above the flagged code or trail it.
+        allows.entry(line).or_default().insert(rule.clone());
+        allows.entry(line + 1).or_default().insert(rule);
+    }
+    allows
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated or `#[test]`-annotated item
+/// bodies by matching the braces that follow the attribute.
+fn mark_test_lines(views: &[LineView]) -> Vec<bool> {
+    let flat: Vec<(char, usize)> = views
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, v)| {
+            v.code
+                .chars()
+                .chain(std::iter::once('\n'))
+                .map(move |c| (c, idx))
+        })
+        .collect();
+    let text: String = flat.iter().map(|(c, _)| *c).collect();
+    let mut marks = vec![false; views.len()];
+
+    let mut search = 0;
+    while let Some(off) = text[search..].find("#[cfg(") {
+        let attr_start = search + off;
+        let open = attr_start + "#[cfg(".len() - 1;
+        // Find the matching `)` of the cfg argument list.
+        let bytes: Vec<char> = text.chars().collect();
+        let mut depth = 0usize;
+        let mut close = None;
+        for (k, ch) in bytes.iter().enumerate().skip(open) {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        search = close + 1;
+        let args: String = bytes[open + 1..close].iter().collect();
+        if !has_word(&args, "test") {
+            continue;
+        }
+        mark_following_block(&flat, close + 1, &mut marks);
+    }
+    let mut search = 0;
+    while let Some(off) = text[search..].find("#[test]") {
+        let at = search + off;
+        search = at + "#[test]".len();
+        mark_following_block(&flat, search, &mut marks);
+    }
+    marks
+}
+
+/// Mark every line of the first `{ .. }` block at or after char `from`.
+fn mark_following_block(flat: &[(char, usize)], from: usize, marks: &mut [bool]) {
+    let mut depth = 0usize;
+    let mut started = false;
+    let mut start_line = 0usize;
+    for &(c, line) in flat.iter().skip(from) {
+        match c {
+            '{' => {
+                if !started {
+                    started = true;
+                    start_line = line;
+                }
+                depth += 1;
+            }
+            '}' if started => {
+                depth -= 1;
+                if depth == 0 {
+                    for m in marks.iter_mut().take(line + 1).skip(start_line) {
+                        *m = true;
+                    }
+                    return;
+                }
+            }
+            // An item without a block (e.g. `#[cfg(test)] use ...;`) ends
+            // the search at its semicolon.
+            ';' if !started => return,
+            _ => {}
+        }
+    }
+}
+
+/// Mark lines inside `unsafe` blocks / `unsafe fn` bodies / `unsafe impl`
+/// blocks by tracking the brace that follows each `unsafe` keyword.
+fn mark_unsafe_lines(views: &[LineView]) -> Vec<bool> {
+    let mut marks = vec![false; views.len()];
+    let mut pending_unsafe = false;
+    let mut stack: Vec<bool> = Vec::new();
+    let mut unsafe_depth = 0usize;
+    for (idx, v) in views.iter().enumerate() {
+        let chars: Vec<char> = v.code.chars().collect();
+        let mut line_unsafe = unsafe_depth > 0;
+        let mut k = 0;
+        while k < chars.len() {
+            let c = chars[k];
+            if c.is_alphabetic() || c == '_' {
+                let start = k;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                if chars[start..k].iter().collect::<String>() == "unsafe" {
+                    pending_unsafe = true;
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    stack.push(pending_unsafe);
+                    if pending_unsafe {
+                        unsafe_depth += 1;
+                        line_unsafe = true;
+                    }
+                    pending_unsafe = false;
+                }
+                '}' => {
+                    if let Some(was_unsafe) = stack.pop() {
+                        if was_unsafe {
+                            unsafe_depth -= 1;
+                        }
+                    }
+                }
+                // `unsafe fn f();` in a trait: no body, drop the flag.
+                ';' => pending_unsafe = false,
+                _ => {}
+            }
+            k += 1;
+        }
+        marks[idx] = line_unsafe || unsafe_depth > 0;
+    }
+    marks
+}
+
+fn emit(ctx: &FileCtx<'_>, out: &mut Vec<Violation>, rule: &str, line: usize, message: String) {
+    if ctx
+        .allows
+        .get(&line)
+        .is_some_and(|rules| rules.contains(rule))
+    {
+        return;
+    }
+    out.push(Violation {
+        rule: rule.to_string(),
+        path: ctx.rel.to_path_buf(),
+        line,
+        message,
+    });
+}
+
+/// `safety-comment`: every `unsafe` keyword site must have a comment
+/// containing `SAFETY:` (or a `# Safety` doc section) on the same line or
+/// within the 6 lines above it.
+fn rule_safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if !has_word(&v.code, "unsafe") {
+            continue;
+        }
+        // `unsafe` inside an already-unsafe context line (e.g. the body of
+        // an `unsafe fn`) still demands its own comment — skip only lines
+        // where the keyword is part of a `use`/path, which cannot happen
+        // for a keyword. Look for the nearest comment upward.
+        let lo = idx.saturating_sub(6);
+        let documented = ctx.views[lo..=idx]
+            .iter()
+            .any(|w| w.comment.contains("SAFETY:") || w.comment.contains("# Safety"));
+        if !documented {
+            emit(
+                ctx,
+                out,
+                "safety-comment",
+                idx + 1,
+                "`unsafe` without a `// SAFETY:` comment naming the invariant \
+                 (alignment / bounds / feature availability) on this or the \
+                 preceding lines"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// `target-feature-gate`: `#[target_feature]` may only annotate non-`pub`
+/// `unsafe fn`s inside `crates/mmm-align/src/simd/`, so the only route to
+/// them is the module's safe wrapper asserting `available()` — which is
+/// what `dispatch.rs` selects through.
+fn rule_target_feature(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let in_simd = ctx.rel.to_string_lossy().contains("mmm-align/src/simd/");
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if !v.code.contains("#[target_feature") {
+            continue;
+        }
+        if !in_simd {
+            emit(
+                ctx,
+                out,
+                "target-feature-gate",
+                idx + 1,
+                "#[target_feature] outside mmm-align/src/simd/ — kernels must \
+                 live behind the dispatch.rs runtime-detection gate"
+                    .into(),
+            );
+            continue;
+        }
+        // Find the annotated fn (skip further attributes / blank lines).
+        let mut fn_line = None;
+        for (j, w) in ctx.views.iter().enumerate().skip(idx + 1).take(4) {
+            let code = w.code.trim();
+            if code.is_empty() || code.starts_with("#[") {
+                continue;
+            }
+            fn_line = Some((j, code.to_string()));
+            break;
+        }
+        match fn_line {
+            Some((_, sig)) if has_word(&sig, "pub") => emit(
+                ctx,
+                out,
+                "target-feature-gate",
+                idx + 1,
+                "#[target_feature] fn must not be `pub` — callers must go \
+                 through the safe wrapper that asserts `available()`"
+                    .into(),
+            ),
+            Some((_, sig)) if !has_word(&sig, "unsafe") => emit(
+                ctx,
+                out,
+                "target-feature-gate",
+                idx + 1,
+                "#[target_feature] fn must be `unsafe fn` so every call site \
+                 is forced to state the feature-availability invariant"
+                    .into(),
+            ),
+            Some(_) => {}
+            None => emit(
+                ctx,
+                out,
+                "target-feature-gate",
+                idx + 1,
+                "#[target_feature] not followed by a function".into(),
+            ),
+        }
+    }
+}
+
+/// `no-transmute`: `transmute` is never acceptable in this codebase — the
+/// kernels reinterpret memory through typed slices and `_mm_*` intrinsics.
+fn rule_no_transmute(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if has_word(&v.code, "transmute") {
+            emit(
+                ctx,
+                out,
+                "no-transmute",
+                idx + 1,
+                "`transmute` is banned; use typed loads/stores or intrinsics".into(),
+            );
+        }
+    }
+}
+
+/// `raw-ptr-arith`: `.add( / .sub( / .offset( / from_raw_parts` inside
+/// `unsafe` regions are confined to the SIMD kernels and `mmap.rs`, where
+/// the bounds invariants are documented and oracle/Miri-checked.
+fn rule_raw_ptr(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let rel = ctx.rel.to_string_lossy();
+    if rel.contains("mmm-align/src/simd/") || rel.ends_with("mmap.rs") {
+        return;
+    }
+    const PATTERNS: [&str; 4] = [".add(", ".sub(", ".offset(", "from_raw_parts"];
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if !ctx.unsafe_lines[idx] {
+            continue; // `.add(` on a safe line is ordinary arithmetic/API
+        }
+        if PATTERNS.iter().any(|p| v.code.contains(p)) {
+            emit(
+                ctx,
+                out,
+                "raw-ptr-arith",
+                idx + 1,
+                "raw-pointer arithmetic outside simd/ and mmap.rs — keep \
+                 pointer math where its invariants are audited"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// `no-unwrap`: lib code must propagate errors (the panic-free mapping
+/// pipeline contract); `unwrap`/`expect` stay confined to test code.
+fn rule_no_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let rel = ctx.rel.to_string_lossy();
+    let is_lib = rel.starts_with("crates/") && rel.contains("/src/");
+    if !is_lib {
+        return;
+    }
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if ctx.test_lines[idx] {
+            continue;
+        }
+        if v.code.contains(".unwrap()") || v.code.contains(".expect(") {
+            emit(
+                ctx,
+                out,
+                "no-unwrap",
+                idx + 1,
+                "unwrap/expect in non-test lib code — return an error or use \
+                 the poison-tolerant helpers (see mmm-pipeline::sync)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// `scratch-variant`: every public kernel entry point must offer the
+/// zero-allocation `*_with_scratch` form (the PR-1 contract).
+fn rule_scratch_variant(files: &[(PathBuf, Vec<LineView>)], out: &mut Vec<Violation>) {
+    let mut kernels: Vec<(PathBuf, usize, String)> = Vec::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for (rel, views) in files {
+        if !rel.to_string_lossy().contains("mmm-align/src/") {
+            continue;
+        }
+        for (idx, v) in views.iter().enumerate() {
+            let code = v.code.trim_start();
+            let Some(rest) = code.strip_prefix("pub fn ") else {
+                continue;
+            };
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            names.insert(name.clone());
+            let is_kernel = ["align_", "extend_", "fill_"]
+                .iter()
+                .any(|p| name.starts_with(p));
+            if is_kernel && !name.ends_with("_with_scratch") {
+                kernels.push((rel.clone(), idx + 1, name));
+            }
+        }
+    }
+    for (rel, line, name) in kernels {
+        if !names.contains(&format!("{name}_with_scratch")) {
+            out.push(Violation {
+                rule: "scratch-variant".into(),
+                path: rel,
+                line,
+                message: format!(
+                    "public kernel `{name}` has no `{name}_with_scratch` \
+                     variant — every kernel must offer the zero-allocation \
+                     scratch-arena form"
+                ),
+            });
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`. Paths in the returned
+/// violations are relative to `root`.
+pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut paths = Vec::new();
+    for top in ["crates", "shims"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+
+    let mut out = Vec::new();
+    let mut parsed: Vec<(PathBuf, Vec<LineView>)> = Vec::new();
+    for path in &paths {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        parsed.push((rel, scan(&src)));
+    }
+
+    for (rel, views) in &parsed {
+        let allows = parse_allows(rel, views, &mut out);
+        let ctx = FileCtx {
+            rel,
+            views,
+            allows,
+            test_lines: mark_test_lines(views),
+            unsafe_lines: mark_unsafe_lines(views),
+        };
+        rule_safety_comment(&ctx, &mut out);
+        rule_target_feature(&ctx, &mut out);
+        rule_no_transmute(&ctx, &mut out);
+        rule_raw_ptr(&ctx, &mut out);
+        rule_no_unwrap(&ctx, &mut out);
+    }
+    rule_scratch_variant(&parsed, &mut out);
+
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_snippet(rel: &str, src: &str) -> Vec<Violation> {
+        let views = scan(src);
+        let mut out = Vec::new();
+        let rel = PathBuf::from(rel);
+        let allows = parse_allows(&rel, &views, &mut out);
+        let ctx = FileCtx {
+            rel: &rel,
+            views: &views,
+            allows,
+            test_lines: mark_test_lines(&views),
+            unsafe_lines: mark_unsafe_lines(&views),
+        };
+        rule_safety_comment(&ctx, &mut out);
+        rule_target_feature(&ctx, &mut out);
+        rule_no_transmute(&ctx, &mut out);
+        rule_raw_ptr(&ctx, &mut out);
+        rule_no_unwrap(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let v = check_snippet("crates/a/src/lib.rs", "fn f() {\n    unsafe { g() }\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_passes() {
+        let above = "fn f() {\n    // SAFETY: g is sound because x.\n    unsafe { g() }\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", above).is_empty());
+        let inline = "fn f() {\n    unsafe { g() } // SAFETY: g is sound.\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src = "fn f() {\n    let s = \"unsafe { }\"; // unsafe in prose\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn transmute_is_flagged() {
+        let src = "// SAFETY: irrelevant.\nfn f() { let x = std::mem::transmute(y); }\n";
+        let v = check_snippet("crates/a/src/lib.rs", src);
+        assert!(v.iter().any(|v| v.rule == "no-transmute"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged_in_tests_ok() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let v = check_snippet("crates/a/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+        // Same line in an integration test file: fine.
+        assert!(check_snippet("crates/a/tests/t.rs", "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_blocks_are_test_code() {
+        let src = "#[cfg(all(test, not(miri)))]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or_else(|e| e.into_inner()); }\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_ptr_arith_only_in_unsafe_regions_and_flagged_outside_simd() {
+        // Safe-code `.add(` (a plain method) is not pointer arithmetic.
+        let safe = "fn f(t: &mut Timer) { t.add(Stage::Align, 1.0); }\n";
+        assert!(check_snippet("crates/mmm-io/src/timer.rs", safe).is_empty());
+        // The same token inside an unsafe block outside simd/ is flagged.
+        let hot = "fn f(p: *const u8) {\n    // SAFETY: in bounds.\n    unsafe { p.add(1); }\n}\n";
+        let v = check_snippet("crates/mmm-chain/src/lib.rs", hot);
+        assert!(v.iter().any(|v| v.rule == "raw-ptr-arith"), "{v:?}");
+        // ...but allowed inside the simd kernels.
+        assert!(check_snippet("crates/mmm-align/src/simd/sse.rs", hot).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_body_counts_as_unsafe_region() {
+        let src =
+            "// SAFETY: caller upholds bounds.\nunsafe fn f(p: *const u8) {\n    p.add(1);\n}\n";
+        let v = check_snippet("crates/mmm-chain/src/lib.rs", src);
+        assert!(v.iter().any(|v| v.rule == "raw-ptr-arith"), "{v:?}");
+    }
+
+    #[test]
+    fn xtask_allow_with_justification_suppresses() {
+        let src = "fn f(p: *const u8) {\n    // SAFETY: in bounds.\n    // xtask-allow: raw-ptr-arith — disjoint index writes, barrier-bounded.\n    unsafe { p.add(1); }\n}\n";
+        assert!(check_snippet("crates/mmm-chain/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn xtask_allow_without_justification_is_itself_flagged() {
+        let src = "fn f(p: *const u8) {\n    // SAFETY: in bounds.\n    // xtask-allow: raw-ptr-arith\n    unsafe { p.add(1); }\n}\n";
+        let v = check_snippet("crates/mmm-chain/src/lib.rs", src);
+        assert!(v.iter().any(|v| v.rule == "xtask-allow"), "{v:?}");
+    }
+
+    #[test]
+    fn xtask_allow_mentioned_in_prose_is_not_a_directive() {
+        let src = "//! Suppress a site with `xtask-allow: <rule> — <why>`.\nfn f() {}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn target_feature_must_be_private_unsafe_in_simd() {
+        let good = "// SAFETY: callers check available().\n#[target_feature(enable = \"sse4.1\")]\nunsafe fn inner() {}\n";
+        assert!(check_snippet("crates/mmm-align/src/simd/sse.rs", good).is_empty());
+        let outside = check_snippet("crates/mmm-chain/src/lib.rs", good);
+        assert!(
+            outside.iter().any(|v| v.rule == "target-feature-gate"),
+            "{outside:?}"
+        );
+        let public = "// SAFETY: callers check available().\n#[target_feature(enable = \"sse4.1\")]\npub unsafe fn inner() {}\n";
+        let v = check_snippet("crates/mmm-align/src/simd/sse.rs", public);
+        assert!(v.iter().any(|v| v.rule == "target-feature-gate"), "{v:?}");
+    }
+
+    #[test]
+    fn scratch_variant_rule_spots_missing_pair() {
+        let files = vec![(
+            PathBuf::from("crates/mmm-align/src/newkernel.rs"),
+            scan("pub fn align_new(t: &[u8]) {}\npub fn align_old(t: &[u8]) {}\npub fn align_old_with_scratch(t: &[u8]) {}\n"),
+        )];
+        let mut out = Vec::new();
+        rule_scratch_variant(&files, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("align_new"));
+    }
+}

@@ -1,0 +1,894 @@
+//! `loom-lite` — a vendored, dependency-free model checker for small
+//! lock/condvar protocols, in the spirit of `loom` (the build environment has
+//! no registry access, so the workspace vendors the slice it needs, same as
+//! the `rand`/`proptest` shims).
+//!
+//! A *model* is a closure that spawns a handful of threads which communicate
+//! only through this crate's [`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::atomic`] types and [`thread::spawn`]/[`thread::JoinHandle::join`].
+//! [`model`] (or [`Builder::check`]) runs the closure many times, each time
+//! under a different thread schedule, until **every** schedule reachable at
+//! the configured preemption bound has been executed:
+//!
+//! * Only one model thread ever runs at a time. Every synchronization
+//!   operation is a *scheduling point*: the running thread hands control to
+//!   a scheduler which picks the next runnable thread.
+//! * The scheduler explores schedules depth-first: the first execution always
+//!   lets the running thread continue; backtracking replays a recorded
+//!   decision prefix and takes the next branch.
+//! * A state where no thread is runnable but some are blocked is reported as
+//!   a **deadlock** together with the decision trace that reached it. A lost
+//!   wakeup (a notify that fires before the matching wait) manifests as
+//!   exactly such a state, so the checker catches those too.
+//! * Assertion failures inside the model abort the exploration and report
+//!   the offending schedule.
+//!
+//! Exhaustive exploration is exponential in the number of scheduling points,
+//! so [`Builder::max_preemptions`] optionally bounds the number of
+//! *pre-emptive* context switches per schedule (switching away from a thread
+//! that could have continued), the CHESS-style bound that finds almost all
+//! real interleaving bugs at 2–3 preemptions while keeping schedule counts
+//! polynomial. `None` means fully exhaustive.
+//!
+//! Determinism contract: the model closure must behave identically given the
+//! same schedule (no OS time, no OS randomness, no real threads); violations
+//! are detected and reported as `nondeterministic model`.
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, Once};
+
+/// One recorded scheduling decision: which of `options` runnable threads ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Choice {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// Panic payload used to unwind model threads when an execution is being
+/// torn down (deadlock found, another thread failed, exploration aborted).
+struct AbortSignal;
+
+struct Inner {
+    threads: Vec<TState>,
+    /// Per-thread wakeup condvars: a context switch wakes exactly the thread
+    /// being switched to, not the whole herd.
+    cvs: Vec<Arc<OsCondvar>>,
+    /// The single thread allowed to execute model code right now.
+    active: usize,
+    /// `mutex_owner[id]` is the tid holding model mutex `id`, if any.
+    mutex_owner: Vec<Option<usize>>,
+    n_condvars: usize,
+    /// Decision prefix to replay this execution.
+    prefix: Vec<Choice>,
+    depth: usize,
+    /// Decisions actually taken this execution.
+    trace: Vec<Choice>,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    failure: Option<String>,
+    done: bool,
+}
+
+struct Exec {
+    inner: OsMutex<Inner>,
+    cv: OsCondvar,
+    /// OS handles of spawned model threads, joined by the driver after each
+    /// execution so no stragglers leak into the next one.
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Exec>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .unwrap_or_else(|| panic!("loom-lite primitives may only be used inside model()"))
+    })
+}
+
+fn with_inner(exec: &Exec) -> OsGuard<'_, Inner> {
+    exec.inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Abort the current model thread if the execution already failed.
+fn abort_if_failed(exec: &Exec, g: &OsGuard<'_, Inner>) {
+    if g.failure.is_some() {
+        let _ = exec; // guard drops before the unwind below
+        std::panic::panic_any(AbortSignal);
+    }
+}
+
+/// Record a failure (first one wins), wake every parked thread, and unwind.
+fn fail(exec: &Exec, mut g: OsGuard<'_, Inner>, msg: String) -> ! {
+    if g.failure.is_none() {
+        g.failure = Some(format!("{msg}\n  decision trace: {:?}", g.trace));
+    }
+    for cv in &g.cvs {
+        cv.notify_all();
+    }
+    exec.cv.notify_all();
+    drop(g);
+    std::panic::panic_any(AbortSignal)
+}
+
+/// Pick the next thread to run. `me` is the thread yielding control; its
+/// state must already reflect why it yields (still `Runnable` for a plain
+/// scheduling point, `Blocked*` when parking, `Finished` on exit).
+fn reschedule<'a>(exec: &'a Exec, mut g: OsGuard<'a, Inner>, me: usize) -> OsGuard<'a, Inner> {
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let max = g.max_steps;
+        fail(
+            exec,
+            g,
+            format!("execution exceeded {max} scheduling points (livelock?)"),
+        );
+    }
+    let runnable: Vec<usize> = g
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == TState::Runnable)
+        .map(|(t, _)| t)
+        .collect();
+    if runnable.is_empty() {
+        if g.threads.iter().any(|s| *s != TState::Finished) {
+            let states = format!("{:?}", g.threads);
+            fail(exec, g, format!("deadlock: thread states {states}"));
+        }
+        g.done = true;
+        exec.cv.notify_all();
+        return g;
+    }
+    // Deterministic option order: the yielding thread first (so the default
+    // DFS branch is "keep running", giving run-to-completion schedules
+    // first), then the others by tid.
+    let me_runnable = g.threads[me] == TState::Runnable;
+    let mut ordered = Vec::with_capacity(runnable.len());
+    if me_runnable {
+        ordered.push(me);
+    }
+    ordered.extend(runnable.iter().copied().filter(|&t| t != me));
+    // Preemption bound: once spent, a thread that can continue must.
+    let bound_hit = me_runnable && g.max_preemptions.is_some_and(|b| g.preemptions >= b);
+    let options = if bound_hit { vec![me] } else { ordered };
+    let chosen_idx = if options.len() == 1 {
+        0
+    } else {
+        let c = if g.depth < g.prefix.len() {
+            let p = g.prefix[g.depth];
+            if p.options != options.len() {
+                let (po, ol) = (p.options, options.len());
+                fail(
+                    exec,
+                    g,
+                    format!(
+                        "nondeterministic model: replay saw {ol} options where {po} were recorded"
+                    ),
+                );
+            }
+            p.chosen
+        } else {
+            0
+        };
+        g.depth += 1;
+        g.trace.push(Choice {
+            chosen: c,
+            options: options.len(),
+        });
+        c
+    };
+    let next = options[chosen_idx];
+    if next == me {
+        // Fast path: the running thread keeps running — no context switch,
+        // no wakeup. The leftmost DFS branch (run-to-completion) costs
+        // almost no OS scheduling this way.
+        return g;
+    }
+    if me_runnable {
+        g.preemptions += 1;
+    }
+    g.active = next;
+    let cv = Arc::clone(&g.cvs[next]);
+    cv.notify_all();
+    g
+}
+
+/// Park until the scheduler hands control back to `me` (or the execution
+/// fails, in which case the thread unwinds).
+fn park_until_active(exec: &Exec, mut g: OsGuard<'_, Inner>, me: usize) {
+    let _ = exec;
+    if g.failure.is_none() && g.active == me {
+        return;
+    }
+    let cv = Arc::clone(&g.cvs[me]);
+    while g.failure.is_none() && g.active != me {
+        g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    if g.failure.is_some() {
+        drop(g);
+        std::panic::panic_any(AbortSignal);
+    }
+}
+
+/// A plain scheduling point: let the scheduler run anyone, then continue.
+fn schedule_point(exec: &Exec, me: usize) {
+    let g = with_inner(exec);
+    abort_if_failed(exec, &g);
+    let g = reschedule(exec, g, me);
+    park_until_active(exec, g, me);
+}
+
+/// Park as `state` until woken *and* scheduled.
+fn block_current(exec: &Exec, me: usize, state: TState) {
+    let mut g = with_inner(exec);
+    abort_if_failed(exec, &g);
+    g.threads[me] = state;
+    let g = reschedule(exec, g, me);
+    park_until_active(exec, g, me);
+}
+
+pub mod sync {
+    //! Model-checked stand-ins for `std::sync` primitives.
+
+    use super::*;
+
+    /// Model mutex. API is deliberately simpler than `std`'s: `lock` cannot
+    /// poison (a panicking model thread aborts the whole execution).
+    pub struct Mutex<T> {
+        id: usize,
+        exec: Arc<Exec>,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler runs exactly one model thread at a time, and the
+    // data is only touched through a `MutexGuard`, which is handed out only
+    // to the thread recorded as the mutex owner — so `&mut T` access is
+    // exclusive even though the OS threads are real.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    // SAFETY: as above; shared access is serialized by the model scheduler.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Register a new mutex with the current model execution.
+        pub fn new(value: T) -> Self {
+            let (exec, _) = ctx();
+            let id = {
+                let mut g = with_inner(&exec);
+                g.mutex_owner.push(None);
+                g.mutex_owner.len() - 1
+            };
+            Mutex {
+                id,
+                exec,
+                data: UnsafeCell::new(value),
+            }
+        }
+
+        /// Acquire the mutex, parking (in model time) while it is held.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (_, me) = ctx();
+            schedule_point(&self.exec, me);
+            self.acquire(me)
+        }
+
+        /// The acquire loop shared by `lock` and `Condvar::wait` re-entry.
+        fn acquire(&self, me: usize) -> MutexGuard<'_, T> {
+            loop {
+                {
+                    let mut g = with_inner(&self.exec);
+                    abort_if_failed(&self.exec, &g);
+                    if g.mutex_owner[self.id].is_none() {
+                        g.mutex_owner[self.id] = Some(me);
+                        return MutexGuard { m: self };
+                    }
+                }
+                block_current(&self.exec, me, TState::BlockedMutex(self.id));
+            }
+        }
+    }
+
+    /// Exclusive access token for a locked [`Mutex`].
+    pub struct MutexGuard<'a, T> {
+        pub(super) m: &'a Mutex<T>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: this guard is the unique owner token for the mutex and
+            // only the active model thread can be executing this code.
+            unsafe { &*self.m.data.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref` — ownership is exclusive by construction.
+            unsafe { &mut *self.m.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release without a scheduling point and without panicking: this
+            // also runs while unwinding aborted executions.
+            let mut g = with_inner(&self.m.exec);
+            g.mutex_owner[self.m.id] = None;
+            let id = self.m.id;
+            for s in g.threads.iter_mut() {
+                if *s == TState::BlockedMutex(id) {
+                    *s = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Model condition variable with `std` semantics: a notify with no
+    /// parked waiter is lost, waits must be predicate-guarded by the caller.
+    pub struct Condvar {
+        id: usize,
+        exec: Arc<Exec>,
+    }
+
+    impl Condvar {
+        /// Register a new condvar with the current model execution.
+        pub fn new() -> Self {
+            let (exec, _) = ctx();
+            let id = {
+                let mut g = with_inner(&exec);
+                g.n_condvars += 1;
+                g.n_condvars - 1
+            };
+            Condvar { id, exec }
+        }
+
+        /// Atomically release the guard's mutex and park until notified,
+        /// then re-acquire. No spurious wakeups are modeled; protocols must
+        /// still re-check their predicate (a notify may race past).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let m = guard.m;
+            let (_, me) = ctx();
+            // Scheduling point *before* registering as a waiter: a notifier
+            // that does not hold the guard's mutex can fire exactly here and
+            // be lost, which is the race this checker exists to find. (A
+            // notifier that does hold the mutex cannot reach its notify while
+            // the caller still owns the guard, so correct predicate-guarded
+            // protocols are unaffected.)
+            schedule_point(&self.exec, me);
+            {
+                let mut g = with_inner(&self.exec);
+                abort_if_failed(&self.exec, &g);
+                // Release the mutex by hand (and skip the guard's Drop): the
+                // release and the enqueue-as-waiter must be one atomic step,
+                // exactly like the futex-backed std implementation.
+                g.mutex_owner[m.id] = None;
+                let mid = m.id;
+                for s in g.threads.iter_mut() {
+                    if *s == TState::BlockedMutex(mid) {
+                        *s = TState::Runnable;
+                    }
+                }
+                g.threads[me] = TState::BlockedCv(self.id);
+                std::mem::forget(guard);
+                let g = reschedule(&self.exec, g, me);
+                park_until_active(&self.exec, g, me);
+            }
+            // Notified and scheduled: contend for the mutex again.
+            m.acquire(me)
+        }
+
+        /// Wake every thread parked on this condvar.
+        pub fn notify_all(&self) {
+            let (_, me) = ctx();
+            schedule_point(&self.exec, me);
+            let mut g = with_inner(&self.exec);
+            abort_if_failed(&self.exec, &g);
+            let id = self.id;
+            for s in g.threads.iter_mut() {
+                if *s == TState::BlockedCv(id) {
+                    *s = TState::Runnable;
+                }
+            }
+        }
+
+        /// Wake one parked thread (the lowest tid, deterministically).
+        pub fn notify_one(&self) {
+            let (_, me) = ctx();
+            schedule_point(&self.exec, me);
+            let mut g = with_inner(&self.exec);
+            abort_if_failed(&self.exec, &g);
+            let id = self.id;
+            if let Some(s) = g.threads.iter_mut().find(|s| **s == TState::BlockedCv(id)) {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    pub mod atomic {
+        //! Model atomics. Every access is a scheduling point; orderings are
+        //! not modeled (the interleaving exploration is sequentially
+        //! consistent, which is what the audited protocols assume).
+
+        use super::super::*;
+
+        macro_rules! model_atomic {
+            ($name:ident, $t:ty) => {
+                pub struct $name {
+                    exec: Arc<Exec>,
+                    v: Cell<$t>,
+                }
+
+                // SAFETY: only the single active model thread ever touches
+                // `v`; the scheduler serializes all access.
+                unsafe impl Sync for $name {}
+                // SAFETY: as above.
+                unsafe impl Send for $name {}
+
+                impl $name {
+                    pub fn new(v: $t) -> Self {
+                        let (exec, _) = ctx();
+                        $name {
+                            exec,
+                            v: Cell::new(v),
+                        }
+                    }
+
+                    pub fn load(&self) -> $t {
+                        let (_, me) = ctx();
+                        schedule_point(&self.exec, me);
+                        self.v.get()
+                    }
+
+                    pub fn store(&self, v: $t) {
+                        let (_, me) = ctx();
+                        schedule_point(&self.exec, me);
+                        self.v.set(v);
+                    }
+
+                    pub fn swap(&self, v: $t) -> $t {
+                        let (_, me) = ctx();
+                        schedule_point(&self.exec, me);
+                        self.v.replace(v)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, bool);
+        model_atomic!(AtomicUsize, usize);
+
+        impl AtomicUsize {
+            /// Atomic add returning the previous value — the claim counter
+            /// primitive the worker pool is built on.
+            pub fn fetch_add(&self, n: usize) -> usize {
+                let (_, me) = ctx();
+                schedule_point(&self.exec, me);
+                let old = self.v.get();
+                self.v.set(old.wrapping_add(n));
+                old
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Model threads: real OS threads whose execution is serialized and
+    //! scheduled by the checker.
+
+    use super::*;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle {
+        tid: usize,
+        exec: Arc<Exec>,
+    }
+
+    /// Spawn a model thread. The closure runs only when scheduled; a panic
+    /// in it fails the whole model with the offending schedule.
+    pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+        let (exec, me) = ctx();
+        let tid = {
+            let mut g = with_inner(&exec);
+            abort_if_failed(&exec, &g);
+            g.threads.push(TState::Runnable);
+            g.cvs.push(Arc::new(OsCondvar::new()));
+            g.threads.len() - 1
+        };
+        let exec2 = Arc::clone(&exec);
+        let os = match std::thread::Builder::new()
+            .name(format!("loom-lite-{tid}"))
+            .spawn(move || worker_main(exec2, tid, f))
+        {
+            Ok(h) => h,
+            Err(e) => panic!("loom-lite could not spawn an OS thread: {e}"),
+        };
+        exec.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(os);
+        // The child is runnable from this point on; branch on whether it or
+        // the parent runs first.
+        schedule_point(&exec, me);
+        JoinHandle { tid, exec }
+    }
+
+    impl JoinHandle {
+        /// Park until the thread finishes. Unlike `std`, panics are not
+        /// returned here — any model-thread panic fails the whole model.
+        pub fn join(self) {
+            let (_, me) = ctx();
+            schedule_point(&self.exec, me);
+            loop {
+                {
+                    let g = with_inner(&self.exec);
+                    abort_if_failed(&self.exec, &g);
+                    if g.threads[self.tid] == TState::Finished {
+                        return;
+                    }
+                }
+                block_current(&self.exec, me, TState::BlockedJoin(self.tid));
+            }
+        }
+    }
+}
+
+/// Body of every model OS thread (including the root running the closure).
+fn worker_main(exec: Arc<Exec>, tid: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        {
+            let g = with_inner(&exec);
+            abort_if_failed(&exec, &g);
+            park_until_active(&exec, g, tid);
+        }
+        f();
+        let mut g = with_inner(&exec);
+        g.threads[tid] = TState::Finished;
+        for s in g.threads.iter_mut() {
+            if *s == TState::BlockedJoin(tid) {
+                *s = TState::Runnable;
+            }
+        }
+        let _g = reschedule(&exec, g, tid);
+    }));
+    if let Err(payload) = result {
+        if !payload.is::<AbortSignal>() {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            let mut g = with_inner(&exec);
+            if g.failure.is_none() {
+                let trace = format!("{:?}", g.trace);
+                g.failure = Some(format!(
+                    "model thread {tid} panicked: {msg}\n  decision trace: {trace}"
+                ));
+            }
+            exec.cv.notify_all();
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Outcome of an exploration that found no failures.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// True when every schedule at the configured bound was enumerated;
+    /// false when `max_schedules` cut the exploration short.
+    pub complete: bool,
+}
+
+/// Exploration configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Stop (with `Report::complete == false`) after this many schedules.
+    pub max_schedules: usize,
+    /// Fail any single execution exceeding this many scheduling points.
+    pub max_steps: usize,
+    /// CHESS-style preemption bound; `None` explores exhaustively.
+    pub max_preemptions: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: 500_000,
+            max_steps: 20_000,
+            max_preemptions: None,
+        }
+    }
+}
+
+/// Silence the default panic printer for the internal `AbortSignal` unwinds
+/// that tear down aborted executions; real panics still print.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<AbortSignal>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Builder {
+    /// Explore every schedule of `f` at this configuration. Panics with the
+    /// failing decision trace on deadlock, lost wakeup (which parks forever
+    /// and is reported as deadlock), assertion failure, or nondeterminism.
+    pub fn check(self, f: impl Fn() + Send + Sync + 'static) -> Report {
+        install_quiet_hook();
+        let f = Arc::new(f);
+        let mut prefix: Vec<Choice> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    complete: false,
+                };
+            }
+            schedules += 1;
+            let exec = Arc::new(Exec {
+                inner: OsMutex::new(Inner {
+                    threads: vec![TState::Runnable],
+                    cvs: vec![Arc::new(OsCondvar::new())],
+                    active: 0,
+                    mutex_owner: Vec::new(),
+                    n_condvars: 0,
+                    prefix: std::mem::take(&mut prefix),
+                    depth: 0,
+                    trace: Vec::new(),
+                    preemptions: 0,
+                    max_preemptions: self.max_preemptions,
+                    steps: 0,
+                    max_steps: self.max_steps,
+                    failure: None,
+                    done: false,
+                }),
+                cv: OsCondvar::new(),
+                handles: OsMutex::new(Vec::new()),
+            });
+            // The root model thread (tid 0) runs inline on this thread — one
+            // fewer OS spawn per execution, and the common run-to-completion
+            // schedules finish with almost no context switching.
+            let exec2 = Arc::clone(&exec);
+            let fc = Arc::clone(&f);
+            worker_main(exec2, 0, move || fc());
+            {
+                let mut g = with_inner(&exec);
+                while !g.done && g.failure.is_none() {
+                    g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            // Children may still be between "spawned" and "exited"; drain
+            // until the registry stays empty.
+            loop {
+                let hs: Vec<_> = {
+                    let mut reg = exec.handles.lock().unwrap_or_else(|e| e.into_inner());
+                    std::mem::take(&mut *reg)
+                };
+                if hs.is_empty() {
+                    break;
+                }
+                for h in hs {
+                    let _ = h.join();
+                }
+            }
+            let (trace, failure) = {
+                let g = with_inner(&exec);
+                (g.trace.clone(), g.failure.clone())
+            };
+            if let Some(msg) = failure {
+                panic!("loom-lite: model failed on schedule {schedules}: {msg}");
+            }
+            // Depth-first backtrack: advance the deepest branch point that
+            // still has untried options; exploration is complete when none
+            // remains.
+            let mut tr = trace;
+            loop {
+                match tr.last_mut() {
+                    None => {
+                        return Report {
+                            schedules,
+                            complete: true,
+                        }
+                    }
+                    Some(c) if c.chosen + 1 < c.options => {
+                        c.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        tr.pop();
+                    }
+                }
+            }
+            prefix = tr;
+        }
+    }
+}
+
+/// Exhaustively model-check `f` with the default configuration.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> Report {
+    Builder::default().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::AtomicUsize;
+    use super::sync::{Condvar, Mutex};
+    use super::{model, thread, Builder};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_counter_is_race_free() {
+        let report = model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let m = Arc::clone(&m);
+                hs.push(thread::spawn(move || {
+                    for _ in 0..2 {
+                        *m.lock() += 1;
+                    }
+                }));
+            }
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*m.lock(), 4);
+        });
+        assert!(report.complete, "exploration hit the schedule cap");
+        assert!(report.schedules > 1, "no interleavings were explored");
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        let report = model(|| {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let h = thread::spawn(move || {
+                let mut g = m2.lock();
+                while !*g {
+                    g = cv2.wait(g);
+                }
+            });
+            {
+                let mut g = m.lock();
+                *g = true;
+                cv.notify_all();
+            }
+            h.join();
+        });
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn lock_order_inversion_is_reported_as_deadlock() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = thread::spawn(move || {
+                    let _g1 = a2.lock();
+                    let _g2 = b2.lock();
+                });
+                let _g1 = b.lock();
+                let _g2 = a.lock();
+                drop(_g2);
+                drop(_g1);
+                h.join();
+            });
+        }));
+        let msg = match result {
+            Ok(_) => panic!("the AB/BA lock inversion was not detected"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+        };
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn lost_wakeup_is_reported() {
+        // The waiter parks unconditionally, so the schedule where the
+        // notifier runs first loses the wakeup and the waiter parks forever.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let m = Arc::new(Mutex::new(()));
+                let cv = Arc::new(Condvar::new());
+                let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+                let h = thread::spawn(move || {
+                    let g = m2.lock();
+                    let _g = cv2.wait(g); // no predicate: broken by design
+                });
+                cv.notify_all();
+                h.join();
+            });
+        }));
+        assert!(result.is_err(), "the lost wakeup was not detected");
+    }
+
+    #[test]
+    fn assertion_failures_surface_with_a_schedule() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&c);
+                // Unsynchronized read-modify-write: some schedule loses an
+                // increment and the assert below fires.
+                let h = thread::spawn(move || {
+                    let v = c2.load();
+                    c2.store(v + 1);
+                });
+                let v = c.load();
+                c.store(v + 1);
+                h.join();
+                assert_eq!(c.load(), 2, "lost update");
+            });
+        }));
+        assert!(result.is_err(), "the lost update was not found");
+    }
+
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let run = |bound| {
+            Builder {
+                max_preemptions: bound,
+                ..Builder::default()
+            }
+            .check(|| {
+                let m = Arc::new(Mutex::new(0u32));
+                let mut hs = Vec::new();
+                for _ in 0..3 {
+                    let m = Arc::clone(&m);
+                    hs.push(thread::spawn(move || {
+                        *m.lock() += 1;
+                    }));
+                }
+                for h in hs {
+                    h.join();
+                }
+                assert_eq!(*m.lock(), 3);
+            })
+        };
+        let bounded = run(Some(1));
+        let free = run(None);
+        assert!(bounded.complete && free.complete);
+        assert!(
+            bounded.schedules < free.schedules,
+            "bound {} !< free {}",
+            bounded.schedules,
+            free.schedules
+        );
+    }
+}
