@@ -23,6 +23,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> accelerator models + execution seam: mmm-knl, mmm-gpu, mmm-exec"
+cargo test -q -p mmm-knl -p mmm-gpu -p mmm-exec
+
 echo "==> fault suite: hostile inputs, injected faults, degradation paths"
 cargo test -q -p mmm-index --test truncated_index
 cargo test -q -p mmm-pipeline --test faults

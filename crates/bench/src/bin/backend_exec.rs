@@ -1,0 +1,7 @@
+//! Regenerates the backend execution comparison (see DESIGN.md §9).
+//! Set BENCH_QUICK=1 for a fast smoke run.
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    print!("{}", bench::experiments::backend_exec::run(quick));
+}

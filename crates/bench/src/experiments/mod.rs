@@ -5,6 +5,7 @@
 //! `repro_all` binary concatenates all of them into a results report.
 
 pub mod ablation;
+pub mod backend_exec;
 pub mod fig10_affinity;
 pub mod fig11_breakdown;
 pub mod fig5_simd;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<(&'static str, Experiment)> {
         ("Figure 10", fig10_affinity::run),
         ("Figure 11", fig11_breakdown::run),
         ("Table 5", table5_aligners::run),
+        ("Backend exec", backend_exec::run),
         ("Ablations", ablation::run),
     ]
 }

@@ -41,6 +41,7 @@ pub fn run(quick: bool) -> String {
         opts,
         use_mmap: false,
         sort_by_length: false,
+        backend: None,
     };
     let res = match profile_run(&idx_path, &fasta, &cfg) {
         Ok(res) => res,

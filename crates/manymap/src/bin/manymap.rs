@@ -5,13 +5,20 @@
 //! ```sh
 //! manymap index  ref.fa ref.mmx [--preset map-pb|map-ont]
 //! manymap map    ref.mmx reads.fq [--preset ...] [--engine mm2|manymap]
-//!                [--threads N] [--sam] [--no-cigar] [--no-mmap]
-//!                [--max-read-len N]
+//!                [--backend cpu|gpu-sim] [--threads N] [--sam]
+//!                [--no-cigar] [--no-mmap] [--max-read-len N]
 //! manymap map    ref.fa  reads.fq   # index built on the fly
 //! ```
 //!
 //! Output (PAF by default, SAM with `--sam`) goes to stdout; stage timings
-//! to stderr.
+//! and a per-backend execution summary to stderr.
+//!
+//! Backend selection: `--backend` (or the `MMM_BACKEND` environment
+//! variable) routes the batched gap-fill alignment work to the CPU SIMD
+//! executor or the simulated GPU/SIMT runner. All backends are
+//! bit-identical, so the choice never changes stdout. `MMM_GPU_MEM` (bytes)
+//! and `MMM_GPU_STREAMS` shrink the simulated device — useful to force the
+//! oversized-pair CPU fallback path.
 //!
 //! Fault behavior: fatal input problems (unreadable files, corrupt index,
 //! a byte stream dying mid-file) abort with a nonzero exit and a message
@@ -28,12 +35,14 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use manymap::mapper::ReadPlan;
 use manymap::sam::{sam_line, sam_unmapped, write_sam_header};
 use manymap::{paf_line, paf_unmapped, MapError, MapOpts, MapReadError, Mapper};
-use mmm_align::{best_mm2_engine, AlignScratch};
+use mmm_align::{best_mm2_engine, AlignResult, AlignScratch};
+use mmm_exec::{prepare, BackendKind, BackendOptions, BackendStats};
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
-use mmm_pipeline::{lock_unpoisoned, try_run_three_thread_with_state, DynError};
+use mmm_pipeline::{lock_unpoisoned, try_run_three_thread_batched_with_state, DynError};
 use mmm_seq::{FastxReader, SeqRecord};
 
 struct Args {
@@ -48,7 +57,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             let val = match name {
-                "preset" | "engine" | "threads" | "max-read-len" | "inject-panic" => {
+                "preset" | "engine" | "backend" | "threads" | "max-read-len" | "inject-panic" => {
                     it.next().unwrap_or_default()
                 }
                 _ => "true".to_string(),
@@ -165,6 +174,24 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     let sam = args.flags.contains_key("sam");
     let inject_panic = args.flags.get("inject-panic").cloned();
 
+    // Backend selection: --backend wins, then MMM_BACKEND, default cpu.
+    let kind = match args.flags.get("backend") {
+        Some(v) => BackendKind::parse(v),
+        None => BackendKind::from_env().unwrap_or(Ok(BackendKind::Cpu)),
+    }
+    .map_err(|e| MapError::Usage(e.to_string()))?;
+    let mut bopts = BackendOptions::new(opts.scoring);
+    bopts.engine = opts.engine;
+    bopts.threads = threads;
+    bopts.device_mem = std::env::var("MMM_GPU_MEM")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    bopts.streams = std::env::var("MMM_GPU_STREAMS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let backend = prepare(kind, &bopts).map_err(|e| MapError::Usage(e.to_string()))?;
+    let backend_stats = Mutex::new(BackendStats::default());
+
     let mut timer = StageTimer::new();
     let index = timer.time(Stage::LoadIndex, || load_reference(ref_path, &opts))?;
     let mapper = Mapper::new(&index, opts);
@@ -202,7 +229,12 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         unmapped_record(rec, sam)
     };
 
-    let stats = try_run_three_thread_with_state(
+    // The batched pipeline: plan (seed/chain/describe DP jobs, on the
+    // worker pool) → dispatch (one backend submission per read batch) →
+    // finalize (splice results, extend ends, format records, on the pool).
+    type Planned = (Vec<u8>, Result<ReadPlan, MapReadError>);
+    let backend = backend.as_ref();
+    let stats = try_run_three_thread_batched_with_state(
         // A mid-file read error (device fault, malformed record) aborts the
         // run with the file name and position — it is never EOF.
         || {
@@ -215,13 +247,59 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         // stops allocating once the buffers have grown to the batch's
         // largest problem.
         |_worker| AlignScratch::new(),
-        |scratch: &mut AlignScratch, rec: &SeqRecord| {
+        // Plan: panics here (including --inject-panic) degrade exactly the
+        // one read they hit, and its jobs never reach the backend.
+        |_scratch: &mut AlignScratch, rec: &SeqRecord| -> Planned {
             if inject_panic.as_deref() == Some(rec.name.as_str()) {
                 panic!("injected panic for read '{}'", rec.name);
             }
             let nt4 = rec.nt4();
-            let ms = match mapper.try_map_read_with_scratch(&nt4, scratch) {
-                Ok(ms) => ms,
+            let plan = mapper.plan_read(&nt4);
+            (nt4, plan)
+        },
+        // Dispatch: flatten every read's jobs into one backend batch, then
+        // deal the results back out per read, in job order.
+        |mut plans: Vec<Planned>| -> Result<Vec<(Planned, Vec<AlignResult>)>, DynError> {
+            let mut counts = Vec::with_capacity(plans.len());
+            let mut all_jobs = Vec::new();
+            for (_, plan) in &mut plans {
+                let n = match plan.as_mut() {
+                    Ok(p) => {
+                        let jobs = std::mem::take(&mut p.jobs);
+                        let n = jobs.len();
+                        all_jobs.extend(jobs);
+                        n
+                    }
+                    Err(_) => 0,
+                };
+                counts.push(n);
+            }
+            let mut results = Vec::new();
+            if !all_jobs.is_empty() {
+                let (rs, bstats) = backend
+                    .submit(all_jobs)
+                    .map_err(|e| -> DynError { Box::new(e) })?;
+                lock_unpoisoned(&backend_stats).merge(&bstats);
+                results = rs;
+            }
+            let mut it = results.into_iter();
+            Ok(plans
+                .into_iter()
+                .zip(counts)
+                .map(|(p, n)| {
+                    let d: Vec<AlignResult> = it.by_ref().take(n).collect();
+                    (p, d)
+                })
+                .collect())
+        },
+        // Finalize: splice backend results into the chain walks and format.
+        |scratch: &mut AlignScratch,
+         rec: &SeqRecord,
+         planned: &Planned,
+         results: &Vec<AlignResult>| {
+            let (nt4, plan) = planned;
+            let plan = match plan {
+                Ok(p) => p,
                 Err(e) => {
                     match e {
                         MapReadError::ReadTooLong { .. } => &too_long,
@@ -232,10 +310,11 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
                     return unmapped_record(rec, sam);
                 }
             };
+            let ms = mapper.finalize_read_with_scratch(nt4, plan, results, scratch);
             let mut lines = String::new();
             for m in &ms {
                 if sam {
-                    lines.push_str(&sam_line(&rec.name, &nt4, &tnames, m));
+                    lines.push_str(&sam_line(&rec.name, nt4, &tnames, m));
                 } else {
                     lines.push_str(&paf_line(
                         &rec.name,
@@ -277,6 +356,10 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         threads,
         stats.compute_seconds,
         stats.in_seconds + stats.out_seconds
+    );
+    eprintln!(
+        "[manymap] {}",
+        lock_unpoisoned(&backend_stats).summary(backend.label())
     );
     let (tl, ar, pk) = (
         too_long.load(Ordering::Relaxed),

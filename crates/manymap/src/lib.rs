@@ -35,7 +35,7 @@ pub mod profile;
 pub mod sam;
 
 pub use error::MapError;
-pub use mapper::{MapReadError, Mapper, Mapping};
+pub use mapper::{MapReadError, Mapper, Mapping, ReadPlan};
 pub use opts::MapOpts;
 pub use paf::{paf_line, paf_unmapped, write_paf};
 pub use profile::{profile_run, ProfileConfig, ProfileResult};

@@ -9,10 +9,12 @@
 //! manymap's.
 
 use mmm_align::{
-    extend_zdrop_with_scratch, fill_align_with_scratch, AlignError, AlignScratch, Cigar, CigarOp,
+    extend_zdrop_with_scratch, fill_align_with_scratch, AlignError, AlignResult, AlignScratch,
+    Cigar, CigarOp,
 };
 use mmm_chain::select::SelectedChain;
 use mmm_chain::{chain_anchors, select_chains, Chain};
+use mmm_exec::AlignJob;
 use mmm_index::MinimizerIndex;
 use mmm_seq::revcomp4;
 
@@ -65,8 +67,46 @@ impl ChainedRead {
     }
 }
 
+/// The plan phase's output for one read: the chained read plus every DP
+/// problem its gap-fill step needs, as backend-ready [`AlignJob`]s.
+///
+/// Produced by [`Mapper::plan_read`]; a batch of plans is executed by an
+/// `AlignBackend` and the results spliced back by
+/// [`Mapper::finalize_read_with_scratch`]. Jobs are emitted (and must be
+/// answered) in chain-walk order: selected chains in order, gaps within
+/// each chain left to right.
+pub struct ReadPlan {
+    chained: ChainedRead,
+    /// Deferred gap-fill problems. The dispatcher takes these (e.g. with
+    /// `std::mem::take`), runs them through a backend, and hands the
+    /// results — one per job, in order — to the finalize phase.
+    pub jobs: Vec<AlignJob>,
+}
+
+impl ReadPlan {
+    /// The seeding/chaining outcome the plan was built from.
+    pub fn chained(&self) -> &ChainedRead {
+        &self.chained
+    }
+}
+
+/// Sequential reader over a read's backend results, consumed by the
+/// finalize-phase chain walk in the same order the plan emitted jobs.
+struct ResultCursor<'r> {
+    results: &'r [AlignResult],
+    next: usize,
+}
+
+impl<'r> ResultCursor<'r> {
+    fn next(&mut self) -> Option<&'r AlignResult> {
+        let r = self.results.get(self.next)?;
+        self.next += 1;
+        Some(r)
+    }
+}
+
 /// One alignment record (a PAF row).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Mapping {
     pub rid: u32,
     /// Reference interval, 0-based end-exclusive.
@@ -138,6 +178,83 @@ impl<'a> Mapper<'a> {
         Ok(self.map_read_with_scratch(query, scratch))
     }
 
+    /// Batched-pipeline phase 1: seed, chain, and describe the read's
+    /// gap-fill DP problems as backend [`AlignJob`]s without executing
+    /// them. Rejects the same per-read conditions as
+    /// [`Mapper::try_map_read_with_scratch`], so validation failures
+    /// surface before any backend work is queued.
+    ///
+    /// `plan_read` + backend execution + [`Mapper::finalize_read_with_scratch`]
+    /// produces bit-identical mappings to the monolithic
+    /// [`Mapper::map_read_with_scratch`]: the deferred jobs are exactly the
+    /// `fill_align` calls the monolithic walk would make, and every backend
+    /// is bit-identical to the host engines.
+    pub fn plan_read(&self, query: &[u8]) -> Result<ReadPlan, MapReadError> {
+        if query.len() > self.opts.max_read_len {
+            return Err(MapReadError::ReadTooLong {
+                len: query.len(),
+                max: self.opts.max_read_len,
+            });
+        }
+        if !self.opts.scoring.fits_i8() {
+            return Err(MapReadError::Align(AlignError::ScoringOverflowsI8(
+                self.opts.scoring,
+            )));
+        }
+        let chained = self.seed_chain(query);
+        let mut jobs = Vec::new();
+        for sel in &chained.selected {
+            let qseq: &[u8] = match (sel.chain.rev, chained.q_rc.as_deref()) {
+                (true, Some(rc)) => rc,
+                (true, None) => continue,
+                (false, _) => query,
+            };
+            self.plan_chain_jobs(&sel.chain, qseq, &mut jobs);
+        }
+        Ok(ReadPlan { chained, jobs })
+    }
+
+    /// Batched-pipeline phase 3: splice a backend's answers to the plan's
+    /// jobs back into the chain walk (scores and CIGAR segments), run the
+    /// CPU-side end extensions, and assemble the mappings. `fill_results`
+    /// must hold one result per planned job, in job order.
+    pub fn finalize_read_with_scratch(
+        &self,
+        query: &[u8],
+        plan: &ReadPlan,
+        fill_results: &[AlignResult],
+        scratch: &mut AlignScratch,
+    ) -> Vec<Mapping> {
+        let mut fills = Some(ResultCursor {
+            results: fill_results,
+            next: 0,
+        });
+        self.walk_chains(query, &plan.chained, scratch, &mut fills)
+    }
+
+    /// Emit the [`AlignJob`]s one chain's gap fills need, in walk order.
+    /// This mirrors `align_chain`'s gap classification exactly: only the
+    /// `fill_align` case defers to a backend — long-gap approximations and
+    /// same-diagonal match runs stay inline in finalize.
+    fn plan_chain_jobs(&self, chain: &Chain, qseq: &[u8], jobs: &mut Vec<AlignJob>) {
+        let k = self.index.k;
+        let first = chain.anchors[0];
+        let (mut rcur, mut qcur) = (first.rpos as usize, first.qpos as usize);
+        for a in &chain.anchors[1..] {
+            let (rn, qn) = (a.rpos as usize, a.qpos as usize);
+            let dr = rn - rcur;
+            let dq = qn - qcur;
+            let inline = dr.max(dq) > self.opts.max_fill || (dr == dq && dr <= k);
+            if !inline {
+                let rseg = self.index.ref_window(chain.rid, rcur + 1, rn + 1);
+                let qseg = qseq[qcur + 1..qn + 1].to_vec();
+                jobs.push(AlignJob::global(rseg, qseg, self.opts.with_cigar));
+            }
+            rcur = rn;
+            qcur = qn;
+        }
+    }
+
     /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage).
     pub fn seed_chain(&self, query: &[u8]) -> ChainedRead {
         let anchors = self.index.collect_anchors(query);
@@ -166,6 +283,19 @@ impl<'a> Mapper<'a> {
         chained: &ChainedRead,
         scratch: &mut AlignScratch,
     ) -> Vec<Mapping> {
+        self.walk_chains(query, chained, scratch, &mut None)
+    }
+
+    /// The shared chain walk behind the monolithic and batched paths: with
+    /// `fills: None` every gap fill runs inline on the host engine; with a
+    /// cursor, fills consume pre-computed backend results instead.
+    fn walk_chains(
+        &self,
+        query: &[u8],
+        chained: &ChainedRead,
+        scratch: &mut AlignScratch,
+        fills: &mut Option<ResultCursor<'_>>,
+    ) -> Vec<Mapping> {
         let mut out = Vec::with_capacity(chained.selected.len());
         for sel in &chained.selected {
             // `seed_chain` computes `q_rc` whenever any selected chain is
@@ -183,6 +313,7 @@ impl<'a> Mapper<'a> {
                 sel.primary,
                 sel.mapq,
                 scratch,
+                fills,
             ) {
                 out.push(m);
             }
@@ -192,7 +323,11 @@ impl<'a> Mapper<'a> {
         out
     }
 
-    /// Base-level alignment of one chain against the reference.
+    /// Base-level alignment of one chain against the reference. Gap fills
+    /// either run inline (`fills: None`) or consume the next backend result
+    /// from the cursor; a chain whose results are missing (a backend
+    /// contract violation) is skipped rather than crashing the worker.
+    #[allow(clippy::too_many_arguments)]
     fn align_chain(
         &self,
         chain: &Chain,
@@ -201,6 +336,7 @@ impl<'a> Mapper<'a> {
         primary: bool,
         mapq: u8,
         scratch: &mut AlignScratch,
+        fills: &mut Option<ResultCursor<'_>>,
     ) -> Option<Mapping> {
         let sc = &self.opts.scoring;
         let engine = self.opts.engine;
@@ -258,12 +394,27 @@ impl<'a> Mapper<'a> {
                     c.push(CigarOp::Match, dr as u32);
                 }
             } else {
-                let rseg = self.index.ref_window(chain.rid, rcur + 1, rn + 1);
-                let qseg = &qseq[qcur + 1..qn + 1];
-                let r = fill_align_with_scratch(&rseg, qseg, sc, engine, cigar.is_some(), scratch);
+                let mut owned: Option<AlignResult> = None;
+                let r: &AlignResult = match fills.as_mut() {
+                    Some(cursor) => cursor.next()?,
+                    None => {
+                        let rseg = self.index.ref_window(chain.rid, rcur + 1, rn + 1);
+                        let qseg = &qseq[qcur + 1..qn + 1];
+                        owned.insert(fill_align_with_scratch(
+                            &rseg,
+                            qseg,
+                            sc,
+                            engine,
+                            cigar.is_some(),
+                            scratch,
+                        ))
+                    }
+                };
                 align_score += r.score;
-                if let (Some(c), Some(rc)) = (cigar.as_mut(), r.cigar) {
-                    c.extend(&rc);
+                if let (Some(c), Some(rc)) = (cigar.as_mut(), r.cigar.as_ref()) {
+                    c.extend(rc);
+                }
+                if let Some(rc) = owned.take().and_then(|r| r.cigar) {
                     scratch.recycle(rc);
                 }
             }
@@ -530,6 +681,84 @@ mod tests {
             ..Default::default()
         });
         let ms = mapper.map_read(&other[..3_000]);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn planned_backend_path_matches_monolithic() {
+        use mmm_exec::{prepare, BackendKind, BackendOptions};
+        let g = generate_genome(&GenomeOpts {
+            len: 150_000,
+            repeat_frac: 0.05,
+            seed: 11,
+            ..Default::default()
+        });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 12,
+                seed: 5,
+            },
+        );
+        for with_cigar in [true, false] {
+            let mopts = crate::opts::MapOpts::map_ont().cigar(with_cigar);
+            let mapper = Mapper::new(&idx, mopts);
+            let mut bopts = BackendOptions::new(mapper.opts.scoring);
+            bopts.engine = mapper.opts.engine;
+            bopts.threads = 2;
+            for kind in [BackendKind::Cpu, BackendKind::GpuSim] {
+                let backend = prepare(kind, &bopts).unwrap();
+                let mut scratch = AlignScratch::new();
+                let mut planned_fills = 0usize;
+                for r in &reads {
+                    let gold = mapper
+                        .try_map_read_with_scratch(&r.seq, &mut scratch)
+                        .unwrap();
+                    let plan = mapper.plan_read(&r.seq).unwrap();
+                    planned_fills += plan.jobs.len();
+                    let (results, _stats) = backend.submit(plan.jobs.clone()).unwrap();
+                    let got =
+                        mapper.finalize_read_with_scratch(&r.seq, &plan, &results, &mut scratch);
+                    assert_eq!(gold, got, "{} cigar={with_cigar}", backend.label());
+                }
+                assert!(
+                    planned_fills > 0,
+                    "workload must exercise deferred gap fills"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_read_rejects_same_conditions_as_try_map() {
+        let g = generate_genome(&GenomeOpts {
+            len: 60_000,
+            repeat_frac: 0.0,
+            seed: 13,
+            ..Default::default()
+        });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let mut opts = crate::opts::MapOpts::map_ont();
+        opts.max_read_len = 1_000;
+        let mapper = Mapper::new(&idx, opts);
+        let long = g[..2_000].to_vec();
+        assert!(matches!(
+            mapper.plan_read(&long),
+            Err(MapReadError::ReadTooLong { len: 2_000, .. })
+        ));
+        // An unmappable read plans to zero jobs and finalizes to nothing.
+        let other = generate_genome(&GenomeOpts {
+            len: 5_000,
+            repeat_frac: 0.0,
+            seed: 777,
+            ..Default::default()
+        });
+        let plan = mapper.plan_read(&other[..800]).unwrap();
+        assert!(plan.jobs.is_empty());
+        let ms =
+            mapper.finalize_read_with_scratch(&other[..800], &plan, &[], &mut AlignScratch::new());
         assert!(ms.is_empty());
     }
 

@@ -8,6 +8,7 @@
 
 use std::path::Path;
 
+use mmm_exec::{prepare, BackendKind, BackendOptions, BackendStats};
 use mmm_io::{Stage, StageTimer};
 use mmm_seq::FastxReader;
 
@@ -25,6 +26,14 @@ pub struct ProfileConfig {
     /// Sort each batch by descending read length before aligning
     /// (manymap's load-balance tweak, §4.4.4).
     pub sort_by_length: bool,
+    /// Route the gap-fill alignment work through an [`AlignBackend`]
+    /// session (`Some`) instead of inline host-engine calls (`None`). With
+    /// a backend, *Seed & Chain* covers planning and *Align* covers the
+    /// batched submission plus finalization — output is bit-identical
+    /// either way.
+    ///
+    /// [`AlignBackend`]: mmm_exec::AlignBackend
+    pub backend: Option<BackendKind>,
 }
 
 /// Outcome of a profiled run.
@@ -36,6 +45,8 @@ pub struct ProfileResult {
     pub output_bytes: usize,
     /// Bytes of index state resident after loading.
     pub index_bytes: usize,
+    /// Execution counters when a backend was configured.
+    pub backend_stats: Option<BackendStats>,
 }
 
 /// Run the whole pipeline over a serialized index and a FASTA/FASTQ byte
@@ -82,15 +93,49 @@ pub fn profile_run(
     let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
     let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
 
+    // Stand up the backend session once, like the CLI does per run.
+    let backend = cfg
+        .backend
+        .map(|kind| {
+            let mut bopts = BackendOptions::new(cfg.opts.scoring);
+            bopts.engine = cfg.opts.engine;
+            prepare(kind, &bopts)
+        })
+        .transpose()
+        .map_err(|e| MapError::Usage(e.to_string()))?;
+    let mut backend_stats = backend.as_ref().map(|_| BackendStats::default());
+
     let mut mappings = 0usize;
     let mut sink: Vec<u8> = Vec::new();
     // Single-threaded run: one scratch arena serves every alignment.
     let mut scratch = mmm_align::AlignScratch::new();
     for (name, seq) in &reads {
-        let chained = timer.time(Stage::SeedChain, || mapper.seed_chain(seq));
-        let ms = timer.time(Stage::Align, || {
-            mapper.extend_with_scratch(seq, &chained, &mut scratch)
-        });
+        let ms = match &backend {
+            None => {
+                let chained = timer.time(Stage::SeedChain, || mapper.seed_chain(seq));
+                timer.time(Stage::Align, || {
+                    mapper.extend_with_scratch(seq, &chained, &mut scratch)
+                })
+            }
+            Some(backend) => {
+                let plan = timer.time(Stage::SeedChain, || mapper.plan_read(seq));
+                let Ok(mut plan) = plan else {
+                    continue; // a rejected read maps to nothing
+                };
+                let ms = timer.time(Stage::Align, || {
+                    let jobs = std::mem::take(&mut plan.jobs);
+                    let (results, bstats) = match backend.submit(jobs) {
+                        Ok(r) => r,
+                        Err(e) => return Err(MapError::Usage(e.to_string())),
+                    };
+                    if let Some(acc) = backend_stats.as_mut() {
+                        acc.merge(&bstats);
+                    }
+                    Ok(mapper.finalize_read_with_scratch(seq, &plan, &results, &mut scratch))
+                });
+                ms?
+            }
+        };
         mappings += ms.len();
         timer
             .time(Stage::Output, || {
@@ -108,6 +153,7 @@ pub fn profile_run(
         mappings,
         output_bytes: sink.len(),
         index_bytes: index.heap_bytes(),
+        backend_stats,
     })
 }
 
@@ -151,16 +197,45 @@ mod tests {
                 opts: MapOpts::map_ont(),
                 use_mmap,
                 sort_by_length: true,
+                backend: None,
             };
             let res = profile_run(&path, &fasta, &cfg).unwrap();
             assert_eq!(res.reads, 10);
             assert!(res.mappings >= 8, "mappings={}", res.mappings);
             assert!(res.output_bytes > 0);
             assert!(res.index_bytes > 0);
+            assert!(res.backend_stats.is_none());
             let total = res.timer.total().as_secs_f64();
             assert!(total > 0.0);
             // Align must dominate Load Query for this workload.
             assert!(res.timer.get(Stage::Align) > res.timer.get(Stage::LoadQuery));
+        }
+
+        // Backend-routed runs must produce identical output and report
+        // their execution counters.
+        let inline = profile_run(
+            &path,
+            &fasta,
+            &ProfileConfig {
+                opts: MapOpts::map_ont(),
+                use_mmap: false,
+                sort_by_length: true,
+                backend: None,
+            },
+        )
+        .unwrap();
+        for kind in [mmm_exec::BackendKind::Cpu, mmm_exec::BackendKind::GpuSim] {
+            let cfg = ProfileConfig {
+                opts: MapOpts::map_ont(),
+                use_mmap: false,
+                sort_by_length: true,
+                backend: Some(kind),
+            };
+            let res = profile_run(&path, &fasta, &cfg).unwrap();
+            assert_eq!(res.mappings, inline.mappings, "{}", kind.label());
+            assert_eq!(res.output_bytes, inline.output_bytes, "{}", kind.label());
+            let bstats = res.backend_stats.unwrap();
+            assert!(bstats.jobs > 0, "{} must execute jobs", kind.label());
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -1,0 +1,158 @@
+//! End-to-end backend parity of the `manymap` binary.
+//!
+//! The acceptance bar for the backend abstraction: `--backend gpu-sim`
+//! must produce byte-identical stdout (PAF and SAM) to `--backend cpu`,
+//! including when a shrunken simulated device forces oversized pairs
+//! through the CPU-fallback path, and the stderr summary must account for
+//! the backend's work.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use mmm_index::{save_index, IdxOpts, MinimizerIndex};
+use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
+use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
+
+struct Fixture {
+    dir: PathBuf,
+    index: PathBuf,
+    reads: PathBuf,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A genome, an index file, and a FASTA of noisy simulated reads (noise
+/// guarantees the mapper emits deferred gap-fill jobs).
+fn fixture(tag: &str) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("manymap-backend-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let g = generate_genome(&GenomeOpts {
+        len: 80_000,
+        repeat_frac: 0.0,
+        seed: 17,
+        ..Default::default()
+    });
+    let idx = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT);
+    let index = dir.join("ref.mmx");
+    save_index(&idx, &index).unwrap();
+
+    let sims = simulate_reads(
+        &g,
+        &SimOpts {
+            platform: Platform::Nanopore,
+            num_reads: 8,
+            seed: 23,
+        },
+    );
+    let recs: Vec<SeqRecord> = sims
+        .iter()
+        .map(|r| SeqRecord::new(r.name.clone(), nt4_decode(&r.seq)))
+        .collect();
+    let mut fasta = Vec::new();
+    write_fasta(&mut fasta, &recs, 0).unwrap();
+    let reads = dir.join("reads.fa");
+    std::fs::write(&reads, &fasta).unwrap();
+
+    Fixture { dir, index, reads }
+}
+
+fn run_map(index: &Path, reads: &Path, extra: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_manymap"));
+    cmd.arg("map")
+        .arg(index)
+        .arg(reads)
+        .args(["--threads", "2"])
+        .args(extra);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn manymap")
+}
+
+/// Fallback count from the stderr summary line
+/// (`... N cpu-fallbacks, ...`).
+fn fallbacks_in(stderr: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .find(|l| l.contains("cpu-fallbacks"))
+        .unwrap_or_else(|| panic!("no backend summary in stderr: {stderr}"));
+    let head = line.split(" cpu-fallbacks").next().unwrap();
+    head.rsplit(' ').next().unwrap().parse().unwrap()
+}
+
+#[test]
+fn gpu_sim_stdout_is_byte_identical_to_cpu() {
+    let fx = fixture("parity");
+    for format in [&[][..], &["--sam"][..]] {
+        let cpu = run_map(
+            &fx.index,
+            &fx.reads,
+            &[&["--backend", "cpu"], format].concat(),
+            &[],
+        );
+        let gpu = run_map(
+            &fx.index,
+            &fx.reads,
+            &[&["--backend", "gpu-sim"], format].concat(),
+            &[],
+        );
+        assert!(cpu.status.success());
+        assert!(gpu.status.success());
+        assert!(!cpu.stdout.is_empty(), "no records produced");
+        assert_eq!(
+            cpu.stdout, gpu.stdout,
+            "backend choice must never change output ({format:?})"
+        );
+        let stderr = String::from_utf8_lossy(&gpu.stderr);
+        assert!(stderr.contains("backend gpu-sim:"), "stderr: {stderr}");
+        let cpu_err = String::from_utf8_lossy(&cpu.stderr);
+        assert!(cpu_err.contains("backend cpu:"), "stderr: {cpu_err}");
+    }
+}
+
+#[test]
+fn shrunken_device_forces_fallbacks_but_not_divergence() {
+    let fx = fixture("fallback");
+    let cpu = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
+    // 16 KB of simulated device memory: any nontrivial with-path gap fill
+    // overflows it and must be routed to the CPU executor.
+    let gpu = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--backend", "gpu-sim"],
+        &[("MMM_GPU_MEM", "16384")],
+    );
+    assert!(gpu.status.success());
+    assert_eq!(
+        cpu.stdout, gpu.stdout,
+        "fallback path must stay bit-identical"
+    );
+    let stderr = String::from_utf8_lossy(&gpu.stderr);
+    assert!(
+        fallbacks_in(&stderr) >= 1,
+        "shrunken device must exercise the fallback path: {stderr}"
+    );
+}
+
+#[test]
+fn backend_env_var_selects_backend() {
+    let fx = fixture("env");
+    let out = run_map(&fx.index, &fx.reads, &[], &[("MMM_BACKEND", "gpu-sim")]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("backend gpu-sim:"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    let fx = fixture("unknown");
+    let out = run_map(&fx.index, &fx.reads, &["--backend", "tpu"], &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown backend"), "stderr: {stderr}");
+}

@@ -1,0 +1,100 @@
+//! The `AlignBackend` trait and backend selection.
+
+use mmm_align::{best_engine, AlignResult, Engine, Scoring};
+
+use crate::cpu::CpuSimdBackend;
+use crate::error::BackendError;
+use crate::gpu::GpuSimtBackend;
+use crate::job::AlignJob;
+use crate::stats::BackendStats;
+
+/// A batched alignment executor. One session is prepared per run (scoring
+/// is fixed up front, like a device context) and then fed job batches; the
+/// pipeline's compute stage is backend-agnostic above this trait, which is
+/// the seam a real GPU or KNL backend drops into.
+pub trait AlignBackend: Send + Sync {
+    /// Short name for summaries ("cpu", "gpu-sim").
+    fn label(&self) -> &'static str;
+
+    /// Execute a batch. Returns one result per job, in job order, plus the
+    /// batch's statistics. Errors are whole-batch (bad configuration, a
+    /// kernel bug) — per-job size limits never fail, they fall back.
+    fn submit(&self, jobs: Vec<AlignJob>)
+        -> Result<(Vec<AlignResult>, BackendStats), BackendError>;
+}
+
+/// Which backend implementation to prepare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Host SIMD lanes across the worker pool.
+    Cpu,
+    /// The simulated GPU/SIMT runner (streams, memory pool, CPU fallback).
+    GpuSim,
+}
+
+impl BackendKind {
+    /// Parse a `--backend` value.
+    pub fn parse(name: &str) -> Result<Self, BackendError> {
+        match name {
+            "cpu" => Ok(BackendKind::Cpu),
+            "gpu-sim" | "gpu" => Ok(BackendKind::GpuSim),
+            other => Err(BackendError::UnknownKind(other.to_string())),
+        }
+    }
+
+    /// The `MMM_BACKEND` environment selection, if set.
+    pub fn from_env() -> Option<Result<Self, BackendError>> {
+        std::env::var("MMM_BACKEND").ok().map(|v| Self::parse(&v))
+    }
+
+    /// Name as accepted by [`parse`](Self::parse).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Cpu => "cpu",
+            BackendKind::GpuSim => "gpu-sim",
+        }
+    }
+}
+
+/// Session parameters shared by every backend kind.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendOptions {
+    pub scoring: Scoring,
+    /// Host engine used by the CPU backend and by device fallbacks.
+    pub engine: Engine,
+    /// Worker threads the CPU executor may use per batch.
+    pub threads: usize,
+    /// Override the simulated device's global memory (bytes); small values
+    /// force the oversized-pair fallback path. `None` keeps the V100 16 GB.
+    pub device_mem: Option<u64>,
+    /// Override the number of device streams.
+    pub streams: Option<usize>,
+}
+
+impl BackendOptions {
+    /// Defaults: given scoring, best host engine, single-threaded.
+    pub fn new(scoring: Scoring) -> Self {
+        BackendOptions {
+            scoring,
+            engine: best_engine(),
+            threads: 1,
+            device_mem: None,
+            streams: None,
+        }
+    }
+}
+
+/// Prepare a backend session: validate the scoring once, stand up the
+/// device context (streams + resident memory pool) if needed.
+pub fn prepare(
+    kind: BackendKind,
+    opts: &BackendOptions,
+) -> Result<Box<dyn AlignBackend>, BackendError> {
+    if !opts.scoring.fits_i8() {
+        return Err(BackendError::ScoringOverflow);
+    }
+    match kind {
+        BackendKind::Cpu => Ok(Box::new(CpuSimdBackend::new(opts))),
+        BackendKind::GpuSim => Ok(Box::new(GpuSimtBackend::new(opts))),
+    }
+}

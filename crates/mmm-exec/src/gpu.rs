@@ -1,0 +1,122 @@
+//! The simulated GPU/SIMT backend.
+//!
+//! Wraps [`GpuAligner`] — concurrent streams, a resident per-stream memory
+//! pool, the paper's §4.5 launch configuration — and routes jobs the device
+//! model cannot take (with-path footprints past device memory, or boundary
+//! modes the batch kernel does not implement) to the CPU executor, exactly
+//! the oversized-pair fallback of §4.5.2. Functional results are
+//! bit-identical to the CPU backend by construction: the simulated kernels
+//! compute with the same difference-recurrence semantics the host SIMD
+//! tiers are property-tested against.
+
+use mmm_align::{AlignMode, AlignResult};
+use mmm_gpu::kernel::kernel_footprint;
+use mmm_gpu::{DeviceSpec, GpuAligner, KernelJob, StreamConfig};
+
+use crate::backend::{AlignBackend, BackendOptions};
+use crate::cpu::CpuSimdBackend;
+use crate::error::BackendError;
+use crate::job::AlignJob;
+use crate::stats::BackendStats;
+
+/// Simulated-device execution session.
+pub struct GpuSimtBackend {
+    aligner: GpuAligner,
+    /// Host executor for routed fallbacks.
+    cpu: CpuSimdBackend,
+}
+
+impl GpuSimtBackend {
+    pub fn new(opts: &BackendOptions) -> Self {
+        let mut device = DeviceSpec::V100;
+        if let Some(mem) = opts.device_mem {
+            device.global_mem = mem;
+        }
+        let mut config = StreamConfig::default();
+        if let Some(streams) = opts.streams {
+            config.streams = streams.max(1);
+        }
+        GpuSimtBackend {
+            aligner: GpuAligner::with_config(device, config, opts.scoring),
+            cpu: CpuSimdBackend::new(opts),
+        }
+    }
+
+    /// Whether the device model can execute a job at all: the batch kernel
+    /// implements global alignment, and the job's device footprint must fit
+    /// in global memory.
+    fn device_eligible(&self, job: &AlignJob) -> bool {
+        job.mode == AlignMode::Global
+            && kernel_footprint(job.target.len(), job.query.len(), job.with_path)
+                <= self.aligner.device.global_mem
+    }
+
+    /// Pool high-water mark since the session was prepared (bytes).
+    pub fn pool_peak_used(&self) -> u64 {
+        self.aligner.pool_peak_used()
+    }
+}
+
+impl AlignBackend for GpuSimtBackend {
+    fn label(&self) -> &'static str {
+        "gpu-sim"
+    }
+
+    fn submit(
+        &self,
+        jobs: Vec<AlignJob>,
+    ) -> Result<(Vec<AlignResult>, BackendStats), BackendError> {
+        let total = jobs.len();
+        let cells: u64 = jobs.iter().map(AlignJob::cells).sum();
+
+        // Split: device-eligible jobs go to the stream scheduler, the rest
+        // to the host. Indices remember where each result belongs.
+        let mut device_jobs: Vec<KernelJob> = Vec::new();
+        let mut device_idx: Vec<usize> = Vec::new();
+        let mut host_jobs: Vec<AlignJob> = Vec::new();
+        let mut host_idx: Vec<usize> = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            if self.device_eligible(&job) {
+                device_idx.push(i);
+                device_jobs.push(KernelJob {
+                    target: job.target,
+                    query: job.query,
+                    with_path: job.with_path,
+                });
+            } else {
+                host_idx.push(i);
+                host_jobs.push(job);
+            }
+        }
+
+        let routed = host_jobs.len();
+        let host_start = std::time::Instant::now();
+        let host_results = self.cpu.execute(&host_jobs)?;
+        let routed_seconds = host_start.elapsed().as_secs_f64();
+
+        let (device_results, gstats) = self.aligner.align_batch(device_jobs)?;
+
+        let mut results: Vec<Option<AlignResult>> = (0..total).map(|_| None).collect();
+        for (i, r) in device_idx.into_iter().zip(device_results) {
+            results[i] = Some(r);
+        }
+        for (i, r) in host_idx.into_iter().zip(host_results) {
+            results[i] = Some(r);
+        }
+        let results: Vec<AlignResult> = results.into_iter().flatten().collect();
+        debug_assert_eq!(results.len(), total);
+
+        let stats = BackendStats {
+            batches: 1,
+            jobs: total as u64,
+            cells,
+            fallbacks: routed as u64 + gstats.fallbacks as u64,
+            max_stream_concurrency: gstats.max_concurrency,
+            bytes_pooled: gstats.bytes_pooled,
+            pool_rejections: gstats.pool_rejections,
+            device_seconds: gstats.device_seconds,
+            fallback_seconds: gstats.fallback_seconds + routed_seconds,
+        };
+        Ok((results, stats))
+    }
+}

@@ -1,0 +1,35 @@
+//! The unit of work a backend executes.
+
+use mmm_align::AlignMode;
+
+/// One base-level alignment problem, owned so a backend can ship it to a
+/// device queue (or another thread) without borrowing the mapper's state.
+#[derive(Clone, Debug)]
+pub struct AlignJob {
+    /// Target (reference) segment, 2-bit nucleotide codes.
+    pub target: Vec<u8>,
+    /// Query (read) segment, 2-bit nucleotide codes.
+    pub query: Vec<u8>,
+    /// DP boundary condition.
+    pub mode: AlignMode,
+    /// Whether the caller needs the traceback path (CIGAR).
+    pub with_path: bool,
+}
+
+impl AlignJob {
+    /// A global-alignment job, the shape the mapper's gap-fill step emits.
+    pub fn global(target: Vec<u8>, query: Vec<u8>, with_path: bool) -> Self {
+        AlignJob {
+            target,
+            query,
+            mode: AlignMode::Global,
+            with_path,
+        }
+    }
+
+    /// DP matrix size — the scheduling weight used for longest-first
+    /// ordering and throughput accounting.
+    pub fn cells(&self) -> u64 {
+        (self.target.len() as u64 + 1) * (self.query.len() as u64 + 1)
+    }
+}

@@ -1,0 +1,35 @@
+//! `mmm-exec` — the unified alignment-execution layer.
+//!
+//! The paper's system is one pipeline that routes base-level alignment to
+//! whichever processor is present: CPU SIMD lanes, a GPU running one
+//! sequence pair per thread block over up to 128 concurrent streams with a
+//! per-stream memory pool and CPU fallback for oversized pairs (§4.5), or
+//! KNL. This crate is that seam: the mapper emits batches of [`AlignJob`]s
+//! and an [`AlignBackend`] session executes them —
+//!
+//! * [`CpuSimdBackend`] fans a batch across the worker-pool machinery with
+//!   one recycled scratch arena per worker (the PR-1 zero-allocation
+//!   contract);
+//! * [`GpuSimtBackend`] feeds the simulated SIMT device and routes
+//!   oversized or unsupported jobs back to the CPU executor.
+//!
+//! All backends are bit-identical: the simulated kernels delegate their
+//! functional pass to the same difference-recurrence engines the CPU uses,
+//! so backend choice changes *throughput accounting*, never output. The
+//! xtask differential oracle enforces this cross-backend (DESIGN.md §9).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod backend;
+pub mod cpu;
+pub mod error;
+pub mod gpu;
+pub mod job;
+pub mod stats;
+
+pub use backend::{prepare, AlignBackend, BackendKind, BackendOptions};
+pub use cpu::{align_jobs, align_jobs_with_scratch, CpuSimdBackend};
+pub use error::BackendError;
+pub use gpu::GpuSimtBackend;
+pub use job::AlignJob;
+pub use stats::BackendStats;

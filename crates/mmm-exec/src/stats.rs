@@ -1,0 +1,116 @@
+//! Per-backend execution statistics.
+//!
+//! Every [`submit`](crate::AlignBackend::submit) returns the stats for that
+//! batch; callers accumulate them with [`BackendStats::merge`] and print
+//! one [`summary`](BackendStats::summary) line at the end of a run.
+
+/// Counters from one batch (or, after merging, a whole run).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BackendStats {
+    /// Batches submitted.
+    pub batches: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Total DP cells across all jobs.
+    pub cells: u64,
+    /// Jobs routed to the CPU because the device could not take them
+    /// (oversized footprint or unsupported boundary mode). Always zero for
+    /// the CPU backend.
+    pub fallbacks: u64,
+    /// Peak concurrently-executing kernels observed on the device.
+    pub max_stream_concurrency: usize,
+    /// Bytes served from the device memory pool.
+    pub bytes_pooled: u64,
+    /// Pool requests too large for a per-stream slab.
+    pub pool_rejections: u64,
+    /// Simulated device wall time, seconds.
+    pub device_seconds: f64,
+    /// Host wall time spent on fallback jobs, seconds.
+    pub fallback_seconds: f64,
+}
+
+impl BackendStats {
+    /// Fold another batch's counters into this accumulator.
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.batches += other.batches;
+        self.jobs += other.jobs;
+        self.cells += other.cells;
+        self.fallbacks += other.fallbacks;
+        self.max_stream_concurrency = self
+            .max_stream_concurrency
+            .max(other.max_stream_concurrency);
+        self.bytes_pooled += other.bytes_pooled;
+        self.pool_rejections += other.pool_rejections;
+        self.device_seconds += other.device_seconds;
+        self.fallback_seconds += other.fallback_seconds;
+    }
+
+    /// One stderr-ready line, e.g. for the CLI's run summary.
+    pub fn summary(&self, label: &str) -> String {
+        let mut line = format!(
+            "backend {label}: {} jobs in {} batches, {:.2} Gcells",
+            self.jobs,
+            self.batches,
+            self.cells as f64 / 1e9
+        );
+        if label != "cpu" {
+            line.push_str(&format!(
+                ", {} cpu-fallbacks, peak {} concurrent kernels, {:.1} MB pooled ({} slab rejections)",
+                self.fallbacks,
+                self.max_stream_concurrency,
+                self.bytes_pooled as f64 / 1e6,
+                self.pool_rejections,
+            ));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_concurrency() {
+        let mut a = BackendStats {
+            batches: 1,
+            jobs: 10,
+            cells: 100,
+            fallbacks: 1,
+            max_stream_concurrency: 4,
+            bytes_pooled: 50,
+            pool_rejections: 0,
+            device_seconds: 0.5,
+            fallback_seconds: 0.1,
+        };
+        let b = BackendStats {
+            batches: 2,
+            jobs: 5,
+            cells: 10,
+            fallbacks: 0,
+            max_stream_concurrency: 9,
+            bytes_pooled: 25,
+            pool_rejections: 3,
+            device_seconds: 0.25,
+            fallback_seconds: 0.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.jobs, 15);
+        assert_eq!(a.cells, 110);
+        assert_eq!(a.fallbacks, 1);
+        assert_eq!(a.max_stream_concurrency, 9);
+        assert_eq!(a.bytes_pooled, 75);
+        assert_eq!(a.pool_rejections, 3);
+    }
+
+    #[test]
+    fn summary_mentions_fallbacks_for_device_backends() {
+        let s = BackendStats {
+            fallbacks: 2,
+            ..Default::default()
+        };
+        assert!(s.summary("gpu-sim").contains("2 cpu-fallbacks"));
+        assert!(!s.summary("cpu").contains("fallbacks"));
+    }
+}

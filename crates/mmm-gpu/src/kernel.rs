@@ -13,6 +13,7 @@ use mmm_align::types::{AlignMode, AlignResult};
 use mmm_align::{best_engine, best_mm2_engine, Scoring};
 
 use crate::device::DeviceSpec;
+use crate::error::GpuError;
 
 /// Which DP layout the kernel implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,7 +108,32 @@ pub fn run_kernel(
     threads: usize,
     dev: &DeviceSpec,
 ) -> KernelRun {
-    assert!((32..=1024).contains(&threads), "block size out of range");
+    match try_run_kernel(target, query, sc, kind, mode, with_path, threads, dev) {
+        Ok(run) => run,
+        Err(e) => panic!("run_kernel: {e}"),
+    }
+}
+
+/// Fallible variant of [`run_kernel`]: an invalid launch configuration or
+/// overflowing scoring comes back as a [`GpuError`] instead of a panic, so
+/// batch drivers can degrade through the pipeline's error chain.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_kernel(
+    target: &[u8],
+    query: &[u8],
+    sc: &Scoring,
+    kind: GpuKernelKind,
+    mode: AlignMode,
+    with_path: bool,
+    threads: usize,
+    dev: &DeviceSpec,
+) -> Result<KernelRun, GpuError> {
+    if !(32..=1024).contains(&threads) {
+        return Err(GpuError::BlockSize { threads });
+    }
+    if !sc.fits_i8() {
+        return Err(GpuError::ScoringOverflow);
+    }
     let (tlen, qlen) = (target.len(), query.len());
 
     // Functional pass — lock-step diagonal semantics. All kernel variants
@@ -149,13 +175,13 @@ pub fn run_kernel(
     }
     let exec_seconds = cycles as f64 / (dev.clock_ghz * 1e9);
 
-    KernelRun {
+    Ok(KernelRun {
         result,
         cycles,
         footprint: kernel_footprint(tlen, qlen, with_path),
         used_shared,
         exec_seconds,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 //!   (§4.5.2), and oversized problems fall back to the CPU.
 
 pub mod device;
+pub mod error;
 pub mod kernel;
 pub mod mempool;
 pub mod runner;
@@ -27,8 +28,9 @@ pub mod simt;
 pub mod stream;
 
 pub use device::DeviceSpec;
-pub use kernel::{run_kernel, GpuKernelKind, KernelRun};
+pub use error::GpuError;
+pub use kernel::{run_kernel, try_run_kernel, GpuKernelKind, KernelRun};
 pub use mempool::MemoryPool;
 pub use runner::{GpuAligner, GpuBatchStats};
 pub use simt::{execute_block, SimtTrace};
-pub use stream::{simulate_batch, BatchReport, KernelJob, StreamConfig};
+pub use stream::{simulate_batch, try_execute_jobs, BatchReport, KernelJob, StreamConfig};

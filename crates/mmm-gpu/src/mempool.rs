@@ -12,12 +12,16 @@ pub struct MemoryPool {
     capacity: u64,
     slab: u64,
     streams: usize,
-    /// High-water mark per stream.
+    /// Bytes currently held per stream.
     in_use: Vec<u64>,
     /// Allocations served (each would otherwise be a cudaMalloc).
     pub allocs_served: u64,
     /// Requests too large for a slab (caller must fall back).
     pub rejections: u64,
+    /// Total bytes ever served from the pool.
+    pub bytes_served: u64,
+    /// Highest total occupancy observed over the pool's lifetime.
+    peak_used: u64,
 }
 
 impl MemoryPool {
@@ -31,6 +35,8 @@ impl MemoryPool {
             in_use: vec![0; streams],
             allocs_served: 0,
             rejections: 0,
+            bytes_served: 0,
+            peak_used: 0,
         }
     }
 
@@ -49,6 +55,8 @@ impl MemoryPool {
         let off = s as u64 * self.slab + self.in_use[s];
         self.in_use[s] += bytes;
         self.allocs_served += 1;
+        self.bytes_served += bytes;
+        self.peak_used = self.peak_used.max(self.used());
         Some(off)
     }
 
@@ -58,14 +66,33 @@ impl MemoryPool {
         self.in_use[stream % self.streams] = 0;
     }
 
+    /// Return every slab to the device. Batch drivers call this on *every*
+    /// exit path — normal completion and error returns alike — so a failed
+    /// batch never strands slots.
+    pub fn release_all(&mut self) {
+        for s in &mut self.in_use {
+            *s = 0;
+        }
+    }
+
     /// Total bytes currently held.
     pub fn used(&self) -> u64 {
         self.in_use.iter().sum()
     }
 
+    /// Highest total occupancy observed over the pool's lifetime.
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
     /// Device capacity backing the pool.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Number of per-stream slabs.
+    pub fn streams(&self) -> usize {
+        self.streams
     }
 }
 
@@ -106,5 +133,29 @@ mod tests {
         let mut p = MemoryPool::new(1000, 2);
         assert!(p.acquire(0, 501).is_none());
         assert_eq!(p.rejections, 1);
+    }
+
+    #[test]
+    fn release_all_empties_every_slab() {
+        let mut p = MemoryPool::new(1000, 4);
+        for s in 0..4 {
+            p.acquire(s, 200).unwrap();
+        }
+        assert_eq!(p.used(), 800);
+        p.release_all();
+        assert_eq!(p.used(), 0);
+        // Lifetime counters survive the release.
+        assert_eq!(p.peak_used(), 800);
+        assert_eq!(p.bytes_served, 800);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_not_current() {
+        let mut p = MemoryPool::new(1000, 2);
+        p.acquire(0, 300).unwrap();
+        p.release_stream(0);
+        p.acquire(0, 100).unwrap();
+        assert_eq!(p.used(), 100);
+        assert_eq!(p.peak_used(), 300);
     }
 }

@@ -3,17 +3,25 @@
 //! Wraps [`crate::stream::simulate_batch`] behind the same result types the
 //! CPU path returns, and implements §4.5.2's CPU fallback: jobs whose
 //! footprint cannot fit on the device are executed with the host's best
-//! kernel instead, and their time is charged separately.
+//! kernel instead, and their time is charged separately. The aligner is
+//! resident: one per-stream [`MemoryPool`] survives across batches, so the
+//! warm-up allocations of the first batch are the only ones ever made.
+
+use std::sync::{Mutex, PoisonError};
 
 use mmm_align::types::{AlignMode, AlignResult};
 use mmm_align::{best_engine, Scoring};
 
 use crate::device::DeviceSpec;
-use crate::stream::{simulate_batch, KernelJob, StreamConfig};
+use crate::error::GpuError;
+use crate::mempool::MemoryPool;
+use crate::stream::{schedule_runs_with_pool, try_execute_jobs, KernelJob, StreamConfig};
 
 /// Statistics from one batch.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GpuBatchStats {
+    /// Jobs submitted in the batch.
+    pub jobs: usize,
     /// Simulated device wall time.
     pub device_seconds: f64,
     /// Real host time spent on CPU fallbacks.
@@ -24,6 +32,12 @@ pub struct GpuBatchStats {
     pub max_concurrency: usize,
     /// Aggregate device GCUPS.
     pub gcups: f64,
+    /// Bytes served from the resident memory pool this batch.
+    pub bytes_pooled: u64,
+    /// Pool requests too large for a slab (paid direct-alloc latency).
+    pub pool_rejections: u64,
+    /// Pool high-water mark since the aligner was built.
+    pub pool_peak_used: u64,
 }
 
 /// A batch aligner over the simulated device.
@@ -31,22 +45,68 @@ pub struct GpuAligner {
     pub device: DeviceSpec,
     pub config: StreamConfig,
     pub scoring: Scoring,
+    /// Per-stream slab pool, resident across batches (§4.5.2).
+    pool: Mutex<MemoryPool>,
 }
 
 impl GpuAligner {
     /// Aligner with the paper's launch configuration (128 streams × 512
     /// threads).
     pub fn new(scoring: Scoring) -> Self {
+        Self::with_config(DeviceSpec::V100, StreamConfig::default(), scoring)
+    }
+
+    /// Aligner over an explicit device and launch configuration.
+    pub fn with_config(device: DeviceSpec, config: StreamConfig, scoring: Scoring) -> Self {
+        let pool = MemoryPool::new(device.global_mem, config.streams.max(1));
         GpuAligner {
-            device: DeviceSpec::V100,
-            config: StreamConfig::default(),
+            device,
+            config,
             scoring,
+            pool: Mutex::new(pool),
         }
     }
 
+    /// Pool high-water mark since construction (bytes).
+    pub fn pool_peak_used(&self) -> u64 {
+        self.lock_pool().peak_used()
+    }
+
+    /// Bytes currently held in the pool (zero between batches — every batch
+    /// returns all slabs on every exit path).
+    pub fn pool_used(&self) -> u64 {
+        self.lock_pool().used()
+    }
+
+    fn lock_pool(&self) -> std::sync::MutexGuard<'_, MemoryPool> {
+        // A panic while holding the lock cannot leave slots stranded: the
+        // scheduler releases every slab before returning, and the pool is
+        // plain counters — recover the guard rather than propagate poison.
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Align a batch of pairs; oversize problems run on the host CPU.
-    pub fn align_batch(&self, jobs: Vec<KernelJob>) -> (Vec<AlignResult>, GpuBatchStats) {
-        let report = simulate_batch(&jobs, &self.scoring, &self.config, &self.device);
+    ///
+    /// An invalid launch configuration or overflowing scoring is a typed
+    /// [`GpuError`] — never a panic, never a silently dropped job.
+    pub fn align_batch(
+        &self,
+        jobs: Vec<KernelJob>,
+    ) -> Result<(Vec<AlignResult>, GpuBatchStats), GpuError> {
+        if self.config.streams == 0 {
+            return Err(GpuError::NoStreams);
+        }
+        let runs = try_execute_jobs(
+            &jobs,
+            &self.scoring,
+            self.config.kind,
+            self.config.threads_per_block,
+            &self.device,
+        )?;
+        let report = {
+            let mut pool = self.lock_pool();
+            schedule_runs_with_pool(&jobs, runs, &self.config, &self.device, &mut pool)
+        };
         let mut results: Vec<AlignResult> = report.runs.iter().map(|r| r.result.clone()).collect();
 
         // Re-run fallbacks on the real CPU with the best host kernel.
@@ -65,13 +125,22 @@ impl GpuAligner {
         }
 
         let stats = GpuBatchStats {
+            jobs: jobs.len(),
             device_seconds: report.sim_seconds,
             fallback_seconds,
             fallbacks: report.fallbacks.len(),
             max_concurrency: report.max_concurrency,
             gcups: report.gcups(),
+            bytes_pooled: report.bytes_pooled,
+            pool_rejections: report.pool_rejections,
+            pool_peak_used: report.pool_peak_used,
         };
-        (results, stats)
+        debug_assert_eq!(
+            results.len(),
+            jobs.len(),
+            "scheduler must keep 1:1 job/run order"
+        );
+        Ok((results, stats))
     }
 }
 
@@ -89,10 +158,12 @@ mod tests {
                 with_path: true,
             })
             .collect();
-        let (results, stats) = aligner.align_batch(jobs.clone());
+        let (results, stats) = aligner.align_batch(jobs.clone()).unwrap();
         assert_eq!(results.len(), 6);
+        assert_eq!(stats.jobs, 6);
         assert_eq!(stats.fallbacks, 0);
         assert!(stats.device_seconds > 0.0);
+        assert!(stats.bytes_pooled > 0);
         for (r, j) in results.iter().zip(&jobs) {
             let gold = mmm_align::scalar::align_manymap(
                 &j.target,
@@ -106,31 +177,70 @@ mod tests {
     }
 
     #[test]
-    fn oversize_job_falls_back_and_still_answers() {
-        let aligner = GpuAligner::new(Scoring::MAP_ONT);
-        // 100k × 100k with path ⇒ 20 GB footprint > 16 GB device. Use
-        // score-only CPU verification on a smaller core to keep the test
-        // fast: the job itself is score-only? No — fallback requires the
-        // with-path footprint, so use modest lengths that still exceed
-        // memory: 95k × 95k × 2B ≈ 18 GB.
-        let t: Vec<u8> = vec![0; 95_000];
-        let q: Vec<u8> = vec![0; 95_000];
-        let jobs = vec![
-            KernelJob {
-                target: t,
-                query: q,
-                with_path: false,
-            },
-            KernelJob {
-                target: vec![0, 1, 2, 3],
-                query: vec![0, 1, 2, 3],
-                with_path: true,
-            },
-        ];
-        // Score-only 95k is tiny footprint — no fallback expected here;
-        // this test only checks the plumbing doesn't panic on mixed sizes.
-        let (results, stats) = aligner.align_batch(jobs);
+    fn oversize_job_falls_back_and_matches_cpu() {
+        // A 64 MB device cannot hold a 6 kbp with-path kernel (~72 MB):
+        // the job must come back through the CPU-fallback path with the
+        // identical functional answer.
+        let dev = DeviceSpec {
+            global_mem: 64 << 20,
+            ..DeviceSpec::V100
+        };
+        let aligner = GpuAligner::with_config(dev, StreamConfig::default(), Scoring::MAP_ONT);
+        let t: Vec<u8> = (0..6_000).map(|i| ((i * 7 + 1) % 4) as u8).collect();
+        let q: Vec<u8> = (0..6_000).map(|i| ((i * 5 + 2) % 4) as u8).collect();
+        let small = KernelJob {
+            target: vec![0, 1, 2, 3],
+            query: vec![0, 1, 2, 3],
+            with_path: true,
+        };
+        let big = KernelJob {
+            target: t.clone(),
+            query: q.clone(),
+            with_path: true,
+        };
+        let (results, stats) = aligner.align_batch(vec![small, big]).unwrap();
         assert_eq!(results.len(), 2);
-        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.fallbacks, 1);
+        let gold =
+            mmm_align::scalar::align_manymap(&t, &q, &Scoring::MAP_ONT, AlignMode::Global, true);
+        assert_eq!(results[1], gold);
+    }
+
+    #[test]
+    fn bad_block_size_is_typed_error() {
+        let cfg = StreamConfig {
+            threads_per_block: 4,
+            ..Default::default()
+        };
+        let aligner = GpuAligner::with_config(DeviceSpec::V100, cfg, Scoring::MAP_ONT);
+        let job = KernelJob {
+            target: vec![0, 1],
+            query: vec![0, 1],
+            with_path: false,
+        };
+        let err = aligner.align_batch(vec![job]).unwrap_err();
+        assert_eq!(err, GpuError::BlockSize { threads: 4 });
+        // The failed batch left nothing resident in the pool.
+        assert_eq!(aligner.pool_used(), 0);
+    }
+
+    #[test]
+    fn pool_is_resident_across_batches() {
+        let aligner = GpuAligner::new(Scoring::MAP_ONT);
+        let jobs: Vec<KernelJob> = (0..8)
+            .map(|k| KernelJob {
+                target: (0..300).map(|i| ((i * 3 + k) % 4) as u8).collect(),
+                query: (0..300).map(|i| ((i * 11 + k) % 4) as u8).collect(),
+                with_path: false,
+            })
+            .collect();
+        let (_, first) = aligner.align_batch(jobs.clone()).unwrap();
+        let peak = aligner.pool_peak_used();
+        for _ in 0..3 {
+            let (_, stats) = aligner.align_batch(jobs.clone()).unwrap();
+            assert_eq!(stats.bytes_pooled, first.bytes_pooled);
+        }
+        assert_eq!(aligner.pool_peak_used(), peak, "pool grew after warm-up");
+        assert_eq!(aligner.pool_used(), 0);
     }
 }

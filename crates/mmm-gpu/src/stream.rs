@@ -12,7 +12,8 @@ use mmm_align::types::AlignMode;
 use mmm_align::Scoring;
 
 use crate::device::DeviceSpec;
-use crate::kernel::{run_kernel, GpuKernelKind, KernelRun};
+use crate::error::GpuError;
+use crate::kernel::{try_run_kernel, GpuKernelKind, KernelRun};
 use crate::mempool::MemoryPool;
 
 /// One alignment job.
@@ -57,6 +58,15 @@ pub struct BatchReport {
     pub fallbacks: Vec<usize>,
     /// Total DP cells of the jobs executed on the device.
     pub device_cells: u64,
+    /// Bytes served from the per-stream memory pool this batch.
+    pub bytes_pooled: u64,
+    /// Pool allocations served this batch (each one a `cudaMalloc` avoided).
+    pub pool_allocs: u64,
+    /// Requests too large for a slab this batch (paid direct-alloc latency).
+    pub pool_rejections: u64,
+    /// Pool high-water mark over its lifetime (persists across batches when
+    /// the caller reuses a pool).
+    pub pool_peak_used: u64,
 }
 
 impl BatchReport {
@@ -71,17 +81,18 @@ impl BatchReport {
 
 /// Functional pass only: execute every job's kernel once. The result can
 /// be scheduled repeatedly under different stream configurations (the
-/// Figure 7 sweep) without recomputing alignments.
-pub fn execute_jobs(
+/// Figure 7 sweep) without recomputing alignments. Fails with a typed
+/// error on an invalid launch configuration instead of panicking.
+pub fn try_execute_jobs(
     jobs: &[KernelJob],
     sc: &Scoring,
     kind: GpuKernelKind,
     threads_per_block: usize,
     dev: &DeviceSpec,
-) -> Vec<KernelRun> {
+) -> Result<Vec<KernelRun>, GpuError> {
     jobs.iter()
         .map(|j| {
-            run_kernel(
+            try_run_kernel(
                 &j.target,
                 &j.query,
                 sc,
@@ -95,15 +106,37 @@ pub fn execute_jobs(
         .collect()
 }
 
-/// Schedule pre-executed kernels over the streams and device limits.
-pub fn schedule_runs(
+/// Panicking convenience wrapper over [`try_execute_jobs`] for harnesses
+/// whose configurations are static and known-valid.
+pub fn execute_jobs(
+    jobs: &[KernelJob],
+    sc: &Scoring,
+    kind: GpuKernelKind,
+    threads_per_block: usize,
+    dev: &DeviceSpec,
+) -> Vec<KernelRun> {
+    match try_execute_jobs(jobs, sc, kind, threads_per_block, dev) {
+        Ok(runs) => runs,
+        Err(e) => panic!("execute_jobs: {e}"),
+    }
+}
+
+/// Schedule pre-executed kernels over the streams and device limits, using
+/// a caller-owned memory pool (so a resident aligner can reuse one pool
+/// across batches, §4.5.2). Every slab is returned to the pool before this
+/// function returns — lifetime counters (`allocs_served`, `peak_used`)
+/// keep accumulating across batches.
+pub fn schedule_runs_with_pool(
     jobs: &[KernelJob],
     runs: Vec<KernelRun>,
     cfg: &StreamConfig,
     dev: &DeviceSpec,
+    pool: &mut MemoryPool,
 ) -> BatchReport {
-    let pool = MemoryPool::new(dev.global_mem, cfg.streams.max(1));
-    let _ = pool.slab_size();
+    let nstreams = cfg.streams.max(1);
+    let allocs0 = pool.allocs_served;
+    let rejections0 = pool.rejections;
+    let bytes0 = pool.bytes_served;
     let mut fallbacks = Vec::new();
     let mut durations = Vec::with_capacity(jobs.len());
     let mut device_cells = 0u64;
@@ -112,16 +145,32 @@ pub fn schedule_runs(
         // pinned host memory.
         let bytes = (j.target.len() + j.query.len()) as f64;
         let transfer = bytes / (dev.pcie_gbps * 1e9) + 2.0 * dev.transfer_latency;
-        let alloc = if cfg.use_pool { 0.0 } else { dev.alloc_latency };
         if run.footprint > dev.global_mem {
             // Impossible to place on the device: CPU fallback (§4.5.2).
             fallbacks.push(i);
             durations.push(None);
             continue;
         }
+        // Device buffers: kernels within a stream serialize, so by the time
+        // job `i` launches on stream `i % nstreams` the previous kernel on
+        // that stream has retired and its slab is reusable. A request too
+        // large for the slab falls through to a direct allocation and pays
+        // the per-launch latency the pool exists to avoid.
+        let alloc = if cfg.use_pool {
+            let s = i % nstreams;
+            pool.release_stream(s);
+            match pool.acquire(s, run.footprint) {
+                Some(_) => 0.0,
+                None => dev.alloc_latency,
+            }
+        } else {
+            dev.alloc_latency
+        };
         device_cells += run.result.cells;
         durations.push(Some(run.exec_seconds + transfer + alloc));
     }
+    // Nothing may stay resident after the batch, whatever path got here.
+    pool.release_all();
     let runs: Vec<Option<KernelRun>> = runs.into_iter().map(Some).collect();
 
     // Event loop: assign jobs round-robin to streams, respect concurrency
@@ -182,7 +231,22 @@ pub fn schedule_runs(
         max_concurrency: max_seen,
         fallbacks,
         device_cells,
+        bytes_pooled: pool.bytes_served - bytes0,
+        pool_allocs: pool.allocs_served - allocs0,
+        pool_rejections: pool.rejections - rejections0,
+        pool_peak_used: pool.peak_used(),
     }
+}
+
+/// Schedule pre-executed kernels with a fresh single-batch pool.
+pub fn schedule_runs(
+    jobs: &[KernelJob],
+    runs: Vec<KernelRun>,
+    cfg: &StreamConfig,
+    dev: &DeviceSpec,
+) -> BatchReport {
+    let mut pool = MemoryPool::new(dev.global_mem, cfg.streams.max(1));
+    schedule_runs_with_pool(jobs, runs, cfg, dev, &mut pool)
 }
 
 /// Execute a batch of jobs over the simulated device (functional pass +
@@ -306,6 +370,70 @@ mod tests {
         let a = simulate_batch(&jobs(64, 300, false), &SC, &with_pool, &DeviceSpec::V100);
         let b = simulate_batch(&jobs(64, 300, false), &SC, &no_pool, &DeviceSpec::V100);
         assert!(a.sim_seconds < b.sim_seconds);
+    }
+
+    #[test]
+    fn pool_accounting_reported_per_batch() {
+        let cfg = StreamConfig {
+            streams: 4,
+            ..Default::default()
+        };
+        let js = jobs(16, 400, false);
+        let rep = simulate_batch(&js, &SC, &cfg, &DeviceSpec::V100);
+        // Every on-device job was served from the pool, none rejected.
+        assert_eq!(rep.pool_allocs, 16);
+        assert_eq!(rep.pool_rejections, 0);
+        assert!(rep.bytes_pooled > 0);
+        assert!(rep.pool_peak_used > 0);
+    }
+
+    #[test]
+    fn slab_overflow_pays_direct_alloc_not_fallback() {
+        // Footprint fits the device but not a single slab: the job still
+        // runs on-device via the direct-allocation path (no CPU fallback),
+        // and the rejection is counted.
+        let dev = DeviceSpec {
+            global_mem: 64 << 20,
+            ..DeviceSpec::V100
+        };
+        let cfg = StreamConfig {
+            streams: 8, // slab = 8 MB
+            ..Default::default()
+        };
+        let js = jobs(2, 2_200, true); // ~9.7 MB with-path footprint
+        let rep = simulate_batch(&js, &SC, &cfg, &dev);
+        assert!(rep.fallbacks.is_empty());
+        assert_eq!(rep.pool_rejections, 2);
+        assert_eq!(rep.pool_allocs, 0);
+    }
+
+    #[test]
+    fn reused_pool_reaches_steady_state() {
+        // A resident pool serves identical batches without growing: the
+        // high-water mark is set by the first batch and never moves.
+        let cfg = StreamConfig {
+            streams: 4,
+            ..Default::default()
+        };
+        let dev = DeviceSpec::V100;
+        let js = jobs(16, 400, false);
+        let runs = || execute_jobs(&js, &SC, cfg.kind, cfg.threads_per_block, &dev);
+        let mut pool = MemoryPool::new(dev.global_mem, cfg.streams);
+        let first = schedule_runs_with_pool(&js, runs(), &cfg, &dev, &mut pool);
+        let peak_after_warmup = pool.peak_used();
+        for _ in 0..3 {
+            let rep = schedule_runs_with_pool(&js, runs(), &cfg, &dev, &mut pool);
+            assert_eq!(rep.bytes_pooled, first.bytes_pooled);
+        }
+        assert_eq!(pool.peak_used(), peak_after_warmup);
+        assert_eq!(pool.used(), 0, "slabs must all be returned between batches");
+    }
+
+    #[test]
+    fn invalid_block_size_is_a_typed_error() {
+        let js = jobs(1, 100, false);
+        let err = try_execute_jobs(&js, &SC, GpuKernelKind::Manymap, 7, &DeviceSpec::V100);
+        assert_eq!(err.unwrap_err(), GpuError::BlockSize { threads: 7 });
     }
 
     #[test]

@@ -124,9 +124,12 @@ pub fn batch_compute_makespan(
 ///
 /// ```
 /// use mmm_knl::{simulate_pipeline, PipelineParams, WorkBatch, KNL_7210};
+/// // 640 reads = 10 per thread at 64 threads, so list scheduling is near
+/// // the fluid limit (64 reads would leave the makespan quantized by
+/// // whichever core carries one read more than its neighbours).
 /// let batch = WorkBatch {
-///     chain_cost: vec![0.001; 64],
-///     align_cost: vec![0.004; 64],
+///     chain_cost: vec![0.001; 640],
+///     align_cost: vec![0.004; 640],
 ///     in_cost: 0.01,
 ///     out_cost: 0.01,
 /// };

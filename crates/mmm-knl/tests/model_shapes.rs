@@ -18,7 +18,16 @@ fn batch(reads: usize, align_each: f64, io: f64) -> WorkBatch {
 
 #[test]
 fn speedup_is_monotone_in_threads_for_any_affinity() {
-    let batches = vec![batch(256, 0.01, 0.2); 4];
+    // The paper's scaling claim (Figures 9/10) is about compute-bound
+    // workloads with many more reads than threads. Two deliberate choices
+    // keep the sweep inside that regime:
+    // * I/O ≪ compute, so the full-occupancy I/O-contention cliff (the
+    //   very effect the Optimized policy's reserved core removes — see
+    //   `only_optimized_stays_monotone_under_heavy_io`) cannot dominate;
+    // * 2560 reads ≥ 10 per thread at 256 threads, so list scheduling is
+    //   near the fluid limit and the Optimized policy's 252-vs-256 thread
+    //   quantization cannot flip the ordering.
+    let batches = vec![batch(2560, 0.004, 0.02); 4];
     for policy in AffinityPolicy::ALL {
         let params = PipelineParams {
             affinity: policy,
@@ -37,10 +46,59 @@ fn speedup_is_monotone_in_threads_for_any_affinity() {
 }
 
 #[test]
+fn only_optimized_stays_monotone_under_heavy_io() {
+    // The cliff the reserved core exists for (§4.4.3, Figure 10): with
+    // I/O-heavy batches, Compact and Scatter regress from 128 to 256
+    // threads — full occupancy leaves no idle core, so the I/O thread
+    // pays the contention penalty and the pipeline becomes I/O-bound.
+    // Optimized holds a core back and keeps improving (or at worst flat).
+    let batches = vec![batch(2560, 0.004, 4.0); 4];
+    let total = |policy, t| {
+        simulate_pipeline(
+            &KNL_7210,
+            t,
+            &batches,
+            &PipelineParams {
+                affinity: policy,
+                ..Default::default()
+            },
+        )
+        .total
+    };
+    // Compact still has idle cores at 128 threads (32 cores × 4 threads),
+    // so its cliff sits at the 128 → 256 step.
+    let c128 = total(AffinityPolicy::Compact, 128);
+    let c256 = total(AffinityPolicy::Compact, 256);
+    assert!(
+        c256 > c128 * 1.01,
+        "Compact must hit the contention cliff: {c128} -> {c256}"
+    );
+    // Scatter occupies every core from 64 threads on, so it pays the
+    // penalty throughout the upper range; at full occupancy both
+    // non-reserved policies land well behind Optimized.
+    let o256 = total(AffinityPolicy::Optimized, 256);
+    for policy in [AffinityPolicy::Compact, AffinityPolicy::Scatter] {
+        let t256 = total(policy, 256);
+        assert!(
+            t256 > o256 * 1.01,
+            "{policy:?} must trail Optimized under heavy I/O: {t256} vs {o256}"
+        );
+    }
+    let o128 = total(AffinityPolicy::Optimized, 128);
+    assert!(
+        o256 <= o128 * 1.0001,
+        "Optimized must not regress: {o128} -> {o256}"
+    );
+}
+
+#[test]
 fn affinities_converge_at_full_occupancy() {
-    // At 256 threads every policy fills all cores; only the reserved-I/O
-    // core distinguishes optimized, so totals must be within ~15%.
-    let batches = vec![batch(512, 0.008, 0.5); 4];
+    // At 256 threads every policy drives every core it uses at 4
+    // threads/core (Optimized: 63 compute cores + the reserved I/O core).
+    // With ≥10 reads per thread the compute makespans differ only by the
+    // one-core throughput gap (~64/63) plus the I/O contention factor on
+    // a modest I/O share — well within 15%.
+    let batches = vec![batch(2560, 0.004, 0.1); 4];
     let times: Vec<f64> = AffinityPolicy::ALL
         .iter()
         .map(|&a| {

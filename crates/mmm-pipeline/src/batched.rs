@@ -1,0 +1,576 @@
+//! The batched 3-thread pipeline: plan → dispatch → finalize.
+//!
+//! The classic 3-thread pipeline hands each worker one item at a time. The
+//! batched variant splits the compute stage so a whole batch's base-level
+//! alignment can be executed by a *backend* (CPU SIMD lanes, the simulated
+//! GPU, eventually real accelerators) in one submission:
+//!
+//! 1. **plan** — per item, on the worker pool: seed, chain, and describe
+//!    the DP problems the item needs (returns `M`, e.g. a set of
+//!    `AlignJob`s plus everything needed to resume);
+//! 2. **dispatch** — once per batch, on the compute thread: ship every
+//!    item's jobs to the backend, get `D` (e.g. the `AlignResult`s) back;
+//! 3. **finalize** — per item, on the worker pool again: splice the
+//!    backend's results into the item's output (returns `R`).
+//!
+//! Both per-item phases run on the *same* persistent pool (one worker-state
+//! build per run, zero per-batch spawns) and keep PR-2's panic isolation: a
+//! panic in `plan` or `finalize` degrades that one item through the
+//! [`PanicHandler`]; items that fail in `plan` are excluded from dispatch.
+//! A dispatch failure is whole-batch and fatal
+//! ([`PipelineError::Dispatch`]) — there is no single item to blame.
+//!
+//! Reader/writer semantics (bounded channels, prompt shutdown, first error
+//! wins, output in input order) are identical to
+//! [`crate::try_run_three_thread_with_state`].
+
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::error::{DynError, PipelineError};
+use crate::pipeline::{PanicHandler, PipelineStats};
+use crate::pool::with_worker_pool;
+use crate::sort::sort_indices_by_len_desc;
+use crate::sync::lock_unpoisoned;
+
+/// Internal pool item: the two per-item phases share one worker pool, so
+/// the pool's item type is this enum.
+enum Step<I, M, D> {
+    Plan(I),
+    Fin(I, M, D),
+}
+
+/// Internal pool result matching [`Step`].
+enum StepOut<M, R> {
+    Planned(M),
+    Final(R),
+}
+
+fn record_error(slot: &Mutex<Option<PipelineError>>, e: PipelineError) {
+    let mut g = lock_unpoisoned(slot);
+    if g.is_none() {
+        *g = Some(e);
+    }
+}
+
+/// Run one batch through plan → dispatch → finalize. Returns results in
+/// original item order plus the number of degraded items.
+#[allow(clippy::type_complexity)]
+fn run_batch<I, M, D, R>(
+    pool: &crate::pool::WorkerPool<'_, Step<I, M, D>, StepOut<M, R>>,
+    batch: Vec<I>,
+    dispatch: &mut (dyn FnMut(Vec<M>) -> Result<Vec<(M, D)>, DynError> + Send),
+    len_of: &(dyn Fn(&I) -> usize + Sync),
+    on_item_panic: PanicHandler<'_, I, R>,
+    sort_by_len: bool,
+) -> Result<(Vec<R>, usize), PipelineError>
+where
+    I: Send + Sync,
+    M: Send + Sync,
+    D: Send + Sync,
+    R: Send,
+{
+    let n = batch.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let mut failed = 0usize;
+
+    // Phase 1: plan every item (longest first when requested — long reads
+    // carry the most alignment work, so they anchor the schedule).
+    let plan_items: Vec<Step<I, M, D>> = batch.into_iter().map(Step::Plan).collect();
+    let order = if sort_by_len {
+        sort_indices_by_len_desc(&plan_items, |s| match s {
+            Step::Plan(i) => len_of(i),
+            Step::Fin(i, _, _) => len_of(i),
+        })
+    } else {
+        (0..n).collect()
+    };
+    let outcome = pool.run_batch_catching(&plan_items, &order);
+    let mut panic_msg: Vec<Option<String>> = Vec::with_capacity(n);
+    panic_msg.resize_with(n, || None);
+    for p in &outcome.panics {
+        panic_msg[p.index] = Some(p.message.clone());
+    }
+
+    // Collect survivors for dispatch; degrade plan-phase failures now.
+    let mut fin_idx: Vec<usize> = Vec::with_capacity(n);
+    let mut fin_items: Vec<I> = Vec::with_capacity(n);
+    let mut plans: Vec<M> = Vec::with_capacity(n);
+    for (idx, (step, res)) in plan_items.into_iter().zip(outcome.results).enumerate() {
+        let Step::Plan(item) = step else {
+            continue; // phase-1 items are always Plan
+        };
+        match res {
+            Some(StepOut::Planned(m)) => {
+                fin_idx.push(idx);
+                fin_items.push(item);
+                plans.push(m);
+            }
+            _ => {
+                let msg = panic_msg[idx]
+                    .take()
+                    .unwrap_or_else(|| "item abandoned by the worker pool".to_string());
+                match on_item_panic {
+                    Some(handler) => {
+                        out[idx] = Some(handler(&item, &msg));
+                        failed += 1;
+                    }
+                    None => {
+                        return Err(PipelineError::WorkerPanic {
+                            item_index: idx,
+                            message: msg,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: one backend submission for the whole batch, serial on the
+    // compute thread.
+    let expected = plans.len();
+    let dispatched = dispatch(plans).map_err(PipelineError::Dispatch)?;
+    if dispatched.len() != expected {
+        return Err(PipelineError::Dispatch(
+            format!(
+                "dispatch returned {} results for {expected} plans",
+                dispatched.len()
+            )
+            .into(),
+        ));
+    }
+
+    // Phase 3: finalize survivors on the pool.
+    let fin_steps: Vec<Step<I, M, D>> = fin_items
+        .into_iter()
+        .zip(dispatched)
+        .map(|(item, (m, d))| Step::Fin(item, m, d))
+        .collect();
+    let fin_order: Vec<usize> = (0..fin_steps.len()).collect();
+    let outcome = pool.run_batch_catching(&fin_steps, &fin_order);
+    let mut fin_msg: Vec<Option<String>> = Vec::with_capacity(fin_steps.len());
+    fin_msg.resize_with(fin_steps.len(), || None);
+    for p in &outcome.panics {
+        fin_msg[p.index] = Some(p.message.clone());
+    }
+    for (k, (step, res)) in fin_steps.into_iter().zip(outcome.results).enumerate() {
+        let idx = fin_idx[k];
+        match res {
+            Some(StepOut::Final(r)) => out[idx] = Some(r),
+            _ => {
+                let Step::Fin(item, _, _) = step else {
+                    continue; // phase-2 items are always Fin
+                };
+                let msg = fin_msg[k]
+                    .take()
+                    .unwrap_or_else(|| "item abandoned by the worker pool".to_string());
+                match on_item_panic {
+                    Some(handler) => {
+                        out[idx] = Some(handler(&item, &msg));
+                        failed += 1;
+                    }
+                    None => {
+                        return Err(PipelineError::WorkerPanic {
+                            item_index: idx,
+                            message: msg,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    // Every slot is filled: survivors by phase 3, failures by the handler.
+    Ok((out.into_iter().flatten().collect(), failed))
+}
+
+/// The batched manymap pipeline: reader thread → {plan on the pool →
+/// dispatch on the compute thread → finalize on the pool} → writer thread.
+///
+/// See the module docs for phase semantics. Generic over:
+/// * `I` — input item (a read), `M` — per-item plan, `D` — per-item
+///   dispatch result, `R` — output record, `S` — per-worker state;
+/// * `plan(&mut S, &I) -> M` and `finalize(&mut S, &I, &M, &D) -> R` run on
+///   the worker pool with panic isolation;
+/// * `dispatch(Vec<M>) -> Result<Vec<(M, D)>, DynError>` runs serially per
+///   batch and must return exactly one `(plan, result)` pair per plan, in
+///   order. An `Err` aborts the run with [`PipelineError::Dispatch`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_three_thread_batched_with_state<
+    I,
+    M,
+    D,
+    R,
+    S,
+    FIn,
+    FState,
+    FPlan,
+    FDispatch,
+    FFin,
+    FLen,
+    FOut,
+>(
+    mut read_batch: FIn,
+    make_state: FState,
+    plan: FPlan,
+    mut dispatch: FDispatch,
+    finalize: FFin,
+    len_of: FLen,
+    mut write_batch: FOut,
+    on_item_panic: PanicHandler<'_, I, R>,
+    threads: usize,
+    sort_by_len: bool,
+) -> Result<PipelineStats, PipelineError>
+where
+    I: Send + Sync,
+    M: Send + Sync,
+    D: Send + Sync,
+    R: Send,
+    FIn: FnMut() -> Result<Option<Vec<I>>, DynError> + Send,
+    FState: Fn(usize) -> S + Sync,
+    FPlan: Fn(&mut S, &I) -> M + Sync,
+    FDispatch: FnMut(Vec<M>) -> Result<Vec<(M, D)>, DynError> + Send,
+    FFin: Fn(&mut S, &I, &M, &D) -> R + Sync,
+    FLen: Fn(&I) -> usize + Sync,
+    FOut: FnMut(Vec<R>) -> Result<(), DynError> + Send,
+{
+    let stats = Mutex::new(PipelineStats::default());
+    let failure = Mutex::new(None::<PipelineError>);
+    let wall = Instant::now();
+
+    let step = |st: &mut S, item: &Step<I, M, D>| match item {
+        Step::Plan(i) => StepOut::Planned(plan(st, i)),
+        Step::Fin(i, m, d) => StepOut::Final(finalize(st, i, m, d)),
+    };
+
+    with_worker_pool(threads, make_state, step, |pool| {
+        let (in_tx, in_rx) = sync_channel::<Vec<I>>(2);
+        let (out_tx, out_rx) = sync_channel::<Vec<R>>(2);
+
+        std::thread::scope(|scope| {
+            let stats_ref = &stats;
+            let failure_ref = &failure;
+            // Reader.
+            scope.spawn(move || loop {
+                let t0 = Instant::now();
+                let batch = read_batch();
+                lock_unpoisoned(stats_ref).in_seconds += t0.elapsed().as_secs_f64();
+                match batch {
+                    Ok(Some(b)) => {
+                        if in_tx.send(b).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        record_error(failure_ref, PipelineError::Read(e));
+                        break;
+                    }
+                }
+            });
+
+            // Writer.
+            let writer = scope.spawn(move || {
+                while let Ok(out) = out_rx.recv() {
+                    let t0 = Instant::now();
+                    let r = write_batch(out);
+                    lock_unpoisoned(stats_ref).out_seconds += t0.elapsed().as_secs_f64();
+                    if let Err(e) = r {
+                        record_error(failure_ref, PipelineError::Write(e));
+                        break;
+                    }
+                }
+            });
+
+            // Compute stage: plan/finalize on the pool, dispatch here.
+            let in_rx = in_rx;
+            while let Ok(batch) = in_rx.recv() {
+                let t0 = Instant::now();
+                let n = batch.len();
+                let settled = run_batch(
+                    pool,
+                    batch,
+                    &mut dispatch,
+                    &len_of,
+                    on_item_panic,
+                    sort_by_len,
+                );
+                let results = match settled {
+                    Ok((results, failed)) => {
+                        let mut s = lock_unpoisoned(&stats);
+                        s.compute_seconds += t0.elapsed().as_secs_f64();
+                        s.batches += 1;
+                        s.items += n;
+                        s.failed_items += failed;
+                        results
+                    }
+                    Err(fatal) => {
+                        record_error(&failure, fatal);
+                        break;
+                    }
+                };
+                if out_tx.send(results).is_err() {
+                    break;
+                }
+            }
+            drop(in_rx);
+            drop(out_tx);
+            if let Err(payload) = writer.join() {
+                std::panic::resume_unwind(payload);
+            }
+        });
+    });
+
+    if let Some(e) = lock_unpoisoned(&failure).take() {
+        return Err(e);
+    }
+    let mut s = stats
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    s.wall_seconds = wall.elapsed().as_secs_f64();
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feeder(
+        mut data: Vec<Vec<u64>>,
+    ) -> impl FnMut() -> Result<Option<Vec<u64>>, DynError> + Send {
+        data.reverse();
+        move || Ok(data.pop())
+    }
+
+    /// plan doubles, dispatch adds 1 to every plan, finalize multiplies the
+    /// dispatched value by 10 — so every stage's contribution is visible.
+    fn run_simple(input: Vec<Vec<u64>>, threads: usize) -> (Vec<u64>, PipelineStats) {
+        let out = Mutex::new(Vec::new());
+        let stats = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x * 2,
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, m + 1)).collect()),
+            |(), _item: &u64, _m: &u64, d: &u64| d * 10,
+            |_| 1,
+            |r| {
+                out.lock().unwrap().extend(r);
+                Ok(())
+            },
+            None,
+            threads,
+            false,
+        )
+        .unwrap();
+        (out.into_inner().unwrap(), stats)
+    }
+
+    #[test]
+    fn phases_compose_in_order() {
+        let input = vec![vec![1u64, 2, 3], vec![4, 5]];
+        let (got, stats) = run_simple(input, 3);
+        // x -> plan 2x -> dispatch 2x+1 -> finalize (2x+1)*10
+        assert_eq!(got, vec![30, 50, 70, 90, 110]);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.items, 5);
+        assert_eq!(stats.failed_items, 0);
+    }
+
+    #[test]
+    fn sorted_compute_keeps_output_order() {
+        let input = vec![vec![5u64, 1, 9, 3]];
+        let out = Mutex::new(Vec::new());
+        try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |&x| x as usize, // "length" = value: compute order differs
+            |r| {
+                out.lock().unwrap().extend(r);
+                Ok(())
+            },
+            None,
+            4,
+            true,
+        )
+        .unwrap();
+        assert_eq!(out.into_inner().unwrap(), vec![5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn plan_panic_degrades_one_item_and_skips_its_dispatch() {
+        let input = vec![vec![1u64, 7, 3]];
+        let out = Mutex::new(Vec::new());
+        let seen_by_dispatch = Mutex::new(Vec::new());
+        let handler = |item: &u64, _msg: &str| item * 1000;
+        let stats = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| {
+                if x == 7 {
+                    panic!("bad read");
+                }
+                x
+            },
+            |plans: Vec<u64>| {
+                seen_by_dispatch
+                    .lock()
+                    .unwrap()
+                    .extend(plans.iter().copied());
+                Ok(plans.into_iter().map(|m| (m, ())).collect())
+            },
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |r| {
+                out.lock().unwrap().extend(r);
+                Ok(())
+            },
+            Some(&handler),
+            2,
+            false,
+        )
+        .unwrap();
+        assert_eq!(stats.failed_items, 1);
+        assert_eq!(out.into_inner().unwrap(), vec![1, 7000, 3]);
+        // The panicked item's plan never reached the backend.
+        assert_eq!(seen_by_dispatch.into_inner().unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn finalize_panic_degrades_one_item() {
+        let input = vec![vec![1u64, 2, 3, 4]];
+        let out = Mutex::new(Vec::new());
+        let handler = |item: &u64, _msg: &str| item + 900;
+        let stats = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |(), _item, m: &u64, _d: &()| {
+                if *m == 3 {
+                    panic!("bad finalize");
+                }
+                *m
+            },
+            |_| 1,
+            |r| {
+                out.lock().unwrap().extend(r);
+                Ok(())
+            },
+            Some(&handler),
+            2,
+            false,
+        )
+        .unwrap();
+        assert_eq!(stats.failed_items, 1);
+        assert_eq!(out.into_inner().unwrap(), vec![1, 2, 903, 4]);
+    }
+
+    #[test]
+    fn panic_without_handler_is_fatal_with_item_index() {
+        let input = vec![vec![1u64, 7, 3]];
+        let err = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| {
+                if x == 7 {
+                    panic!("bad read");
+                }
+                x
+            },
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::WorkerPanic { item_index, .. } => assert_eq!(item_index, 1),
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_error_is_fatal() {
+        let input = vec![vec![1u64, 2], vec![3, 4]];
+        let err = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |_plans: Vec<u64>| Err::<Vec<(u64, ())>, DynError>("device on fire".into()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::Dispatch(e) => assert!(e.to_string().contains("device on fire")),
+            other => panic!("expected Dispatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn short_dispatch_result_is_fatal_not_silent() {
+        let input = vec![vec![1u64, 2, 3]];
+        let err = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| Ok(plans.into_iter().skip(1).map(|m| (m, ())).collect()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Dispatch(_)));
+    }
+
+    #[test]
+    fn empty_stream_and_empty_batches() {
+        let (got, stats) = run_simple(vec![], 2);
+        assert!(got.is_empty());
+        assert_eq!(stats.batches, 0);
+        let (got, stats) = run_simple(vec![vec![], vec![8]], 2);
+        assert_eq!(got, vec![170]);
+        assert_eq!(stats.batches, 2);
+    }
+
+    #[test]
+    fn read_error_stops_run() {
+        let mut calls = 0;
+        let err = try_run_three_thread_batched_with_state(
+            move || {
+                calls += 1;
+                if calls > 2 {
+                    Err::<Option<Vec<u64>>, DynError>("disk gone".into())
+                } else {
+                    Ok(Some(vec![calls as u64]))
+                }
+            },
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Read(_)));
+    }
+}

@@ -22,6 +22,10 @@ pub enum PipelineError {
     /// A worker panicked on one item and no per-item degradation handler
     /// was installed.
     WorkerPanic { item_index: usize, message: String },
+    /// The batched pipeline's dispatch stage (e.g. an alignment backend)
+    /// failed for a whole batch. Dispatch errors are fatal: unlike a
+    /// per-item panic there is no single item to degrade.
+    Dispatch(DynError),
 }
 
 impl fmt::Display for PipelineError {
@@ -36,6 +40,7 @@ impl fmt::Display for PipelineError {
                 f,
                 "worker panicked while processing item {item_index}: {message}"
             ),
+            PipelineError::Dispatch(e) => write!(f, "pipeline dispatch failed: {e}"),
         }
     }
 }
@@ -43,7 +48,9 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            PipelineError::Read(e) | PipelineError::Write(e) => Some(e.as_ref()),
+            PipelineError::Read(e) | PipelineError::Write(e) | PipelineError::Dispatch(e) => {
+                Some(e.as_ref())
+            }
             PipelineError::WorkerPanic { .. } => None,
         }
     }

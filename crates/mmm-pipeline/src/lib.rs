@@ -17,6 +17,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batched;
 pub mod error;
 pub mod fault;
 pub mod pipeline;
@@ -24,6 +25,7 @@ pub mod pool;
 pub mod sort;
 pub mod sync;
 
+pub use batched::try_run_three_thread_batched_with_state;
 pub use error::{DynError, PipelineError};
 pub use fault::{failing_every, panicking_map};
 pub use pipeline::{

@@ -11,7 +11,7 @@
 //! | `no-transmute` | `std::mem::transmute` is banned outright |
 //! | `raw-ptr-arith` | raw-pointer arithmetic only in `simd/` and `mmap.rs` |
 //! | `no-unwrap` | no `unwrap`/`expect` in non-test lib code |
-//! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) has a `*_with_scratch` variant |
+//! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) in mmm-align and mmm-exec has a `*_with_scratch` variant |
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -449,13 +449,15 @@ fn rule_no_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
-/// `scratch-variant`: every public kernel entry point must offer the
-/// zero-allocation `*_with_scratch` form (the PR-1 contract).
+/// `scratch-variant`: every public kernel entry point (in mmm-align and the
+/// mmm-exec batch executors) must offer the zero-allocation
+/// `*_with_scratch` form (the PR-1 contract).
 fn rule_scratch_variant(files: &[(PathBuf, Vec<LineView>)], out: &mut Vec<Violation>) {
     let mut kernels: Vec<(PathBuf, usize, String)> = Vec::new();
     let mut names: BTreeSet<String> = BTreeSet::new();
     for (rel, views) in files {
-        if !rel.to_string_lossy().contains("mmm-align/src/") {
+        let rel_str = rel.to_string_lossy();
+        if !rel_str.contains("mmm-align/src/") && !rel_str.contains("mmm-exec/src/") {
             continue;
         }
         for (idx, v) in views.iter().enumerate() {

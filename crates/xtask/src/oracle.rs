@@ -14,8 +14,15 @@
 //! stream against the warmed arena must leave its high-water mark
 //! (`AlignScratch::heap_bytes`) exactly unchanged — any growth on the second
 //! pass means some input shape still allocates in the hot path.
+//!
+//! A third pass replays the stream through the batched `AlignBackend` seam
+//! (mmm-exec): the CPU SIMD session, the simulated GPU/SIMT session, and a
+//! gpu-sim session on a shrunken device that forces part of the stream
+//! across the oversized-pair fallback boundary — all must return the scalar
+//! gold bit-for-bit, in job order.
 
 use mmm_align::{AlignMode, AlignResult, AlignScratch, Engine, Layout, Scoring, Width};
+use mmm_exec::{prepare, AlignJob, BackendKind, BackendOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -189,17 +196,110 @@ pub fn run(cases: usize, seed: u64) -> Result<String, String> {
         }
     }
 
+    // Pass 3: the same stream through the batched `AlignBackend` seam.
+    // Every backend session must hand back results bit-identical to the
+    // scalar gold, per job, in job order — including the gpu-sim session on
+    // a shrunken device, where part of the stream crosses the
+    // oversized-pair boundary and is routed through the CPU fallback while
+    // the rest stays on-device.
+    let backend_note = backend_crosscheck(&stream, &golds, &sc)?;
+
     let labels: Vec<String> = engines
         .iter()
         .zip(&high_water)
         .map(|(e, hw)| format!("{} ({hw} B)", e.label()))
         .collect();
     Ok(format!(
-        "{} cases x {} engines agree with scalar manymap gold; steady-state scratch: {}",
+        "{} cases x {} engines agree with scalar manymap gold; steady-state scratch: {}; backends: {}",
         stream.len(),
         engines.len(),
-        labels.join(", ")
+        labels.join(", "),
+        backend_note
     ))
+}
+
+/// Device memory for the shrunken gpu-sim session: small enough that the
+/// larger with-path pairs in the stream overflow it (routing them to the
+/// CPU fallback), large enough that the lane-edge cases still fit
+/// on-device — so one batch exercises both sides of the boundary.
+const TINY_DEVICE_MEM: u64 = 16_384;
+
+fn backend_crosscheck(
+    stream: &[Case],
+    golds: &[AlignResult],
+    sc: &Scoring,
+) -> Result<String, String> {
+    let jobs = || -> Vec<AlignJob> {
+        stream
+            .iter()
+            .map(|c| AlignJob {
+                target: c.target.clone(),
+                query: c.query.clone(),
+                mode: c.mode,
+                with_path: true,
+            })
+            .collect()
+    };
+    let mut opts = BackendOptions::new(*sc);
+    opts.threads = 2;
+    let sessions: [(&str, BackendKind, Option<u64>); 3] = [
+        ("cpu", BackendKind::Cpu, None),
+        ("gpu-sim", BackendKind::GpuSim, None),
+        ("gpu-sim/tiny", BackendKind::GpuSim, Some(TINY_DEVICE_MEM)),
+    ];
+    let mut notes = Vec::new();
+    for (label, kind, device_mem) in sessions {
+        let mut opts = opts;
+        opts.device_mem = device_mem;
+        let backend =
+            prepare(kind, &opts).map_err(|e| format!("backend {label}: prepare failed: {e}"))?;
+        let (results, stats) = backend
+            .submit(jobs())
+            .map_err(|e| format!("backend {label}: submit failed: {e}"))?;
+        if results.len() != stream.len() {
+            return Err(format!(
+                "backend {label}: {} results for {} jobs",
+                results.len(),
+                stream.len()
+            ));
+        }
+        for (i, (got, want)) in results.iter().zip(golds).enumerate() {
+            if got != want {
+                return Err(format!(
+                    "backend {label}, case {i} ({:?}, |T|={}, |Q|={}): diverges from scalar gold\n  \
+                     gold: score={} end=({},{})\n  got:  score={} end=({},{})",
+                    stream[i].mode,
+                    stream[i].target.len(),
+                    stream[i].query.len(),
+                    want.score,
+                    want.end_i,
+                    want.end_j,
+                    got.score,
+                    got.end_i,
+                    got.end_j,
+                ));
+            }
+        }
+        if device_mem.is_some() {
+            // The shrunken device must actually straddle the boundary:
+            // some jobs routed to the CPU fallback, some still on-device.
+            if stats.fallbacks == 0 {
+                return Err(format!(
+                    "backend {label}: shrunken device produced no CPU fallbacks — \
+                     the oversized-pair boundary was not exercised"
+                ));
+            }
+            if stats.fallbacks >= stats.jobs {
+                return Err(format!(
+                    "backend {label}: every job fell back ({} of {}) — \
+                     nothing ran on-device",
+                    stats.fallbacks, stats.jobs
+                ));
+            }
+        }
+        notes.push(format!("{label} ok ({} fallbacks)", stats.fallbacks));
+    }
+    Ok(notes.join(", "))
 }
 
 #[cfg(test)]
