@@ -31,4 +31,9 @@ cargo test -q -p mmm-index --test truncated_index
 cargo test -q -p mmm-pipeline --test faults
 cargo test -q -p manymap --test cli_faults
 
+echo "==> chaos suite: supervised backend under every injected fault class"
+cargo test -q -p mmm-exec --test chaos
+cargo test -q -p mmm-exec --test watchdog_interleavings
+cargo test -q -p manymap --test backend_cli
+
 echo "CI OK"

@@ -37,20 +37,25 @@ pub fn run(quick: bool) -> String {
         return format!("backend_exec: in-memory fasta failed: {e}");
     }
 
-    let variants: [(&str, Option<BackendKind>); 3] = [
-        ("inline", None),
-        ("cpu", Some(BackendKind::Cpu)),
-        ("gpu-sim", Some(BackendKind::GpuSim)),
+    let variants: [(&str, Option<BackendKind>, bool); 4] = [
+        ("inline", None, false),
+        ("cpu", Some(BackendKind::Cpu), false),
+        ("gpu-sim", Some(BackendKind::GpuSim), false),
+        // The CLI's actual configuration: gpu-sim wrapped in the backend
+        // supervisor (DESIGN.md §10). On a clean run the wrapper must add
+        // only dispatch bookkeeping, so this row measures its overhead.
+        ("gpu-sim+sup", Some(BackendKind::GpuSim), true),
     ];
 
     let mut rows = Vec::new();
     let mut mappings: Vec<usize> = Vec::new();
-    for (label, backend) in variants {
+    for (label, backend, supervised) in variants {
         let cfg = ProfileConfig {
             opts,
             use_mmap: true,
             sort_by_length: true,
             backend,
+            supervised,
         };
         let res = match profile_run(&idx_path, &fasta, &cfg) {
             Ok(res) => res,

@@ -42,6 +42,7 @@ pub fn run(quick: bool) -> String {
         use_mmap: false,
         sort_by_length: false,
         backend: None,
+        supervised: false,
     };
     let res = match profile_run(&idx_path, &fasta, &cfg) {
         Ok(res) => res,

@@ -27,6 +27,17 @@
 //! reported on stderr; the run still exits 0. `--inject-panic <read-name>`
 //! triggers a deliberate worker panic on the named read, for exercising the
 //! degradation path end-to-end.
+//!
+//! Supervised execution (DESIGN.md §10): every backend session runs under
+//! the `mmm-exec` supervisor — failed batches are split and retried with
+//! backoff (`--backend-retries N`, `MMM_BACKEND_RETRIES`), hung submissions
+//! are killed by a watchdog (`--batch-deadline-ms N`), and a repeatedly
+//! failing device backend is demoted to the CPU by a circuit breaker. Jobs
+//! that fail everywhere quarantine their read to an unmapped record.
+//! `--fail-fast` restores the old fatal behaviour.
+//! `--inject-backend-fault <plan>` (or `MMM_FAULT_PLAN`) installs a
+//! deterministic fault schedule, e.g. `launch-fail:batches=0..2` or
+//! `hang:ms=500:every=3` — see `mmm_exec::FaultPlan` for the grammar.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -39,7 +50,10 @@ use manymap::mapper::ReadPlan;
 use manymap::sam::{sam_line, sam_unmapped, write_sam_header};
 use manymap::{paf_line, paf_unmapped, MapError, MapOpts, MapReadError, Mapper};
 use mmm_align::{best_mm2_engine, AlignResult, AlignScratch};
-use mmm_exec::{prepare, BackendKind, BackendOptions, BackendStats};
+use mmm_exec::{
+    prepare_supervised, BackendKind, BackendOptions, BackendStats, FaultPlan, JobOutcome,
+    SupervisorConfig,
+};
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
 use mmm_pipeline::{lock_unpoisoned, try_run_three_thread_batched_with_state, DynError};
@@ -57,9 +71,15 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             let val = match name {
-                "preset" | "engine" | "backend" | "threads" | "max-read-len" | "inject-panic" => {
-                    it.next().unwrap_or_default()
-                }
+                "preset"
+                | "engine"
+                | "backend"
+                | "threads"
+                | "max-read-len"
+                | "inject-panic"
+                | "backend-retries"
+                | "batch-deadline-ms"
+                | "inject-backend-fault" => it.next().unwrap_or_default(),
                 _ => "true".to_string(),
             };
             flags.insert(name.to_string(), val);
@@ -189,7 +209,28 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     bopts.streams = std::env::var("MMM_GPU_STREAMS")
         .ok()
         .and_then(|v| v.parse().ok());
-    let backend = prepare(kind, &bopts).map_err(|e| MapError::Usage(e.to_string()))?;
+    // Fault injection: --inject-backend-fault wins, then MMM_FAULT_PLAN.
+    bopts.fault = match args.flags.get("inject-backend-fault") {
+        Some(text) => Some(FaultPlan::parse(text).map_err(MapError::Usage)?),
+        None => FaultPlan::from_env().transpose().map_err(MapError::Usage)?,
+    };
+
+    // Supervisor tuning: env defaults, then explicit flags.
+    let mut sup_cfg = SupervisorConfig::from_env().map_err(MapError::Usage)?;
+    if let Some(v) = args.flags.get("backend-retries") {
+        sup_cfg.max_retries = v
+            .parse()
+            .map_err(|_| MapError::Usage(format!("--backend-retries {v:?}: not an integer")))?;
+    }
+    if let Some(v) = args.flags.get("batch-deadline-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| MapError::Usage(format!("--batch-deadline-ms {v:?}: not an integer")))?;
+        sup_cfg.batch_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    sup_cfg.fail_fast = args.flags.contains_key("fail-fast");
+    let backend =
+        prepare_supervised(kind, &bopts, sup_cfg).map_err(|e| MapError::Usage(e.to_string()))?;
     let backend_stats = Mutex::new(BackendStats::default());
 
     let mut timer = StageTimer::new();
@@ -216,16 +257,27 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     let too_long = AtomicUsize::new(0);
     let align_rejected = AtomicUsize::new(0);
     let panicked = AtomicUsize::new(0);
+    let backend_quarantined = AtomicUsize::new(0);
 
-    // A worker panic degrades the read instead of killing the run: the
-    // handler reports the offending read once and substitutes an unmapped
-    // record, so output still accounts for every input read.
+    // A worker panic or a quarantined backend job degrades the read instead
+    // of killing the run: the handler reports the offending read once and
+    // substitutes an unmapped record, so output still accounts for every
+    // input read. Backend quarantines arrive with a "backend: " prefix from
+    // the dispatch stage and are counted separately.
     let on_panic = |rec: &SeqRecord, msg: &str| -> String {
-        panicked.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
-            "manymap: worker panicked on read '{}' ({msg}); emitting unmapped record",
-            rec.name
-        );
+        if let Some(reason) = msg.strip_prefix("backend: ") {
+            backend_quarantined.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "manymap: read '{}' degraded to unmapped: backend quarantined its jobs ({reason})",
+                rec.name
+            );
+        } else {
+            panicked.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "manymap: worker panicked on read '{}' ({msg}); emitting unmapped record",
+                rec.name
+            );
+        }
         unmapped_record(rec, sam)
     };
 
@@ -233,7 +285,7 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     // worker pool) → dispatch (one backend submission per read batch) →
     // finalize (splice results, extend ends, format records, on the pool).
     type Planned = (Vec<u8>, Result<ReadPlan, MapReadError>);
-    let backend = backend.as_ref();
+    let backend = &backend;
     let stats = try_run_three_thread_batched_with_state(
         // A mid-file read error (device fault, malformed record) aborts the
         // run with the file name and position — it is never EOF.
@@ -257,9 +309,12 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
             let plan = mapper.plan_read(&nt4);
             (nt4, plan)
         },
-        // Dispatch: flatten every read's jobs into one backend batch, then
-        // deal the results back out per read, in job order.
-        |mut plans: Vec<Planned>| -> Result<Vec<(Planned, Vec<AlignResult>)>, DynError> {
+        // Dispatch: flatten every read's jobs into one supervised backend
+        // batch, then deal the per-job outcomes back out per read, in job
+        // order. A read with any quarantined job degrades to unmapped via
+        // the panic handler ("backend: " prefix); a `--fail-fast` run
+        // surfaces the first unrecovered error as a fatal dispatch error.
+        |mut plans: Vec<Planned>| {
             let mut counts = Vec::with_capacity(plans.len());
             let mut all_jobs = Vec::new();
             for (_, plan) in &mut plans {
@@ -274,21 +329,33 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
                 };
                 counts.push(n);
             }
-            let mut results = Vec::new();
+            let mut outcomes = Vec::new();
             if !all_jobs.is_empty() {
-                let (rs, bstats) = backend
-                    .submit(all_jobs)
+                let (os, bstats) = backend
+                    .submit_supervised(all_jobs)
                     .map_err(|e| -> DynError { Box::new(e) })?;
                 lock_unpoisoned(&backend_stats).merge(&bstats);
-                results = rs;
+                outcomes = os;
             }
-            let mut it = results.into_iter();
+            let mut it = outcomes.into_iter();
             Ok(plans
                 .into_iter()
                 .zip(counts)
                 .map(|(p, n)| {
-                    let d: Vec<AlignResult> = it.by_ref().take(n).collect();
-                    (p, d)
+                    let mut results: Vec<AlignResult> = Vec::with_capacity(n);
+                    let mut quarantine: Option<String> = None;
+                    for o in it.by_ref().take(n) {
+                        match o {
+                            JobOutcome::Done(r) => results.push(r),
+                            JobOutcome::Quarantined { reason } => {
+                                quarantine.get_or_insert(reason);
+                            }
+                        }
+                    }
+                    match quarantine {
+                        None => (p, Ok(results)),
+                        Some(reason) => (p, Err(format!("backend: {reason}"))),
+                    }
                 })
                 .collect())
         },
@@ -357,20 +424,25 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         stats.compute_seconds,
         stats.in_seconds + stats.out_seconds
     );
-    eprintln!(
-        "[manymap] {}",
-        lock_unpoisoned(&backend_stats).summary(backend.label())
-    );
-    let (tl, ar, pk) = (
+    {
+        use mmm_exec::AlignBackend;
+        let bstats = lock_unpoisoned(&backend_stats);
+        eprintln!("[manymap] {}", bstats.summary(backend.label()));
+        if let Some(line) = bstats.supervisor_summary(backend.label()) {
+            eprintln!("[manymap] {line}");
+        }
+    }
+    let (tl, ar, pk, bq) = (
         too_long.load(Ordering::Relaxed),
         align_rejected.load(Ordering::Relaxed),
         panicked.load(Ordering::Relaxed),
+        backend_quarantined.load(Ordering::Relaxed),
     );
-    if tl + ar + pk > 0 {
+    if tl + ar + pk + bq > 0 {
         eprintln!(
             "[manymap] {} read(s) degraded to unmapped: {tl} over the length limit, \
-             {ar} alignment-rejected, {pk} worker panic(s)",
-            tl + ar + pk
+             {ar} alignment-rejected, {pk} worker panic(s), {bq} backend-quarantined",
+            tl + ar + pk + bq
         );
     }
     Ok(())

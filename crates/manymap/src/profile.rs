@@ -8,7 +8,10 @@
 
 use std::path::Path;
 
-use mmm_exec::{prepare, BackendKind, BackendOptions, BackendStats};
+use mmm_exec::{
+    prepare, prepare_supervised, AlignBackend, BackendKind, BackendOptions, BackendStats,
+    SupervisorConfig,
+};
 use mmm_io::{Stage, StageTimer};
 use mmm_seq::FastxReader;
 
@@ -34,6 +37,10 @@ pub struct ProfileConfig {
     ///
     /// [`AlignBackend`]: mmm_exec::AlignBackend
     pub backend: Option<BackendKind>,
+    /// Wrap the backend session in the supervisor (retry/deadline/breaker,
+    /// DESIGN.md §10), as the CLI does — measures the wrapper's overhead on
+    /// a clean run. Ignored when `backend` is `None`.
+    pub supervised: bool,
 }
 
 /// Outcome of a profiled run.
@@ -94,12 +101,17 @@ pub fn profile_run(
     let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
 
     // Stand up the backend session once, like the CLI does per run.
-    let backend = cfg
+    let backend: Option<Box<dyn AlignBackend>> = cfg
         .backend
         .map(|kind| {
             let mut bopts = BackendOptions::new(cfg.opts.scoring);
             bopts.engine = cfg.opts.engine;
-            prepare(kind, &bopts)
+            if cfg.supervised {
+                prepare_supervised(kind, &bopts, SupervisorConfig::default())
+                    .map(|b| Box::new(b) as Box<dyn AlignBackend>)
+            } else {
+                prepare(kind, &bopts)
+            }
         })
         .transpose()
         .map_err(|e| MapError::Usage(e.to_string()))?;
@@ -198,6 +210,7 @@ mod tests {
                 use_mmap,
                 sort_by_length: true,
                 backend: None,
+                supervised: false,
             };
             let res = profile_run(&path, &fasta, &cfg).unwrap();
             assert_eq!(res.reads, 10);
@@ -221,21 +234,30 @@ mod tests {
                 use_mmap: false,
                 sort_by_length: true,
                 backend: None,
+                supervised: false,
             },
         )
         .unwrap();
         for kind in [mmm_exec::BackendKind::Cpu, mmm_exec::BackendKind::GpuSim] {
-            let cfg = ProfileConfig {
-                opts: MapOpts::map_ont(),
-                use_mmap: false,
-                sort_by_length: true,
-                backend: Some(kind),
-            };
-            let res = profile_run(&path, &fasta, &cfg).unwrap();
-            assert_eq!(res.mappings, inline.mappings, "{}", kind.label());
-            assert_eq!(res.output_bytes, inline.output_bytes, "{}", kind.label());
-            let bstats = res.backend_stats.unwrap();
-            assert!(bstats.jobs > 0, "{} must execute jobs", kind.label());
+            for supervised in [false, true] {
+                let cfg = ProfileConfig {
+                    opts: MapOpts::map_ont(),
+                    use_mmap: false,
+                    sort_by_length: true,
+                    backend: Some(kind),
+                    supervised,
+                };
+                let res = profile_run(&path, &fasta, &cfg).unwrap();
+                let tag = format!("{} supervised={supervised}", kind.label());
+                assert_eq!(res.mappings, inline.mappings, "{tag}");
+                assert_eq!(res.output_bytes, inline.output_bytes, "{tag}");
+                let bstats = res.backend_stats.unwrap();
+                assert!(bstats.jobs > 0, "{tag} must execute jobs");
+                if supervised {
+                    // A clean run needs no interventions.
+                    assert!(!bstats.supervised_activity(), "{tag}: {bstats:?}");
+                }
+            }
         }
         std::fs::remove_file(&path).unwrap();
     }

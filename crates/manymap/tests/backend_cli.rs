@@ -156,3 +156,159 @@ fn unknown_backend_is_a_usage_error() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown backend"), "stderr: {stderr}");
 }
+
+// --- supervised execution (DESIGN.md §10) -------------------------------
+
+/// The tentpole acceptance bar: a fault plan that fails *every* gpu-sim
+/// submit must not change stdout by a byte. The supervisor retries, trips
+/// the breaker, reroutes everything to the standby CPU backend, and the
+/// stderr supervisor line accounts for it.
+#[test]
+fn total_gpu_failure_is_invisible_in_stdout() {
+    let fx = fixture("chaos-total");
+    let clean = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
+    assert!(clean.status.success());
+    let chaos = run_map(
+        &fx.index,
+        &fx.reads,
+        &[
+            "--backend",
+            "gpu-sim",
+            "--inject-backend-fault",
+            "launch-fail",
+        ],
+        &[],
+    );
+    assert!(
+        chaos.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&chaos.stderr)
+    );
+    assert_eq!(
+        clean.stdout, chaos.stdout,
+        "a fully failing primary must reroute, not corrupt output"
+    );
+    let stderr = String::from_utf8_lossy(&chaos.stderr);
+    assert!(
+        stderr.contains("supervisor gpu-sim:"),
+        "supervisor summary missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("breaker-trips") && !stderr.contains("0 breaker-trips"),
+        "breaker must trip under a 100%-failing plan: {stderr}"
+    );
+    assert!(stderr.contains("rerouted"), "stderr: {stderr}");
+}
+
+/// A hung primary submit must be abandoned at the batch deadline and the
+/// batch rerouted — the run completes instead of wedging.
+#[test]
+fn hung_batch_is_killed_at_the_deadline() {
+    let fx = fixture("chaos-hang");
+    let clean = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
+    let start = std::time::Instant::now();
+    let out = run_map(
+        &fx.index,
+        &fx.reads,
+        &[
+            "--backend",
+            "gpu-sim",
+            "--inject-backend-fault",
+            "hang:ms=30000:batches=0..1",
+            "--batch-deadline-ms",
+            "250",
+        ],
+        &[],
+    );
+    let wall = start.elapsed();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        wall < std::time::Duration::from_secs(20),
+        "watchdog failed to cut the 30s hang short (wall={wall:?})"
+    );
+    assert_eq!(clean.stdout, out.stdout, "deadline reroute changed output");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("deadline-kills") && !stderr.contains("0 deadline-kills"),
+        "stderr: {stderr}"
+    );
+}
+
+/// With a CPU primary there is no standby: a plan that fails every submit
+/// exhausts the ladder and every read degrades to a PR-2-style unmapped
+/// record (`tp:A:U`) instead of aborting the run.
+#[test]
+fn exhausted_ladder_quarantines_reads_as_unmapped() {
+    let fx = fixture("chaos-quar");
+    let out = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--backend", "cpu"],
+        &[
+            ("MMM_FAULT_PLAN", "launch-fail"),
+            ("MMM_BACKEND_RETRIES", "1"),
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "quarantine must keep the run alive: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.is_empty());
+    for line in stdout.lines() {
+        assert!(
+            line.contains("tp:A:U"),
+            "quarantined read not degraded to unmapped: {line}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("backend-quarantined"),
+        "stderr must account for quarantined reads: {stderr}"
+    );
+}
+
+/// `--fail-fast` turns the first backend quarantine into a fatal pipeline
+/// error for debugging sessions.
+#[test]
+fn fail_fast_aborts_on_first_quarantine() {
+    let fx = fixture("chaos-fatal");
+    let out = run_map(
+        &fx.index,
+        &fx.reads,
+        &[
+            "--backend",
+            "cpu",
+            "--inject-backend-fault",
+            "launch-fail",
+            "--fail-fast",
+        ],
+        &[],
+    );
+    assert!(!out.status.success(), "--fail-fast must abort the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("injected fault launch-fail"),
+        "stderr: {stderr}"
+    );
+}
+
+/// A malformed fault plan is a usage error, reported before any mapping.
+#[test]
+fn malformed_fault_plan_is_a_usage_error() {
+    let fx = fixture("chaos-usage");
+    let out = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--inject-backend-fault", "segfault:when=never"],
+        &[],
+    );
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fault"), "stderr: {stderr}");
+}

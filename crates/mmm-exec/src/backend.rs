@@ -1,12 +1,16 @@
 //! The `AlignBackend` trait and backend selection.
 
+use std::sync::Arc;
+
 use mmm_align::{best_engine, AlignResult, Engine, Scoring};
 
 use crate::cpu::CpuSimdBackend;
 use crate::error::BackendError;
+use crate::fault::FaultPlan;
 use crate::gpu::GpuSimtBackend;
 use crate::job::AlignJob;
 use crate::stats::BackendStats;
+use crate::supervisor::{SupervisedBackend, SupervisorConfig};
 
 /// A batched alignment executor. One session is prepared per run (scoring
 /// is fixed up front, like a device context) and then fed job batches; the
@@ -57,7 +61,7 @@ impl BackendKind {
 }
 
 /// Session parameters shared by every backend kind.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BackendOptions {
     pub scoring: Scoring,
     /// Host engine used by the CPU backend and by device fallbacks.
@@ -69,6 +73,9 @@ pub struct BackendOptions {
     pub device_mem: Option<u64>,
     /// Override the number of device streams.
     pub streams: Option<usize>,
+    /// Deterministic fault-injection schedule for this session's `submit`
+    /// calls (chaos testing). `None` in production.
+    pub fault: Option<FaultPlan>,
 }
 
 impl BackendOptions {
@@ -80,6 +87,7 @@ impl BackendOptions {
             threads: 1,
             device_mem: None,
             streams: None,
+            fault: None,
         }
     }
 }
@@ -97,4 +105,29 @@ pub fn prepare(
         BackendKind::Cpu => Ok(Box::new(CpuSimdBackend::new(opts))),
         BackendKind::GpuSim => Ok(Box::new(GpuSimtBackend::new(opts))),
     }
+}
+
+/// Prepare a backend under the supervisor (DESIGN.md §10): the primary
+/// session is wrapped in retry/deadline/circuit-breaker handling, with a
+/// fault-free CPU standby for demotion when the primary is not already the
+/// CPU. This is what the CLI uses; [`prepare`] remains the raw seam.
+pub fn prepare_supervised(
+    kind: BackendKind,
+    opts: &BackendOptions,
+    cfg: SupervisorConfig,
+) -> Result<SupervisedBackend, BackendError> {
+    let primary: Arc<dyn AlignBackend> = Arc::from(prepare(kind, opts)?);
+    let standby: Option<Arc<dyn AlignBackend>> = match kind {
+        BackendKind::Cpu => None,
+        _ => {
+            // The standby must not share the primary's fault plan: it is the
+            // recovery path chaos plans are recovered *to*.
+            let clean = BackendOptions {
+                fault: None,
+                ..opts.clone()
+            };
+            Some(Arc::from(prepare(BackendKind::Cpu, &clean)?))
+        }
+    };
+    Ok(SupervisedBackend::new(primary, standby, cfg))
 }

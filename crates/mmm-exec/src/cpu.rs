@@ -9,6 +9,7 @@ use mmm_pipeline::pool::with_worker_pool;
 
 use crate::backend::{AlignBackend, BackendOptions};
 use crate::error::BackendError;
+use crate::fault::FaultHook;
 use crate::job::AlignJob;
 use crate::stats::BackendStats;
 
@@ -70,6 +71,8 @@ pub struct CpuSimdBackend {
     threads: usize,
     /// Warm scratch arenas recycled across submits.
     spares: Mutex<Vec<AlignScratch>>,
+    /// Chaos-testing schedule for this session's `submit` calls.
+    fault: FaultHook,
 }
 
 impl CpuSimdBackend {
@@ -79,6 +82,7 @@ impl CpuSimdBackend {
             scoring: opts.scoring,
             threads: opts.threads.max(1),
             spares: Mutex::new(Vec::new()),
+            fault: FaultHook::new(opts.fault.clone()),
         }
     }
 
@@ -192,8 +196,14 @@ impl AlignBackend for CpuSimdBackend {
         &self,
         jobs: Vec<AlignJob>,
     ) -> Result<(Vec<AlignResult>, BackendStats), BackendError> {
+        let drop_last = self.fault.begin_submit()?;
         let cells: u64 = jobs.iter().map(AlignJob::cells).sum();
-        let results = self.execute(&jobs)?;
+        let mut results = self.execute(&jobs)?;
+        if drop_last {
+            results.pop();
+        }
+        // The CPU backend owns no device or supervisor counters.
+        // xtask-allow: stats-forwarding — every omitted field is correctly zero for a raw CPU session.
         let stats = BackendStats {
             batches: 1,
             jobs: jobs.len() as u64,

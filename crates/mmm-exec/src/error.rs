@@ -4,6 +4,8 @@ use std::fmt;
 
 use mmm_gpu::GpuError;
 
+use crate::fault::FaultClass;
+
 /// Why a backend could not be prepared or a batch could not run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BackendError {
@@ -17,6 +19,17 @@ pub enum BackendError {
     /// A kernel panicked while executing one job — a backend bug, reported
     /// with the job's index in the submitted batch.
     JobPanic { index: usize, message: String },
+    /// A [`FaultPlan`](crate::FaultPlan) rule fired on this submit.
+    Injected { class: FaultClass, submit: u64 },
+    /// The backend broke the submit contract: it returned a result vector
+    /// of the wrong length.
+    WrongResultCount { expected: usize, got: usize },
+    /// The supervisor's watchdog abandoned the batch at its deadline.
+    DeadlineExceeded,
+    /// One or more jobs failed on every available backend; the supervisor
+    /// quarantined them. Only surfaced through the plain `AlignBackend`
+    /// trait — `submit_supervised` reports quarantines per job instead.
+    Quarantined { jobs: usize },
 }
 
 impl fmt::Display for BackendError {
@@ -34,6 +47,21 @@ impl fmt::Display for BackendError {
             BackendError::Gpu(e) => write!(f, "gpu backend: {e}"),
             BackendError::JobPanic { index, message } => {
                 write!(f, "kernel panicked on job {index}: {message}")
+            }
+            BackendError::Injected { class, submit } => {
+                write!(f, "injected fault {} on submit {submit}", class.label())
+            }
+            BackendError::WrongResultCount { expected, got } => {
+                write!(f, "backend returned {got} results for {expected} jobs")
+            }
+            BackendError::DeadlineExceeded => {
+                write!(f, "batch abandoned at its deadline by the watchdog")
+            }
+            BackendError::Quarantined { jobs } => {
+                write!(
+                    f,
+                    "{jobs} job(s) failed on every backend and were quarantined"
+                )
             }
         }
     }

@@ -1,0 +1,360 @@
+//! Deterministic fault injection for the execution seam.
+//!
+//! A [`FaultPlan`] tells a backend to misbehave on chosen `submit` calls —
+//! the chaos plane the supervisor (DESIGN.md §10) is tested against. Plans
+//! are pure data: given the same plan and the same submit index the same
+//! fault fires, so a failing chaos run is replayable from its plan string
+//! alone (pass it back via `--inject-backend-fault` or `MMM_FAULT_PLAN`).
+//!
+//! # Grammar
+//!
+//! ```text
+//! plan    := rule (';' rule)*
+//! rule    := class (':' param)*
+//! class   := 'launch-fail' | 'mempool-full' | 'hang' | 'wrong-len'
+//! param   := 'batches=' N '..' M     fire on submit indices [N, M)
+//!          | 'every=' K              fire on every K-th submit (0, K, 2K…)
+//!          | 'p=' F ':seed=' S       fire with probability F, seeded
+//!          | 'ms=' N                 hang duration (hang only, default 1000)
+//! ```
+//!
+//! With no selector a rule fires on every submit. The first matching rule
+//! wins. Examples: `launch-fail` (every submit fails),
+//! `hang:ms=400:batches=0..1`, `wrong-len:every=3`,
+//! `mempool-full:p=0.25:seed=7`.
+
+use std::time::Duration;
+
+/// What kind of backend failure to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The stream launch fails: `submit` returns a typed error without
+    /// executing anything.
+    LaunchFail,
+    /// The device memory pool is exhausted: `submit` returns a typed error.
+    MempoolFull,
+    /// The backend wedges mid-submit for the configured duration, then
+    /// completes normally — the case the watchdog deadline exists for, and
+    /// the source of results that arrive after their slot was poisoned.
+    Hang,
+    /// The backend returns one result fewer than it was given jobs — the
+    /// wrong-length contract violation the supervisor must catch.
+    WrongLen,
+}
+
+impl FaultClass {
+    /// Name as written in a plan string.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::LaunchFail => "launch-fail",
+            FaultClass::MempoolFull => "mempool-full",
+            FaultClass::Hang => "hang",
+            FaultClass::WrongLen => "wrong-len",
+        }
+    }
+
+    /// All classes, for chaos-matrix tests.
+    pub fn all() -> [FaultClass; 4] {
+        [
+            FaultClass::LaunchFail,
+            FaultClass::MempoolFull,
+            FaultClass::Hang,
+            FaultClass::WrongLen,
+        ]
+    }
+}
+
+/// When a rule fires, relative to the backend's own submit counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Selector {
+    /// Every submit.
+    All,
+    /// Submit indices in `[start, end)`.
+    Range(u64, u64),
+    /// Every `k`-th submit (0, k, 2k, …).
+    Every(u64),
+    /// Seeded Bernoulli draw per submit index; `p_ppm` is parts-per-million
+    /// so the selector stays `Eq` and exactly replayable.
+    Seeded { p_ppm: u64, seed: u64 },
+}
+
+impl Selector {
+    fn fires(self, submit: u64) -> bool {
+        match self {
+            Selector::All => true,
+            Selector::Range(a, b) => (a..b).contains(&submit),
+            Selector::Every(k) => k > 0 && submit.is_multiple_of(k),
+            Selector::Seeded { p_ppm, seed } => {
+                // splitmix64 keyed by (seed, submit): the same pair always
+                // draws the same value, independent of call order.
+                let mut z = seed ^ submit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z % 1_000_000) < p_ppm
+            }
+        }
+    }
+}
+
+/// One parsed plan rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FaultRule {
+    class: FaultClass,
+    sel: Selector,
+    hang: Duration,
+}
+
+/// What the backend should do for the current submit, if anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return [`BackendError::Injected`] with [`FaultClass::LaunchFail`].
+    ///
+    /// [`BackendError::Injected`]: crate::BackendError::Injected
+    FailLaunch,
+    /// Return [`BackendError::Injected`] with [`FaultClass::MempoolFull`].
+    ///
+    /// [`BackendError::Injected`]: crate::BackendError::Injected
+    FailMempool,
+    /// Sleep this long before executing the batch normally.
+    Hang(Duration),
+    /// Execute normally but drop the last result.
+    DropResult,
+}
+
+/// A deterministic, replayable fault schedule for one backend session.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parse a plan string (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for rule_text in text.split(';') {
+            let rule_text = rule_text.trim();
+            if rule_text.is_empty() {
+                continue;
+            }
+            let mut parts = rule_text.split(':');
+            let class = match parts.next().map(str::trim) {
+                Some("launch-fail") => FaultClass::LaunchFail,
+                Some("mempool-full") => FaultClass::MempoolFull,
+                Some("hang") => FaultClass::Hang,
+                Some("wrong-len") => FaultClass::WrongLen,
+                other => {
+                    return Err(format!(
+                        "fault plan: unknown class {:?} (expected launch-fail, \
+                         mempool-full, hang or wrong-len)",
+                        other.unwrap_or("")
+                    ))
+                }
+            };
+            let mut sel = Selector::All;
+            let mut hang_ms = 1_000u64;
+            let mut p_ppm: Option<u64> = None;
+            let mut seed = 0u64;
+            for param in parts {
+                let (key, value) = param
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault plan: parameter {param:?} is not key=value"))?;
+                match key.trim() {
+                    "batches" => {
+                        let (a, b) = value
+                            .split_once("..")
+                            .ok_or_else(|| format!("fault plan: batches={value:?} is not N..M"))?;
+                        let a = parse_u64("batches start", a)?;
+                        let b = parse_u64("batches end", b)?;
+                        if b <= a {
+                            return Err(format!("fault plan: empty range batches={value}"));
+                        }
+                        sel = Selector::Range(a, b);
+                    }
+                    "every" => {
+                        let k = parse_u64("every", value)?;
+                        if k == 0 {
+                            return Err("fault plan: every=0 never fires".into());
+                        }
+                        sel = Selector::Every(k);
+                    }
+                    "p" => {
+                        let p: f64 = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("fault plan: p={value:?} is not a number"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("fault plan: p={p} outside [0, 1]"));
+                        }
+                        p_ppm = Some((p * 1_000_000.0) as u64);
+                    }
+                    "seed" => seed = parse_u64("seed", value)?,
+                    "ms" => hang_ms = parse_u64("ms", value)?,
+                    other => return Err(format!("fault plan: unknown parameter {other:?}")),
+                }
+            }
+            if let Some(p_ppm) = p_ppm {
+                sel = Selector::Seeded { p_ppm, seed };
+            }
+            rules.push(FaultRule {
+                class,
+                sel,
+                hang: Duration::from_millis(hang_ms),
+            });
+        }
+        if rules.is_empty() {
+            return Err("fault plan: empty plan".into());
+        }
+        Ok(FaultPlan { rules })
+    }
+
+    /// The `MMM_FAULT_PLAN` environment plan, if set.
+    pub fn from_env() -> Option<Result<FaultPlan, String>> {
+        std::env::var("MMM_FAULT_PLAN")
+            .ok()
+            .map(|v| Self::parse(&v))
+    }
+
+    /// The action (first matching rule) for the backend's `submit` number
+    /// `submit`, counted from zero per session.
+    pub fn action(&self, submit: u64) -> Option<FaultAction> {
+        self.rules
+            .iter()
+            .find(|r| r.sel.fires(submit))
+            .map(|r| match r.class {
+                FaultClass::LaunchFail => FaultAction::FailLaunch,
+                FaultClass::MempoolFull => FaultAction::FailMempool,
+                FaultClass::Hang => FaultAction::Hang(r.hang),
+                FaultClass::WrongLen => FaultAction::DropResult,
+            })
+    }
+}
+
+/// Per-session fault state: the plan plus this backend's own submit
+/// counter. Backends consult it at the top of `submit`; the internal
+/// executors (e.g. the gpu backend's host fallback path) bypass it, so one
+/// fired rule maps to exactly one failed `submit`.
+#[derive(Debug, Default)]
+pub(crate) struct FaultHook {
+    plan: Option<FaultPlan>,
+    submits: std::sync::atomic::AtomicU64,
+}
+
+impl FaultHook {
+    pub(crate) fn new(plan: Option<FaultPlan>) -> Self {
+        FaultHook {
+            plan,
+            submits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the submit counter and act on any scheduled fault: typed
+    /// errors return early, a hang sleeps here (inside the backend call, so
+    /// the watchdog sees a wedged submit). Returns whether the completed
+    /// batch must drop its last result (`wrong-len`).
+    pub(crate) fn begin_submit(&self) -> Result<bool, crate::BackendError> {
+        let submit = self
+            .submits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.plan.as_ref().and_then(|p| p.action(submit)) {
+            None => Ok(false),
+            Some(FaultAction::FailLaunch) => Err(crate::BackendError::Injected {
+                class: FaultClass::LaunchFail,
+                submit,
+            }),
+            Some(FaultAction::FailMempool) => Err(crate::BackendError::Injected {
+                class: FaultClass::MempoolFull,
+                submit,
+            }),
+            Some(FaultAction::Hang(d)) => {
+                std::thread::sleep(d);
+                Ok(false)
+            }
+            Some(FaultAction::DropResult) => Ok(true),
+        }
+    }
+}
+
+fn parse_u64(what: &str, value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| format!("fault plan: {what}={value:?} is not an integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_class_fires_always() {
+        let p = FaultPlan::parse("launch-fail").unwrap();
+        for i in [0, 1, 17, 1_000_000] {
+            assert_eq!(p.action(i), Some(FaultAction::FailLaunch));
+        }
+    }
+
+    #[test]
+    fn range_selector_is_half_open() {
+        let p = FaultPlan::parse("wrong-len:batches=2..4").unwrap();
+        assert_eq!(p.action(1), None);
+        assert_eq!(p.action(2), Some(FaultAction::DropResult));
+        assert_eq!(p.action(3), Some(FaultAction::DropResult));
+        assert_eq!(p.action(4), None);
+    }
+
+    #[test]
+    fn every_selector_includes_zero() {
+        let p = FaultPlan::parse("mempool-full:every=3").unwrap();
+        assert_eq!(p.action(0), Some(FaultAction::FailMempool));
+        assert_eq!(p.action(1), None);
+        assert_eq!(p.action(3), Some(FaultAction::FailMempool));
+    }
+
+    #[test]
+    fn hang_duration_is_configurable() {
+        let p = FaultPlan::parse("hang:ms=250:batches=0..1").unwrap();
+        assert_eq!(
+            p.action(0),
+            Some(FaultAction::Hang(Duration::from_millis(250)))
+        );
+        assert_eq!(p.action(1), None);
+    }
+
+    #[test]
+    fn seeded_selector_is_replayable_and_roughly_calibrated() {
+        let p = FaultPlan::parse("launch-fail:p=0.5:seed=42").unwrap();
+        let q = FaultPlan::parse("launch-fail:p=0.5:seed=42").unwrap();
+        let hits: usize = (0..1_000).filter(|&i| p.action(i).is_some()).count();
+        for i in 0..1_000 {
+            assert_eq!(p.action(i), q.action(i), "submit {i} not replayable");
+        }
+        assert!((350..650).contains(&hits), "p=0.5 drew {hits}/1000");
+        // A different seed draws a different schedule.
+        let r = FaultPlan::parse("launch-fail:p=0.5:seed=43").unwrap();
+        assert!((0..1_000).any(|i| p.action(i) != r.action(i)));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let p = FaultPlan::parse("hang:batches=0..1; launch-fail").unwrap();
+        assert!(matches!(p.action(0), Some(FaultAction::Hang(_))));
+        assert_eq!(p.action(1), Some(FaultAction::FailLaunch));
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (text, needle) in [
+            ("", "empty plan"),
+            ("gpu-on-fire", "unknown class"),
+            ("hang:ms", "not key=value"),
+            ("launch-fail:batches=3..3", "empty range"),
+            ("launch-fail:every=0", "never fires"),
+            ("launch-fail:p=1.5", "outside [0, 1]"),
+            ("launch-fail:frequency=2", "unknown parameter"),
+        ] {
+            let err = FaultPlan::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} -> {err:?}");
+        }
+    }
+}

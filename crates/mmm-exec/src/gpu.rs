@@ -16,14 +16,27 @@ use mmm_gpu::{DeviceSpec, GpuAligner, KernelJob, StreamConfig};
 use crate::backend::{AlignBackend, BackendOptions};
 use crate::cpu::CpuSimdBackend;
 use crate::error::BackendError;
+use crate::fault::FaultHook;
 use crate::job::AlignJob;
 use crate::stats::BackendStats;
+
+/// Why a job could not run on the device and was routed to the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FallbackReason {
+    /// Device footprint exceeds global memory — the pair is too long.
+    TooLong,
+    /// Boundary mode the batch kernel does not implement.
+    NonGlobal,
+}
 
 /// Simulated-device execution session.
 pub struct GpuSimtBackend {
     aligner: GpuAligner,
-    /// Host executor for routed fallbacks.
+    /// Host executor for routed fallbacks. Built without a fault plan: the
+    /// fallback path is internal to one submit, not a separate seam.
     cpu: CpuSimdBackend,
+    /// Chaos-testing schedule for this session's `submit` calls.
+    fault: FaultHook,
 }
 
 impl GpuSimtBackend {
@@ -36,19 +49,30 @@ impl GpuSimtBackend {
         if let Some(streams) = opts.streams {
             config.streams = streams.max(1);
         }
+        let host_opts = BackendOptions {
+            fault: None,
+            ..opts.clone()
+        };
         GpuSimtBackend {
             aligner: GpuAligner::with_config(device, config, opts.scoring),
-            cpu: CpuSimdBackend::new(opts),
+            cpu: CpuSimdBackend::new(&host_opts),
+            fault: FaultHook::new(opts.fault.clone()),
         }
     }
 
-    /// Whether the device model can execute a job at all: the batch kernel
-    /// implements global alignment, and the job's device footprint must fit
-    /// in global memory.
-    fn device_eligible(&self, job: &AlignJob) -> bool {
-        job.mode == AlignMode::Global
-            && kernel_footprint(job.target.len(), job.query.len(), job.with_path)
-                <= self.aligner.device.global_mem
+    /// Why the device model cannot execute a job, if it can't: the batch
+    /// kernel implements global alignment only, and the job's device
+    /// footprint must fit in global memory.
+    fn fallback_reason(&self, job: &AlignJob) -> Option<FallbackReason> {
+        if job.mode != AlignMode::Global {
+            return Some(FallbackReason::NonGlobal);
+        }
+        if kernel_footprint(job.target.len(), job.query.len(), job.with_path)
+            > self.aligner.device.global_mem
+        {
+            return Some(FallbackReason::TooLong);
+        }
+        None
     }
 
     /// Pool high-water mark since the session was prepared (bytes).
@@ -66,6 +90,7 @@ impl AlignBackend for GpuSimtBackend {
         &self,
         jobs: Vec<AlignJob>,
     ) -> Result<(Vec<AlignResult>, BackendStats), BackendError> {
+        let drop_last = self.fault.begin_submit()?;
         let total = jobs.len();
         let cells: u64 = jobs.iter().map(AlignJob::cells).sum();
 
@@ -75,17 +100,26 @@ impl AlignBackend for GpuSimtBackend {
         let mut device_idx: Vec<usize> = Vec::new();
         let mut host_jobs: Vec<AlignJob> = Vec::new();
         let mut host_idx: Vec<usize> = Vec::new();
+        let mut too_long = 0u64;
+        let mut non_global = 0u64;
         for (i, job) in jobs.into_iter().enumerate() {
-            if self.device_eligible(&job) {
-                device_idx.push(i);
-                device_jobs.push(KernelJob {
-                    target: job.target,
-                    query: job.query,
-                    with_path: job.with_path,
-                });
-            } else {
-                host_idx.push(i);
-                host_jobs.push(job);
+            match self.fallback_reason(&job) {
+                None => {
+                    device_idx.push(i);
+                    device_jobs.push(KernelJob {
+                        target: job.target,
+                        query: job.query,
+                        with_path: job.with_path,
+                    });
+                }
+                Some(reason) => {
+                    match reason {
+                        FallbackReason::TooLong => too_long += 1,
+                        FallbackReason::NonGlobal => non_global += 1,
+                    }
+                    host_idx.push(i);
+                    host_jobs.push(job);
+                }
             }
         }
 
@@ -103,9 +137,15 @@ impl AlignBackend for GpuSimtBackend {
         for (i, r) in host_idx.into_iter().zip(host_results) {
             results[i] = Some(r);
         }
-        let results: Vec<AlignResult> = results.into_iter().flatten().collect();
+        let mut results: Vec<AlignResult> = results.into_iter().flatten().collect();
         debug_assert_eq!(results.len(), total);
+        if drop_last {
+            results.pop();
+        }
 
+        // Supervisor counters (retries, trips, quarantines…) belong to
+        // SupervisedBackend; a raw device session reports them as zero.
+        // xtask-allow: stats-forwarding — only supervisor counters are omitted, correctly zero here.
         let stats = BackendStats {
             batches: 1,
             jobs: total as u64,
@@ -116,6 +156,12 @@ impl AlignBackend for GpuSimtBackend {
             pool_rejections: gstats.pool_rejections,
             device_seconds: gstats.device_seconds,
             fallback_seconds: gstats.fallback_seconds + routed_seconds,
+            fallback_too_long: too_long,
+            fallback_non_global: non_global,
+            // Scheduler-detected placement fallbacks: device-memory pressure
+            // at launch time rather than a statically oversized pair.
+            fallback_mempool: gstats.fallbacks as u64,
+            ..Default::default()
         };
         Ok((results, stats))
     }

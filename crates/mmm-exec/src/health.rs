@@ -1,0 +1,242 @@
+//! Per-backend health tracking: a deterministic circuit breaker.
+//!
+//! The breaker is counted in *submit attempts*, not wall time, so its
+//! behaviour is identical across machines and replayable in tests. State
+//! machine (DESIGN.md §10):
+//!
+//! ```text
+//!            trip_failures failures in window
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                           │
+//!     │ probe succeeds                            │ cooldown submits
+//!     │                                           ▼
+//!     └─────────────────────────────────────── HalfOpen
+//!                     probe fails ──▶ back to Open (cooldown restarts)
+//! ```
+//!
+//! While Open the supervisor routes every batch to the standby backend;
+//! each routed batch advances the cooldown. In HalfOpen exactly one batch
+//! is sent to the primary as a probe.
+
+/// Breaker tuning. Defaults trip after 3 failures and probe again after 8
+/// standby-routed submits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window length, in recorded outcomes.
+    pub window: usize,
+    /// Failures within the window that trip the breaker.
+    pub trip_failures: usize,
+    /// Submits routed to standby before a half-open probe is allowed.
+    pub cooldown: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            trip_failures: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+/// Breaker state, exported for stats and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Primary healthy: batches go to the primary backend.
+    Closed,
+    /// Primary demoted: batches go to the standby until cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next primary attempt is a probe.
+    HalfOpen,
+}
+
+/// Deterministic circuit breaker over one primary backend.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Ring of recent outcomes, `true` = failure. Length ≤ cfg.window.
+    recent: Vec<bool>,
+    next: usize,
+    /// Standby submits seen since the breaker opened.
+    cooldown_left: usize,
+    /// Closed→Open transitions over the breaker's lifetime.
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            recent: Vec::new(),
+            next: 0,
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime Closed→Open transition count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Should the next batch go to the primary? `HalfOpen` answers yes —
+    /// that batch is the probe.
+    pub fn allow_primary(&self) -> bool {
+        !matches!(self.state, BreakerState::Open)
+    }
+
+    /// Record the outcome of a batch sent to the primary.
+    pub fn record(&mut self, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if self.recent.len() < self.cfg.window {
+                    self.recent.push(!ok);
+                } else if self.cfg.window > 0 {
+                    self.recent[self.next % self.cfg.window] = !ok;
+                }
+                self.next += 1;
+                let failures = self.recent.iter().filter(|&&f| f).count();
+                if failures >= self.cfg.trip_failures {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.state = BreakerState::Closed;
+                    self.recent.clear();
+                    self.next = 0;
+                } else {
+                    // Failed probe: reopen without counting a new trip.
+                    self.state = BreakerState::Open;
+                    self.cooldown_left = self.cfg.cooldown;
+                }
+            }
+            // A record while Open can only come from a probe raced by the
+            // caller; treat it like a probe outcome.
+            BreakerState::Open => {
+                if ok {
+                    self.state = BreakerState::Closed;
+                    self.recent.clear();
+                    self.next = 0;
+                }
+            }
+        }
+    }
+
+    /// Note a batch routed to the standby while the primary is demoted;
+    /// advances the cooldown toward the half-open probe.
+    pub fn note_standby_submit(&mut self) {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.cfg.cooldown.max(1);
+        self.trips += 1;
+        self.recent.clear();
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            trip_failures: 3,
+            cooldown: 2,
+        })
+    }
+
+    #[test]
+    fn trips_after_n_failures_in_window() {
+        let mut b = breaker();
+        b.record(false);
+        b.record(true);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow_primary());
+    }
+
+    #[test]
+    fn successes_age_out_of_window() {
+        let mut b = breaker();
+        b.record(false);
+        b.record(false);
+        for _ in 0..4 {
+            b.record(true);
+        }
+        // The two failures rolled out of the 4-wide window.
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_leads_to_half_open_probe_and_repromotion() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.note_standby_submit();
+        assert_eq!(b.state(), BreakerState::Open);
+        b.note_standby_submit();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow_primary());
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1, "re-promotion is not a trip");
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_new_trip() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(false);
+        }
+        b.note_standby_submit();
+        b.note_standby_submit();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Cooldown restarts after the failed probe.
+        b.note_standby_submit();
+        assert_eq!(b.state(), BreakerState::Open);
+        b.note_standby_submit();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn trip_count_accumulates_across_cycles() {
+        let mut b = breaker();
+        for cycle in 1..=3u64 {
+            for _ in 0..3 {
+                b.record(false);
+            }
+            assert_eq!(b.trips(), cycle);
+            b.note_standby_submit();
+            b.note_standby_submit();
+            b.record(true); // successful probe closes it again
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+    }
+}

@@ -23,13 +23,19 @@
 pub mod backend;
 pub mod cpu;
 pub mod error;
+pub mod fault;
 pub mod gpu;
+pub mod health;
 pub mod job;
 pub mod stats;
+pub mod supervisor;
 
-pub use backend::{prepare, AlignBackend, BackendKind, BackendOptions};
+pub use backend::{prepare, prepare_supervised, AlignBackend, BackendKind, BackendOptions};
 pub use cpu::{align_jobs, align_jobs_with_scratch, CpuSimdBackend};
 pub use error::BackendError;
+pub use fault::{FaultAction, FaultClass, FaultPlan};
 pub use gpu::GpuSimtBackend;
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use job::AlignJob;
 pub use stats::BackendStats;
+pub use supervisor::{JobOutcome, SupervisedBackend, SupervisorConfig};

@@ -27,6 +27,28 @@ pub struct BackendStats {
     pub device_seconds: f64,
     /// Host wall time spent on fallback jobs, seconds.
     pub fallback_seconds: f64,
+    /// Fallbacks caused by a query too long for any device kernel.
+    pub fallback_too_long: u64,
+    /// Fallbacks caused by a non-global boundary mode the device kernels do
+    /// not implement.
+    pub fallback_non_global: u64,
+    /// Fallbacks caused by device-memory pressure at placement time.
+    pub fallback_mempool: u64,
+    /// Supervisor: per-job retry attempts issued after a batch failure.
+    pub retries: u64,
+    /// Supervisor: jobs that ultimately succeeded after at least one failure.
+    pub retried_ok: u64,
+    /// Supervisor: jobs rerouted from the primary to the standby backend.
+    pub rerouted: u64,
+    /// Supervisor: jobs that failed on every backend and were quarantined.
+    pub quarantined: u64,
+    /// Supervisor: circuit-breaker Closed→Open transitions (demotions).
+    pub breaker_trips: u64,
+    /// Supervisor: batches abandoned by the deadline watchdog.
+    pub deadline_kills: u64,
+    /// Supervisor: results that arrived after their slot was poisoned and
+    /// were discarded.
+    pub late_results: u64,
 }
 
 impl BackendStats {
@@ -43,6 +65,28 @@ impl BackendStats {
         self.pool_rejections += other.pool_rejections;
         self.device_seconds += other.device_seconds;
         self.fallback_seconds += other.fallback_seconds;
+        self.fallback_too_long += other.fallback_too_long;
+        self.fallback_non_global += other.fallback_non_global;
+        self.fallback_mempool += other.fallback_mempool;
+        self.retries += other.retries;
+        self.retried_ok += other.retried_ok;
+        self.rerouted += other.rerouted;
+        self.quarantined += other.quarantined;
+        self.breaker_trips += other.breaker_trips;
+        self.deadline_kills += other.deadline_kills;
+        self.late_results += other.late_results;
+    }
+
+    /// Did the supervisor intervene at all during the run?
+    pub fn supervised_activity(&self) -> bool {
+        self.retries
+            + self.retried_ok
+            + self.rerouted
+            + self.quarantined
+            + self.breaker_trips
+            + self.deadline_kills
+            + self.late_results
+            > 0
     }
 
     /// One stderr-ready line, e.g. for the CLI's run summary.
@@ -61,8 +105,34 @@ impl BackendStats {
                 self.bytes_pooled as f64 / 1e6,
                 self.pool_rejections,
             ));
+            if self.fallbacks > 0 {
+                line.push_str(&format!(
+                    " [fallback reasons: {} too-long, {} non-global, {} mempool]",
+                    self.fallback_too_long, self.fallback_non_global, self.fallback_mempool,
+                ));
+            }
         }
         line
+    }
+
+    /// Supervisor activity line, or `None` when the run needed no
+    /// intervention (keeps clean-run stderr identical to pre-supervisor
+    /// output).
+    pub fn supervisor_summary(&self, label: &str) -> Option<String> {
+        if !self.supervised_activity() {
+            return None;
+        }
+        Some(format!(
+            "supervisor {label}: {} retries ({} jobs recovered), {} rerouted, \
+             {} quarantined, {} breaker-trips, {} deadline-kills, {} late-results",
+            self.retries,
+            self.retried_ok,
+            self.rerouted,
+            self.quarantined,
+            self.breaker_trips,
+            self.deadline_kills,
+            self.late_results,
+        ))
     }
 }
 
@@ -82,6 +152,9 @@ mod tests {
             pool_rejections: 0,
             device_seconds: 0.5,
             fallback_seconds: 0.1,
+            retries: 2,
+            quarantined: 1,
+            ..Default::default()
         };
         let b = BackendStats {
             batches: 2,
@@ -93,6 +166,9 @@ mod tests {
             pool_rejections: 3,
             device_seconds: 0.25,
             fallback_seconds: 0.0,
+            retries: 3,
+            breaker_trips: 1,
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.batches, 3);
@@ -102,6 +178,9 @@ mod tests {
         assert_eq!(a.max_stream_concurrency, 9);
         assert_eq!(a.bytes_pooled, 75);
         assert_eq!(a.pool_rejections, 3);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.quarantined, 1);
+        assert_eq!(a.breaker_trips, 1);
     }
 
     #[test]
@@ -112,5 +191,36 @@ mod tests {
         };
         assert!(s.summary("gpu-sim").contains("2 cpu-fallbacks"));
         assert!(!s.summary("cpu").contains("fallbacks"));
+    }
+
+    #[test]
+    fn summary_breaks_down_fallback_reasons_when_present() {
+        let s = BackendStats {
+            fallbacks: 3,
+            fallback_too_long: 1,
+            fallback_non_global: 0,
+            fallback_mempool: 2,
+            ..Default::default()
+        };
+        let line = s.summary("gpu-sim");
+        assert!(line.contains("1 too-long"), "{line}");
+        assert!(line.contains("2 mempool"), "{line}");
+        let clean = BackendStats::default().summary("gpu-sim");
+        assert!(!clean.contains("fallback reasons"), "{clean}");
+    }
+
+    #[test]
+    fn supervisor_summary_is_silent_on_clean_runs() {
+        assert_eq!(BackendStats::default().supervisor_summary("cpu"), None);
+        let s = BackendStats {
+            retries: 4,
+            retried_ok: 2,
+            quarantined: 1,
+            ..Default::default()
+        };
+        let line = s.supervisor_summary("gpu-sim").unwrap();
+        assert!(line.contains("4 retries"), "{line}");
+        assert!(line.contains("2 jobs recovered"), "{line}");
+        assert!(line.contains("1 quarantined"), "{line}");
     }
 }

@@ -1,0 +1,837 @@
+//! The backend supervisor: retries, deadlines, demotion, quarantine.
+//!
+//! [`SupervisedBackend`] wraps a primary [`AlignBackend`] session (and an
+//! optional standby, normally the CPU) and turns whole-batch backend
+//! failures into the same per-item degradation discipline the rest of the
+//! pipeline uses (DESIGN.md §10):
+//!
+//! 1. a failed batch `submit` is split and retried per job with bounded
+//!    attempts and deterministic, seeded exponential backoff;
+//! 2. an optional per-batch deadline is enforced by a watchdog runner
+//!    thread — a hung submit is abandoned (its result slot poisoned, the
+//!    batch rerouted) instead of wedging the compute thread;
+//! 3. a [`CircuitBreaker`] demotes a repeatedly failing primary to the
+//!    standby mid-run, with half-open probes to re-promote it;
+//! 4. jobs that fail on *every* backend are quarantined and surfaced as
+//!    per-job outcomes, never a fatal error (unless `fail_fast` asks for
+//!    the old behaviour).
+//!
+//! Everything the supervisor does is counted in [`BackendStats`] so the
+//! CLI and profiler can report interventions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use mmm_align::AlignResult;
+
+use crate::backend::AlignBackend;
+use crate::error::BackendError;
+use crate::health::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::job::AlignJob;
+use crate::stats::BackendStats;
+
+/// Injectable time source so backoff-heavy paths are testable without
+/// real sleeping. The watchdog deadline itself uses the real
+/// `Condvar::wait_timeout` — it guards against *wall-clock* hangs.
+pub trait Clock: Send + Sync {
+    fn sleep(&self, d: Duration);
+}
+
+/// Production clock: actually sleeps.
+#[derive(Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Test clock: records requested sleeps and returns immediately.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl TestClock {
+    pub fn sleeps(&self) -> Vec<Duration> {
+        lock(&self.slept).clone()
+    }
+}
+
+impl Clock for TestClock {
+    fn sleep(&self, d: Duration) {
+        lock(&self.slept).push(d);
+    }
+}
+
+/// Supervisor tuning. [`Default`] keeps retries cheap enough for tests;
+/// the CLI maps `--backend-retries`, `--batch-deadline-ms` and
+/// `MMM_BACKEND_RETRIES` onto this.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Per-job attempts on the primary after a failed batch (0 = reroute
+    /// straight to the standby).
+    pub max_retries: usize,
+    /// First backoff delay; attempt `k` waits `base * 2^k` plus seeded
+    /// jitter in `[0, base)`.
+    pub backoff_base: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Watchdog deadline per backend call. `None` disables the watchdog.
+    pub batch_deadline: Option<Duration>,
+    /// Circuit-breaker tuning for the primary backend.
+    pub breaker: BreakerConfig,
+    /// Restore the pre-supervisor contract: the first unrecovered backend
+    /// error aborts the batch instead of quarantining jobs.
+    pub fail_fast: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_seed: 0x5EED_CAFE,
+            batch_deadline: None,
+            breaker: BreakerConfig::default(),
+            fail_fast: false,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Apply `MMM_BACKEND_RETRIES` on top of the defaults, if set.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = SupervisorConfig::default();
+        if let Ok(v) = std::env::var("MMM_BACKEND_RETRIES") {
+            cfg.max_retries = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("MMM_BACKEND_RETRIES={v:?} is not an integer"))?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Per-job result of a supervised batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// The job completed on some backend.
+    Done(AlignResult),
+    /// The job failed on every available backend and was dropped; `reason`
+    /// is the last error seen, for the CLI's degradation accounting.
+    Quarantined { reason: String },
+}
+
+/// How a submission reached the runner thread.
+type RunnerWork = (Arc<dyn AlignBackend>, Vec<AlignJob>, Arc<ResultSlot>);
+
+/// One-shot rendezvous between the compute thread and the runner thread.
+/// The watchdog poisons it (`Abandoned`) at the deadline; a result arriving
+/// later is discarded and counted, never double-completed.
+struct ResultSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Pending,
+    Done(Result<(Vec<AlignResult>, BackendStats), BackendError>),
+    Abandoned,
+}
+
+impl ResultSlot {
+    fn new() -> Self {
+        ResultSlot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The detached thread that actually calls `submit` when a deadline is
+/// armed. Dropping the sender lets a wedged thread exit once its backend
+/// call finally returns.
+struct Runner {
+    tx: mpsc::Sender<RunnerWork>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Supervisor state is plain data; a panicking backend thread cannot
+    // leave it half-updated in a way recovery would observe.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn spawn_runner(late: Arc<AtomicU64>) -> Option<Runner> {
+    let (tx, rx) = mpsc::channel::<RunnerWork>();
+    let spawned = std::thread::Builder::new()
+        .name("mmm-supervisor-runner".into())
+        .spawn(move || {
+            while let Ok((backend, jobs, slot)) = rx.recv() {
+                let res = backend.submit(jobs);
+                let mut st = lock(&slot.state);
+                match *st {
+                    SlotState::Pending => {
+                        *st = SlotState::Done(res);
+                        slot.cv.notify_all();
+                    }
+                    // The watchdog already gave up on this call; the result
+                    // must not be delivered twice, only counted.
+                    SlotState::Abandoned => {
+                        late.fetch_add(1, Ordering::Relaxed);
+                    }
+                    SlotState::Done(_) => {}
+                }
+            }
+        });
+    spawned.ok().map(|_| Runner { tx })
+}
+
+/// Splitmix64 step — the same generator the fault plan uses, keyed
+/// differently, so backoff schedules are replayable.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A supervised backend session (DESIGN.md §10).
+pub struct SupervisedBackend {
+    primary: Arc<dyn AlignBackend>,
+    standby: Option<Arc<dyn AlignBackend>>,
+    cfg: SupervisorConfig,
+    clock: Arc<dyn Clock>,
+    breaker: Mutex<CircuitBreaker>,
+    runner: Mutex<Option<Runner>>,
+    /// Results that arrived after their slot was poisoned.
+    late: Arc<AtomicU64>,
+    late_reported: AtomicU64,
+}
+
+impl SupervisedBackend {
+    pub fn new(
+        primary: Arc<dyn AlignBackend>,
+        standby: Option<Arc<dyn AlignBackend>>,
+        cfg: SupervisorConfig,
+    ) -> Self {
+        Self::with_clock(primary, standby, cfg, Arc::new(SystemClock))
+    }
+
+    /// Same, with an injected clock (tests).
+    pub fn with_clock(
+        primary: Arc<dyn AlignBackend>,
+        standby: Option<Arc<dyn AlignBackend>>,
+        cfg: SupervisorConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let breaker = CircuitBreaker::new(cfg.breaker);
+        SupervisedBackend {
+            primary,
+            standby,
+            cfg,
+            clock,
+            breaker: Mutex::new(breaker),
+            runner: Mutex::new(None),
+            late: Arc::new(AtomicU64::new(0)),
+            late_reported: AtomicU64::new(0),
+        }
+    }
+
+    /// Current breaker state (stats, tests).
+    pub fn breaker_state(&self) -> BreakerState {
+        lock(&self.breaker).state()
+    }
+
+    /// Deterministic backoff before retry `attempt` of job `salt`.
+    fn backoff(&self, attempt: usize, salt: u64) -> Duration {
+        let base = self.cfg.backoff_base;
+        let exp = 1u32 << attempt.min(10) as u32;
+        let jitter_ns = if base.is_zero() {
+            0
+        } else {
+            splitmix64(self.cfg.backoff_seed ^ salt.rotate_left(17) ^ attempt as u64)
+                % base.as_nanos().max(1) as u64
+        };
+        base * exp + Duration::from_nanos(jitter_ns)
+    }
+
+    /// One backend call, watched. Without a deadline this is a plain
+    /// `submit`; with one, the call runs on the runner thread and is
+    /// abandoned (slot poisoned, runner replaced) if it outlives the
+    /// budget.
+    fn guarded_submit(
+        &self,
+        backend: &Arc<dyn AlignBackend>,
+        jobs: Vec<AlignJob>,
+        stats: &mut BackendStats,
+    ) -> Result<Vec<AlignResult>, BackendError> {
+        let expected = jobs.len();
+        let outcome = match self.cfg.batch_deadline {
+            None => backend.submit(jobs),
+            Some(deadline) => self.watched_submit(backend, jobs, deadline, stats),
+        };
+        let (results, inner) = outcome?;
+        stats.merge(&inner);
+        if results.len() != expected {
+            return Err(BackendError::WrongResultCount {
+                expected,
+                got: results.len(),
+            });
+        }
+        Ok(results)
+    }
+
+    fn watched_submit(
+        &self,
+        backend: &Arc<dyn AlignBackend>,
+        jobs: Vec<AlignJob>,
+        deadline: Duration,
+        stats: &mut BackendStats,
+    ) -> Result<(Vec<AlignResult>, BackendStats), BackendError> {
+        let mut runner = lock(&self.runner);
+        if runner.is_none() {
+            *runner = spawn_runner(Arc::clone(&self.late));
+        }
+        let Some(r) = runner.as_ref() else {
+            // Could not spawn a watchdog thread: degrade to an unwatched
+            // call rather than failing the batch.
+            return backend.submit(jobs);
+        };
+        let slot = Arc::new(ResultSlot::new());
+        if let Err(send_err) = r.tx.send((Arc::clone(backend), jobs, Arc::clone(&slot))) {
+            // The runner thread died; recover the jobs, run unwatched, and
+            // respawn next time.
+            *runner = None;
+            let (_, jobs, _) = send_err.0;
+            return backend.submit(jobs);
+        }
+
+        let guard = lock(&slot.state);
+        let (mut st, timeout) = self
+            .cv_wait(&slot, guard, deadline)
+            .unwrap_or_else(PoisonError::into_inner);
+        if matches!(*st, SlotState::Pending) && timeout {
+            *st = SlotState::Abandoned;
+            stats.deadline_kills += 1;
+            // Drop the wedged runner: its sender disconnects, so the thread
+            // exits once the hung submit returns (and is counted late).
+            *runner = None;
+            return Err(BackendError::DeadlineExceeded);
+        }
+        match std::mem::replace(&mut *st, SlotState::Abandoned) {
+            SlotState::Done(res) => res,
+            // Pending here would mean a spurious non-timeout wake with no
+            // result; treat as a kill to stay safe.
+            _ => {
+                stats.deadline_kills += 1;
+                *runner = None;
+                Err(BackendError::DeadlineExceeded)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn cv_wait<'a>(
+        &self,
+        slot: &'a ResultSlot,
+        guard: std::sync::MutexGuard<'a, SlotState>,
+        deadline: Duration,
+    ) -> Result<
+        (std::sync::MutexGuard<'a, SlotState>, bool),
+        PoisonError<(std::sync::MutexGuard<'a, SlotState>, bool)>,
+    > {
+        match slot
+            .cv
+            .wait_timeout_while(guard, deadline, |s| matches!(s, SlotState::Pending))
+        {
+            Ok((g, t)) => Ok((g, t.timed_out())),
+            Err(e) => {
+                let (g, t) = e.into_inner();
+                Ok((g, t.timed_out()))
+            }
+        }
+    }
+
+    /// Execute a batch under supervision. Every job gets an outcome; the
+    /// only `Err` paths are `fail_fast` aborts.
+    pub fn submit_supervised(
+        &self,
+        jobs: Vec<AlignJob>,
+    ) -> Result<(Vec<JobOutcome>, BackendStats), BackendError> {
+        let n = jobs.len();
+        let cells: u64 = jobs.iter().map(AlignJob::cells).sum();
+        let mut inner = BackendStats::default();
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let trips_before = lock(&self.breaker).trips();
+
+        let mut pending: Vec<usize> = (0..n).collect();
+        if n > 0 {
+            pending = self.primary_phase(&jobs, pending, &mut outcomes, &mut inner)?;
+            pending = self.standby_phase(&jobs, pending, &mut outcomes, &mut inner)?;
+            for &i in &pending {
+                // fail_fast would have returned already; whatever reason the
+                // phases recorded stands, but a job can only reach here with
+                // no outcome if both phases were unavailable.
+                if outcomes[i].is_none() {
+                    outcomes[i] = Some(JobOutcome::Quarantined {
+                        reason: "no backend available".into(),
+                    });
+                }
+            }
+        }
+
+        let mut stats = inner;
+        // The wrapper presents one batch of n jobs regardless of how many
+        // inner submissions the recovery needed.
+        stats.batches = 1;
+        stats.jobs = n as u64;
+        stats.cells = cells;
+        stats.breaker_trips = lock(&self.breaker).trips() - trips_before;
+        let late_total = self.late.load(Ordering::Relaxed);
+        stats.late_results = late_total - self.late_reported.swap(late_total, Ordering::Relaxed);
+        let quarantined = outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(JobOutcome::Quarantined { .. })))
+            .count();
+        stats.quarantined = quarantined as u64;
+        let outcomes: Vec<JobOutcome> = outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(JobOutcome::Quarantined {
+                    reason: "job lost by supervisor (bug)".into(),
+                })
+            })
+            .collect();
+        Ok((outcomes, stats))
+    }
+
+    /// Whole-batch primary attempt, then bounded per-job retries. Returns
+    /// the indices still unresolved.
+    fn primary_phase(
+        &self,
+        jobs: &[AlignJob],
+        pending: Vec<usize>,
+        outcomes: &mut [Option<JobOutcome>],
+        stats: &mut BackendStats,
+    ) -> Result<Vec<usize>, BackendError> {
+        if !lock(&self.breaker).allow_primary() {
+            return Ok(pending);
+        }
+        let batch: Vec<AlignJob> = pending.iter().map(|&i| jobs[i].clone()).collect();
+        match self.guarded_submit(&self.primary, batch, stats) {
+            Ok(results) => {
+                lock(&self.breaker).record(true);
+                for (&i, r) in pending.iter().zip(results) {
+                    outcomes[i] = Some(JobOutcome::Done(r));
+                }
+                return Ok(Vec::new());
+            }
+            Err(e) => {
+                lock(&self.breaker).record(false);
+                if self.cfg.fail_fast {
+                    return Err(e);
+                }
+                if matches!(e, BackendError::DeadlineExceeded) {
+                    // A hung backend is not retried job-by-job — each retry
+                    // could burn another full deadline. Reroute the batch.
+                    return Ok(pending);
+                }
+            }
+        }
+
+        // Per-job retry rounds with backoff; stop early if the breaker
+        // opens (each failed attempt is recorded against it).
+        let mut still: Vec<usize> = Vec::new();
+        'jobs: for &i in &pending {
+            for attempt in 0..self.cfg.max_retries {
+                if !lock(&self.breaker).allow_primary() {
+                    break;
+                }
+                self.clock.sleep(self.backoff(attempt, i as u64));
+                stats.retries += 1;
+                match self.guarded_submit(&self.primary, vec![jobs[i].clone()], stats) {
+                    Ok(mut results) => {
+                        lock(&self.breaker).record(true);
+                        if let Some(r) = results.pop() {
+                            outcomes[i] = Some(JobOutcome::Done(r));
+                            stats.retried_ok += 1;
+                            continue 'jobs;
+                        }
+                    }
+                    Err(e) => {
+                        lock(&self.breaker).record(false);
+                        if self.cfg.fail_fast {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            still.push(i);
+        }
+        Ok(still)
+    }
+
+    /// Route unresolved jobs to the standby: whole batch first, then per
+    /// job; anything that still fails is quarantined.
+    fn standby_phase(
+        &self,
+        jobs: &[AlignJob],
+        pending: Vec<usize>,
+        outcomes: &mut [Option<JobOutcome>],
+        stats: &mut BackendStats,
+    ) -> Result<Vec<usize>, BackendError> {
+        if pending.is_empty() {
+            return Ok(pending);
+        }
+        let Some(standby) = self.standby.as_ref() else {
+            if self.cfg.fail_fast {
+                return Err(BackendError::Quarantined {
+                    jobs: pending.len(),
+                });
+            }
+            for &i in &pending {
+                outcomes[i] = Some(JobOutcome::Quarantined {
+                    reason: "primary failed and no standby backend".into(),
+                });
+            }
+            return Ok(pending);
+        };
+
+        stats.rerouted += pending.len() as u64;
+        let standby = Arc::clone(standby);
+        lock(&self.breaker).note_standby_submit();
+        let batch: Vec<AlignJob> = pending.iter().map(|&i| jobs[i].clone()).collect();
+        match self.guarded_submit(&standby, batch, stats) {
+            Ok(results) => {
+                for (&i, r) in pending.iter().zip(results) {
+                    outcomes[i] = Some(JobOutcome::Done(r));
+                    stats.retried_ok += 1;
+                }
+                return Ok(Vec::new());
+            }
+            Err(e) if self.cfg.fail_fast => return Err(e),
+            Err(_) => {}
+        }
+
+        let mut still = Vec::new();
+        for &i in &pending {
+            lock(&self.breaker).note_standby_submit();
+            match self.guarded_submit(&standby, vec![jobs[i].clone()], stats) {
+                Ok(mut results) => {
+                    if let Some(r) = results.pop() {
+                        outcomes[i] = Some(JobOutcome::Done(r));
+                        stats.retried_ok += 1;
+                    }
+                }
+                Err(e) => {
+                    if self.cfg.fail_fast {
+                        return Err(e);
+                    }
+                    outcomes[i] = Some(JobOutcome::Quarantined {
+                        reason: format!("all backends failed, last: {e}"),
+                    });
+                    still.push(i);
+                }
+            }
+        }
+        Ok(still)
+    }
+}
+
+impl AlignBackend for SupervisedBackend {
+    fn label(&self) -> &'static str {
+        self.primary.label()
+    }
+
+    /// The plain trait surface: quarantines become a single typed error,
+    /// because this signature has no per-job channel. Callers that can
+    /// degrade per job should use
+    /// [`submit_supervised`](SupervisedBackend::submit_supervised).
+    fn submit(
+        &self,
+        jobs: Vec<AlignJob>,
+    ) -> Result<(Vec<AlignResult>, BackendStats), BackendError> {
+        let (outcomes, stats) = self.submit_supervised(jobs)?;
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut quarantined = 0usize;
+        for o in outcomes {
+            match o {
+                JobOutcome::Done(r) => results.push(r),
+                JobOutcome::Quarantined { .. } => quarantined += 1,
+            }
+        }
+        if quarantined > 0 {
+            return Err(BackendError::Quarantined { jobs: quarantined });
+        }
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{prepare, BackendKind, BackendOptions};
+    use crate::fault::FaultPlan;
+    use mmm_align::Scoring;
+
+    fn test_jobs(n: usize) -> Vec<AlignJob> {
+        (0..n)
+            .map(|k| {
+                AlignJob::global(
+                    (0..60).map(|i| ((i * 3 + k) % 4) as u8).collect(),
+                    (0..50).map(|i| ((i * 7 + k) % 4) as u8).collect(),
+                    true,
+                )
+            })
+            .collect()
+    }
+
+    fn cpu_with_plan(plan: Option<&str>) -> Arc<dyn AlignBackend> {
+        let mut opts = BackendOptions::new(Scoring::MAP_ONT);
+        opts.fault = plan.map(|p| FaultPlan::parse(p).expect("test plan"));
+        Arc::from(prepare(BackendKind::Cpu, &opts).expect("cpu backend"))
+    }
+
+    fn expected_results(jobs: &[AlignJob]) -> Vec<AlignResult> {
+        let (results, _) = cpu_with_plan(None)
+            .submit(jobs.to_vec())
+            .expect("clean run");
+        results
+    }
+
+    #[test]
+    fn clean_batch_passes_through_untouched() {
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(None),
+            None,
+            SupervisorConfig::default(),
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(4);
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.batches, 1);
+        assert!(!stats.supervised_activity(), "{stats:?}");
+    }
+
+    #[test]
+    fn failed_batch_recovers_via_per_job_retries() {
+        // Submit 0 (the whole batch) fails; per-job retries (submits 1..)
+        // succeed on the same backend.
+        let clock = Arc::new(TestClock::default());
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail:batches=0..1")),
+            None,
+            SupervisorConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let jobs = test_jobs(3);
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.retried_ok, 3);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.jobs, 3);
+        // One backoff sleep per retry, and the schedule replays exactly.
+        assert_eq!(clock.sleeps().len(), 3);
+        let clock2 = Arc::new(TestClock::default());
+        let sup2 = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail:batches=0..1")),
+            None,
+            SupervisorConfig::default(),
+            Arc::clone(&clock2) as Arc<dyn Clock>,
+        );
+        sup2.submit_supervised(jobs).expect("supervised");
+        assert_eq!(clock.sleeps(), clock2.sleeps(), "backoff not deterministic");
+    }
+
+    #[test]
+    fn wrong_length_result_is_caught_and_retried() {
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("wrong-len:batches=0..1")),
+            None,
+            SupervisorConfig::default(),
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(3);
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+        assert_eq!(stats.quarantined, 0);
+        assert!(stats.retried_ok >= 1);
+    }
+
+    #[test]
+    fn total_primary_failure_demotes_to_standby_and_trips_breaker() {
+        let cfg = SupervisorConfig {
+            breaker: BreakerConfig {
+                window: 4,
+                trip_failures: 2,
+                cooldown: 100,
+            },
+            ..Default::default()
+        };
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail")),
+            Some(cpu_with_plan(None)),
+            cfg,
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(3);
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.rerouted, 3);
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(sup.breaker_state(), BreakerState::Open);
+        // Next batch goes straight to the standby, no primary attempts.
+        let (_, stats2) = sup.submit_supervised(jobs).expect("supervised");
+        assert_eq!(stats2.rerouted, 3);
+        assert_eq!(stats2.retries, 0);
+        assert_eq!(stats2.breaker_trips, 0);
+    }
+
+    #[test]
+    fn half_open_probe_repromotes_recovered_primary() {
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            breaker: BreakerConfig {
+                window: 1,
+                trip_failures: 1,
+                cooldown: 1,
+            },
+            ..Default::default()
+        };
+        // Primary fails submits 0..2, healthy afterwards.
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail:batches=0..2")),
+            Some(cpu_with_plan(None)),
+            cfg,
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(2);
+        // Batch 1: trips open, reroutes; cooldown=1 moves it to half-open.
+        let (_, s1) = sup.submit_supervised(jobs.clone()).expect("b1");
+        assert_eq!(s1.breaker_trips, 1);
+        assert_eq!(sup.breaker_state(), BreakerState::HalfOpen);
+        // Batch 2: probe (submit 1) fails, reopen, reroute, half-open again.
+        let (_, s2) = sup.submit_supervised(jobs.clone()).expect("b2");
+        assert_eq!(s2.breaker_trips, 0, "failed probe is not a new trip");
+        assert_eq!(sup.breaker_state(), BreakerState::HalfOpen);
+        // Batch 3: probe (submit 2) succeeds → closed, served by primary.
+        let (outcomes, s3) = sup.submit_supervised(jobs.clone()).expect("b3");
+        assert_eq!(sup.breaker_state(), BreakerState::Closed);
+        assert_eq!(s3.rerouted, 0);
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+    }
+
+    #[test]
+    fn exhausted_backends_quarantine_instead_of_erroring() {
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail")),
+            None,
+            SupervisorConfig::default(),
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(2);
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        assert_eq!(stats.quarantined, 2);
+        for o in &outcomes {
+            assert!(matches!(o, JobOutcome::Quarantined { .. }), "{o:?}");
+        }
+        // The plain trait surface reports the same thing as a typed error.
+        let err = sup.submit(jobs).expect_err("quarantine error");
+        assert_eq!(err, BackendError::Quarantined { jobs: 2 });
+    }
+
+    #[test]
+    fn fail_fast_restores_fatal_errors() {
+        let cfg = SupervisorConfig {
+            fail_fast: true,
+            ..Default::default()
+        };
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail")),
+            None,
+            cfg,
+            Arc::new(TestClock::default()),
+        );
+        let err = sup.submit_supervised(test_jobs(2)).expect_err("fail fast");
+        assert!(matches!(err, BackendError::Injected { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn hang_is_killed_by_deadline_and_rerouted() {
+        let cfg = SupervisorConfig {
+            batch_deadline: Some(Duration::from_millis(40)),
+            ..Default::default()
+        };
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("hang:ms=400:batches=0..1")),
+            Some(cpu_with_plan(None)),
+            cfg,
+            Arc::new(TestClock::default()),
+        );
+        let jobs = test_jobs(2);
+        let start = std::time::Instant::now();
+        let (outcomes, stats) = sup.submit_supervised(jobs.clone()).expect("supervised");
+        assert!(
+            start.elapsed() < Duration::from_millis(350),
+            "watchdog did not cut the hang short"
+        );
+        assert_eq!(stats.deadline_kills, 1);
+        assert_eq!(stats.rerouted, 2);
+        assert_eq!(stats.quarantined, 0);
+        let gold = expected_results(&jobs);
+        for (o, g) in outcomes.iter().zip(&gold) {
+            assert_eq!(*o, JobOutcome::Done(g.clone()));
+        }
+        // The abandoned submit eventually completes on the runner thread
+        // and must be discarded, not delivered: wait for the late counter.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sup.late.load(Ordering::Relaxed) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "late result never counted"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (_, stats2) = sup.submit_supervised(jobs).expect("second batch");
+        assert_eq!(stats2.late_results, 1);
+        assert_eq!(stats2.deadline_kills, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let sup = SupervisedBackend::with_clock(
+            cpu_with_plan(Some("launch-fail")),
+            None,
+            SupervisorConfig::default(),
+            Arc::new(TestClock::default()),
+        );
+        let (outcomes, stats) = sup.submit_supervised(Vec::new()).expect("empty");
+        assert!(outcomes.is_empty());
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.quarantined, 0);
+    }
+}

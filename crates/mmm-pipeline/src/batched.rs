@@ -17,8 +17,12 @@
 //! build per run, zero per-batch spawns) and keep PR-2's panic isolation: a
 //! panic in `plan` or `finalize` degrades that one item through the
 //! [`PanicHandler`]; items that fail in `plan` are excluded from dispatch.
-//! A dispatch failure is whole-batch and fatal
-//! ([`PipelineError::Dispatch`]) — there is no single item to blame.
+//! Dispatch reports per item: each plan comes back with
+//! `Result<D, String>`, and a failed item degrades through the same
+//! [`PanicHandler`] instead of killing the run (the supervised backend's
+//! quarantine channel). A whole-batch `Err` from dispatch stays fatal
+//! ([`PipelineError::Dispatch`]) — that is the `--fail-fast` escape hatch
+//! and the contract-violation path (wrong result count).
 //!
 //! Reader/writer semantics (bounded channels, prompt shutdown, first error
 //! wins, output in input order) are identical to
@@ -60,7 +64,7 @@ fn record_error(slot: &Mutex<Option<PipelineError>>, e: PipelineError) {
 fn run_batch<I, M, D, R>(
     pool: &crate::pool::WorkerPool<'_, Step<I, M, D>, StepOut<M, R>>,
     batch: Vec<I>,
-    dispatch: &mut (dyn FnMut(Vec<M>) -> Result<Vec<(M, D)>, DynError> + Send),
+    dispatch: &mut (dyn FnMut(Vec<M>) -> Result<Vec<(M, Result<D, String>)>, DynError> + Send),
     len_of: &(dyn Fn(&I) -> usize + Sync),
     on_item_panic: PanicHandler<'_, I, R>,
     sort_by_len: bool,
@@ -142,12 +146,32 @@ where
         ));
     }
 
+    // Per-item dispatch failures degrade like panics; survivors go on to
+    // finalize. `fin_map[k]` is the original index of finalize step `k`.
+    let mut fin_steps: Vec<Step<I, M, D>> = Vec::with_capacity(expected);
+    let mut fin_map: Vec<usize> = Vec::with_capacity(expected);
+    for ((idx, item), (m, dres)) in fin_idx.into_iter().zip(fin_items).zip(dispatched) {
+        match dres {
+            Ok(d) => {
+                fin_map.push(idx);
+                fin_steps.push(Step::Fin(item, m, d));
+            }
+            Err(message) => match on_item_panic {
+                Some(handler) => {
+                    out[idx] = Some(handler(&item, &message));
+                    failed += 1;
+                }
+                None => {
+                    return Err(PipelineError::DispatchItem {
+                        item_index: idx,
+                        message,
+                    })
+                }
+            },
+        }
+    }
+
     // Phase 3: finalize survivors on the pool.
-    let fin_steps: Vec<Step<I, M, D>> = fin_items
-        .into_iter()
-        .zip(dispatched)
-        .map(|(item, (m, d))| Step::Fin(item, m, d))
-        .collect();
     let fin_order: Vec<usize> = (0..fin_steps.len()).collect();
     let outcome = pool.run_batch_catching(&fin_steps, &fin_order);
     let mut fin_msg: Vec<Option<String>> = Vec::with_capacity(fin_steps.len());
@@ -156,7 +180,7 @@ where
         fin_msg[p.index] = Some(p.message.clone());
     }
     for (k, (step, res)) in fin_steps.into_iter().zip(outcome.results).enumerate() {
-        let idx = fin_idx[k];
+        let idx = fin_map[k];
         match res {
             Some(StepOut::Final(r)) => out[idx] = Some(r),
             _ => {
@@ -194,9 +218,12 @@ where
 ///   dispatch result, `R` — output record, `S` — per-worker state;
 /// * `plan(&mut S, &I) -> M` and `finalize(&mut S, &I, &M, &D) -> R` run on
 ///   the worker pool with panic isolation;
-/// * `dispatch(Vec<M>) -> Result<Vec<(M, D)>, DynError>` runs serially per
-///   batch and must return exactly one `(plan, result)` pair per plan, in
-///   order. An `Err` aborts the run with [`PipelineError::Dispatch`].
+/// * `dispatch(Vec<M>) -> Result<Vec<(M, Result<D, String>)>, DynError>`
+///   runs serially per batch and must return exactly one `(plan, result)`
+///   pair per plan, in order; a per-item `Err(String)` degrades that item
+///   through the panic handler (fatal
+///   [`PipelineError::DispatchItem`] without one). A whole-batch `Err`
+///   aborts the run with [`PipelineError::Dispatch`].
 #[allow(clippy::too_many_arguments)]
 pub fn try_run_three_thread_batched_with_state<
     I,
@@ -231,7 +258,7 @@ where
     FIn: FnMut() -> Result<Option<Vec<I>>, DynError> + Send,
     FState: Fn(usize) -> S + Sync,
     FPlan: Fn(&mut S, &I) -> M + Sync,
-    FDispatch: FnMut(Vec<M>) -> Result<Vec<(M, D)>, DynError> + Send,
+    FDispatch: FnMut(Vec<M>) -> Result<Vec<(M, Result<D, String>)>, DynError> + Send,
     FFin: Fn(&mut S, &I, &M, &D) -> R + Sync,
     FLen: Fn(&I) -> usize + Sync,
     FOut: FnMut(Vec<R>) -> Result<(), DynError> + Send,
@@ -352,7 +379,7 @@ mod tests {
             feeder(input),
             |_| (),
             |(), &x: &u64| x * 2,
-            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, m + 1)).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(m + 1))).collect()),
             |(), _item: &u64, _m: &u64, d: &u64| d * 10,
             |_| 1,
             |r| {
@@ -386,7 +413,7 @@ mod tests {
             feeder(input),
             |_| (),
             |(), &x: &u64| x,
-            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(()))).collect()),
             |(), _item, m: &u64, _d: &()| *m,
             |&x| x as usize, // "length" = value: compute order differs
             |r| {
@@ -421,7 +448,7 @@ mod tests {
                     .lock()
                     .unwrap()
                     .extend(plans.iter().copied());
-                Ok(plans.into_iter().map(|m| (m, ())).collect())
+                Ok(plans.into_iter().map(|m| (m, Ok(()))).collect())
             },
             |(), _item, m: &u64, _d: &()| *m,
             |_| 1,
@@ -449,7 +476,7 @@ mod tests {
             feeder(input),
             |_| (),
             |(), &x: &u64| x,
-            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(()))).collect()),
             |(), _item, m: &u64, _d: &()| {
                 if *m == 3 {
                     panic!("bad finalize");
@@ -482,7 +509,7 @@ mod tests {
                 }
                 x
             },
-            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(()))).collect()),
             |(), _item, m: &u64, _d: &()| *m,
             |_| 1,
             |_r| Ok(()),
@@ -504,7 +531,9 @@ mod tests {
             feeder(input),
             |_| (),
             |(), &x: &u64| x,
-            |_plans: Vec<u64>| Err::<Vec<(u64, ())>, DynError>("device on fire".into()),
+            |_plans: Vec<u64>| {
+                Err::<Vec<(u64, Result<(), String>)>, DynError>("device on fire".into())
+            },
             |(), _item, m: &u64, _d: &()| *m,
             |_| 1,
             |_r| Ok(()),
@@ -520,13 +549,91 @@ mod tests {
     }
 
     #[test]
+    fn per_item_dispatch_error_degrades_that_item_only() {
+        let input = vec![vec![1u64, 7, 3]];
+        let out = Mutex::new(Vec::new());
+        let handler = |item: &u64, msg: &str| {
+            assert!(msg.contains("quarantined"), "handler saw {msg:?}");
+            item * 100
+        };
+        let stats = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| {
+                Ok(plans
+                    .into_iter()
+                    .map(|m| {
+                        if m == 7 {
+                            (m, Err("job quarantined".to_string()))
+                        } else {
+                            (m, Ok(()))
+                        }
+                    })
+                    .collect())
+            },
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |r| {
+                out.lock().unwrap().extend(r);
+                Ok(())
+            },
+            Some(&handler),
+            2,
+            false,
+        )
+        .unwrap();
+        assert_eq!(stats.failed_items, 1);
+        assert_eq!(out.into_inner().unwrap(), vec![1, 700, 3]);
+    }
+
+    #[test]
+    fn per_item_dispatch_error_without_handler_is_fatal_with_index() {
+        let input = vec![vec![1u64, 7, 3]];
+        let err = try_run_three_thread_batched_with_state(
+            feeder(input),
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| {
+                Ok(plans
+                    .into_iter()
+                    .map(|m| {
+                        if m == 7 {
+                            (m, Err("job quarantined".to_string()))
+                        } else {
+                            (m, Ok(()))
+                        }
+                    })
+                    .collect())
+            },
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::DispatchItem {
+                item_index,
+                message,
+            } => {
+                assert_eq!(item_index, 1);
+                assert!(message.contains("quarantined"));
+            }
+            other => panic!("expected DispatchItem, got {other}"),
+        }
+    }
+
+    #[test]
     fn short_dispatch_result_is_fatal_not_silent() {
         let input = vec![vec![1u64, 2, 3]];
         let err = try_run_three_thread_batched_with_state(
             feeder(input),
             |_| (),
             |(), &x: &u64| x,
-            |plans: Vec<u64>| Ok(plans.into_iter().skip(1).map(|m| (m, ())).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().skip(1).map(|m| (m, Ok(()))).collect()),
             |(), _item, m: &u64, _d: &()| *m,
             |_| 1,
             |_r| Ok(()),
@@ -562,7 +669,7 @@ mod tests {
             },
             |_| (),
             |(), &x: &u64| x,
-            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, ())).collect()),
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(()))).collect()),
             |(), _item, m: &u64, _d: &()| *m,
             |_| 1,
             |_r| Ok(()),

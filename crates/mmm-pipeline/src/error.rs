@@ -26,6 +26,9 @@ pub enum PipelineError {
     /// failed for a whole batch. Dispatch errors are fatal: unlike a
     /// per-item panic there is no single item to degrade.
     Dispatch(DynError),
+    /// Dispatch failed for one item and no per-item degradation handler was
+    /// installed (the supervised backend reports quarantined jobs this way).
+    DispatchItem { item_index: usize, message: String },
 }
 
 impl fmt::Display for PipelineError {
@@ -41,6 +44,10 @@ impl fmt::Display for PipelineError {
                 "worker panicked while processing item {item_index}: {message}"
             ),
             PipelineError::Dispatch(e) => write!(f, "pipeline dispatch failed: {e}"),
+            PipelineError::DispatchItem {
+                item_index,
+                message,
+            } => write!(f, "dispatch failed for item {item_index}: {message}"),
         }
     }
 }
@@ -51,7 +58,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Read(e) | PipelineError::Write(e) | PipelineError::Dispatch(e) => {
                 Some(e.as_ref())
             }
-            PipelineError::WorkerPanic { .. } => None,
+            PipelineError::WorkerPanic { .. } | PipelineError::DispatchItem { .. } => None,
         }
     }
 }

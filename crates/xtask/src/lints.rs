@@ -12,6 +12,7 @@
 //! | `raw-ptr-arith` | raw-pointer arithmetic only in `simd/` and `mmap.rs` |
 //! | `no-unwrap` | no `unwrap`/`expect` in non-test lib code |
 //! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) in mmm-align and mmm-exec has a `*_with_scratch` variant |
+//! | `stats-forwarding` | `BackendStats` literals in `AlignBackend` impl files must name every field or forward from a non-default base |
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -19,13 +20,14 @@ use std::path::{Path, PathBuf};
 
 use crate::lex::{has_word, scan, LineView};
 
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "safety-comment",
     "target-feature-gate",
     "no-transmute",
     "raw-ptr-arith",
     "no-unwrap",
     "scratch-variant",
+    "stats-forwarding",
 ];
 
 /// One lint finding, printable as `error[rule]: path:line: message`.
@@ -497,6 +499,216 @@ fn rule_scratch_variant(files: &[(PathBuf, Vec<LineView>)], out: &mut Vec<Violat
     }
 }
 
+/// Field names of `pub struct BackendStats`, read from its declaration so
+/// the rule tracks field additions automatically.
+fn backend_stats_fields(views: &[LineView]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut in_struct = false;
+    for v in views {
+        let code = v.code.trim();
+        if code.starts_with("pub struct BackendStats") {
+            in_struct = true;
+            continue;
+        }
+        if in_struct {
+            if code.starts_with('}') {
+                break;
+            }
+            if let Some(rest) = code.strip_prefix("pub ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && rest[name.len()..].trim_start().starts_with(':') {
+                    fields.push(name);
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// One `BackendStats { .. }` struct literal: the 1-based line it opens on,
+/// the field names it assigns, and the functional-update base expression
+/// (the text after `..`), if any.
+struct StatsLiteral {
+    line: usize,
+    named: BTreeSet<String>,
+    rest: Option<String>,
+}
+
+/// Find `BackendStats { ... }` struct literals (not the declaration, not
+/// `BackendStats::default()` calls) in one file.
+fn backend_stats_literals(views: &[LineView]) -> Vec<StatsLiteral> {
+    let flat: Vec<(char, usize)> = views
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, v)| {
+            v.code
+                .chars()
+                .chain(std::iter::once('\n'))
+                .map(move |c| (c, idx))
+        })
+        .collect();
+    let text: String = flat.iter().map(|(c, _)| *c).collect();
+
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(off) = text[search..].find("BackendStats") {
+        let at = search + off;
+        search = at + "BackendStats".len();
+        // Declarations and impls are not literals.
+        let before = text[..at].trim_end();
+        if before.ends_with("struct") || before.ends_with("impl") || before.ends_with("for") {
+            continue;
+        }
+        // Word boundary on the left (don't match `GpuBackendStats`).
+        if text[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let after = text[search..].trim_start();
+        if !after.starts_with('{') {
+            continue; // a path use (`BackendStats::default()`, type position)
+        }
+        let open = search + (text[search..].len() - after.len());
+        // Collect the depth-1 body of the literal.
+        let chars: Vec<char> = text.chars().collect();
+        let mut depth = 0usize;
+        let mut close = None;
+        for (k, ch) in chars.iter().enumerate().skip(open) {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        let body: String = chars[open + 1..close].iter().collect();
+        // Split the body at depth-0 commas and read each segment's shape.
+        let mut named = BTreeSet::new();
+        let mut rest = None;
+        let mut seg = String::new();
+        let mut depth = 0i32;
+        for ch in body.chars().chain(std::iter::once(',')) {
+            match ch {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => depth -= 1,
+                ',' if depth == 0 => {
+                    let s = seg.trim();
+                    if let Some(base) = s.strip_prefix("..") {
+                        rest = Some(base.trim().to_string());
+                    } else {
+                        let name: String = s
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !name.is_empty() {
+                            named.insert(name);
+                        }
+                    }
+                    seg.clear();
+                    continue;
+                }
+                _ => {}
+            }
+            seg.push(ch);
+        }
+        out.push(StatsLiteral {
+            line: flat[at].1 + 1,
+            named,
+            rest,
+        });
+        search = close + 1;
+    }
+    out
+}
+
+/// `stats-forwarding`: in any file implementing `AlignBackend`, a
+/// `BackendStats { .. }` literal must either name every field the struct
+/// declares or forward the remainder from a non-default base
+/// (`..inner_stats`). A `..Default::default()` tail compiles cleanly when a
+/// later PR adds a counter, and silently reports it as zero — exactly the
+/// accounting drift this rule makes loud. Sites where zeroes are provably
+/// right carry an `xtask-allow: stats-forwarding — <why>`.
+fn rule_stats_forwarding(
+    files: &[(PathBuf, Vec<LineView>)],
+    allows: &[BTreeMap<usize, BTreeSet<String>>],
+    out: &mut Vec<Violation>,
+) {
+    let Some(fields) = files.iter().find_map(|(rel, views)| {
+        rel.to_string_lossy()
+            .ends_with("mmm-exec/src/stats.rs")
+            .then(|| backend_stats_fields(views))
+    }) else {
+        return;
+    };
+    if fields.is_empty() {
+        return;
+    }
+    for ((rel, views), file_allows) in files.iter().zip(allows) {
+        if !views
+            .iter()
+            .any(|v| v.code.contains("impl AlignBackend for"))
+        {
+            continue;
+        }
+        let test_lines = mark_test_lines(views);
+        for lit in backend_stats_literals(views) {
+            if test_lines.get(lit.line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            match &lit.rest {
+                // No functional update: the compiler already forces every
+                // field to be named, including future ones.
+                None => continue,
+                // `..other_stats` forwards whatever it came from.
+                Some(base)
+                    if !base.contains("Default::default()")
+                        && !base.contains("BackendStats::default()") =>
+                {
+                    continue;
+                }
+                Some(_) => {}
+            }
+            let missing: Vec<&str> = fields
+                .iter()
+                .filter(|f| !lit.named.contains(*f))
+                .map(String::as_str)
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            if file_allows
+                .get(&lit.line)
+                .is_some_and(|rules| rules.contains("stats-forwarding"))
+            {
+                continue;
+            }
+            out.push(Violation {
+                rule: "stats-forwarding".into(),
+                path: rel.clone(),
+                line: lit.line,
+                message: format!(
+                    "BackendStats literal defaults fields [{}] in an AlignBackend \
+                     impl file — name them explicitly, forward with `..inner`, or \
+                     justify the zeros with an xtask-allow",
+                    missing.join(", ")
+                ),
+            });
+        }
+    }
+}
+
 /// Run every rule over the workspace rooted at `root`. Paths in the returned
 /// violations are relative to `root`.
 pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
@@ -518,12 +730,15 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         parsed.push((rel, scan(&src)));
     }
 
-    for (rel, views) in &parsed {
-        let allows = parse_allows(rel, views, &mut out);
+    let all_allows: Vec<BTreeMap<usize, BTreeSet<String>>> = parsed
+        .iter()
+        .map(|(rel, views)| parse_allows(rel, views, &mut out))
+        .collect();
+    for ((rel, views), allows) in parsed.iter().zip(&all_allows) {
         let ctx = FileCtx {
             rel,
             views,
-            allows,
+            allows: allows.clone(),
             test_lines: mark_test_lines(views),
             unsafe_lines: mark_unsafe_lines(views),
         };
@@ -534,6 +749,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         rule_no_unwrap(&ctx, &mut out);
     }
     rule_scratch_variant(&parsed, &mut out);
+    rule_stats_forwarding(&parsed, &all_allows, &mut out);
 
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(out)
@@ -668,6 +884,69 @@ mod tests {
         let public = "// SAFETY: callers check available().\n#[target_feature(enable = \"sse4.1\")]\npub unsafe fn inner() {}\n";
         let v = check_snippet("crates/mmm-align/src/simd/sse.rs", public);
         assert!(v.iter().any(|v| v.rule == "target-feature-gate"), "{v:?}");
+    }
+
+    /// A minimal stats.rs declaration plus one backend file, through the
+    /// cross-file stats-forwarding rule.
+    fn check_stats_forwarding(backend_src: &str) -> Vec<Violation> {
+        let stats_src = "pub struct BackendStats {\n    pub batches: u64,\n    pub jobs: u64,\n    pub retries: u64,\n}\n";
+        let files = vec![
+            (
+                PathBuf::from("crates/mmm-exec/src/stats.rs"),
+                scan(stats_src),
+            ),
+            (
+                PathBuf::from("crates/mmm-exec/src/somebackend.rs"),
+                scan(backend_src),
+            ),
+        ];
+        let mut out = Vec::new();
+        let allows: Vec<_> = files
+            .iter()
+            .map(|(rel, views)| parse_allows(rel, views, &mut out))
+            .collect();
+        rule_stats_forwarding(&files, &allows, &mut out);
+        out
+    }
+
+    #[test]
+    fn stats_forwarding_flags_defaulted_fields() {
+        let src = "impl AlignBackend for X {}\nfn f() {\n    let s = BackendStats {\n        batches: 1,\n        ..Default::default()\n    };\n}\n";
+        let v = check_stats_forwarding(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stats-forwarding");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("jobs"), "{}", v[0].message);
+        assert!(v[0].message.contains("retries"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn stats_forwarding_accepts_exhaustive_and_forwarding_literals() {
+        // All fields named: fine (and `..Default::default()` is then moot).
+        let full = "impl AlignBackend for X {}\nfn f() {\n    let s = BackendStats { batches: 1, jobs: 2, retries: 0 };\n}\n";
+        assert!(check_stats_forwarding(full).is_empty());
+        // Forwarding from a real base: fine, the base carries the counters.
+        let fwd = "impl AlignBackend for X {}\nfn f(inner: BackendStats) {\n    let s = BackendStats { batches: 1, ..inner };\n}\n";
+        assert!(check_stats_forwarding(fwd).is_empty());
+        // `BackendStats::default()` in expression position is not a literal.
+        let call = "impl AlignBackend for X {}\nfn f() { let s = BackendStats::default(); }\n";
+        assert!(check_stats_forwarding(call).is_empty());
+    }
+
+    #[test]
+    fn stats_forwarding_ignores_non_backend_files_and_tests() {
+        // No `impl AlignBackend for` in the file: out of scope.
+        let plain = "fn f() {\n    let s = BackendStats { batches: 1, ..Default::default() };\n}\n";
+        assert!(check_stats_forwarding(plain).is_empty());
+        // Test code may shorthand freely.
+        let test = "impl AlignBackend for X {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        let s = BackendStats { jobs: 1, ..Default::default() };\n    }\n}\n";
+        assert!(check_stats_forwarding(test).is_empty());
+    }
+
+    #[test]
+    fn stats_forwarding_respects_justified_allow() {
+        let src = "impl AlignBackend for X {}\nfn f() {\n    // xtask-allow: stats-forwarding — omitted counters are structurally zero here.\n    let s = BackendStats {\n        batches: 1,\n        ..Default::default()\n    };\n}\n";
+        assert!(check_stats_forwarding(src).is_empty());
     }
 
     #[test]

@@ -249,7 +249,7 @@ fn backend_crosscheck(
     ];
     let mut notes = Vec::new();
     for (label, kind, device_mem) in sessions {
-        let mut opts = opts;
+        let mut opts = opts.clone();
         opts.device_mem = device_mem;
         let backend =
             prepare(kind, &opts).map_err(|e| format!("backend {label}: prepare failed: {e}"))?;
