@@ -36,4 +36,8 @@ cargo test -q -p mmm-exec --test chaos
 cargo test -q -p mmm-exec --test watchdog_interleavings
 cargo test -q -p manymap --test backend_cli
 
+echo "==> scheduler suite: binned dispatch ordering, routing, chaos replay"
+cargo test -q -p mmm-exec --test sched
+MMM_SCHED=bins cargo test -q -p manymap --test backend_cli
+
 echo "CI OK"

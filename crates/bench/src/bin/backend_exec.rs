@@ -1,7 +1,18 @@
-//! Regenerates the backend execution comparison (see DESIGN.md §9).
+//! Regenerates the backend execution comparison (see DESIGN.md §9, §11)
+//! and writes the machine-readable baseline to `BENCH_backend_exec.json`
+//! (override the path with `BENCH_JSON_OUT`; set it empty to skip).
 //! Set BENCH_QUICK=1 for a fast smoke run.
 
 fn main() {
     let quick = std::env::var("BENCH_QUICK").is_ok();
-    print!("{}", bench::experiments::backend_exec::run(quick));
+    let (table, json) = bench::experiments::backend_exec::run_with_json(quick);
+    print!("{table}");
+    let out = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| "BENCH_backend_exec.json".into());
+    if out.is_empty() {
+        return;
+    }
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("[backend_exec] wrote {out}"),
+        Err(e) => eprintln!("[backend_exec] could not write {out}: {e}"),
+    }
 }

@@ -1,30 +1,80 @@
 //! Backend execution comparison — the unified `AlignBackend` seam run
-//! end-to-end (DESIGN.md §9).
+//! end-to-end (DESIGN.md §9, §11).
 //!
-//! One dataset, three executions of the same pipeline: inline host-engine
-//! gap fills (the pre-backend path), the CPU SIMD backend, and the
-//! simulated GPU/SIMT backend with its streams and memory pool. All three
-//! must agree on every mapping (the backends are bit-identical); the table
-//! reports what each one did — jobs, DP cells, fallbacks, pool traffic —
-//! alongside the per-stage seconds.
+//! One dataset, seven executions of the same pipeline: inline host-engine
+//! gap fills (the pre-backend path), the CPU SIMD backend, the simulated
+//! GPU/SIMT backend (bare, supervised, and supervised + length-binned
+//! scheduler), and a shrunken-device pair that forces the oversized-pair
+//! fallback path with and without the scheduler routing those giants to
+//! the host pre-batch. All variants must agree on every mapping (the
+//! backends are bit-identical); the table reports what each one did —
+//! jobs, DP cells, fallbacks, pool traffic — alongside the per-stage
+//! seconds, and [`run_with_json`] additionally serializes the counters
+//! plus the scheduled-vs-unscheduled jobs/sec and fallback-rate deltas
+//! for the committed `BENCH_backend_exec.json` baseline.
 
 use manymap::baselines::BaselineId;
 use manymap::{profile_run, ProfileConfig};
-use mmm_exec::BackendKind;
+use mmm_exec::{BackendKind, BackendStats};
 use mmm_index::{save_index, MinimizerIndex};
 use mmm_io::Stage;
 use mmm_seq::{nt4_decode, write_fasta, SeqRecord};
 
 use crate::{format_table, macrodata};
 
+/// Simulated device memory for the shrunken-device rows: small enough that
+/// real gap-fill jobs straddle the fit/fallback boundary (same constant as
+/// the xtask oracle's tiny-device session).
+const TINY_DEVICE_MEM: u64 = 16_384;
+
+struct Variant {
+    label: &'static str,
+    backend: Option<BackendKind>,
+    supervised: bool,
+    sched: bool,
+    device_mem: Option<u64>,
+}
+
+struct Row {
+    label: &'static str,
+    mappings: usize,
+    align_seconds: f64,
+    stats: BackendStats,
+}
+
+impl Row {
+    fn jobs_per_sec(&self) -> f64 {
+        if self.align_seconds > 0.0 {
+            self.stats.jobs as f64 / self.align_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn fallback_rate(&self) -> f64 {
+        if self.stats.jobs > 0 {
+            self.stats.fallbacks as f64 / self.stats.jobs as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 pub fn run(quick: bool) -> String {
+    run_with_json(quick).0
+}
+
+/// Run the comparison; returns the human table and the JSON document the
+/// `backend_exec` binary writes to `BENCH_backend_exec.json`.
+pub fn run_with_json(quick: bool) -> (String, String) {
     let n_reads = if quick { 40 } else { 400 };
     let ds = macrodata::pacbio(800_000, n_reads);
     let opts = BaselineId::Manymap.map_opts();
     let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
     let idx_path = std::env::temp_dir().join(format!("bench-backend-{}.mmx", std::process::id()));
     if let Err(e) = save_index(&index, &idx_path) {
-        return format!("backend_exec: index serialization failed: {e}");
+        let msg = format!("backend_exec: index serialization failed: {e}");
+        return (msg.clone(), format!("{{\"error\": {msg:?}}}"));
     }
 
     let recs: Vec<SeqRecord> = ds
@@ -34,50 +84,113 @@ pub fn run(quick: bool) -> String {
         .collect();
     let mut fasta = Vec::new();
     if let Err(e) = write_fasta(&mut fasta, &recs, 0) {
-        return format!("backend_exec: in-memory fasta failed: {e}");
+        let msg = format!("backend_exec: in-memory fasta failed: {e}");
+        return (msg.clone(), format!("{{\"error\": {msg:?}}}"));
     }
 
-    let variants: [(&str, Option<BackendKind>, bool); 4] = [
-        ("inline", None, false),
-        ("cpu", Some(BackendKind::Cpu), false),
-        ("gpu-sim", Some(BackendKind::GpuSim), false),
+    let variants: [Variant; 7] = [
+        Variant {
+            label: "inline",
+            backend: None,
+            supervised: false,
+            sched: false,
+            device_mem: None,
+        },
+        Variant {
+            label: "cpu",
+            backend: Some(BackendKind::Cpu),
+            supervised: false,
+            sched: false,
+            device_mem: None,
+        },
+        Variant {
+            label: "gpu-sim",
+            backend: Some(BackendKind::GpuSim),
+            supervised: false,
+            sched: false,
+            device_mem: None,
+        },
         // The CLI's actual configuration: gpu-sim wrapped in the backend
         // supervisor (DESIGN.md §10). On a clean run the wrapper must add
         // only dispatch bookkeeping, so this row measures its overhead.
-        ("gpu-sim+sup", Some(BackendKind::GpuSim), true),
+        Variant {
+            label: "gpu-sim+sup",
+            backend: Some(BackendKind::GpuSim),
+            supervised: true,
+            sched: false,
+            device_mem: None,
+        },
+        Variant {
+            label: "gpu-sim+sup+sched",
+            backend: Some(BackendKind::GpuSim),
+            supervised: true,
+            sched: true,
+            device_mem: None,
+        },
+        // Shrunken device: some gap fills no longer fit, so the in-submit
+        // fallback path (unscheduled) vs. pre-batch host routing
+        // (scheduled) becomes visible in the fallback-rate delta.
+        Variant {
+            label: "gpu-tiny+sup",
+            backend: Some(BackendKind::GpuSim),
+            supervised: true,
+            sched: false,
+            device_mem: Some(TINY_DEVICE_MEM),
+        },
+        Variant {
+            label: "gpu-tiny+sup+sched",
+            backend: Some(BackendKind::GpuSim),
+            supervised: true,
+            sched: true,
+            device_mem: Some(TINY_DEVICE_MEM),
+        },
     ];
 
-    let mut rows = Vec::new();
-    let mut mappings: Vec<usize> = Vec::new();
-    for (label, backend, supervised) in variants {
+    let mut rows: Vec<Row> = Vec::new();
+    for v in &variants {
         let cfg = ProfileConfig {
             opts,
             use_mmap: true,
             sort_by_length: true,
-            backend,
-            supervised,
+            backend: v.backend,
+            supervised: v.supervised,
+            sched: v.sched,
+            device_mem: v.device_mem,
         };
         let res = match profile_run(&idx_path, &fasta, &cfg) {
             Ok(res) => res,
             Err(e) => {
                 let _ = std::fs::remove_file(&idx_path);
-                return format!("backend_exec: {label} run failed: {e}");
+                let msg = format!("backend_exec: {} run failed: {e}", v.label);
+                return (msg.clone(), format!("{{\"error\": {msg:?}}}"));
             }
         };
-        mappings.push(res.mappings);
-        let bs = res.backend_stats.unwrap_or_default();
-        rows.push(vec![
-            label.to_string(),
-            format!("{}", res.mappings),
-            format!("{:.3}", res.timer.get(Stage::Align).as_secs_f64()),
-            format!("{}", bs.jobs),
-            format!("{:.2}", bs.cells as f64 / 1e9),
-            format!("{}", bs.fallbacks),
-            format!("{}", bs.max_stream_concurrency),
-            format!("{:.1}", bs.bytes_pooled as f64 / 1e6),
-        ]);
+        rows.push(Row {
+            label: v.label,
+            mappings: res.mappings,
+            align_seconds: res.timer.get(Stage::Align).as_secs_f64(),
+            stats: res.backend_stats.unwrap_or_default(),
+        });
     }
     let _ = std::fs::remove_file(&idx_path);
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{}", r.mappings),
+                format!("{:.3}", r.align_seconds),
+                format!("{}", r.stats.jobs),
+                format!("{:.0}", r.jobs_per_sec()),
+                format!("{:.2}", r.stats.cells as f64 / 1e9),
+                format!("{}", r.stats.fallbacks),
+                format!("{}", r.stats.sched_batches),
+                format!("{}", r.stats.sched_host_jobs),
+                format!("{:.1}", r.stats.bytes_pooled as f64 / 1e6),
+            ]
+        })
+        .collect();
 
     let mut out = format_table(
         &format!(
@@ -89,20 +202,123 @@ pub fn run(quick: bool) -> String {
             "mappings",
             "align (s)",
             "jobs",
+            "jobs/s",
             "Gcells",
             "fallbacks",
-            "peak kernels",
+            "sched batches",
+            "host-routed",
             "MB pooled",
         ],
-        &rows,
+        &table_rows,
     );
-    let agree = mappings.windows(2).all(|w| w[0] == w[1]);
+    let agree = rows.windows(2).all(|w| w[0].mappings == w[1].mappings);
     out.push_str(&format!(
         "mapping agreement across backends: {}\n",
         if agree { "identical" } else { "MISMATCH" }
     ));
+    for (sched, fifo) in [
+        ("gpu-sim+sup+sched", "gpu-sim+sup"),
+        ("gpu-tiny+sup+sched", "gpu-tiny+sup"),
+    ] {
+        if let (Some(s), Some(f)) = (
+            rows.iter().find(|r| r.label == sched),
+            rows.iter().find(|r| r.label == fifo),
+        ) {
+            out.push_str(&format!(
+                "{sched} vs {fifo}: jobs/s x{:.2}, fallback rate {:.3} -> {:.3}\n",
+                if f.jobs_per_sec() > 0.0 {
+                    s.jobs_per_sec() / f.jobs_per_sec()
+                } else {
+                    0.0
+                },
+                f.fallback_rate(),
+                s.fallback_rate(),
+            ));
+        }
+    }
     out.push_str("paper: one pipeline, interchangeable processors (§4.5); backend choice changes accounting, never output\n");
     out.push_str(crate::SCALE_NOTE);
     out.push('\n');
-    out
+
+    (out, json_report(quick, n_reads, agree, &rows))
+}
+
+/// Hand-rolled JSON (the workspace takes no serialization dependency):
+/// per-variant counters plus scheduled-vs-unscheduled deltas.
+fn json_report(quick: bool, n_reads: usize, agree: bool, rows: &[Row]) -> String {
+    let mut j = String::from("{\n");
+    j.push_str("  \"experiment\": \"backend_exec\",\n");
+    j.push_str(&format!("  \"quick\": {quick},\n"));
+    j.push_str(&format!("  \"reads\": {n_reads},\n"));
+    j.push_str(&format!("  \"mapping_agreement\": {agree},\n"));
+    j.push_str("  \"variants\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str("    {\n");
+        j.push_str(&format!("      \"label\": \"{}\",\n", r.label));
+        j.push_str(&format!("      \"mappings\": {},\n", r.mappings));
+        j.push_str(&format!(
+            "      \"align_seconds\": {:.6},\n",
+            r.align_seconds
+        ));
+        j.push_str(&format!("      \"jobs\": {},\n", r.stats.jobs));
+        j.push_str(&format!(
+            "      \"jobs_per_sec\": {:.2},\n",
+            r.jobs_per_sec()
+        ));
+        j.push_str(&format!("      \"cells\": {},\n", r.stats.cells));
+        j.push_str(&format!("      \"fallbacks\": {},\n", r.stats.fallbacks));
+        j.push_str(&format!(
+            "      \"fallback_rate\": {:.6},\n",
+            r.fallback_rate()
+        ));
+        j.push_str(&format!(
+            "      \"sched_batches\": {},\n",
+            r.stats.sched_batches
+        ));
+        j.push_str(&format!(
+            "      \"sched_host_jobs\": {}\n",
+            r.stats.sched_host_jobs
+        ));
+        j.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"deltas\": [\n");
+    let pairs = [
+        ("gpu-sim+sup+sched", "gpu-sim+sup"),
+        ("gpu-tiny+sup+sched", "gpu-tiny+sup"),
+    ];
+    for (i, (sched, fifo)) in pairs.iter().enumerate() {
+        let (Some(s), Some(f)) = (
+            rows.iter().find(|r| r.label == *sched),
+            rows.iter().find(|r| r.label == *fifo),
+        ) else {
+            continue;
+        };
+        j.push_str("    {\n");
+        j.push_str(&format!("      \"scheduled\": \"{sched}\",\n"));
+        j.push_str(&format!("      \"unscheduled\": \"{fifo}\",\n"));
+        j.push_str(&format!(
+            "      \"jobs_per_sec_ratio\": {:.4},\n",
+            if f.jobs_per_sec() > 0.0 {
+                s.jobs_per_sec() / f.jobs_per_sec()
+            } else {
+                0.0
+            }
+        ));
+        j.push_str(&format!(
+            "      \"fallback_rate_delta\": {:.6}\n",
+            s.fallback_rate() - f.fallback_rate()
+        ));
+        j.push_str(if i + 1 == pairs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    j
 }

@@ -43,6 +43,8 @@ pub fn run(quick: bool) -> String {
         sort_by_length: false,
         backend: None,
         supervised: false,
+        sched: false,
+        device_mem: None,
     };
     let res = match profile_run(&idx_path, &fasta, &cfg) {
         Ok(res) => res,

@@ -7,6 +7,7 @@
 //! manymap map    ref.mmx reads.fq [--preset ...] [--engine mm2|manymap]
 //!                [--backend cpu|gpu-sim] [--threads N] [--sam]
 //!                [--no-cigar] [--no-mmap] [--max-read-len N]
+//!                [--sched fifo|bins] [--prefilter off|safe|aggressive]
 //! manymap map    ref.fa  reads.fq   # index built on the fly
 //! ```
 //!
@@ -19,6 +20,19 @@
 //! bit-identical, so the choice never changes stdout. `MMM_GPU_MEM` (bytes)
 //! and `MMM_GPU_STREAMS` shrink the simulated device — useful to force the
 //! oversized-pair CPU fallback path.
+//!
+//! Scheduling (DESIGN.md §11): `--sched bins` (or `MMM_SCHED=bins`) bins
+//! each dispatch's jobs by DP-matrix size before submission — similarly
+//! sized jobs batch together for even stream occupancy, and jobs the device
+//! statically cannot take are routed to the host executor pre-batch instead
+//! of stalling a device batch. Batch budgets: `MMM_SCHED_BATCH_CELLS`,
+//! `MMM_SCHED_BATCH_JOBS`. Scheduling is pure reordering, so stdout is
+//! byte-identical to the default fifo dispatch.
+//!
+//! Pre-alignment filtering: `--prefilter safe|aggressive` (or
+//! `MMM_PREFILTER`) rejects candidate chains whose anchored sample windows
+//! show no real-mapping evidence, before their DP jobs are planned.
+//! Rejections are counted and reported on stderr. Default `off`.
 //!
 //! Fault behavior: fatal input problems (unreadable files, corrupt index,
 //! a byte stream dying mid-file) abort with a nonzero exit and a message
@@ -52,7 +66,7 @@ use manymap::{paf_line, paf_unmapped, MapError, MapOpts, MapReadError, Mapper};
 use mmm_align::{best_mm2_engine, AlignResult, AlignScratch};
 use mmm_exec::{
     prepare_supervised, BackendKind, BackendOptions, BackendStats, FaultPlan, JobOutcome,
-    SupervisorConfig,
+    PrefilterMode, SchedConfig, SchedMode, SupervisorConfig,
 };
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
@@ -79,7 +93,9 @@ fn parse_args() -> Args {
                 | "inject-panic"
                 | "backend-retries"
                 | "batch-deadline-ms"
-                | "inject-backend-fault" => it.next().unwrap_or_default(),
+                | "inject-backend-fault"
+                | "sched"
+                | "prefilter" => it.next().unwrap_or_default(),
                 _ => "true".to_string(),
             };
             flags.insert(name.to_string(), val);
@@ -90,7 +106,7 @@ fn parse_args() -> Args {
     Args { positional, flags }
 }
 
-fn opts_for(args: &Args) -> MapOpts {
+fn opts_for(args: &Args) -> Result<MapOpts, MapError> {
     let mut opts = match args.flags.get("preset").map(|s| s.as_str()) {
         Some("map-pb") => MapOpts::map_pb(),
         _ => MapOpts::map_ont(),
@@ -104,7 +120,13 @@ fn opts_for(args: &Args) -> MapOpts {
     if let Some(n) = args.flags.get("max-read-len").and_then(|s| s.parse().ok()) {
         opts.max_read_len = n;
     }
-    opts
+    // Prefilter selection: --prefilter wins, then MMM_PREFILTER, default off.
+    opts.prefilter = match args.flags.get("prefilter") {
+        Some(v) => PrefilterMode::parse(v),
+        None => PrefilterMode::from_env().unwrap_or(Ok(PrefilterMode::Off)),
+    }
+    .map_err(MapError::Usage)?;
+    Ok(opts)
 }
 
 fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, MapError> {
@@ -150,7 +172,7 @@ fn cmd_index(args: &Args) -> Result<(), MapError> {
             "usage: manymap index <ref.fa> <out.mmx>".into(),
         ));
     };
-    let opts = opts_for(args);
+    let opts = opts_for(args)?;
     let idx = load_reference(input, &opts)?;
     save_index(&idx, Path::new(output)).map_err(|e| MapError::Io {
         path: output.to_string(),
@@ -181,7 +203,7 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
             "usage: manymap map <ref.mmx|ref.fa> <reads.fq>".into(),
         ));
     };
-    let opts = opts_for(args);
+    let opts = opts_for(args)?;
     let threads: usize = args
         .flags
         .get("threads")
@@ -229,6 +251,11 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         sup_cfg.batch_deadline = Some(std::time::Duration::from_millis(ms));
     }
     sup_cfg.fail_fast = args.flags.contains_key("fail-fast");
+    // Scheduler: env defaults, then the --sched flag on top.
+    let mut sched_cfg = SchedConfig::from_env().map_err(MapError::Usage)?;
+    if let Some(v) = args.flags.get("sched") {
+        sched_cfg.mode = SchedMode::parse(v).map_err(MapError::Usage)?;
+    }
     let backend =
         prepare_supervised(kind, &bopts, sup_cfg).map_err(|e| MapError::Usage(e.to_string()))?;
     let backend_stats = Mutex::new(BackendStats::default());
@@ -258,6 +285,8 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     let align_rejected = AtomicUsize::new(0);
     let panicked = AtomicUsize::new(0);
     let backend_quarantined = AtomicUsize::new(0);
+    // Chains the pre-alignment filter rejected before planning.
+    let prefilter_rejected = AtomicUsize::new(0);
 
     // A worker panic or a quarantined backend job degrades the read instead
     // of killing the run: the handler reports the offending read once and
@@ -286,6 +315,7 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
     // finalize (splice results, extend ends, format records, on the pool).
     type Planned = (Vec<u8>, Result<ReadPlan, MapReadError>);
     let backend = &backend;
+    let sched_cfg = &sched_cfg;
     let stats = try_run_three_thread_batched_with_state(
         // A mid-file read error (device fault, malformed record) aborts the
         // run with the file name and position — it is never EOF.
@@ -332,7 +362,7 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
             let mut outcomes = Vec::new();
             if !all_jobs.is_empty() {
                 let (os, bstats) = backend
-                    .submit_supervised(all_jobs)
+                    .submit_scheduled(all_jobs, sched_cfg)
                     .map_err(|e| -> DynError { Box::new(e) })?;
                 lock_unpoisoned(&backend_stats).merge(&bstats);
                 outcomes = os;
@@ -366,7 +396,13 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
          results: &Vec<AlignResult>| {
             let (nt4, plan) = planned;
             let plan = match plan {
-                Ok(p) => p,
+                Ok(p) => {
+                    let n = p.chained().prefilter_rejected();
+                    if n > 0 {
+                        prefilter_rejected.fetch_add(n, Ordering::Relaxed);
+                    }
+                    p
+                }
                 Err(e) => {
                     match e {
                         MapReadError::ReadTooLong { .. } => &too_long,
@@ -431,6 +467,13 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         if let Some(line) = bstats.supervisor_summary(backend.label()) {
             eprintln!("[manymap] {line}");
         }
+    }
+    let pf = prefilter_rejected.load(Ordering::Relaxed);
+    if pf > 0 {
+        eprintln!(
+            "[manymap] prefilter ({}): {pf} candidate chain(s) rejected before planning",
+            opts.prefilter.label()
+        );
     }
     let (tl, ar, pk, bq) = (
         too_long.load(Ordering::Relaxed),

@@ -14,7 +14,7 @@ use mmm_align::{
 };
 use mmm_chain::select::SelectedChain;
 use mmm_chain::{chain_anchors, select_chains, Chain};
-use mmm_exec::AlignJob;
+use mmm_exec::{AlignJob, PrefilterProbe, PREFILTER_WINDOW};
 use mmm_index::MinimizerIndex;
 use mmm_seq::revcomp4;
 
@@ -58,12 +58,20 @@ impl std::error::Error for MapReadError {
 pub struct ChainedRead {
     selected: Vec<SelectedChain>,
     q_rc: Option<Vec<u8>>,
+    /// Chains discarded by the pre-alignment filter (zero with `--prefilter
+    /// off`); surfaced so the CLI can report rejection counts per run.
+    prefilter_rejected: usize,
 }
 
 impl ChainedRead {
     /// Number of selected chains.
     pub fn num_chains(&self) -> usize {
         self.selected.len()
+    }
+
+    /// Chains rejected by the pre-alignment filter before planning.
+    pub fn prefilter_rejected(&self) -> usize {
+        self.prefilter_rejected
     }
 }
 
@@ -255,10 +263,14 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage).
+    /// Phase 1: seeding and chaining (the paper's "Seed & Chain" stage),
+    /// followed by the optional pre-alignment filter. Filtering happens
+    /// here — before any planning — so the monolithic, planned, and
+    /// scheduled execution paths all see the identical chain set and stay
+    /// bit-identical to each other at any fixed `--prefilter` setting.
     pub fn seed_chain(&self, query: &[u8]) -> ChainedRead {
         let anchors = self.index.collect_anchors(query);
-        let selected = if anchors.is_empty() {
+        let mut selected = if anchors.is_empty() {
             Vec::new()
         } else {
             let chains = chain_anchors(anchors, &self.opts.chain);
@@ -268,7 +280,51 @@ impl<'a> Mapper<'a> {
             .iter()
             .any(|s| s.chain.rev)
             .then(|| revcomp4(query));
-        ChainedRead { selected, q_rc }
+        let before = selected.len();
+        if self.opts.prefilter.min_match_run().is_some() {
+            selected.retain(|sel| {
+                let qseq: &[u8] = match (sel.chain.rev, q_rc.as_deref()) {
+                    (true, Some(rc)) => rc,
+                    (true, None) => return true,
+                    (false, _) => query,
+                };
+                !self
+                    .probe_chain(&sel.chain, qseq)
+                    .rejects(self.opts.prefilter)
+            });
+        }
+        ChainedRead {
+            prefilter_rejected: before - selected.len(),
+            selected,
+            q_rc,
+        }
+    }
+
+    /// Sample anchored windows over one chain for the pre-alignment
+    /// filter: short stretches starting right after an anchor's end base,
+    /// where reference and query are in exact register. Up to eight evenly
+    /// spaced anchors are probed so the cost stays O(1) per chain while the
+    /// match-run statistic sees enough independent windows.
+    fn probe_chain(&self, chain: &Chain, qseq: &[u8]) -> PrefilterProbe {
+        let mut probe = PrefilterProbe::default();
+        let n = chain.anchors.len();
+        let picks: [usize; 8] = std::array::from_fn(|i| (i * (n - 1)) / 7);
+        let mut last = usize::MAX;
+        for &i in &picks {
+            if i == last {
+                continue; // short chains repeat indices; sample each once
+            }
+            last = i;
+            let a = chain.anchors[i];
+            let (rs, qs) = (a.rpos as usize + 1, a.qpos as usize + 1);
+            if qs >= qseq.len() {
+                continue;
+            }
+            let qe = (qs + PREFILTER_WINDOW).min(qseq.len());
+            let rseg = self.index.ref_window(chain.rid, rs, rs + (qe - qs));
+            probe.observe(&rseg, &qseq[qs..qe]);
+        }
+        probe
     }
 
     /// Phase 2: base-level alignment (the paper's "Align" stage).
@@ -760,6 +816,131 @@ mod tests {
         let ms =
             mapper.finalize_read_with_scratch(&other[..800], &plan, &[], &mut AlignScratch::new());
         assert!(ms.is_empty());
+    }
+
+    /// A read that seeds real anchors but is random noise everywhere else:
+    /// keep short exact stretches of the genome in register and corrupt
+    /// every other base, so chains form yet every anchored Hamming window
+    /// samples ~100% mismatch.
+    fn decoy_read(g: &[u8], start: usize, len: usize) -> Vec<u8> {
+        g[start..start + len]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i % 40 < 16 { b } else { (b + 1) % 4 })
+            .collect()
+    }
+
+    #[test]
+    fn prefilter_rejects_decoy_chains_and_counts_them() {
+        let g = generate_genome(&GenomeOpts {
+            len: 100_000,
+            repeat_frac: 0.0,
+            seed: 21,
+            ..Default::default()
+        });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let decoy = decoy_read(&g, 30_000, 4_000);
+
+        let off = Mapper::new(&idx, crate::opts::MapOpts::map_ont());
+        let chained = off.seed_chain(&decoy);
+        assert!(chained.num_chains() > 0, "decoy must still chain");
+        assert_eq!(chained.prefilter_rejected(), 0);
+
+        let safe = Mapper::new(
+            &idx,
+            crate::opts::MapOpts::map_ont().with_prefilter(mmm_exec::PrefilterMode::Safe),
+        );
+        let filtered = safe.seed_chain(&decoy);
+        assert_eq!(filtered.num_chains(), 0, "noise windows must reject");
+        assert!(filtered.prefilter_rejected() > 0);
+
+        // An exact read passes untouched even under the aggressive knob.
+        let real = g[30_000..34_000].to_vec();
+        let aggr = Mapper::new(
+            &idx,
+            crate::opts::MapOpts::map_ont().with_prefilter(mmm_exec::PrefilterMode::Aggressive),
+        );
+        let kept = aggr.seed_chain(&real);
+        assert!(kept.num_chains() > 0);
+        assert_eq!(kept.prefilter_rejected(), 0);
+    }
+
+    #[test]
+    fn prefilter_keeps_noisy_but_real_reads() {
+        // Simulated platform error rates sit far below the safe cut, so
+        // `safe` must not change any honest read's output. `aggressive`
+        // openly trades recall, but it must never drop a primary mapping.
+        let g = generate_genome(&GenomeOpts {
+            len: 150_000,
+            repeat_frac: 0.0,
+            seed: 22,
+            ..Default::default()
+        });
+        let idx = build_index(&g, &IdxOpts::MAP_PB);
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::PacBio,
+                num_reads: 15,
+                seed: 6,
+            },
+        );
+        let off = Mapper::new(&idx, crate::opts::MapOpts::map_pb());
+        let safe = Mapper::new(
+            &idx,
+            crate::opts::MapOpts::map_pb().with_prefilter(mmm_exec::PrefilterMode::Safe),
+        );
+        let aggr = Mapper::new(
+            &idx,
+            crate::opts::MapOpts::map_pb().with_prefilter(mmm_exec::PrefilterMode::Aggressive),
+        );
+        for r in &reads {
+            let a = off.map_read(&r.seq);
+            let b = safe.map_read(&r.seq);
+            assert_eq!(a, b, "safe prefilter changed an honest read");
+            let c = aggr.map_read(&r.seq);
+            assert_eq!(
+                a.iter().filter(|m| m.primary).count(),
+                c.iter().filter(|m| m.primary).count(),
+                "aggressive prefilter dropped a primary mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_path_matches_monolithic_with_prefilter_enabled() {
+        use mmm_exec::{prepare, BackendKind, BackendOptions, PrefilterMode};
+        let g = generate_genome(&GenomeOpts {
+            len: 120_000,
+            repeat_frac: 0.05,
+            seed: 23,
+            ..Default::default()
+        });
+        let idx = build_index(&g, &IdxOpts::MAP_ONT);
+        let reads = simulate_reads(
+            &g,
+            &SimOpts {
+                platform: Platform::Nanopore,
+                num_reads: 8,
+                seed: 7,
+            },
+        );
+        let mopts = crate::opts::MapOpts::map_ont().with_prefilter(PrefilterMode::Safe);
+        let mapper = Mapper::new(&idx, mopts);
+        let mut bopts = BackendOptions::new(mopts.scoring);
+        bopts.engine = mopts.engine;
+        bopts.threads = 2;
+        let backend = prepare(BackendKind::GpuSim, &bopts).unwrap();
+        let mut scratch = AlignScratch::new();
+        for r in &reads {
+            let gold = mapper
+                .try_map_read_with_scratch(&r.seq, &mut scratch)
+                .unwrap();
+            let plan = mapper.plan_read(&r.seq).unwrap();
+            let (results, _stats) = backend.submit(plan.jobs.clone()).unwrap();
+            let got = mapper.finalize_read_with_scratch(&r.seq, &plan, &results, &mut scratch);
+            assert_eq!(gold, got);
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use mmm_align::{best_engine, Engine, Scoring};
 use mmm_chain::{ChainOpts, SelectOpts};
+use mmm_exec::{PrefilterMode, MAX_PLAN_SEGMENT};
 use mmm_index::IdxOpts;
 
 /// All knobs of one mapping run.
@@ -27,6 +28,10 @@ pub struct MapOpts {
     /// Reads longer than this are rejected per-read (degraded to unmapped)
     /// rather than aligned; guards worker memory against pathological input.
     pub max_read_len: usize,
+    /// Pre-alignment candidate filter (`--prefilter`): reject chains whose
+    /// anchored Hamming windows look like random noise before any DP is
+    /// planned for them. `Off` by default so baseline output is unchanged.
+    pub prefilter: PrefilterMode,
 }
 
 impl MapOpts {
@@ -40,9 +45,13 @@ impl MapOpts {
             engine: best_engine(),
             with_cigar: true,
             ext_factor: 1.5,
-            max_fill: 20_000,
+            // The one shared plan-time size limit: keeping this equal to the
+            // executor's constant guarantees no planned job is rejected at
+            // submit time for being oversized (see `mmm_exec::job`).
+            max_fill: MAX_PLAN_SEGMENT,
             zdrop: mmm_align::DEFAULT_ZDROP,
             max_read_len: 100_000_000,
+            prefilter: PrefilterMode::Off,
         }
     }
 
@@ -66,6 +75,12 @@ impl MapOpts {
         self.with_cigar = on;
         self
     }
+
+    /// Select a pre-alignment filter mode.
+    pub fn with_prefilter(mut self, mode: PrefilterMode) -> Self {
+        self.prefilter = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +99,20 @@ mod tests {
 
     #[test]
     fn builders_apply() {
-        let o = MapOpts::map_ont().cigar(false);
+        let o = MapOpts::map_ont()
+            .cigar(false)
+            .with_prefilter(PrefilterMode::Safe);
         assert!(!o.with_cigar);
+        assert_eq!(o.prefilter, PrefilterMode::Safe);
+        assert_eq!(MapOpts::map_pb().prefilter, PrefilterMode::Off);
+    }
+
+    #[test]
+    fn plan_size_limit_is_reconciled_with_the_executor() {
+        // Plan-time `max_fill` and the executor's submit-time limit must be
+        // the same constant, or the mapper could plan jobs the device path
+        // would reject (or under-use the budget it is allowed).
+        assert_eq!(MapOpts::map_pb().max_fill, MAX_PLAN_SEGMENT);
+        assert_eq!(MapOpts::map_ont().max_fill, MAX_PLAN_SEGMENT);
     }
 }

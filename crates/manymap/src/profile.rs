@@ -10,7 +10,7 @@ use std::path::Path;
 
 use mmm_exec::{
     prepare, prepare_supervised, AlignBackend, BackendKind, BackendOptions, BackendStats,
-    SupervisorConfig,
+    JobOutcome, SchedConfig, SchedMode, SupervisedBackend, SupervisorConfig,
 };
 use mmm_io::{Stage, StageTimer};
 use mmm_seq::FastxReader;
@@ -41,6 +41,14 @@ pub struct ProfileConfig {
     /// DESIGN.md §10), as the CLI does — measures the wrapper's overhead on
     /// a clean run. Ignored when `backend` is `None`.
     pub supervised: bool,
+    /// Dispatch through the length-binned batch scheduler (DESIGN.md §11)
+    /// instead of fifo submission. Requires `supervised` (the scheduler is
+    /// a supervisor entry point); ignored when `backend` is `None`.
+    pub sched: bool,
+    /// Override the simulated device's global memory (bytes) — the bench
+    /// uses a shrunken device to surface the oversized-pair fallback path.
+    /// `None` keeps the default device.
+    pub device_mem: Option<u64>,
 }
 
 /// Outcome of a profiled run.
@@ -100,21 +108,36 @@ pub fn profile_run(
     let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
     let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
 
-    // Stand up the backend session once, like the CLI does per run.
-    let backend: Option<Box<dyn AlignBackend>> = cfg
+    // Stand up the backend session once, like the CLI does per run. The
+    // supervised session stays concrete so the scheduler entry point
+    // (`submit_scheduled`, an inherent method) is reachable.
+    enum Session {
+        Plain(Box<dyn AlignBackend>),
+        Supervised(Box<SupervisedBackend>),
+    }
+    let backend: Option<Session> = cfg
         .backend
         .map(|kind| {
             let mut bopts = BackendOptions::new(cfg.opts.scoring);
             bopts.engine = cfg.opts.engine;
+            bopts.device_mem = cfg.device_mem;
             if cfg.supervised {
                 prepare_supervised(kind, &bopts, SupervisorConfig::default())
-                    .map(|b| Box::new(b) as Box<dyn AlignBackend>)
+                    .map(|b| Session::Supervised(Box::new(b)))
             } else {
-                prepare(kind, &bopts)
+                prepare(kind, &bopts).map(Session::Plain)
             }
         })
         .transpose()
         .map_err(|e| MapError::Usage(e.to_string()))?;
+    let sched_cfg = SchedConfig {
+        mode: if cfg.sched {
+            SchedMode::Bins
+        } else {
+            SchedMode::Fifo
+        },
+        ..SchedConfig::default()
+    };
     let mut backend_stats = backend.as_ref().map(|_| BackendStats::default());
 
     let mut mappings = 0usize;
@@ -136,9 +159,31 @@ pub fn profile_run(
                 };
                 let ms = timer.time(Stage::Align, || {
                     let jobs = std::mem::take(&mut plan.jobs);
-                    let (results, bstats) = match backend.submit(jobs) {
-                        Ok(r) => r,
-                        Err(e) => return Err(MapError::Usage(e.to_string())),
+                    let (results, bstats) = match backend {
+                        Session::Plain(b) => match b.submit(jobs) {
+                            Ok(r) => r,
+                            Err(e) => return Err(MapError::Usage(e.to_string())),
+                        },
+                        Session::Supervised(b) => {
+                            let (outcomes, bstats) = match b.submit_scheduled(jobs, &sched_cfg) {
+                                Ok(r) => r,
+                                Err(e) => return Err(MapError::Usage(e.to_string())),
+                            };
+                            // Profiled runs are clean by construction: a
+                            // quarantine here is a harness bug, not data.
+                            let mut results = Vec::with_capacity(outcomes.len());
+                            for o in outcomes {
+                                match o {
+                                    JobOutcome::Done(r) => results.push(r),
+                                    JobOutcome::Quarantined { reason } => {
+                                        return Err(MapError::Usage(format!(
+                                            "profiled run quarantined a job: {reason}"
+                                        )))
+                                    }
+                                }
+                            }
+                            (results, bstats)
+                        }
                     };
                     if let Some(acc) = backend_stats.as_mut() {
                         acc.merge(&bstats);
@@ -211,6 +256,8 @@ mod tests {
                 sort_by_length: true,
                 backend: None,
                 supervised: false,
+                sched: false,
+                device_mem: None,
             };
             let res = profile_run(&path, &fasta, &cfg).unwrap();
             assert_eq!(res.reads, 10);
@@ -235,20 +282,24 @@ mod tests {
                 sort_by_length: true,
                 backend: None,
                 supervised: false,
+                sched: false,
+                device_mem: None,
             },
         )
         .unwrap();
         for kind in [mmm_exec::BackendKind::Cpu, mmm_exec::BackendKind::GpuSim] {
-            for supervised in [false, true] {
+            for (supervised, sched) in [(false, false), (true, false), (true, true)] {
                 let cfg = ProfileConfig {
                     opts: MapOpts::map_ont(),
                     use_mmap: false,
                     sort_by_length: true,
                     backend: Some(kind),
                     supervised,
+                    sched,
+                    device_mem: None,
                 };
                 let res = profile_run(&path, &fasta, &cfg).unwrap();
-                let tag = format!("{} supervised={supervised}", kind.label());
+                let tag = format!("{} supervised={supervised} sched={sched}", kind.label());
                 assert_eq!(res.mappings, inline.mappings, "{tag}");
                 assert_eq!(res.output_bytes, inline.output_bytes, "{tag}");
                 let bstats = res.backend_stats.unwrap();
@@ -256,6 +307,11 @@ mod tests {
                 if supervised {
                     // A clean run needs no interventions.
                     assert!(!bstats.supervised_activity(), "{tag}: {bstats:?}");
+                }
+                if sched {
+                    assert!(bstats.sched_batches > 0, "{tag}: {bstats:?}");
+                } else {
+                    assert_eq!(bstats.sched_batches, 0, "{tag}");
                 }
             }
         }

@@ -120,12 +120,16 @@ fn shrunken_device_forces_fallbacks_but_not_divergence() {
     let fx = fixture("fallback");
     let cpu = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
     // 16 KB of simulated device memory: any nontrivial with-path gap fill
-    // overflows it and must be routed to the CPU executor.
+    // overflows it and must be routed to the CPU executor. Pin fifo
+    // dispatch: the in-submit fallback counter this test asserts on is
+    // exactly what the binned scheduler eliminates (oversized jobs are
+    // host-routed pre-batch), so an inherited MMM_SCHED=bins would
+    // legitimately report zero fallbacks.
     let gpu = run_map(
         &fx.index,
         &fx.reads,
         &["--backend", "gpu-sim"],
-        &[("MMM_GPU_MEM", "16384")],
+        &[("MMM_GPU_MEM", "16384"), ("MMM_SCHED", "fifo")],
     );
     assert!(gpu.status.success());
     assert_eq!(
@@ -294,6 +298,148 @@ fn fail_fast_aborts_on_first_quarantine() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("injected fault launch-fail"),
+        "stderr: {stderr}"
+    );
+}
+
+// --- length-binned scheduling + prefiltering (DESIGN.md §11) ------------
+
+/// The scheduler acceptance bar: `--sched bins` must be byte-invisible in
+/// stdout (PAF and SAM), including on a shrunken device where it routes
+/// oversized jobs to the host pre-batch, and the stderr summary must
+/// account for the binned batches.
+#[test]
+fn scheduled_dispatch_is_byte_identical_to_fifo() {
+    let fx = fixture("sched");
+    for format in [&[][..], &["--sam"][..]] {
+        let inline_cpu = run_map(
+            &fx.index,
+            &fx.reads,
+            &[&["--backend", "cpu"], format].concat(),
+            &[],
+        );
+        assert!(inline_cpu.status.success());
+        for envs in [&[][..], &[("MMM_GPU_MEM", "16384")][..]] {
+            let sched = run_map(
+                &fx.index,
+                &fx.reads,
+                &[&["--backend", "gpu-sim", "--sched", "bins"], format].concat(),
+                envs,
+            );
+            assert!(
+                sched.status.success(),
+                "stderr: {}",
+                String::from_utf8_lossy(&sched.stderr)
+            );
+            assert_eq!(
+                inline_cpu.stdout, sched.stdout,
+                "scheduling must never change output ({format:?}, {envs:?})"
+            );
+            let stderr = String::from_utf8_lossy(&sched.stderr);
+            assert!(
+                stderr.contains("binned batch(es)"),
+                "scheduler summary missing: {stderr}"
+            );
+            if !envs.is_empty() {
+                // The tiny device must show pre-batch host routing.
+                assert!(
+                    stderr.contains("host-routed job(s)") && !stderr.contains("0 host-routed"),
+                    "tiny device produced no host routing: {stderr}"
+                );
+            }
+        }
+    }
+}
+
+/// `MMM_SCHED=bins` selects the scheduler without the flag; an unknown
+/// mode is a usage error.
+#[test]
+fn sched_env_var_and_validation() {
+    let fx = fixture("sched-env");
+    let out = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--backend", "gpu-sim"],
+        &[("MMM_SCHED", "bins")],
+    );
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("binned batch(es)"), "stderr: {stderr}");
+
+    let bad = run_map(&fx.index, &fx.reads, &["--sched", "zigzag"], &[]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("unknown scheduler mode"),
+        "stderr: {stderr}"
+    );
+}
+
+/// The scheduler under a fault plan: supervision still absorbs the faults
+/// and stdout stays identical to a clean CPU run.
+#[test]
+fn scheduled_dispatch_survives_chaos() {
+    let fx = fixture("sched-chaos");
+    let clean = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
+    let chaos = run_map(
+        &fx.index,
+        &fx.reads,
+        &[
+            "--backend",
+            "gpu-sim",
+            "--sched",
+            "bins",
+            "--inject-backend-fault",
+            "launch-fail:every=2",
+        ],
+        &[],
+    );
+    assert!(
+        chaos.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&chaos.stderr)
+    );
+    assert_eq!(
+        clean.stdout, chaos.stdout,
+        "faults under the scheduler must not reach stdout"
+    );
+    let stderr = String::from_utf8_lossy(&chaos.stderr);
+    assert!(stderr.contains("binned batch(es)"), "stderr: {stderr}");
+    assert!(stderr.contains("supervisor gpu-sim:"), "stderr: {stderr}");
+}
+
+/// `--prefilter safe` leaves honest simulated reads untouched (stdout
+/// identical, nothing rejected); an unknown mode is a usage error.
+#[test]
+fn prefilter_flag_smoke() {
+    let fx = fixture("prefilter");
+    let off = run_map(&fx.index, &fx.reads, &["--backend", "cpu"], &[]);
+    let safe = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--backend", "cpu", "--prefilter", "safe"],
+        &[],
+    );
+    assert!(safe.status.success());
+    assert_eq!(
+        off.stdout, safe.stdout,
+        "safe prefilter changed honest reads"
+    );
+
+    let env = run_map(
+        &fx.index,
+        &fx.reads,
+        &["--backend", "cpu"],
+        &[("MMM_PREFILTER", "safe")],
+    );
+    assert!(env.status.success());
+    assert_eq!(off.stdout, env.stdout);
+
+    let bad = run_map(&fx.index, &fx.reads, &["--prefilter", "psychic"], &[]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("unknown prefilter mode"),
         "stderr: {stderr}"
     );
 }

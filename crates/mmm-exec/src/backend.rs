@@ -25,6 +25,16 @@ pub trait AlignBackend: Send + Sync {
     /// kernel bug) — per-job size limits never fail, they fall back.
     fn submit(&self, jobs: Vec<AlignJob>)
         -> Result<(Vec<AlignResult>, BackendStats), BackendError>;
+
+    /// Whether this backend can execute `job` natively, without routing it
+    /// through an internal host fallback. The batch scheduler
+    /// (`crate::sched`) uses this to send statically ineligible jobs —
+    /// oversized footprints, unsupported boundary modes — straight to the
+    /// host executor instead of letting them stall a device batch. The
+    /// default claims everything, which is correct for host backends.
+    fn device_eligible(&self, _job: &AlignJob) -> bool {
+        true
+    }
 }
 
 /// Which backend implementation to prepare.

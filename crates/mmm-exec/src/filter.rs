@@ -1,0 +1,245 @@
+//! Pre-alignment filtering (DESIGN.md §11).
+//!
+//! Full DP on a hopeless candidate region is the most expensive way to
+//! discover it was hopeless. Following the shifted-Hamming family of
+//! pre-alignment filters in its cheapest form, this module estimates a
+//! candidate's quality from a few *anchored* windows — short stretches
+//! sampled immediately after exact seed matches, where target and query are
+//! in exact register — and rejects candidates no real alignment could
+//! produce, before any [`AlignJob`](crate::AlignJob) is planned for them.
+//!
+//! The verdict statistic is the **longest exact match run** observed across
+//! all sampled windows, not the raw mismatch fraction: long-read errors are
+//! indel-dominant, and a single indel inside a window shifts the register
+//! and turns every following base into a "mismatch" even on a true mapping.
+//! Match runs are immune to that failure mode — any error, of any kind,
+//! merely ends a run — while random noise is exponentially unlikely to
+//! produce a long one (a 12-base run occurs by chance once per ~17M window
+//! positions). Calibration: at long-read error rates (10–15%) a true
+//! mapping's windows contain an 8+-base run with near certainty and a
+//! 12+-base run with high probability; unrelated sequence essentially never
+//! does. `Safe` demands an 8-run somewhere, `Aggressive` a 12-run — the
+//! latter also prices out heavily diverged (but real) candidates, which is
+//! the advertised recall trade. Too little sampled evidence, or a low
+//! overall mismatch fraction (short clean windows), is always an accept:
+//! the filter only ever rejects on strong evidence.
+
+/// How conservative the pre-alignment filter is (`--prefilter`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrefilterMode {
+    /// No filtering; every candidate is planned. The default.
+    #[default]
+    Off,
+    /// Reject only candidates indistinguishable from random noise.
+    Safe,
+    /// Also reject marginal candidates; trades recall for planned work.
+    Aggressive,
+}
+
+impl PrefilterMode {
+    /// Parse a `--prefilter` value.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "off" => Ok(PrefilterMode::Off),
+            "safe" => Ok(PrefilterMode::Safe),
+            "aggressive" => Ok(PrefilterMode::Aggressive),
+            other => Err(format!(
+                "unknown prefilter mode {other:?} (off|safe|aggressive)"
+            )),
+        }
+    }
+
+    /// The `MMM_PREFILTER` environment selection, if set.
+    pub fn from_env() -> Option<Result<Self, String>> {
+        std::env::var("MMM_PREFILTER").ok().map(|v| Self::parse(&v))
+    }
+
+    /// Name as accepted by [`parse`](Self::parse).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefilterMode::Off => "off",
+            PrefilterMode::Safe => "safe",
+            PrefilterMode::Aggressive => "aggressive",
+        }
+    }
+
+    /// Shortest exact match run that counts as evidence of a real mapping;
+    /// a probe whose best run falls short is rejected. `None` disables
+    /// filtering.
+    pub fn min_match_run(self) -> Option<u32> {
+        match self {
+            PrefilterMode::Off => None,
+            PrefilterMode::Safe => Some(8),
+            PrefilterMode::Aggressive => Some(12),
+        }
+    }
+}
+
+/// Bases to sample per anchored window.
+pub const PREFILTER_WINDOW: usize = 24;
+
+/// Minimum sampled bases before a verdict may reject. Below this the
+/// estimate is too noisy and the probe always accepts.
+pub const PREFILTER_MIN_SAMPLED: u32 = 32;
+
+/// Sampled mismatch fraction at or below which a candidate is accepted
+/// without consulting match runs: short-but-clean windows are real evidence
+/// even when they are too short to contain a qualifying run.
+pub const PREFILTER_CLEAN_FRAC: f64 = 0.25;
+
+/// Evidence accumulated from anchored windows of one candidate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefilterProbe {
+    mismatches: u32,
+    sampled: u32,
+    max_run: u32,
+}
+
+impl PrefilterProbe {
+    /// Fold in one anchored window: `t` and `q` start in exact register
+    /// (both begin right after the same exact seed match) and are compared
+    /// base-for-base over their common prefix length.
+    pub fn observe(&mut self, t: &[u8], q: &[u8]) {
+        let n = t.len().min(q.len());
+        self.sampled += n as u32;
+        let mut run = 0u32;
+        for (a, b) in t[..n].iter().zip(&q[..n]) {
+            if a == b {
+                run += 1;
+                self.max_run = self.max_run.max(run);
+            } else {
+                run = 0;
+                self.mismatches += 1;
+            }
+        }
+    }
+
+    /// Total bases sampled so far.
+    pub fn sampled(&self) -> u32 {
+        self.sampled
+    }
+
+    /// Longest exact match run seen in any window so far.
+    pub fn max_run(&self) -> u32 {
+        self.max_run
+    }
+
+    /// Sampled mismatch fraction (0.0 when nothing was sampled).
+    pub fn mismatch_frac(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            f64::from(self.mismatches) / f64::from(self.sampled)
+        }
+    }
+
+    /// Does `mode` reject this candidate? Conservative by construction:
+    /// `Off`, fewer than [`PREFILTER_MIN_SAMPLED`] bases, or a mostly-clean
+    /// sample ([`PREFILTER_CLEAN_FRAC`]) never reject.
+    pub fn rejects(&self, mode: PrefilterMode) -> bool {
+        let Some(min_run) = mode.min_match_run() else {
+            return false;
+        };
+        self.sampled >= PREFILTER_MIN_SAMPLED
+            && self.mismatch_frac() > PREFILTER_CLEAN_FRAC
+            && self.max_run < min_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_of(t: &[u8], q: &[u8]) -> PrefilterProbe {
+        let mut p = PrefilterProbe::default();
+        p.observe(t, q);
+        p
+    }
+
+    #[test]
+    fn identical_windows_always_pass() {
+        let t: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let p = probe_of(&t, &t);
+        assert_eq!(p.mismatch_frac(), 0.0);
+        assert_eq!(p.max_run(), 64);
+        assert!(!p.rejects(PrefilterMode::Safe));
+        assert!(!p.rejects(PrefilterMode::Aggressive));
+    }
+
+    #[test]
+    fn noise_rejected_marginal_runs_only_by_aggressive() {
+        // Periodic noise: a match every 4th base, runs never exceed 1 —
+        // what unrelated sequence looks like, minus the randomness.
+        let t = vec![0u8; 64];
+        let q: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let noise = probe_of(&t, &q);
+        assert_eq!(noise.max_run(), 1);
+        assert!(noise.rejects(PrefilterMode::Safe));
+        assert!(noise.rejects(PrefilterMode::Aggressive));
+        assert!(!noise.rejects(PrefilterMode::Off));
+
+        // Runs of exactly 8 split by bursts of mismatch: enough evidence
+        // for safe, not for the aggressive knob.
+        let q2: Vec<u8> = (0..64)
+            .map(|i| if i % 16 < 8 { 0u8 } else { 1u8 })
+            .collect();
+        let marginal = probe_of(&t, &q2);
+        assert_eq!(marginal.max_run(), 8);
+        assert!(marginal.mismatch_frac() > PREFILTER_CLEAN_FRAC);
+        assert!(!marginal.rejects(PrefilterMode::Safe));
+        assert!(marginal.rejects(PrefilterMode::Aggressive));
+    }
+
+    #[test]
+    fn sparse_evidence_never_rejects() {
+        let t = vec![0u8; 8];
+        let q = vec![1u8; 8]; // 100% mismatch, but only 8 bases sampled
+        let p = probe_of(&t, &q);
+        assert!(p.sampled() < PREFILTER_MIN_SAMPLED);
+        assert!(!p.rejects(PrefilterMode::Aggressive));
+    }
+
+    #[test]
+    fn clean_short_windows_accepted_without_a_qualifying_run() {
+        // Many 6-base perfect windows: no single window can hold a 12-run,
+        // but the sample is nearly mismatch-free — must accept.
+        let mut p = PrefilterProbe::default();
+        for _ in 0..8 {
+            p.observe(&[0u8; 6], &[0u8; 6]);
+        }
+        assert!(p.sampled() >= PREFILTER_MIN_SAMPLED);
+        assert!(p.max_run() < 12);
+        assert!(p.mismatch_frac() <= PREFILTER_CLEAN_FRAC);
+        assert!(!p.rejects(PrefilterMode::Aggressive));
+    }
+
+    #[test]
+    fn windows_accumulate_across_anchors() {
+        let mut p = PrefilterProbe::default();
+        for _ in 0..4 {
+            p.observe(&[0u8; 12], &[1u8; 12]);
+        }
+        assert_eq!(p.sampled(), 48);
+        assert_eq!(p.max_run(), 0);
+        assert!(p.rejects(PrefilterMode::Safe));
+        // Runs do not leak across windows: two 7-base perfect windows are
+        // not a 14-base run.
+        let mut split = PrefilterProbe::default();
+        split.observe(&[0u8; 7], &[0u8; 7]);
+        split.observe(&[0u8; 7], &[0u8; 7]);
+        assert_eq!(split.max_run(), 7);
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [
+            PrefilterMode::Off,
+            PrefilterMode::Safe,
+            PrefilterMode::Aggressive,
+        ] {
+            assert_eq!(PrefilterMode::parse(mode.label()).unwrap(), mode);
+        }
+        assert!(PrefilterMode::parse("fast").is_err());
+        assert_eq!(PrefilterMode::default(), PrefilterMode::Off);
+    }
+}

@@ -86,6 +86,13 @@ impl AlignBackend for GpuSimtBackend {
         "gpu-sim"
     }
 
+    /// A job is device-eligible exactly when `submit` would not route it to
+    /// the internal host fallback — the scheduler's pre-batch routing and
+    /// the submit-time split can never disagree.
+    fn device_eligible(&self, job: &AlignJob) -> bool {
+        self.fallback_reason(job).is_none()
+    }
+
     fn submit(
         &self,
         jobs: Vec<AlignJob>,
@@ -123,12 +130,38 @@ impl AlignBackend for GpuSimtBackend {
             }
         }
 
+        // Host fallbacks overlap the device batch instead of serializing in
+        // front of it: a scoped thread runs the routed jobs while the
+        // calling thread drives `align_batch`, so one oversized pair no
+        // longer adds its full CPU time to the batch's critical path. The
+        // honest cost of the fallbacks is only the host wall time NOT
+        // hidden under the device batch.
         let routed = host_jobs.len();
-        let host_start = std::time::Instant::now();
-        let host_results = self.cpu.execute(&host_jobs)?;
-        let routed_seconds = host_start.elapsed().as_secs_f64();
-
-        let (device_results, gstats) = self.aligner.align_batch(device_jobs)?;
+        let (host_results, routed_seconds, device_results, gstats) = if host_jobs.is_empty() {
+            let (device_results, gstats) = self.aligner.align_batch(device_jobs)?;
+            (Vec::new(), 0.0, device_results, gstats)
+        } else {
+            let start = std::time::Instant::now();
+            let (host_out, device_out, device_wall) = std::thread::scope(|scope| {
+                let host = scope.spawn(|| self.cpu.execute(&host_jobs));
+                let dev_start = std::time::Instant::now();
+                let device = self.aligner.align_batch(device_jobs);
+                let device_wall = dev_start.elapsed().as_secs_f64();
+                let host = host.join().unwrap_or_else(|payload| {
+                    Err(BackendError::JobPanic {
+                        index: 0,
+                        message: format!("host fallback thread panicked: {payload:?}"),
+                    })
+                });
+                (host, device, device_wall)
+            });
+            let total_wall = start.elapsed().as_secs_f64();
+            let host_results = host_out?;
+            let (device_results, gstats) = device_out?;
+            // Wall time the fallbacks added beyond the device batch itself.
+            let exposed = (total_wall - device_wall).max(0.0);
+            (host_results, exposed, device_results, gstats)
+        };
 
         let mut results: Vec<Option<AlignResult>> = (0..total).map(|_| None).collect();
         for (i, r) in device_idx.into_iter().zip(device_results) {
@@ -155,6 +188,9 @@ impl AlignBackend for GpuSimtBackend {
             bytes_pooled: gstats.bytes_pooled,
             pool_rejections: gstats.pool_rejections,
             device_seconds: gstats.device_seconds,
+            // Routed fallbacks run concurrently with the device batch;
+            // `routed_seconds` is only the host wall time that was NOT
+            // hidden under it — the fallbacks' honest critical-path cost.
             fallback_seconds: gstats.fallback_seconds + routed_seconds,
             fallback_too_long: too_long,
             fallback_non_global: non_global,
@@ -164,5 +200,85 @@ impl AlignBackend for GpuSimtBackend {
             ..Default::default()
         };
         Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::MAX_PLAN_SEGMENT;
+    use mmm_align::Scoring;
+
+    /// The satellite reconciliation test: the plan-time segment cap and the
+    /// submit-time too-long test must agree. A maximal planned job — both
+    /// sides at [`MAX_PLAN_SEGMENT`], with path — must fit the default
+    /// device, so nothing the mapper accepts can surprise-fallback at
+    /// submit time on an unshrunken device.
+    #[test]
+    fn max_planned_job_is_device_eligible_on_the_default_device() {
+        assert!(
+            kernel_footprint(MAX_PLAN_SEGMENT, MAX_PLAN_SEGMENT, true)
+                <= DeviceSpec::V100.global_mem,
+            "a maximal plan-time job ({} bp square, with path) overflows the \
+             default device — the shared limit no longer reconciles",
+            MAX_PLAN_SEGMENT
+        );
+        let backend = GpuSimtBackend::new(&BackendOptions::new(Scoring::MAP_ONT));
+        let job = AlignJob::global(
+            vec![0u8; MAX_PLAN_SEGMENT],
+            vec![1u8; MAX_PLAN_SEGMENT],
+            true,
+        );
+        assert!(backend.device_eligible(&job));
+    }
+
+    /// Eligibility mirrors `fallback_reason` exactly: shrinking the device
+    /// makes the same job ineligible, and non-global modes never qualify.
+    #[test]
+    fn eligibility_tracks_fallback_reason() {
+        let mut opts = BackendOptions::new(Scoring::MAP_ONT);
+        opts.device_mem = Some(16_384);
+        let tiny = GpuSimtBackend::new(&opts);
+        let big = AlignJob::global(vec![0u8; 200], vec![1u8; 200], true);
+        assert!(!tiny.device_eligible(&big));
+        let small = AlignJob::global(vec![0u8; 8], vec![1u8; 8], true);
+        assert!(tiny.device_eligible(&small));
+        let mut semi = small.clone();
+        semi.mode = AlignMode::SemiGlobal;
+        assert!(!tiny.device_eligible(&semi));
+    }
+
+    /// The overlap bugfix: with both routed host fallbacks and device work
+    /// in one submit, results stay bit-identical in job order and the
+    /// fallback accounting still reports every routed job.
+    #[test]
+    fn mixed_batch_overlaps_host_and_device_and_stays_ordered() {
+        let mut opts = BackendOptions::new(Scoring::MAP_ONT);
+        opts.device_mem = Some(16_384);
+        let backend = GpuSimtBackend::new(&opts);
+        let jobs: Vec<AlignJob> = (0..10)
+            .map(|k| {
+                let len = if k % 3 == 0 { 300 } else { 20 };
+                AlignJob::global(
+                    (0..len).map(|i| ((i * 3 + k) % 4) as u8).collect(),
+                    (0..len).map(|i| ((i * 7 + k) % 4) as u8).collect(),
+                    true,
+                )
+            })
+            .collect();
+        let (results, stats) = backend.submit(jobs.clone()).expect("submit");
+        assert_eq!(results.len(), jobs.len());
+        assert!(stats.fallback_too_long >= 1, "{stats:?}");
+        assert!(stats.fallbacks < stats.jobs, "{stats:?}");
+        for (r, j) in results.iter().zip(&jobs) {
+            let gold = mmm_align::scalar::align_manymap(
+                &j.target,
+                &j.query,
+                &Scoring::MAP_ONT,
+                AlignMode::Global,
+                true,
+            );
+            assert_eq!(*r, gold);
+        }
     }
 }

@@ -2,6 +2,18 @@
 
 use mmm_align::AlignMode;
 
+/// Hard cap, in bases, on either side of a plan-time alignment segment.
+///
+/// This is the single size limit shared by the two layers that must agree
+/// on it: the mapper's gap classifier (`MapOpts::max_fill`) refuses to emit
+/// an [`AlignJob`] whose target or query exceeds it (oversized chain gaps
+/// are approximated inline instead), and the device backends size-check
+/// submitted jobs against device memory. Keeping one constant — plus the
+/// reconciliation test in `gpu.rs` proving a maximal planned job still fits
+/// the default device — guarantees a job can never be accepted at plan time
+/// only to surprise-fallback at submit time.
+pub const MAX_PLAN_SEGMENT: usize = 20_000;
+
 /// One base-level alignment problem, owned so a backend can ship it to a
 /// device queue (or another thread) without borrowing the mapper's state.
 #[derive(Clone, Debug)]

@@ -24,9 +24,11 @@ pub mod backend;
 pub mod cpu;
 pub mod error;
 pub mod fault;
+pub mod filter;
 pub mod gpu;
 pub mod health;
 pub mod job;
+pub mod sched;
 pub mod stats;
 pub mod supervisor;
 
@@ -34,8 +36,10 @@ pub use backend::{prepare, prepare_supervised, AlignBackend, BackendKind, Backen
 pub use cpu::{align_jobs, align_jobs_with_scratch, CpuSimdBackend};
 pub use error::BackendError;
 pub use fault::{FaultAction, FaultClass, FaultPlan};
+pub use filter::{PrefilterMode, PrefilterProbe, PREFILTER_MIN_SAMPLED, PREFILTER_WINDOW};
 pub use gpu::GpuSimtBackend;
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use job::AlignJob;
+pub use job::{AlignJob, MAX_PLAN_SEGMENT};
+pub use sched::{plan_schedule, Route, SchedBatch, SchedConfig, SchedMode, SchedulePlan};
 pub use stats::BackendStats;
 pub use supervisor::{JobOutcome, SupervisedBackend, SupervisorConfig};

@@ -49,6 +49,14 @@ pub struct BackendStats {
     /// Supervisor: results that arrived after their slot was poisoned and
     /// were discarded.
     pub late_results: u64,
+    /// Scheduler: length-binned batches a scheduled submission was split
+    /// into (zero on fifo/unscheduled submissions).
+    pub sched_batches: u64,
+    /// Scheduler: jobs routed pre-batch to the host executor because the
+    /// primary reported them statically ineligible (giants, unsupported
+    /// modes). Distinct from `fallbacks` (detected inside a device submit)
+    /// and `rerouted` (a supervisor *recovery* action).
+    pub sched_host_jobs: u64,
 }
 
 impl BackendStats {
@@ -75,6 +83,8 @@ impl BackendStats {
         self.breaker_trips += other.breaker_trips;
         self.deadline_kills += other.deadline_kills;
         self.late_results += other.late_results;
+        self.sched_batches += other.sched_batches;
+        self.sched_host_jobs += other.sched_host_jobs;
     }
 
     /// Did the supervisor intervene at all during the run?
@@ -111,6 +121,12 @@ impl BackendStats {
                     self.fallback_too_long, self.fallback_non_global, self.fallback_mempool,
                 ));
             }
+        }
+        if self.sched_batches > 0 {
+            line.push_str(&format!(
+                ", scheduler: {} binned batch(es), {} host-routed job(s)",
+                self.sched_batches, self.sched_host_jobs,
+            ));
         }
         line
     }
@@ -207,6 +223,29 @@ mod tests {
         assert!(line.contains("2 mempool"), "{line}");
         let clean = BackendStats::default().summary("gpu-sim");
         assert!(!clean.contains("fallback reasons"), "{clean}");
+    }
+
+    #[test]
+    fn summary_reports_scheduler_activity_only_when_present() {
+        let mut s = BackendStats {
+            sched_batches: 3,
+            sched_host_jobs: 2,
+            ..Default::default()
+        };
+        let line = s.summary("gpu-sim");
+        assert!(line.contains("3 binned batch(es)"), "{line}");
+        assert!(line.contains("2 host-routed job(s)"), "{line}");
+        assert!(!BackendStats::default()
+            .summary("gpu-sim")
+            .contains("scheduler"));
+        let other = BackendStats {
+            sched_batches: 1,
+            sched_host_jobs: 4,
+            ..Default::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.sched_batches, 4);
+        assert_eq!(s.sched_host_jobs, 6);
     }
 
     #[test]

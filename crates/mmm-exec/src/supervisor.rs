@@ -29,6 +29,7 @@ use crate::backend::AlignBackend;
 use crate::error::BackendError;
 use crate::health::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::job::AlignJob;
+use crate::sched::{plan_schedule, Route, SchedConfig, SchedMode};
 use crate::stats::BackendStats;
 
 /// Injectable time source so backoff-heavy paths are testable without
@@ -410,6 +411,89 @@ impl SupervisedBackend {
         Ok((outcomes, stats))
     }
 
+    /// Execute a batch through the length-binned scheduler (DESIGN.md §11):
+    /// jobs are binned by DP size, bins are chunked under the config's
+    /// batch budgets, device-eligible batches run through the full
+    /// supervision ladder on the primary, and statically ineligible jobs
+    /// are routed to the standby host executor pre-batch. Per-job outcomes
+    /// are scattered back to their original indices, so callers observe
+    /// exactly the [`submit_supervised`](Self::submit_supervised) contract
+    /// — in `Fifo` mode this *is* a passthrough to it.
+    pub fn submit_scheduled(
+        &self,
+        jobs: Vec<AlignJob>,
+        sched: &SchedConfig,
+    ) -> Result<(Vec<JobOutcome>, BackendStats), BackendError> {
+        if sched.mode == SchedMode::Fifo || jobs.is_empty() {
+            return self.submit_supervised(jobs);
+        }
+        let plan = plan_schedule(&jobs, |j| self.primary.device_eligible(j), sched);
+        let n = jobs.len();
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let mut stats = BackendStats::default();
+        for batch in &plan.batches {
+            let batch_jobs: Vec<AlignJob> =
+                batch.indices.iter().map(|&i| jobs[i].clone()).collect();
+            let (os, st) = match batch.route {
+                Route::Primary => self.submit_supervised(batch_jobs)?,
+                Route::Host => self.submit_host(batch_jobs)?,
+            };
+            stats.merge(&st);
+            if batch.route == Route::Host {
+                stats.sched_host_jobs += batch.indices.len() as u64;
+            }
+            for (&i, o) in batch.indices.iter().zip(os) {
+                outcomes[i] = Some(o);
+            }
+        }
+        stats.sched_batches = plan.batches.len() as u64;
+        let outcomes: Vec<JobOutcome> = outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(JobOutcome::Quarantined {
+                    reason: "job lost by scheduler (bug)".into(),
+                })
+            })
+            .collect();
+        Ok((outcomes, stats))
+    }
+
+    /// Execute a host-routed scheduled batch: the standby executor first
+    /// (the jobs are statically ineligible for the primary's device, so
+    /// attempting it would only force its internal fallback), with the full
+    /// supervision ladder as the recovery path if the standby itself fails.
+    fn submit_host(
+        &self,
+        jobs: Vec<AlignJob>,
+    ) -> Result<(Vec<JobOutcome>, BackendStats), BackendError> {
+        let Some(standby) = self.standby.as_ref() else {
+            // No standby means the primary is already the host executor.
+            return self.submit_supervised(jobs);
+        };
+        let standby = Arc::clone(standby);
+        let cells: u64 = jobs.iter().map(AlignJob::cells).sum();
+        let n = jobs.len();
+        let mut stats = BackendStats::default();
+        match self.guarded_submit(&standby, jobs.clone(), &mut stats) {
+            Ok(results) => {
+                stats.batches = 1;
+                stats.jobs = n as u64;
+                stats.cells = cells;
+                Ok((results.into_iter().map(JobOutcome::Done).collect(), stats))
+            }
+            Err(e) if self.cfg.fail_fast => Err(e),
+            Err(_) => {
+                // The host executor refused a whole batch (injected fault,
+                // panic): degrade to the ordinary ladder, which retries and
+                // quarantines per job. The failed attempt's counters (e.g. a
+                // deadline kill) ride along.
+                let (outcomes, mut inner) = self.submit_supervised(jobs)?;
+                inner.merge(&stats);
+                Ok((outcomes, inner))
+            }
+        }
+    }
+
     /// Whole-batch primary attempt, then bounded per-job retries. Returns
     /// the indices still unresolved.
     fn primary_phase(
@@ -546,6 +630,12 @@ impl SupervisedBackend {
 impl AlignBackend for SupervisedBackend {
     fn label(&self) -> &'static str {
         self.primary.label()
+    }
+
+    /// Eligibility is the primary's: supervision changes recovery, not
+    /// what the device can natively execute.
+    fn device_eligible(&self, job: &AlignJob) -> bool {
+        self.primary.device_eligible(job)
     }
 
     /// The plain trait surface: quarantines become a single typed error,

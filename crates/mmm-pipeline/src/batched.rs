@@ -1,4 +1,4 @@
-//! The batched 3-thread pipeline: plan → dispatch → finalize.
+//! The batched 3-thread pipeline: plan → (schedule →) dispatch → finalize.
 //!
 //! The classic 3-thread pipeline hands each worker one item at a time. The
 //! batched variant splits the compute stage so a whole batch's base-level
@@ -7,9 +7,17 @@
 //!
 //! 1. **plan** — per item, on the worker pool: seed, chain, and describe
 //!    the DP problems the item needs (returns `M`, e.g. a set of
-//!    `AlignJob`s plus everything needed to resume);
+//!    `AlignJob`s plus everything needed to resume). Hopeless candidate
+//!    chains are rejected here by the pre-alignment filter
+//!    (`mmm_exec::filter`), so every later stage sees the same job list;
 //! 2. **dispatch** — once per batch, on the compute thread: ship every
-//!    item's jobs to the backend, get `D` (e.g. the `AlignResult`s) back;
+//!    item's jobs to the backend, get `D` (e.g. the `AlignResult`s) back.
+//!    The dispatch closure may interpose the length-binned scheduler
+//!    (`mmm_exec::sched`, `SupervisedBackend::submit_scheduled`): jobs are
+//!    binned by DP-matrix size, batches sized per backend, device-ineligible
+//!    giants routed to the host standby, and the outcomes scattered back to
+//!    their original indices — so this stage's contract (result `i` belongs
+//!    to job `i`) is untouched by any reordering inside it;
 //! 3. **finalize** — per item, on the worker pool again: splice the
 //!    backend's results into the item's output (returns `R`).
 //!

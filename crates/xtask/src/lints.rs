@@ -633,9 +633,11 @@ fn backend_stats_literals(views: &[LineView]) -> Vec<StatsLiteral> {
     out
 }
 
-/// `stats-forwarding`: in any file implementing `AlignBackend`, a
-/// `BackendStats { .. }` literal must either name every field the struct
-/// declares or forward the remainder from a non-default base
+/// `stats-forwarding`: in any file implementing `AlignBackend`, and in
+/// every module of the executor crate (the supervisor, scheduler, and
+/// prefilter all build or merge the same counters without implementing the
+/// trait), a `BackendStats { .. }` literal must either name every field the
+/// struct declares or forward the remainder from a non-default base
 /// (`..inner_stats`). A `..Default::default()` tail compiles cleanly when a
 /// later PR adds a counter, and silently reports it as zero — exactly the
 /// accounting drift this rule makes loud. Sites where zeroes are provably
@@ -656,10 +658,11 @@ fn rule_stats_forwarding(
         return;
     }
     for ((rel, views), file_allows) in files.iter().zip(allows) {
-        if !views
+        let in_exec_crate = rel.to_string_lossy().contains("mmm-exec/src/");
+        let impls_backend = views
             .iter()
-            .any(|v| v.code.contains("impl AlignBackend for"))
-        {
+            .any(|v| v.code.contains("impl AlignBackend for"));
+        if !in_exec_crate && !impls_backend {
             continue;
         }
         let test_lines = mark_test_lines(views);
@@ -886,19 +889,16 @@ mod tests {
         assert!(v.iter().any(|v| v.rule == "target-feature-gate"), "{v:?}");
     }
 
-    /// A minimal stats.rs declaration plus one backend file, through the
+    /// A minimal stats.rs declaration plus one more file, through the
     /// cross-file stats-forwarding rule.
-    fn check_stats_forwarding(backend_src: &str) -> Vec<Violation> {
+    fn check_stats_forwarding_at(rel: &str, src: &str) -> Vec<Violation> {
         let stats_src = "pub struct BackendStats {\n    pub batches: u64,\n    pub jobs: u64,\n    pub retries: u64,\n}\n";
         let files = vec![
             (
                 PathBuf::from("crates/mmm-exec/src/stats.rs"),
                 scan(stats_src),
             ),
-            (
-                PathBuf::from("crates/mmm-exec/src/somebackend.rs"),
-                scan(backend_src),
-            ),
+            (PathBuf::from(rel), scan(src)),
         ];
         let mut out = Vec::new();
         let allows: Vec<_> = files
@@ -907,6 +907,10 @@ mod tests {
             .collect();
         rule_stats_forwarding(&files, &allows, &mut out);
         out
+    }
+
+    fn check_stats_forwarding(backend_src: &str) -> Vec<Violation> {
+        check_stats_forwarding_at("crates/mmm-exec/src/somebackend.rs", backend_src)
     }
 
     #[test]
@@ -935,12 +939,30 @@ mod tests {
 
     #[test]
     fn stats_forwarding_ignores_non_backend_files_and_tests() {
-        // No `impl AlignBackend for` in the file: out of scope.
+        // No `impl AlignBackend for` and not in the executor crate: out of
+        // scope (callers elsewhere consume stats, they don't fabricate them).
         let plain = "fn f() {\n    let s = BackendStats { batches: 1, ..Default::default() };\n}\n";
-        assert!(check_stats_forwarding(plain).is_empty());
+        assert!(check_stats_forwarding_at("crates/manymap/src/mapper.rs", plain).is_empty());
         // Test code may shorthand freely.
         let test = "impl AlignBackend for X {}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        let s = BackendStats { jobs: 1, ..Default::default() };\n    }\n}\n";
         assert!(check_stats_forwarding(test).is_empty());
+    }
+
+    #[test]
+    fn stats_forwarding_covers_executor_modules_without_an_impl() {
+        // The scheduler and prefilter modules never write `impl AlignBackend
+        // for`, but they sit on the dispatch path; a defaulted literal there
+        // is the same accounting drift the rule exists for.
+        let plain = "fn f() {\n    let s = BackendStats { batches: 1, ..Default::default() };\n}\n";
+        for rel in [
+            "crates/mmm-exec/src/sched.rs",
+            "crates/mmm-exec/src/filter.rs",
+            "crates/mmm-exec/src/supervisor.rs",
+        ] {
+            let v = check_stats_forwarding_at(rel, plain);
+            assert_eq!(v.len(), 1, "{rel}: {v:?}");
+            assert_eq!(v[0].rule, "stats-forwarding");
+        }
     }
 
     #[test]

@@ -299,7 +299,76 @@ fn backend_crosscheck(
         }
         notes.push(format!("{label} ok ({} fallbacks)", stats.fallbacks));
     }
+    notes.push(scheduled_crosscheck(&jobs(), golds, sc)?);
     Ok(notes.join(", "))
+}
+
+/// The same stream through the length-binned scheduler (DESIGN.md §11):
+/// a supervised gpu-sim session on the shrunken device, dispatched in
+/// binned batches — including a seeded adversarial permutation of the
+/// batch order — must scatter outcomes back bit-identical to the scalar
+/// gold. This is the scheduler's ordering guarantee, enforced on the same
+/// oracle stream the engines answer for.
+fn scheduled_crosscheck(
+    jobs: &[AlignJob],
+    golds: &[AlignResult],
+    sc: &Scoring,
+) -> Result<String, String> {
+    use mmm_exec::{prepare_supervised, JobOutcome, SchedConfig, SchedMode, SupervisorConfig};
+    let mut opts = BackendOptions::new(*sc);
+    opts.threads = 2;
+    opts.device_mem = Some(TINY_DEVICE_MEM);
+    let sup = prepare_supervised(BackendKind::GpuSim, &opts, SupervisorConfig::default())
+        .map_err(|e| format!("scheduled crosscheck: prepare failed: {e}"))?;
+    let mut host_routed = 0u64;
+    for permute_seed in [None, Some(0xAC1E), Some(7)] {
+        let cfg = SchedConfig {
+            mode: SchedMode::Bins,
+            max_batch_jobs: 8,
+            permute_seed,
+            ..SchedConfig::default()
+        };
+        let (outcomes, stats) = sup
+            .submit_scheduled(jobs.to_vec(), &cfg)
+            .map_err(|e| format!("scheduled crosscheck (seed {permute_seed:?}): {e}"))?;
+        if outcomes.len() != golds.len() {
+            return Err(format!(
+                "scheduled crosscheck (seed {permute_seed:?}): {} outcomes for {} jobs",
+                outcomes.len(),
+                golds.len()
+            ));
+        }
+        for (i, (o, want)) in outcomes.iter().zip(golds).enumerate() {
+            match o {
+                JobOutcome::Done(got) if got == want => {}
+                JobOutcome::Done(got) => {
+                    return Err(format!(
+                        "scheduled crosscheck (seed {permute_seed:?}), case {i}: diverges \
+                         from scalar gold (score {} vs {})",
+                        got.score, want.score
+                    ));
+                }
+                JobOutcome::Quarantined { reason } => {
+                    return Err(format!(
+                        "scheduled crosscheck (seed {permute_seed:?}), case {i}: \
+                         quarantined on a clean run: {reason}"
+                    ));
+                }
+            }
+        }
+        if stats.sched_batches == 0 {
+            return Err("scheduled crosscheck: bins mode produced no binned batches".into());
+        }
+        host_routed = stats.sched_host_jobs;
+    }
+    if host_routed == 0 {
+        return Err(
+            "scheduled crosscheck: shrunken device routed nothing to the host — \
+             the pre-batch routing path was not exercised"
+                .into(),
+        );
+    }
+    Ok(format!("scheduled ok ({host_routed} host-routed)"))
 }
 
 #[cfg(test)]
