@@ -40,4 +40,11 @@ echo "==> scheduler suite: binned dispatch ordering, routing, chaos replay"
 cargo test -q -p mmm-exec --test sched
 MMM_SCHED=bins cargo test -q -p manymap --test backend_cli
 
+echo "==> serve suite: multi-tenant daemon byte-identity, backpressure, drain"
+cargo test -q -p mmm-index --test hit_budget
+cargo test -q -p manymap --test serve
+
+echo "==> serve gate: boot daemon, 4 concurrent clients, clean drain"
+./serve_gate.sh
+
 echo "CI OK"

@@ -197,10 +197,16 @@ pub fn run(quick: bool) -> String {
             seed: 77,
             ..Default::default()
         });
-        let idx = MinimizerIndex::build(
+        let idx = match MinimizerIndex::build(
             &[SeqRecord::new("chr1", nt4_decode(&g))],
             &mmm_index::IdxOpts::MAP_ONT,
-        );
+        ) {
+            Ok(i) => i,
+            Err(e) => {
+                out.push_str(&format!("ablation A6: index build failed: {e}\n"));
+                return out;
+            }
+        };
         let reads = simulate_reads(
             &g,
             &SimOpts {

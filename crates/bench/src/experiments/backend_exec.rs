@@ -70,7 +70,13 @@ pub fn run_with_json(quick: bool) -> (String, String) {
     let n_reads = if quick { 40 } else { 400 };
     let ds = macrodata::pacbio(800_000, n_reads);
     let opts = BaselineId::Manymap.map_opts();
-    let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+    let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+        Ok(i) => i,
+        Err(e) => {
+            let msg = format!("backend_exec: index build failed: {e}");
+            return (msg.clone(), format!("{{\"error\": {msg:?}}}"));
+        }
+    };
     let idx_path = std::env::temp_dir().join(format!("bench-backend-{}.mmx", std::process::id()));
     if let Err(e) = save_index(&index, &idx_path) {
         let msg = format!("backend_exec: index serialization failed: {e}");

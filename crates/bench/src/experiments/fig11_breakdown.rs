@@ -30,7 +30,10 @@ pub fn run(quick: bool) -> String {
     let mut totals = std::collections::HashMap::new();
     for id in [BaselineId::Minimap2, BaselineId::Manymap] {
         let opts = id.map_opts();
-        let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+        let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+            Ok(i) => i,
+            Err(e) => return format!("fig11_breakdown: index build failed: {e}"),
+        };
         let mapper = Mapper::new(&index, opts);
         let reads: Vec<Vec<u8>> = ds.reads.iter().map(|r| r.seq.clone()).collect();
         let batches = meter_batches(
@@ -68,7 +71,10 @@ pub fn run(quick: bool) -> String {
     // simulator (seed/chain and I/O as on the CPU).
     let gpu_total = {
         let opts = BaselineId::Manymap.map_opts();
-        let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+        let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+            Ok(i) => i,
+            Err(e) => return format!("fig11_breakdown: index build failed: {e}"),
+        };
         let mapper = Mapper::new(&index, opts);
         let reads: Vec<Vec<u8>> = ds.reads.iter().map(|r| r.seq.clone()).collect();
         let batches = meter_batches(

@@ -29,7 +29,10 @@ pub fn run(quick: bool) -> String {
         } else {
             MapOpts::map_ont()
         };
-        let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+        let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+            Ok(i) => i,
+            Err(e) => return format!("fig9_scaling: index build failed: {e}"),
+        };
         let mapper = Mapper::new(&index, opts);
         let reads: Vec<Vec<u8>> = ds.reads.iter().map(|r| r.seq.clone()).collect();
         let batches = meter_batches(&mapper, &reads, 64, IN_COST_PER_BASE, OUT_COST_PER_READ);

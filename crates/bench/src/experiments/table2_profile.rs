@@ -21,7 +21,10 @@ pub fn run(quick: bool) -> String {
     let n_reads = if quick { 50 } else { 800 };
     let ds = macrodata::pacbio(1_000_000, n_reads);
     let opts = BaselineId::Minimap2.map_opts();
-    let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+    let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+        Ok(i) => i,
+        Err(e) => return format!("table2_profile: index build failed: {e}"),
+    };
     let idx_path = std::env::temp_dir().join(format!("bench-table2-{}.mmx", std::process::id()));
     if let Err(e) = save_index(&index, &idx_path) {
         return format!("table2_profile: index serialization failed: {e}");

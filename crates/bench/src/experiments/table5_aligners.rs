@@ -31,7 +31,10 @@ pub fn run(quick: bool) -> String {
     let mut gpu_note = String::new();
     for id in BaselineId::ALL {
         let opts = id.map_opts();
-        let index = MinimizerIndex::build(&[ds.reference()], &opts.idx);
+        let index = match MinimizerIndex::build(&[ds.reference()], &opts.idx) {
+            Ok(i) => i,
+            Err(e) => return format!("table5_aligners: index build failed: {e}"),
+        };
         let mapper = Mapper::new(&index, opts);
 
         // Accuracy (measured).

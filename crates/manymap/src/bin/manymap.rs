@@ -66,7 +66,7 @@ use manymap::{paf_line, paf_unmapped, MapError, MapOpts, MapReadError, Mapper};
 use mmm_align::{best_mm2_engine, AlignResult, AlignScratch};
 use mmm_exec::{
     prepare_supervised, BackendKind, BackendOptions, BackendStats, FaultPlan, JobOutcome,
-    PrefilterMode, SchedConfig, SchedMode, SupervisorConfig,
+    PrefilterMode, SchedConfig, SchedMode, StatsReport, StderrSink, SupervisorConfig,
 };
 use mmm_index::{load_index, load_index_mmap, save_index, MinimizerIndex};
 use mmm_io::{Stage, StageTimer};
@@ -162,7 +162,10 @@ fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, MapError
             return Err(MapError::Usage(format!("{path}: no sequences")));
         }
         eprintln!("[manymap] indexing {} reference sequence(s)...", refs.len());
-        Ok(MinimizerIndex::build(&refs, &opts.idx))
+        MinimizerIndex::build(&refs, &opts.idx).map_err(|e| MapError::Index {
+            path: path.to_string(),
+            source: e,
+        })
     }
 }
 
@@ -452,28 +455,30 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         source: e,
     })?;
 
-    eprintln!(
-        "[manymap] mapped {} reads in {:.2}s wall ({} threads; compute {:.2}s, I/O {:.2}s)",
+    // The run summary is assembled into one report and delivered as a
+    // single stderr write (DESIGN.md §12): concurrent sessions sharing a
+    // stderr serialize at report granularity instead of interleaving lines.
+    // Rendering is byte-identical to the old eprintln!-per-line output.
+    let mut report = StatsReport::new("[manymap] ");
+    report.line(format!(
+        "mapped {} reads in {:.2}s wall ({} threads; compute {:.2}s, I/O {:.2}s)",
         stats.items,
         stats.wall_seconds,
         threads,
         stats.compute_seconds,
         stats.in_seconds + stats.out_seconds
-    );
+    ));
     {
         use mmm_exec::AlignBackend;
         let bstats = lock_unpoisoned(&backend_stats);
-        eprintln!("[manymap] {}", bstats.summary(backend.label()));
-        if let Some(line) = bstats.supervisor_summary(backend.label()) {
-            eprintln!("[manymap] {line}");
-        }
+        report.backend_block(&bstats, backend.label());
     }
     let pf = prefilter_rejected.load(Ordering::Relaxed);
     if pf > 0 {
-        eprintln!(
-            "[manymap] prefilter ({}): {pf} candidate chain(s) rejected before planning",
+        report.line(format!(
+            "prefilter ({}): {pf} candidate chain(s) rejected before planning",
             opts.prefilter.label()
-        );
+        ));
     }
     let (tl, ar, pk, bq) = (
         too_long.load(Ordering::Relaxed),
@@ -482,12 +487,13 @@ fn cmd_map(args: &Args) -> Result<(), MapError> {
         backend_quarantined.load(Ordering::Relaxed),
     );
     if tl + ar + pk + bq > 0 {
-        eprintln!(
-            "[manymap] {} read(s) degraded to unmapped: {tl} over the length limit, \
+        report.line(format!(
+            "{} read(s) degraded to unmapped: {tl} over the length limit, \
              {ar} alignment-rejected, {pk} worker panic(s), {bq} backend-quarantined",
             tl + ar + pk + bq
-        );
+        ));
     }
+    report.emit(&StderrSink);
     Ok(())
 }
 

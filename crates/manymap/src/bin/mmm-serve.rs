@@ -1,0 +1,402 @@
+//! `mmm-serve` — the multi-tenant alignment daemon and its client.
+//!
+//! ```sh
+//! mmm-serve daemon <ref.mmx|ref.fa> --socket /path/daemon.sock
+//!           [--threads N] [--backend cpu|gpu-sim] [--preset map-pb|map-ont]
+//!           [--max-tenants N] [--inq-reads N] [--outq-records N]
+//!           [--quantum-bases N] [--batch-bases N]
+//!           [--sched fifo|bins] [--prefilter off|safe|aggressive]
+//!           [--inject-backend-fault <plan>]
+//! mmm-serve client <socket> <tenant-name> <reads.fq>   # PAF on stdout
+//! mmm-serve stats  <socket>                            # report on stdout
+//! mmm-serve drain  <socket>                            # begin drain
+//! ```
+//!
+//! The daemon accepts many concurrent tenant streams over the unix socket
+//! and runs them through one shared pipeline and backend session; each
+//! tenant's output is byte-identical to a solo `manymap map` run of the
+//! same reads. SIGTERM/SIGINT (or `mmm-serve drain`) flushes every
+//! accepted read, emits a final stats report on stderr, and exits.
+//!
+//! Environment variables mirror the `manymap` CLI: `MMM_BACKEND`,
+//! `MMM_GPU_MEM`, `MMM_GPU_STREAMS`, `MMM_FAULT_PLAN`,
+//! `MMM_BACKEND_RETRIES`, `MMM_SCHED`, `MMM_SCHED_BATCH_CELLS`,
+//! `MMM_SCHED_BATCH_JOBS`, `MMM_PREFILTER`.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use manymap::serve::{self, encode_read, read_frame, write_frame, DrrConfig, Frame, Op, ServeOpts};
+use manymap::{MapError, MapOpts};
+use mmm_align::best_mm2_engine;
+use mmm_exec::{
+    BackendKind, BackendOptions, FaultPlan, PrefilterMode, SchedConfig, SchedMode, StderrSink,
+    SupervisorConfig,
+};
+use mmm_index::{load_index, MinimizerIndex};
+use mmm_seq::FastxReader;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let val = match name {
+                "socket"
+                | "preset"
+                | "engine"
+                | "backend"
+                | "threads"
+                | "max-tenants"
+                | "inq-reads"
+                | "outq-records"
+                | "quantum-bases"
+                | "batch-bases"
+                | "sched"
+                | "prefilter"
+                | "inject-backend-fault"
+                | "backend-retries"
+                | "batch-deadline-ms"
+                | "max-read-len" => it.next().unwrap_or_default(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), val);
+        } else {
+            positional.push(a);
+        }
+    }
+    Args { positional, flags }
+}
+
+fn flag_num<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, MapError> {
+    match args.flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| MapError::Usage(format!("--{name} {v:?}: not a number"))),
+    }
+}
+
+/// Load (or build) the reference index, like the `manymap` CLI.
+fn load_reference(path: &str, opts: &MapOpts) -> Result<MinimizerIndex, MapError> {
+    if path.ends_with(".mmx") {
+        let (idx, _stats) = load_index(Path::new(path)).map_err(|e| MapError::Index {
+            path: path.to_string(),
+            source: e,
+        })?;
+        Ok(idx)
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| MapError::Io {
+            path: path.to_string(),
+            source: e,
+        })?;
+        let refs = FastxReader::new(BufReader::new(f))
+            .read_all()
+            .map_err(|e| MapError::Seq {
+                path: path.to_string(),
+                source: e,
+            })?;
+        if refs.is_empty() {
+            return Err(MapError::Usage(format!("{path}: no sequences")));
+        }
+        MinimizerIndex::build(&refs, &opts.idx).map_err(|e| MapError::Index {
+            path: path.to_string(),
+            source: e,
+        })
+    }
+}
+
+fn map_opts_for(args: &Args) -> Result<MapOpts, MapError> {
+    let mut opts = match args.flags.get("preset").map(|s| s.as_str()) {
+        Some("map-pb") => MapOpts::map_pb(),
+        _ => MapOpts::map_ont(),
+    };
+    if args.flags.get("engine").map(|s| s.as_str()) == Some("mm2") {
+        opts = opts.with_engine(best_mm2_engine());
+    }
+    if args.flags.contains_key("no-cigar") {
+        opts = opts.cigar(false);
+    }
+    if let Some(n) = flag_num::<usize>(args, "max-read-len")? {
+        opts.max_read_len = n;
+    }
+    opts.prefilter = match args.flags.get("prefilter") {
+        Some(v) => PrefilterMode::parse(v),
+        None => PrefilterMode::from_env().unwrap_or(Ok(PrefilterMode::Off)),
+    }
+    .map_err(MapError::Usage)?;
+    Ok(opts)
+}
+
+fn cmd_daemon(args: &Args) -> Result<(), MapError> {
+    let [ref_path] = &args.positional[1..] else {
+        return Err(MapError::Usage(
+            "usage: mmm-serve daemon <ref.mmx|ref.fa> --socket <path>".into(),
+        ));
+    };
+    let socket = args
+        .flags
+        .get("socket")
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| MapError::Usage("mmm-serve daemon: --socket <path> is required".into()))?;
+    let map = map_opts_for(args)?;
+
+    let kind = match args.flags.get("backend") {
+        Some(v) => BackendKind::parse(v),
+        None => BackendKind::from_env().unwrap_or(Ok(BackendKind::Cpu)),
+    }
+    .map_err(|e| MapError::Usage(e.to_string()))?;
+    let threads = flag_num::<usize>(args, "threads")?.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let mut bopts = BackendOptions::new(map.scoring);
+    bopts.engine = map.engine;
+    bopts.threads = threads;
+    bopts.device_mem = std::env::var("MMM_GPU_MEM")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    bopts.streams = std::env::var("MMM_GPU_STREAMS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    bopts.fault = match args.flags.get("inject-backend-fault") {
+        Some(text) => Some(FaultPlan::parse(text).map_err(MapError::Usage)?),
+        None => FaultPlan::from_env().transpose().map_err(MapError::Usage)?,
+    };
+
+    let mut sup_cfg = SupervisorConfig::from_env().map_err(MapError::Usage)?;
+    if let Some(n) = flag_num::<usize>(args, "backend-retries")? {
+        sup_cfg.max_retries = n;
+    }
+    if let Some(ms) = flag_num::<u64>(args, "batch-deadline-ms")? {
+        sup_cfg.batch_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    let mut sched_cfg = SchedConfig::from_env().map_err(MapError::Usage)?;
+    if let Some(v) = args.flags.get("sched") {
+        sched_cfg.mode = SchedMode::parse(v).map_err(MapError::Usage)?;
+    }
+
+    let mut opts = ServeOpts::new(PathBuf::from(socket), map, bopts);
+    opts.threads = threads;
+    opts.backend_kind = kind;
+    opts.supervisor = sup_cfg;
+    opts.sched = sched_cfg;
+    if let Some(n) = flag_num(args, "max-tenants")? {
+        opts.max_tenants = n;
+    }
+    if let Some(n) = flag_num(args, "inq-reads")? {
+        opts.inq_reads = n;
+    }
+    if let Some(n) = flag_num(args, "outq-records")? {
+        opts.outq_records = n;
+    }
+    let mut drr = DrrConfig::default();
+    if let Some(n) = flag_num(args, "quantum-bases")? {
+        drr.quantum_bases = n;
+    }
+    if let Some(n) = flag_num(args, "batch-bases")? {
+        drr.batch_bases = n;
+    }
+    opts.drr = drr;
+
+    let index = load_reference(ref_path, &opts.map)?;
+    serve::signal::install_drain_handler();
+    serve::serve(&index, &opts, &StderrSink)
+}
+
+fn connect(socket: &str) -> Result<UnixStream, MapError> {
+    UnixStream::connect(socket).map_err(|e| MapError::Io {
+        path: socket.to_string(),
+        source: e,
+    })
+}
+
+fn io_err(socket: &str, e: std::io::Error) -> MapError {
+    MapError::Io {
+        path: socket.to_string(),
+        source: e,
+    }
+}
+
+/// Stream a read file through a tenant session: reads out, records to
+/// stdout. A dedicated sender thread keeps the socket's two directions
+/// independent, so a large read set cannot deadlock against a full output
+/// buffer.
+fn cmd_client(args: &Args) -> Result<(), MapError> {
+    let [socket, tenant, reads_path] = &args.positional[1..] else {
+        return Err(MapError::Usage(
+            "usage: mmm-serve client <socket> <tenant-name> <reads.fq>".into(),
+        ));
+    };
+    let stream = connect(socket)?;
+    let mut rx = stream.try_clone().map_err(|e| io_err(socket, e))?;
+    let mut tx = stream;
+
+    write_frame(&mut tx, Op::Hello, tenant.as_bytes()).map_err(|e| io_err(socket, e))?;
+    match read_frame(&mut rx).map_err(|e| io_err(socket, e))? {
+        Some(Frame { op: Op::Ok, .. }) => {}
+        Some(Frame {
+            op: Op::Err,
+            payload,
+        }) => {
+            return Err(MapError::Usage(format!(
+                "{socket}: {}",
+                String::from_utf8_lossy(&payload)
+            )));
+        }
+        other => {
+            return Err(MapError::Usage(format!(
+                "{socket}: unexpected HELLO response: {other:?}"
+            )));
+        }
+    }
+
+    let f = std::fs::File::open(reads_path).map_err(|e| MapError::Io {
+        path: reads_path.to_string(),
+        source: e,
+    })?;
+    let reads_path_owned = reads_path.to_string();
+
+    std::thread::scope(|s| -> Result<(), MapError> {
+        // Sender: stream every read, then END.
+        let sender = s.spawn(move || -> Result<(), MapError> {
+            let mut reader = FastxReader::new(BufReader::new(f));
+            loop {
+                let batch = reader.next_batch(1_000_000).map_err(|e| MapError::Seq {
+                    path: reads_path_owned.clone(),
+                    source: e,
+                })?;
+                if batch.is_empty() {
+                    break;
+                }
+                for rec in &batch {
+                    let qual = rec.qual.as_deref().unwrap_or(b"");
+                    let payload = encode_read(&rec.name, &rec.seq, qual);
+                    write_frame(&mut tx, Op::Read, &payload)
+                        .map_err(|e| io_err(&reads_path_owned, e))?;
+                }
+            }
+            write_frame(&mut tx, Op::End, b"").map_err(|e| io_err(&reads_path_owned, e))?;
+            tx.flush().map_err(|e| io_err(&reads_path_owned, e))?;
+            Ok(())
+        });
+
+        // Receiver: RECs to stdout, DONE summary to stderr.
+        let mut out = BufWriter::new(std::io::stdout());
+        let receive = (|| -> Result<(), MapError> {
+            loop {
+                match read_frame(&mut rx).map_err(|e| io_err(socket, e))? {
+                    Some(Frame {
+                        op: Op::Rec,
+                        payload,
+                    }) => {
+                        out.write_all(&payload).map_err(|e| io_err("stdout", e))?;
+                    }
+                    Some(Frame {
+                        op: Op::Done,
+                        payload,
+                    }) => {
+                        out.flush().map_err(|e| io_err("stdout", e))?;
+                        eprintln!("[mmm-serve] {}", String::from_utf8_lossy(&payload));
+                        return Ok(());
+                    }
+                    Some(Frame {
+                        op: Op::Err,
+                        payload,
+                    }) => {
+                        return Err(MapError::Usage(format!(
+                            "{socket}: server error: {}",
+                            String::from_utf8_lossy(&payload)
+                        )));
+                    }
+                    Some(other) => {
+                        return Err(MapError::Usage(format!(
+                            "{socket}: unexpected frame {:?}",
+                            other.op
+                        )));
+                    }
+                    None => {
+                        return Err(MapError::Usage(format!(
+                            "{socket}: connection closed before DONE"
+                        )));
+                    }
+                }
+            }
+        })();
+
+        match sender.join() {
+            Ok(sent) => receive.and(sent),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// One-frame admin exchanges: STATS and DRAIN.
+fn cmd_admin(args: &Args, op: Op, expect: Op) -> Result<(), MapError> {
+    let [socket] = &args.positional[1..] else {
+        return Err(MapError::Usage(format!(
+            "usage: mmm-serve {} <socket>",
+            args.positional[0]
+        )));
+    };
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, op, b"").map_err(|e| io_err(socket, e))?;
+    match read_frame(&mut stream).map_err(|e| io_err(socket, e))? {
+        Some(f) if f.op == expect => {
+            let text = f.text();
+            if !text.is_empty() {
+                let mut out = std::io::stdout();
+                out.write_all(text.as_bytes())
+                    .and_then(|()| {
+                        if text.ends_with('\n') {
+                            Ok(())
+                        } else {
+                            out.write_all(b"\n")
+                        }
+                    })
+                    .map_err(|e| io_err("stdout", e))?;
+            }
+            Ok(())
+        }
+        Some(Frame {
+            op: Op::Err,
+            payload,
+        }) => Err(MapError::Usage(format!(
+            "{socket}: {}",
+            String::from_utf8_lossy(&payload)
+        ))),
+        other => Err(MapError::Usage(format!(
+            "{socket}: unexpected response: {other:?}"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let result = match args.positional.first().map(|s| s.as_str()) {
+        Some("daemon") => cmd_daemon(&args),
+        Some("client") => cmd_client(&args),
+        Some("stats") => cmd_admin(&args, Op::Stats, Op::StatsReply),
+        Some("drain") => cmd_admin(&args, Op::Drain, Op::Ok),
+        _ => Err(MapError::Usage(
+            "usage: mmm-serve <daemon|client|stats|drain> ... (see crate docs)".into(),
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mmm-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,9 +13,10 @@
 //! use mmm_index::{IdxOpts, MinimizerIndex};
 //! use mmm_seq::SeqRecord;
 //!
-//! // Index a reference.
+//! // Index a reference (fails loudly if the set exceeds the packed-hit
+//! // bit budget: 2^24 sequences of up to 2^39 bases).
 //! let reference = SeqRecord::new("chr1", b"ACGTACGTAGGCTAGCTAGGACTGACTGATCGATCGTACG".repeat(200));
-//! let index = MinimizerIndex::build(&[reference], &IdxOpts::MAP_ONT);
+//! let index = MinimizerIndex::build(&[reference], &IdxOpts::MAP_ONT).unwrap();
 //!
 //! // Map a read.
 //! let mapper = Mapper::new(&index, MapOpts::map_ont());
@@ -33,6 +34,7 @@ pub mod opts;
 pub mod paf;
 pub mod profile;
 pub mod sam;
+pub mod serve;
 
 pub use error::MapError;
 pub use mapper::{MapReadError, Mapper, Mapping, ReadPlan};

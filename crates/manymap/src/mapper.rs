@@ -592,7 +592,7 @@ mod tests {
     use mmm_simreads::{generate_genome, simulate_reads, GenomeOpts, Platform, SimOpts};
 
     fn build_index(genome: &[u8], opts: &IdxOpts) -> MinimizerIndex {
-        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(genome))], opts)
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(genome))], opts).unwrap()
     }
 
     #[test]

@@ -230,7 +230,8 @@ mod tests {
             ..Default::default()
         });
         let idx =
-            MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT);
+            MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT)
+                .unwrap();
         let path = std::env::temp_dir().join(format!("manymap-prof-{}", std::process::id()));
         save_index(&idx, &path).unwrap();
 

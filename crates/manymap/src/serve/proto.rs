@@ -1,0 +1,318 @@
+//! The `mmm-serve` wire protocol: length-prefixed frames over a local
+//! stream socket.
+//!
+//! Every frame is `u32_le payload_len | u8 opcode | payload`. The length
+//! counts payload bytes only (not the opcode), and is capped at
+//! [`MAX_FRAME`] so a corrupt or hostile peer cannot make the daemon
+//! balloon an allocation.
+//!
+//! Client → server:
+//! * `HELLO <tenant-name>` — open a tenant session (admission-controlled);
+//! * `READ  <record>` — submit one read (see [`encode_read`]);
+//! * `END` — no more reads; the server flushes this tenant's outputs,
+//!   sends one `REC` per accepted read (in submission order), then `DONE`;
+//! * `STATS` — admin: no session needed; the server replies with one
+//!   `STATS` frame and closes;
+//! * `DRAIN` — admin: begin a daemon-wide drain (same as SIGTERM).
+//!
+//! Server → client:
+//! * `OK [text]` — acknowledgement (HELLO, DRAIN);
+//! * `REC <lines>` — the formatted output records for one read, in the
+//!   read's submission order; byte-identical to what a solo `manymap map`
+//!   run writes to stdout for that read;
+//! * `STATS <text>` — the rendered stats report;
+//! * `DONE <text>` — session complete; payload is the tenant's summary;
+//! * `ERR <text>` — protocol or admission failure; the server closes.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Frame payloads larger than this are a protocol error (64 MiB —
+/// generous for a single long read, far below anything sane for one
+/// frame).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Frame opcodes. The high bit marks server → client frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    Hello = 0x01,
+    Read = 0x02,
+    End = 0x03,
+    Stats = 0x04,
+    Drain = 0x05,
+    Ok = 0x81,
+    Rec = 0x82,
+    StatsReply = 0x83,
+    Done = 0x84,
+    Err = 0x85,
+}
+
+impl Op {
+    pub fn from_byte(b: u8) -> Option<Op> {
+        Some(match b {
+            0x01 => Op::Hello,
+            0x02 => Op::Read,
+            0x03 => Op::End,
+            0x04 => Op::Stats,
+            0x05 => Op::Drain,
+            0x81 => Op::Ok,
+            0x82 => Op::Rec,
+            0x83 => Op::StatsReply,
+            0x84 => Op::Done,
+            0x85 => Op::Err,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub op: Op,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(op: Op, payload: impl Into<Vec<u8>>) -> Self {
+        Frame {
+            op,
+            payload: payload.into(),
+        }
+    }
+
+    /// The payload as (lossy) text, for `OK`/`ERR`/`DONE`/`STATS` frames.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+}
+
+/// Write one frame. A single `write_all` of the assembled bytes, so frames
+/// from one writer never interleave mid-frame.
+pub fn write_frame(w: &mut impl Write, op: Op, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.push(op as u8);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Fill `buf` from `r`, tolerating read timeouts only while `buf` is still
+/// empty and `partial` bytes have been consumed overall. Returns `Ok(false)`
+/// on a clean timeout before the first byte (caller polls its drain flag
+/// and retries); once any byte of the frame has arrived, timeouts keep the
+/// read alive until the frame completes, so a slow sender cannot desync the
+/// stream.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    mut started: bool,
+) -> std::io::Result<Option<bool>> {
+    let mut off = 0;
+    while off < buf.len() {
+        match r.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if off == 0 && !started {
+                    Ok(None) // clean EOF between frames
+                } else {
+                    Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => {
+                off += n;
+                started = true;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && off == 0
+                    && !started =>
+            {
+                return Ok(Some(false));
+            }
+            // Mid-frame timeout: the peer has committed to this frame;
+            // keep waiting for the rest.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(true))
+}
+
+/// What a polling frame read observed. The server's session reader runs
+/// with a socket read timeout so it can notice the drain flag between
+/// frames; it needs to tell "peer went away" (end the session) apart from
+/// "nothing yet" (poll and retry).
+#[derive(Debug)]
+pub enum FramePoll {
+    Frame(Frame),
+    /// Read timeout before the frame's first byte; the stream is intact.
+    TimedOut,
+    /// Clean EOF between frames: the peer closed the connection.
+    Eof,
+}
+
+/// Read one frame, reporting between-frame timeouts and clean EOF as
+/// distinct non-error outcomes. `Err` is an I/O failure, a mid-frame EOF,
+/// or a protocol violation (unknown opcode, oversized length).
+pub fn read_frame_poll(r: &mut impl Read) -> std::io::Result<FramePoll> {
+    let mut header = [0u8; 5];
+    match read_full(r, &mut header, false)? {
+        None => return Ok(FramePoll::Eof),
+        Some(false) => return Ok(FramePoll::TimedOut),
+        Some(true) => {}
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let op = Op::from_byte(header[4]).ok_or_else(|| {
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("unknown frame opcode {:#04x}", header[4]),
+        )
+    })?;
+    let mut payload = vec![0u8; len];
+    if read_full(r, &mut payload, true)?.is_none() {
+        return Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    Ok(FramePoll::Frame(Frame { op, payload }))
+}
+
+/// Blocking convenience wrapper: `Ok(None)` covers both clean EOF and a
+/// pre-frame timeout. For callers without a read timeout (the client).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Frame>> {
+    Ok(match read_frame_poll(r)? {
+        FramePoll::Frame(f) => Some(f),
+        FramePoll::TimedOut | FramePoll::Eof => None,
+    })
+}
+
+/// Encode one read for a `READ` frame:
+/// `u32 name_len | name | u32 seq_len | seq | u32 qual_len | qual`.
+/// `seq` is ASCII bases; `qual` may be empty (FASTA).
+pub fn encode_read(name: &str, seq: &[u8], qual: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12 + name.len() + seq.len() + qual.len());
+    for part in [name.as_bytes(), seq, qual] {
+        p.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        p.extend_from_slice(part);
+    }
+    p
+}
+
+/// Decode a `READ` payload back into `(name, seq, qual)`.
+pub fn decode_read(payload: &[u8]) -> Result<(String, Vec<u8>, Vec<u8>), String> {
+    let mut off = 0usize;
+    let mut take = |what: &str| -> Result<Vec<u8>, String> {
+        let end = off
+            .checked_add(4)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| format!("READ payload truncated before {what} length"))?;
+        let len = u32::from_le_bytes([
+            payload[off],
+            payload[off + 1],
+            payload[off + 2],
+            payload[off + 3],
+        ]) as usize;
+        off = end;
+        let end = off
+            .checked_add(len)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| format!("READ payload truncated inside {what}"))?;
+        let bytes = payload[off..end].to_vec();
+        off = end;
+        Ok(bytes)
+    };
+    let name =
+        String::from_utf8(take("name")?).map_err(|_| "READ name is not valid UTF-8".to_string())?;
+    let seq = take("sequence")?;
+    let qual = take("quality")?;
+    if off != payload.len() {
+        return Err(format!(
+            "READ payload has {} trailing byte(s)",
+            payload.len() - off
+        ));
+    }
+    Ok((name, seq, qual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Op::Hello, b"tenant-a").unwrap();
+        write_frame(&mut buf, Op::End, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f1, Frame::new(Op::Hello, &b"tenant-a"[..]));
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f2.op, Op::End);
+        assert!(f2.payload.is_empty());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn reads_round_trip() {
+        let p = encode_read("read7", b"ACGT", b"IIII");
+        let (name, seq, qual) = decode_read(&p).unwrap();
+        assert_eq!(
+            (name.as_str(), &seq[..], &qual[..]),
+            ("read7", &b"ACGT"[..], &b"IIII"[..])
+        );
+        // FASTA: empty quality.
+        let p = encode_read("r", b"A", b"");
+        assert_eq!(decode_read(&p).unwrap().2, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hostile_frames_are_typed_errors_not_panics() {
+        // Unknown opcode.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.push(0x7f);
+        buf.extend_from_slice(b"xy");
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Oversized length prefix refuses before allocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(0x01);
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Mid-frame EOF.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Op::Read, b"half").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn hostile_read_payloads_are_typed_errors() {
+        assert!(decode_read(b"").is_err());
+        assert!(decode_read(&[0xff; 3]).is_err());
+        // Length prefix past the end.
+        let mut p = Vec::new();
+        p.extend_from_slice(&100u32.to_le_bytes());
+        p.extend_from_slice(b"short");
+        assert!(decode_read(&p).is_err());
+        // Trailing garbage.
+        let mut p = encode_read("r", b"A", b"");
+        p.push(0);
+        assert!(decode_read(&p).is_err());
+    }
+}

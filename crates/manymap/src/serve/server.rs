@@ -1,0 +1,639 @@
+//! The `mmm-serve` daemon: many tenants, one shared pipeline, one shared
+//! backend session (DESIGN.md §12).
+//!
+//! Thread topology (all scoped; [`serve`] returns only after every thread
+//! has exited):
+//!
+//! ```text
+//! accept loop ──spawns──▶ session reader ─┬─▶ tenant.inq ─┐
+//!                         (per connection) │              │  DRR
+//!                         session writer ◀─┤  tenant.outq │ scheduler
+//!                         (per tenant)     │       ▲      ▼
+//!                                          │   pipeline writer ◀─ plan →
+//!                                          │            dispatch → finalize
+//!                                          └──────── (shared, one backend)
+//! ```
+//!
+//! * **session reader** — speaks the frame protocol, pushes accepted reads
+//!   into its tenant's bounded input queue (blocking = per-tenant
+//!   backpressure to the client's socket);
+//! * **DRR scheduler** — [`super::sched`]: fair, credit-gated batching
+//!   across tenants into the pipeline's input queue;
+//! * **pipeline** — the same plan → dispatch → finalize machinery as the
+//!   CLI ([`mmm_pipeline::try_run_three_thread_batched_from_queue`]),
+//!   running every tenant's reads through ONE supervised backend session;
+//!   its writer routes each finalized record to the owning tenant's output
+//!   queue and stamps the latency histogram;
+//! * **session writer** — drains its tenant's output queue to the socket
+//!   as `REC` frames (submission order), then reports `DONE`.
+//!
+//! Output is byte-identical to a solo `manymap map` run of the same reads:
+//! mapping is per-read deterministic, the scheduler only reorders *between*
+//! reads, and each read's records are formatted by the same code paths.
+//!
+//! Draining: SIGTERM/SIGINT (via [`super::signal`]) or the `DRAIN` opcode
+//! stops the accept loop and session readers, the scheduler flushes every
+//! accepted read and closes the pipeline queue, the pipeline drains, and
+//! session writers deliver everything before `DONE` — no accepted read is
+//! ever dropped.
+
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+use mmm_align::{AlignResult, AlignScratch};
+use mmm_exec::{
+    prepare_supervised, AlignBackend, BackendKind, BackendOptions, BackendStats, JobOutcome,
+    SchedConfig, StatsReport, StatsSink, SupervisorConfig,
+};
+use mmm_index::MinimizerIndex;
+use mmm_pipeline::{
+    lock_unpoisoned, try_run_three_thread_batched_from_queue, BoundedQueue, DynError,
+};
+use mmm_seq::SeqRecord;
+
+use crate::mapper::{MapReadError, ReadPlan};
+use crate::{paf_line, paf_unmapped, MapError, MapOpts, Mapper};
+
+use super::proto::{decode_read, read_frame_poll, write_frame, FramePoll, Op};
+use super::sched::{DrrConfig, DrrScheduler};
+use super::signal;
+use super::tenant::{ServeItem, TenantRegistry, TenantState};
+
+/// How long a session reader or writer parks before re-checking the drain
+/// flag and shutdown state.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Daemon configuration. `Default` matches the CLI's geometry (4 Mbase
+/// batches) with queue bounds sized for interactive tenants.
+pub struct ServeOpts {
+    /// Path of the unix socket to bind (removed and re-created).
+    pub socket: PathBuf,
+    /// Worker threads for the shared pipeline.
+    pub threads: usize,
+    /// Live tenant sessions admitted at once.
+    pub max_tenants: usize,
+    /// Per-tenant input queue bound, in reads.
+    pub inq_reads: usize,
+    /// Per-tenant output queue bound, in records (also the per-tenant
+    /// in-flight cap — the scheduler's credit gate).
+    pub outq_records: usize,
+    /// Fair-scheduler tuning.
+    pub drr: DrrConfig,
+    /// Mapping parameters (shared by every tenant).
+    pub map: MapOpts,
+    /// Backend selection for the shared session.
+    pub backend_kind: BackendKind,
+    pub backend: BackendOptions,
+    pub supervisor: SupervisorConfig,
+    pub sched: SchedConfig,
+}
+
+impl ServeOpts {
+    pub fn new(socket: PathBuf, map: MapOpts, backend: BackendOptions) -> Self {
+        ServeOpts {
+            socket,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_tenants: 16,
+            inq_reads: 512,
+            outq_records: 512,
+            drr: DrrConfig::default(),
+            map,
+            backend_kind: BackendKind::Cpu,
+            backend,
+            supervisor: SupervisorConfig::default(),
+            sched: SchedConfig::default(),
+        }
+    }
+}
+
+/// Shared daemon state, borrowed by every thread in the scope.
+struct Ctx<'a> {
+    registry: TenantRegistry,
+    pipe_in: BoundedQueue<Vec<ServeItem>>,
+    /// Set by the `DRAIN` opcode (signal-initiated drains use the global
+    /// flag in [`super::signal`]).
+    local_drain: AtomicBool,
+    /// The pipeline thread exited (normally or fatally); nothing will pop
+    /// `pipe_in` or fill `outq`s anymore.
+    pipeline_done: AtomicBool,
+    /// Session readers currently serving a tenant (post-HELLO, pre-END).
+    active_readers: AtomicUsize,
+    /// Backend counters merged across every dispatch, for the stats
+    /// endpoint and the final report.
+    backend_stats: Mutex<BackendStats>,
+    backend_label: &'a str,
+    /// First fatal error (pipeline death), surfaced from `serve`.
+    fatal: Mutex<Option<MapError>>,
+    started: Instant,
+}
+
+impl Ctx<'_> {
+    fn draining(&self) -> bool {
+        self.local_drain.load(Ordering::Acquire) || signal::drain_requested()
+    }
+
+    /// Assemble the stats report served on the `STATS` endpoint and
+    /// emitted through the [`StatsSink`] at shutdown.
+    fn stats_report(&self) -> StatsReport {
+        let tenants = self.registry.snapshot();
+        let live = tenants
+            .iter()
+            .filter(|t| !t.ended.load(Ordering::Acquire))
+            .count();
+        let accepted: u64 = tenants
+            .iter()
+            .map(|t| t.accepted.load(Ordering::Relaxed))
+            .sum();
+        let sent: u64 = tenants.iter().map(|t| t.sent.load(Ordering::Relaxed)).sum();
+        let mut r = StatsReport::new("[mmm-serve] ");
+        r.line(format!(
+            "up {:.1}s: {live} live / {} admitted tenant(s), {accepted} read(s) accepted, \
+             {sent} record(s) sent",
+            self.started.elapsed().as_secs_f64(),
+            tenants.len()
+        ));
+        for t in &tenants {
+            r.line(t.summary());
+        }
+        let stats = lock_unpoisoned(&self.backend_stats);
+        r.backend_block(&stats, self.backend_label);
+        r
+    }
+}
+
+/// Bind the socket, run the daemon, and block until a drain completes.
+/// The final stats report goes through `sink` (the daemon binary passes a
+/// stderr sink; tests pass a buffer).
+pub fn serve(
+    index: &MinimizerIndex,
+    opts: &ServeOpts,
+    sink: &dyn StatsSink,
+) -> Result<(), MapError> {
+    let backend = prepare_supervised(opts.backend_kind, &opts.backend, opts.supervisor.clone())
+        .map_err(|e| MapError::Usage(e.to_string()))?;
+    let mapper = Mapper::new(index, opts.map);
+    let tnames: Vec<String> = index.seqs.iter().map(|s| s.name.clone()).collect();
+    let tlens: Vec<usize> = index.seqs.iter().map(|s| s.seq.len()).collect();
+
+    // A stale socket file from a dead daemon would make bind fail.
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket).map_err(|e| MapError::Io {
+        path: opts.socket.display().to_string(),
+        source: e,
+    })?;
+    listener.set_nonblocking(true).map_err(|e| MapError::Io {
+        path: opts.socket.display().to_string(),
+        source: e,
+    })?;
+
+    let ctx = Ctx {
+        registry: TenantRegistry::new(opts.max_tenants, opts.inq_reads, opts.outq_records),
+        pipe_in: BoundedQueue::new(4),
+        local_drain: AtomicBool::new(false),
+        pipeline_done: AtomicBool::new(false),
+        active_readers: AtomicUsize::new(0),
+        backend_stats: Mutex::new(BackendStats::default()),
+        backend_label: backend.label(),
+        fatal: Mutex::new(None),
+        started: Instant::now(),
+    };
+    let ctx = &ctx;
+    let mapper = &mapper;
+    let backend = &backend;
+    let tnames = &tnames;
+    let tlens = &tlens;
+
+    std::thread::scope(|s| {
+        // The shared pipeline.
+        s.spawn(move || {
+            let result = run_pipeline(
+                ctx,
+                mapper,
+                backend,
+                &opts.sched,
+                tnames,
+                tlens,
+                opts.threads,
+            );
+            ctx.pipeline_done.store(true, Ordering::Release);
+            if let Err(e) = result {
+                record_fatal(ctx, MapError::Pipeline(e));
+                // Nothing will consume queues anymore: force a drain and
+                // unblock every parked session thread.
+                ctx.local_drain.store(true, Ordering::Release);
+                ctx.pipe_in.close();
+            }
+            for t in ctx.registry.snapshot() {
+                t.inq.close();
+                t.outq.close();
+            }
+        });
+
+        // The fair scheduler: feeds the pipeline until drained.
+        s.spawn(move || {
+            DrrScheduler::new(opts.drr).run(&ctx.registry, &ctx.pipe_in, || {
+                ctx.draining() && ctx.active_readers.load(Ordering::Acquire) == 0
+            });
+        });
+
+        // The accept loop, on this thread.
+        loop {
+            if ctx.draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    s.spawn(move || session_reader(ctx, s, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    record_fatal(
+                        ctx,
+                        MapError::Io {
+                            path: opts.socket.display().to_string(),
+                            source: e,
+                        },
+                    );
+                    ctx.local_drain.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        // Scope join: sessions, scheduler, and pipeline all wind down via
+        // the drain flag and queue closures.
+    });
+
+    let _ = std::fs::remove_file(&opts.socket);
+    ctx.stats_report().emit(sink);
+    let fatal = lock_unpoisoned(&ctx.fatal).take();
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn record_fatal(ctx: &Ctx<'_>, e: MapError) {
+    let mut g = lock_unpoisoned(&ctx.fatal);
+    if g.is_none() {
+        *g = Some(e);
+    }
+}
+
+/// The unmapped placeholder for a degraded read (serve output is PAF).
+fn unmapped(rec: &SeqRecord) -> String {
+    let mut s = paf_unmapped(&rec.name, rec.len());
+    s.push('\n');
+    s
+}
+
+/// One read's journey through plan/dispatch/finalize, tagged for routing.
+type Planned = (Vec<u8>, Result<ReadPlan, MapReadError>);
+type Routed = (usize, Instant, String);
+
+/// Run the shared pipeline over the daemon's input queue until the queue
+/// is closed and drained. Mirrors the CLI's `cmd_map` stages; the writer
+/// routes records to tenant output queues instead of stdout.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline(
+    ctx: &Ctx<'_>,
+    mapper: &Mapper<'_>,
+    backend: &mmm_exec::SupervisedBackend,
+    sched: &SchedConfig,
+    tnames: &[String],
+    tlens: &[usize],
+    threads: usize,
+) -> Result<(), mmm_pipeline::PipelineError> {
+    // A quarantined or panicked read degrades to an unmapped record and is
+    // counted against its tenant — never fatal, never cross-tenant.
+    let on_panic = |item: &ServeItem, msg: &str| -> Routed {
+        if let Some(t) = ctx.registry.get(item.tenant) {
+            if msg.starts_with("backend: ") {
+                t.quarantined.fetch_add(1, Ordering::Relaxed);
+            } else {
+                t.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (item.tenant, item.accepted_at, unmapped(&item.rec))
+    };
+
+    try_run_three_thread_batched_from_queue(
+        &ctx.pipe_in,
+        |_worker| AlignScratch::new(),
+        // Plan: seed, chain, and describe DP jobs (worker pool).
+        |_scratch: &mut AlignScratch, item: &ServeItem| -> Planned {
+            let nt4 = item.rec.nt4();
+            let plan = mapper.plan_read(&nt4);
+            (nt4, plan)
+        },
+        // Dispatch: flatten the batch into one supervised submission, then
+        // deal outcomes back out per read — identical to the CLI.
+        |mut plans: Vec<Planned>| {
+            let mut counts = Vec::with_capacity(plans.len());
+            let mut all_jobs = Vec::new();
+            for (_, plan) in &mut plans {
+                let n = match plan.as_mut() {
+                    Ok(p) => {
+                        let jobs = std::mem::take(&mut p.jobs);
+                        let n = jobs.len();
+                        all_jobs.extend(jobs);
+                        n
+                    }
+                    Err(_) => 0,
+                };
+                counts.push(n);
+            }
+            let mut outcomes = Vec::new();
+            if !all_jobs.is_empty() {
+                let (os, bstats) = backend
+                    .submit_scheduled(all_jobs, sched)
+                    .map_err(|e| -> DynError { Box::new(e) })?;
+                lock_unpoisoned(&ctx.backend_stats).merge(&bstats);
+                outcomes = os;
+            }
+            let mut it = outcomes.into_iter();
+            Ok(plans
+                .into_iter()
+                .zip(counts)
+                .map(|(p, n)| {
+                    let mut results: Vec<AlignResult> = Vec::with_capacity(n);
+                    let mut quarantine: Option<String> = None;
+                    for o in it.by_ref().take(n) {
+                        match o {
+                            JobOutcome::Done(r) => results.push(r),
+                            JobOutcome::Quarantined { reason } => {
+                                quarantine.get_or_insert(reason);
+                            }
+                        }
+                    }
+                    match quarantine {
+                        None => (p, Ok(results)),
+                        Some(reason) => (p, Err(format!("backend: {reason}"))),
+                    }
+                })
+                .collect())
+        },
+        // Finalize: splice results, format PAF (worker pool).
+        |scratch: &mut AlignScratch,
+         item: &ServeItem,
+         planned: &Planned,
+         results: &Vec<AlignResult>|
+         -> Routed {
+            let (nt4, plan) = planned;
+            let plan = match plan {
+                Ok(p) => {
+                    let n = p.chained().prefilter_rejected();
+                    if n > 0 {
+                        if let Some(t) = ctx.registry.get(item.tenant) {
+                            t.prefilter_rejected.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                    }
+                    p
+                }
+                Err(_e) => {
+                    if let Some(t) = ctx.registry.get(item.tenant) {
+                        t.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return (item.tenant, item.accepted_at, unmapped(&item.rec));
+                }
+            };
+            let ms = mapper.finalize_read_with_scratch(nt4, plan, results, scratch);
+            let mut lines = String::new();
+            for m in &ms {
+                lines.push_str(&paf_line(
+                    &item.rec.name,
+                    nt4.len(),
+                    &tnames[m.rid as usize],
+                    tlens[m.rid as usize],
+                    m,
+                ));
+                lines.push('\n');
+            }
+            (item.tenant, item.accepted_at, lines)
+        },
+        |item| item.rec.len(),
+        // Writer: route each record to its tenant's output queue. The
+        // scheduler's credit gate guarantees a free slot, so this push
+        // cannot block on a slow consumer.
+        |results: Vec<Routed>| {
+            for (tid, accepted_at, lines) in results {
+                let Some(t) = ctx.registry.get(tid) else {
+                    continue;
+                };
+                t.latency
+                    .record_micros(accepted_at.elapsed().as_micros() as u64);
+                let _ = t.outq.push(lines);
+                t.delivered.fetch_add(1, Ordering::AcqRel);
+            }
+            Ok(())
+        },
+        Some(&on_panic),
+        threads,
+        true,
+    )
+    .map(|_stats| ())
+}
+
+/// Push a read into the tenant's input queue, backing off while full. The
+/// blocking is the point (backpressure to this tenant's socket), but it
+/// must stay escapable: a dead pipeline closes the queue, which surfaces
+/// here as `false`.
+fn push_with_backoff(ctx: &Ctx<'_>, t: &TenantState, mut item: ServeItem) -> bool {
+    loop {
+        match t.inq.try_push(item) {
+            Ok(()) => return true,
+            Err(e) if e.is_closed() => return false,
+            Err(e) => {
+                item = e.into_inner();
+                if ctx.pipeline_done.load(Ordering::Acquire) {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// The per-connection protocol thread. Admin frames (`STATS`, `DRAIN`) are
+/// served pre-HELLO and close the connection; a `HELLO` turns the
+/// connection into a tenant session and spawns its writer.
+fn session_reader<'scope>(
+    ctx: &'scope Ctx<'scope>,
+    scope: &'scope Scope<'scope, '_>,
+    mut stream: UnixStream,
+) {
+    // A read timeout lets the loop observe the drain flag between frames.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut tenant: Option<Arc<TenantState>> = None;
+    loop {
+        match read_frame_poll(&mut stream) {
+            Ok(FramePoll::TimedOut) => {
+                // Drain ends the session as if the client had sent END:
+                // reads accepted so far are flushed, no more are taken.
+                if ctx.draining() {
+                    break;
+                }
+            }
+            Ok(FramePoll::Eof) | Err(_) => break,
+            Ok(FramePoll::Frame(f)) => match (f.op, &tenant) {
+                (Op::Hello, None) => {
+                    if ctx.draining() {
+                        let _ = write_frame(&mut stream, Op::Err, b"daemon is draining");
+                        return;
+                    }
+                    match ctx.registry.admit(&f.text()) {
+                        Ok(t) => {
+                            ctx.active_readers.fetch_add(1, Ordering::AcqRel);
+                            let writer_stream = match stream.try_clone() {
+                                Ok(ws) => ws,
+                                Err(_) => {
+                                    t.ended.store(true, Ordering::Release);
+                                    ctx.active_readers.fetch_sub(1, Ordering::AcqRel);
+                                    return;
+                                }
+                            };
+                            // The HELLO ack is the reader's last write on
+                            // this socket: from here on only the writer
+                            // thread sends, so frames never interleave.
+                            if write_frame(&mut stream, Op::Ok, b"").is_err() {
+                                t.ended.store(true, Ordering::Release);
+                                ctx.active_readers.fetch_sub(1, Ordering::AcqRel);
+                                return;
+                            }
+                            let tw = t.clone();
+                            scope.spawn(move || session_writer(ctx, &tw, writer_stream));
+                            tenant = Some(t);
+                        }
+                        Err(why) => {
+                            let _ = write_frame(&mut stream, Op::Err, why.as_bytes());
+                            return;
+                        }
+                    }
+                }
+                (Op::Read, Some(t)) => {
+                    if ctx.draining() {
+                        break;
+                    }
+                    let (name, seq, qual) = match decode_read(&f.payload) {
+                        Ok(parts) => parts,
+                        Err(_why) => break, // malformed read: end the session
+                    };
+                    let mut rec = SeqRecord::new(name, seq);
+                    if !qual.is_empty() {
+                        rec.qual = Some(qual);
+                    }
+                    let item = ServeItem {
+                        tenant: t.id,
+                        rec,
+                        accepted_at: Instant::now(),
+                    };
+                    if !push_with_backoff(ctx, t, item) {
+                        break; // pipeline gone; writer reports the failure
+                    }
+                    t.accepted.fetch_add(1, Ordering::AcqRel);
+                }
+                (Op::End, Some(_)) => break,
+                (Op::Stats, None) => {
+                    let report = ctx.stats_report().render();
+                    let _ = write_frame(&mut stream, Op::StatsReply, report.as_bytes());
+                    return;
+                }
+                (Op::Drain, None) => {
+                    ctx.local_drain.store(true, Ordering::Release);
+                    let _ = write_frame(&mut stream, Op::Ok, b"draining");
+                    return;
+                }
+                (op, _) => {
+                    // Protocol violation. Pre-HELLO the reader still owns
+                    // the socket and may say why; mid-session the writer
+                    // owns it, so just end the session.
+                    if tenant.is_none() {
+                        let msg = format!("unexpected {op:?} frame");
+                        let _ = write_frame(&mut stream, Op::Err, msg.as_bytes());
+                        return;
+                    }
+                    break;
+                }
+            },
+        }
+    }
+    if let Some(t) = tenant {
+        t.ended.store(true, Ordering::Release);
+        ctx.active_readers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The per-tenant output thread: drain `outq` to the socket in order, then
+/// send `DONE` with the tenant's summary.
+fn session_writer(ctx: &Ctx<'_>, t: &TenantState, mut stream: UnixStream) {
+    loop {
+        match t.outq.pop_timeout(POLL) {
+            Ok(lines) => {
+                if write_frame(&mut stream, Op::Rec, lines.as_bytes()).is_err() {
+                    // Client gone: stop sending, but keep accounting so the
+                    // scheduler's credit math stays consistent.
+                    t.sent.fetch_add(1, Ordering::AcqRel);
+                    drain_silently(ctx, t);
+                    return;
+                }
+                t.sent.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(mmm_pipeline::PopError::TimedOut) => {
+                if t.ended.load(Ordering::Acquire)
+                    && t.sent.load(Ordering::Acquire) == t.accepted.load(Ordering::Acquire)
+                {
+                    break;
+                }
+            }
+            Err(mmm_pipeline::PopError::Closed) => {
+                // Pipeline terminated. Anything unsent is lost; tell the
+                // client rather than leaving it waiting for DONE.
+                if t.sent.load(Ordering::Acquire) < t.accepted.load(Ordering::Acquire) {
+                    let _ = write_frame(
+                        &mut stream,
+                        Op::Err,
+                        b"pipeline terminated before all reads were served",
+                    );
+                    return;
+                }
+                break;
+            }
+        }
+    }
+    let summary = t.summary();
+    let _ = write_frame(&mut stream, Op::Done, summary.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Keep consuming a dead client's records so its in-flight count still
+/// drains and the pipeline writer's slot-reservation invariant holds.
+fn drain_silently(ctx: &Ctx<'_>, t: &TenantState) {
+    loop {
+        match t.outq.pop_timeout(POLL) {
+            Ok(_) => {
+                t.sent.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(mmm_pipeline::PopError::Closed) => return,
+            Err(mmm_pipeline::PopError::TimedOut) => {
+                if t.ended.load(Ordering::Acquire)
+                    && t.sent.load(Ordering::Acquire) == t.accepted.load(Ordering::Acquire)
+                {
+                    return;
+                }
+                if ctx.pipeline_done.load(Ordering::Acquire) && t.outq.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! SIGTERM/SIGINT → drain flag, with no libc crate.
+//!
+//! The daemon's drain contract (flush every accepted read, then exit)
+//! starts here: the handler does nothing but flip one process-global
+//! `AtomicBool`, which the accept loop, session readers, and scheduler all
+//! poll. Everything async-signal-unsafe (logging, queue work, joins)
+//! happens on normal threads after the flag is observed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `signal(2)` constants for the two shutdown signals we handle. Linux
+/// values; this module is compiled only on unix.
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Async-signal-safe: a single atomic store, nothing else.
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+// xtask-allow(missing-safety-doc): documented at the call site below.
+extern "C" {
+    /// libc `signal(2)`. The return value (the previous handler) is a
+    /// pointer-sized integer we never call through, so `usize` suffices.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Install the drain handler for SIGTERM and SIGINT. Call once at daemon
+/// startup, before any thread is spawned.
+pub fn install_drain_handler() {
+    // SAFETY: `signal` is the libc signal(2) entry point; registering a
+    // handler that only performs a relaxed-free atomic store on a
+    // process-global `AtomicBool` is async-signal-safe, and we ignore the
+    // returned previous handler rather than calling through it.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Has a shutdown signal arrived?
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Request a drain programmatically (the `DRAIN` protocol opcode shares
+/// the signal path, so every shutdown route converges on one flag).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+pub(crate) fn reset_for_tests() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test (not several) because the flag is process-global: parallel
+    /// test threads resetting it would race each other.
+    ///
+    /// Covers both paths: the programmatic request and the real signal —
+    /// install the handler and raise SIGTERM at ourselves; the flag must
+    /// flip without the process dying.
+    #[test]
+    fn drain_flag_via_request_and_via_sigterm() {
+        reset_for_tests();
+        assert!(!drain_requested());
+        request_drain();
+        assert!(drain_requested());
+        reset_for_tests();
+        install_drain_handler();
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        // SAFETY: raise(3) with our just-installed SIGTERM handler only
+        // invokes the async-signal-safe `on_signal` above.
+        unsafe {
+            raise(SIGTERM);
+        }
+        for _ in 0..100 {
+            if drain_requested() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(drain_requested());
+        reset_for_tests();
+    }
+}

@@ -37,7 +37,8 @@ fn fixture(tag: &str) -> Fixture {
         seed: 7,
         ..Default::default()
     });
-    let idx = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT);
+    let idx = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &IdxOpts::MAP_ONT)
+        .unwrap();
     let index = dir.join("ref.mmx");
     save_index(&idx, &index).unwrap();
 

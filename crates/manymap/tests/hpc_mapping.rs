@@ -21,7 +21,8 @@ fn map_pb_preset_uses_hpc_and_maps_pacbio_reads() {
     let g = genome();
     let opts = MapOpts::map_pb();
     assert!(opts.idx.hpc, "map-pb must enable HPC, like minimap2 -H");
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx).unwrap();
     assert!(index.hpc);
     let mapper = Mapper::new(&index, opts);
     let reads = simulate_reads(
@@ -59,7 +60,8 @@ fn hpc_seeding_anchors_at_least_as_many_pacbio_reads() {
             occ_frac: 2e-4,
             hpc: false,
         },
-    );
+    )
+    .unwrap();
     let hpc = MinimizerIndex::build(
         &[rec],
         &IdxOpts {
@@ -68,7 +70,8 @@ fn hpc_seeding_anchors_at_least_as_many_pacbio_reads() {
             occ_frac: 2e-4,
             hpc: true,
         },
-    );
+    )
+    .unwrap();
     let reads = simulate_reads(
         &g,
         &SimOpts {
@@ -95,7 +98,8 @@ fn hpc_seeding_anchors_at_least_as_many_pacbio_reads() {
 fn hpc_mappings_are_coordinate_exact_on_clean_reads() {
     let g = genome();
     let opts = MapOpts::map_pb();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx).unwrap();
     let mapper = Mapper::new(&index, opts);
     // Error-free extracts, forward and reverse-complement.
     let fwd = g[60_000..66_000].to_vec();
@@ -112,7 +116,8 @@ fn hpc_mappings_are_coordinate_exact_on_clean_reads() {
 fn hpc_flag_survives_serialization_and_affects_queries() {
     let g = genome();
     let opts = MapOpts::map_pb();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&g))], &opts.idx).unwrap();
     let p = std::env::temp_dir().join(format!("hpc-idx-{}.mmx", std::process::id()));
     mmm_index::save_index(&index, &p).unwrap();
     let (back, _) = mmm_index::load_index_mmap(&p).unwrap();

@@ -29,6 +29,7 @@ pub mod gpu;
 pub mod health;
 pub mod job;
 pub mod sched;
+pub mod sink;
 pub mod stats;
 pub mod supervisor;
 
@@ -41,5 +42,6 @@ pub use gpu::GpuSimtBackend;
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use job::{AlignJob, MAX_PLAN_SEGMENT};
 pub use sched::{plan_schedule, Route, SchedBatch, SchedConfig, SchedMode, SchedulePlan};
+pub use sink::{BufferSink, StatsReport, StatsSink, StderrSink};
 pub use stats::BackendStats;
 pub use supervisor::{JobOutcome, SupervisedBackend, SupervisorConfig};

@@ -28,6 +28,12 @@ pub enum IndexError {
     /// The bytes were delivered but do not form a valid index: bad magic,
     /// truncation, or a length prefix that contradicts the file size.
     Corrupt { offset: Option<u64>, what: String },
+    /// The reference set exceeds the packed-hit bit budget
+    /// (`rid << 40 | pos << 1 | strand`: 2^24 sequences of up to 2^39
+    /// bases). Packing such hits would silently wrap them into the wrong
+    /// reference or strand, so [`crate::MinimizerIndex::build`] refuses the
+    /// set instead of mismapping.
+    HitBudget { what: String },
 }
 
 impl IndexError {
@@ -76,6 +82,9 @@ impl fmt::Display for IndexError {
                 write_at(f, offset)?;
                 write!(f, ": {what}")
             }
+            IndexError::HitBudget { what } => {
+                write!(f, "reference set over the packed-hit budget: {what}")
+            }
         }
     }
 }
@@ -84,7 +93,7 @@ impl std::error::Error for IndexError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IndexError::Open { source, .. } | IndexError::Io { source, .. } => Some(source),
-            IndexError::Corrupt { .. } => None,
+            IndexError::Corrupt { .. } | IndexError::HitBudget { .. } => None,
         }
     }
 }

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use mmm_chain::Anchor;
 use mmm_seq::{PackedSeq, SeqRecord};
 
+use crate::error::IndexError;
 use crate::minimizer::{minimizers, minimizers_hpc, Minimizer};
 
 /// Index construction parameters.
@@ -52,9 +53,30 @@ pub struct RefSeq {
     pub seq: PackedSeq,
 }
 
+/// Packed-hit bit budget: a hit is `rid << 40 | pos << 1 | strand`, so the
+/// reference id gets the top 24 bits and the position the middle 39. At
+/// most this many reference sequences fit in one index.
+pub const MAX_REF_SEQS: usize = 1 << 24;
+/// Packed-hit bit budget: longest addressable reference sequence (bases).
+/// Positions are minimizer starts, so the last base must still pack.
+pub const MAX_REF_LEN: usize = 1 << 39;
+
 /// Packed reference hit: `rid << 40 | pos << 1 | strand`.
+///
+/// Out-of-budget inputs (`rid >= 2^24`, `pos >= 2^39`) would silently
+/// corrupt the hit into another reference/strand; [`MinimizerIndex::build`]
+/// rejects such reference sets up front, so this can only fire on an
+/// internal invariant violation.
 #[inline]
 pub(crate) fn pack_hit(rid: u32, pos: u32, rev: bool) -> u64 {
+    debug_assert!(
+        (rid as usize) < MAX_REF_SEQS,
+        "pack_hit: rid {rid} exceeds the 24-bit budget"
+    );
+    debug_assert!(
+        (pos as usize) < MAX_REF_LEN,
+        "pack_hit: pos {pos} exceeds the 39-bit budget"
+    );
     ((rid as u64) << 40) | ((pos as u64) << 1) | rev as u64
 }
 
@@ -84,7 +106,14 @@ pub struct MinimizerIndex {
 
 impl MinimizerIndex {
     /// Build the index over a set of reference records.
-    pub fn build(refs: &[SeqRecord], opts: &IdxOpts) -> Self {
+    ///
+    /// Fails with [`IndexError::HitBudget`] when the reference set exceeds
+    /// the packed-hit representation ([`MAX_REF_SEQS`] sequences of up to
+    /// [`MAX_REF_LEN`] bases): packing such hits would silently wrap them
+    /// into the wrong reference or strand and mismap every read that seeds
+    /// there, so over-budget inputs must fail loudly at build time.
+    pub fn build(refs: &[SeqRecord], opts: &IdxOpts) -> Result<Self, IndexError> {
+        check_hit_budget(refs.len(), refs.iter().map(|r| (r.name.as_str(), r.len())))?;
         // Collect (hash, packed hit) pairs across all references.
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         let mut seqs = Vec::with_capacity(refs.len());
@@ -116,7 +145,7 @@ impl MinimizerIndex {
         }
 
         let max_occ = occurrence_cutoff(map.values().map(|&(_, c)| c), opts.occ_frac);
-        MinimizerIndex {
+        Ok(MinimizerIndex {
             k: opts.k,
             w: opts.w,
             hpc: opts.hpc,
@@ -124,7 +153,7 @@ impl MinimizerIndex {
             map,
             positions,
             max_occ,
-        }
+        })
     }
 
     /// Hits for one minimizer hash, or an empty slice.
@@ -208,6 +237,37 @@ impl MinimizerIndex {
     }
 }
 
+/// Validate a reference set against the packed-hit bit budget
+/// (`rid << 40 | pos << 1 | strand`): at most [`MAX_REF_SEQS`] sequences,
+/// each at most [`MAX_REF_LEN`] bases. `lens` yields `(name, len)` per
+/// sequence; the count is checked first so an over-wide set fails before
+/// any per-sequence work.
+pub fn check_hit_budget<'a>(
+    count: usize,
+    lens: impl Iterator<Item = (&'a str, usize)>,
+) -> Result<(), IndexError> {
+    if count > MAX_REF_SEQS {
+        return Err(IndexError::HitBudget {
+            what: format!(
+                "{count} reference sequences exceed the packed-hit rid budget \
+                 of {MAX_REF_SEQS} (24 bits); split the reference set"
+            ),
+        });
+    }
+    for (rid, (name, len)) in lens.enumerate() {
+        if len > MAX_REF_LEN {
+            return Err(IndexError::HitBudget {
+                what: format!(
+                    "reference #{rid} ('{name}') is {len} bases, over the \
+                     packed-hit position budget of {MAX_REF_LEN} (39 bits); \
+                     split the sequence"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Sketch with or without homopolymer compression.
 #[inline]
 fn sketch(seq: &[u8], k: usize, w: usize, hpc: bool) -> Vec<Minimizer> {
@@ -252,7 +312,7 @@ mod tests {
 
     fn build_one(genome: &[u8], opts: &IdxOpts) -> MinimizerIndex {
         let rec = SeqRecord::new("chr1", nt4_decode(genome));
-        MinimizerIndex::build(&[rec], opts)
+        MinimizerIndex::build(&[rec], opts).unwrap()
     }
 
     #[test]
@@ -323,9 +383,32 @@ mod tests {
             (0u32, 0u32, false),
             (3, 123_456, true),
             (1000, 1 << 30, false),
+            // The exact corners of the bit budget must survive.
+            ((MAX_REF_SEQS - 1) as u32, u32::MAX, true),
+            ((MAX_REF_SEQS - 1) as u32, 0, false),
         ] {
             assert_eq!(unpack_hit(pack_hit(rid, pos, rev)), (rid, pos, rev));
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "24-bit budget")]
+    fn pack_hit_asserts_rid_budget() {
+        pack_hit(MAX_REF_SEQS as u32, 0, false);
+    }
+
+    #[test]
+    fn hit_budget_check_rejects_over_wide_and_over_long_sets() {
+        assert!(check_hit_budget(2, [("a", 100), ("b", 100)].into_iter()).is_ok());
+        let e =
+            check_hit_budget(MAX_REF_SEQS + 1, std::iter::empty::<(&str, usize)>()).unwrap_err();
+        assert!(matches!(e, IndexError::HitBudget { .. }));
+        assert!(e.to_string().contains("rid budget"), "{e}");
+        let e =
+            check_hit_budget(2, [("a", 100), ("chrBig", MAX_REF_LEN + 1)].into_iter()).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("chrBig") && s.contains("position budget"), "{s}");
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod minimizer;
 pub mod serialize;
 
 pub use error::IndexError;
-pub use index::{IdxOpts, MinimizerIndex, RefSeq};
+pub use index::{check_hit_budget, IdxOpts, MinimizerIndex, RefSeq, MAX_REF_LEN, MAX_REF_SEQS};
 pub use minimizer::{hash64, minimizers, Minimizer};
 pub use serialize::{load_index, load_index_mmap, parse_index, save_index, LoadStats};

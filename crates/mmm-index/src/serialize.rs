@@ -149,6 +149,23 @@ fn parse_index_inner<S: ByteSource>(src: &mut S) -> io::Result<MinimizerIndex> {
         map.insert(key, (off, cnt));
     }
     let positions = src.take_u64_vec()?;
+    // The same bit-budget contract `MinimizerIndex::build` enforces: every
+    // packed hit's rid is used as a direct index into the sequence table, so
+    // a corrupt or hostile image carrying an out-of-range rid must surface
+    // as typed corruption here, not as a panic (or silent mismap) at seeding
+    // time.
+    for (i, &p) in positions.iter().enumerate() {
+        let (rid, _, _) = crate::index::unpack_hit(p);
+        if rid as usize >= seqs.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "packed hit {i} names reference {rid}, but only {} sequence(s) exist",
+                    seqs.len()
+                ),
+            ));
+        }
+    }
     Ok(MinimizerIndex {
         k,
         w,
@@ -226,7 +243,7 @@ mod tests {
             SeqRecord::new("chrA", nt4_decode(&g[..20_000])),
             SeqRecord::new("chrB", nt4_decode(&g[20_000..])),
         ];
-        MinimizerIndex::build(&recs, &IdxOpts::MAP_ONT)
+        MinimizerIndex::build(&recs, &IdxOpts::MAP_ONT).unwrap()
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {

@@ -31,7 +31,7 @@ fn serialized_index() -> Vec<u8> {
             b"TTGACCAGTTGACCAGCCGGAATTCCGGTTAACCGGTTAA".repeat(25),
         ),
     ];
-    let idx = MinimizerIndex::build(&refs, &IdxOpts::MAP_ONT);
+    let idx = MinimizerIndex::build(&refs, &IdxOpts::MAP_ONT).unwrap();
     let path = std::env::temp_dir().join(format!(
         "mmm-truncated-index-{}-{:?}.mmx",
         std::process::id(),
@@ -95,6 +95,26 @@ fn hostile_length_prefixes_are_rejected_without_allocating() {
 
 /// Blast every aligned u64 of the file with 0xFF: the parser may accept or
 /// reject, but must never panic and never balloon allocation.
+/// A position word patched to name a reference past the sequence table must
+/// be rejected as corruption at load time: unpacked rids are direct indices
+/// into `seqs`, so letting one through would panic (or mismap) at seeding.
+#[test]
+fn out_of_range_packed_rid_is_corruption() {
+    let bytes = serialized_index();
+    // The positions array is the last section: [u64 count][u64 words...].
+    // Patch the final word to a hit with rid = 2^24 - 1 (far past 2 seqs).
+    let mut patched = bytes.clone();
+    let n = patched.len();
+    let hostile: u64 = ((1u64 << 24) - 1) << 40;
+    patched[n - 8..].copy_from_slice(&hostile.to_le_bytes());
+    let e = must_fail(
+        parse_index(&mut SliceSource::new(&patched)),
+        "out-of-range rid",
+    );
+    assert!(e.is_corrupt(), "{e}");
+    assert!(e.to_string().contains("names reference"), "{e}");
+}
+
 #[test]
 fn corruption_sweep_never_panics() {
     let bytes = serialized_index();

@@ -43,6 +43,7 @@ use std::time::Instant;
 use crate::error::{DynError, PipelineError};
 use crate::pipeline::{PanicHandler, PipelineStats};
 use crate::pool::with_worker_pool;
+use crate::queue::BoundedQueue;
 use crate::sort::sort_indices_by_len_desc;
 use crate::sync::lock_unpoisoned;
 
@@ -368,6 +369,73 @@ where
     Ok(s)
 }
 
+/// The batched pipeline fed from a [`BoundedQueue`] instead of a reader
+/// closure — the serve daemon's entry point (DESIGN.md §12).
+///
+/// A scheduler thread (or any producer set) pushes item batches into
+/// `input`; this function consumes them through the identical plan →
+/// dispatch → finalize machinery as
+/// [`try_run_three_thread_batched_with_state`] and returns once `input` is
+/// **closed and drained** — so `input.close()` is the drain signal: every
+/// batch accepted before the close is planned, dispatched, finalized, and
+/// written before this function returns. The queue's bounded capacity is
+/// the pipeline-facing backpressure edge: producers block (or observe
+/// `Full` via `try_push`) once the pipeline falls behind.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_three_thread_batched_from_queue<
+    I,
+    M,
+    D,
+    R,
+    S,
+    FState,
+    FPlan,
+    FDispatch,
+    FFin,
+    FLen,
+    FOut,
+>(
+    input: &BoundedQueue<Vec<I>>,
+    make_state: FState,
+    plan: FPlan,
+    dispatch: FDispatch,
+    finalize: FFin,
+    len_of: FLen,
+    write_batch: FOut,
+    on_item_panic: PanicHandler<'_, I, R>,
+    threads: usize,
+    sort_by_len: bool,
+) -> Result<PipelineStats, PipelineError>
+where
+    I: Send + Sync,
+    M: Send + Sync,
+    D: Send + Sync,
+    R: Send,
+    FState: Fn(usize) -> S + Sync,
+    FPlan: Fn(&mut S, &I) -> M + Sync,
+    FDispatch: FnMut(Vec<M>) -> Result<Vec<(M, Result<D, String>)>, DynError> + Send,
+    FFin: Fn(&mut S, &I, &M, &D) -> R + Sync,
+    FLen: Fn(&I) -> usize + Sync,
+    FOut: FnMut(Vec<R>) -> Result<(), DynError> + Send,
+{
+    // `pop` blocks until a batch arrives and returns `None` only when the
+    // queue is closed *and* drained, which is exactly the reader contract
+    // (`Ok(None)` = end of input). Queue consumption can never itself fail,
+    // so the reader closure is infallible.
+    try_run_three_thread_batched_with_state(
+        || Ok(input.pop()),
+        make_state,
+        plan,
+        dispatch,
+        finalize,
+        len_of,
+        write_batch,
+        on_item_panic,
+        threads,
+        sort_by_len,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +729,69 @@ mod tests {
         let (got, stats) = run_simple(vec![vec![], vec![8]], 2);
         assert_eq!(got, vec![170]);
         assert_eq!(stats.batches, 2);
+    }
+
+    /// The queue-fed variant: a live producer pushes batches while the
+    /// pipeline runs; `close()` drains and terminates it. Results preserve
+    /// push order.
+    #[test]
+    fn queue_fed_pipeline_drains_on_close() {
+        let input: BoundedQueue<Vec<u64>> = BoundedQueue::new(2);
+        let out = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let input = &input;
+            scope.spawn(move || {
+                for b in [vec![1u64, 2, 3], vec![4, 5], vec![6]] {
+                    input.push(b).unwrap();
+                }
+                input.close();
+            });
+            let stats = try_run_three_thread_batched_from_queue(
+                input,
+                |_| (),
+                |(), &x: &u64| x * 2,
+                |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(m + 1))).collect()),
+                |(), _item: &u64, _m: &u64, d: &u64| d * 10,
+                |_| 1,
+                |r| {
+                    out.lock().unwrap().extend(r);
+                    Ok(())
+                },
+                None,
+                3,
+                false,
+            )
+            .unwrap();
+            assert_eq!(stats.batches, 3);
+            assert_eq!(stats.items, 6);
+        });
+        assert_eq!(
+            out.into_inner().unwrap(),
+            vec![30, 50, 70, 90, 110, 130] // (2x+1)*10
+        );
+    }
+
+    /// Closing an already-empty queue ends the run immediately with zero
+    /// batches — the idle-daemon shutdown path.
+    #[test]
+    fn queue_fed_pipeline_handles_immediate_close() {
+        let input: BoundedQueue<Vec<u64>> = BoundedQueue::new(1);
+        input.close();
+        let stats = try_run_three_thread_batched_from_queue(
+            &input,
+            |_| (),
+            |(), &x: &u64| x,
+            |plans: Vec<u64>| Ok(plans.into_iter().map(|m| (m, Ok(()))).collect()),
+            |(), _item, m: &u64, _d: &()| *m,
+            |_| 1,
+            |_r| Ok(()),
+            None,
+            2,
+            false,
+        )
+        .unwrap();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.items, 0);
     }
 
     #[test]

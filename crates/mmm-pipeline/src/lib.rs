@@ -22,10 +22,13 @@ pub mod error;
 pub mod fault;
 pub mod pipeline;
 pub mod pool;
+pub mod queue;
 pub mod sort;
 pub mod sync;
 
-pub use batched::try_run_three_thread_batched_with_state;
+pub use batched::{
+    try_run_three_thread_batched_from_queue, try_run_three_thread_batched_with_state,
+};
 pub use error::{DynError, PipelineError};
 pub use fault::{failing_every, panicking_map};
 pub use pipeline::{
@@ -33,5 +36,6 @@ pub use pipeline::{
     try_run_three_thread_with_state, try_run_two_thread_with_state, PanicHandler, PipelineStats,
 };
 pub use pool::{par_map_indexed, with_worker_pool, BatchOutcome, ItemPanic, WorkerPool};
+pub use queue::{BoundedQueue, PopError, PushError};
 pub use sort::sort_indices_by_len_desc;
 pub use sync::{lock_unpoisoned, wait_unpoisoned};

@@ -1,0 +1,339 @@
+//! `BoundedQueue` — a bounded MPMC queue with close-and-drain semantics.
+//!
+//! The serve front-end (DESIGN.md §12) moves work between long-lived
+//! threads that outlive any single pipeline run: tenant sessions push read
+//! batches in, the fair scheduler pops them, and result routing runs the
+//! other way. `std::sync::mpsc` channels fit poorly there — they are
+//! single-consumer, and a disconnected channel cannot distinguish "producer
+//! finished, drain the rest" from "tear everything down". This queue is the
+//! seam instead:
+//!
+//! * **bounded** — `push` blocks once `capacity` items are waiting, which
+//!   is the backpressure story: a tenant that outruns the backend blocks in
+//!   its own session thread instead of growing the daemon's heap;
+//! * **multi-producer, multi-consumer** — any number of threads may push
+//!   and pop through a shared reference (callers wrap it in `Arc`);
+//! * **closeable** — `close()` marks the end of input. Pushes fail from
+//!   then on, but consumers keep draining: `pop` returns every item already
+//!   queued and only then reports closure. That ordering is what makes a
+//!   clean SIGTERM drain possible — close the queue, join the consumer, and
+//!   every accepted item has been processed.
+//!
+//! Implementation: `Mutex<VecDeque>` with two condvars (space, items). At
+//! serve batch granularity (hundreds of pushes per second, not millions)
+//! lock-free buys nothing; correct blocking and wakeup is the whole game.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+
+/// Why a push was refused. Carries the item back so the caller can reroute
+/// it (e.g. report the failure to the tenant that sent it).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is closed; no further items will be accepted.
+    Closed(T),
+    /// (`try_push` only) the queue is at capacity right now.
+    Full(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(t) | PushError::Full(t) => t,
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        matches!(self, PushError::Closed(_))
+    }
+}
+
+/// Why a timed pop returned empty-handed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopError {
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and fully drained — no item will ever arrive.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue. See the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when an item (or closure) becomes visible to consumers.
+    items: Condvar,
+    /// Signalled when space (or closure) becomes visible to producers.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            items: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently waiting. A snapshot — stale by the time it returns;
+    /// for monitoring and tests, not for flow control.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_closed(&self) -> bool {
+        lock_unpoisoned(&self.inner).closed
+    }
+
+    /// Block until there is room, then enqueue. Fails only when the queue
+    /// is (or becomes, while waiting) closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = lock_unpoisoned(&self.inner);
+        loop {
+            if g.closed {
+                return Err(PushError::Closed(item));
+            }
+            if g.items.len() < self.capacity {
+                g.items.push_back(item);
+                drop(g);
+                self.items.notify_one();
+                return Ok(());
+            }
+            g = wait_unpoisoned(&self.space, g);
+        }
+    }
+
+    /// Enqueue without blocking: `Full` when at capacity, `Closed` after
+    /// close. The backpressure probe for callers that must not stall (a
+    /// session thread deciding whether to make the tenant wait).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = lock_unpoisoned(&self.inner);
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item arrives. `None` means closed **and** drained:
+    /// every item ever pushed has been handed to some consumer.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = wait_unpoisoned(&self.items, g);
+        }
+    }
+
+    /// Like [`pop`](Self::pop) with a deadline, for consumers that also
+    /// poll something else (a drain flag, a socket).
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, PopError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = lock_unpoisoned(&self.inner);
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.space.notify_one();
+                return Ok(item);
+            }
+            if g.closed {
+                return Err(PopError::Closed);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(PopError::TimedOut);
+            };
+            let (guard, _timeout_hit) = self
+                .items
+                .wait_timeout(g, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = guard;
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let item = lock_unpoisoned(&self.inner).items.pop_front();
+        if item.is_some() {
+            self.space.notify_one();
+        }
+        item
+    }
+
+    /// Mark the end of input and wake every waiter. Items already queued
+    /// remain poppable (close-and-drain); further pushes fail. Idempotent.
+    pub fn close(&self) {
+        lock_unpoisoned(&self.inner).closed = true;
+        self.items.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_through_push_and_pop() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_push_reports_full_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        let err = q.try_push("c").unwrap_err();
+        assert!(matches!(err, PushError::Full("c")));
+        assert_eq!(err.into_inner(), "c");
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_then_drain_then_none() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).unwrap_err().is_closed());
+        // Already-queued items survive closure.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays terminal
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(PopError::TimedOut)
+        );
+        q.close();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(PopError::Closed)
+        );
+    }
+
+    /// A full queue blocks its producer until a consumer frees space — the
+    /// backpressure contract the serve front-end is built on.
+    #[test]
+    fn full_queue_blocks_producer_until_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || qp.push(1).is_ok());
+        // The producer must be parked: the queue never exceeds capacity.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    /// Closing while producers are parked wakes them with a typed error
+    /// that hands their item back.
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).unwrap();
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || qp.push(8));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let err = producer.join().unwrap().unwrap_err();
+        assert!(err.is_closed());
+        assert_eq!(err.into_inner(), 8);
+    }
+
+    /// Many producers, many consumers: every item is delivered exactly
+    /// once, and the drain after close loses nothing.
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER: usize = 200;
+        let q = Arc::new(BoundedQueue::new(8));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push(p * PER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            let got = got.clone();
+            consumers.push(std::thread::spawn(move || {
+                while let Some(v) = q.pop() {
+                    got.lock().unwrap().push(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let mut got = Arc::try_unwrap(got).unwrap().into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    }
+}

@@ -13,6 +13,7 @@
 //! | `no-unwrap` | no `unwrap`/`expect` in non-test lib code |
 //! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) in mmm-align and mmm-exec has a `*_with_scratch` variant |
 //! | `stats-forwarding` | `BackendStats` literals in `AlignBackend` impl files must name every field or forward from a non-default base |
+//! | `stats-sink` | no ad-hoc `print!`/`eprintln!` in the daemon (`manymap/src/serve/`) — reports go through `StatsSink` or the wire protocol |
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -20,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use crate::lex::{has_word, scan, LineView};
 
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "safety-comment",
     "target-feature-gate",
     "no-transmute",
@@ -28,6 +29,7 @@ pub const RULES: [&str; 7] = [
     "no-unwrap",
     "scratch-variant",
     "stats-forwarding",
+    "stats-sink",
 ];
 
 /// One lint finding, printable as `error[rule]: path:line: message`.
@@ -451,6 +453,37 @@ fn rule_no_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+/// `stats-sink`: the daemon's only channels to the outside are the wire
+/// protocol and the `StatsSink` passed into `serve` — a stray
+/// `eprintln!` in `manymap/src/serve/` would interleave with the assembled
+/// report (or vanish entirely when a test runs the daemon in-process
+/// against a `BufferSink`). Writing to the process streams directly is
+/// therefore banned in the serve module; tests are exempt.
+fn rule_stats_sink(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.rel.to_string_lossy().contains("manymap/src/serve/") {
+        return;
+    }
+    const MACROS: [&str; 4] = ["eprintln!", "eprint!", "println!", "print!"];
+    for (idx, v) in ctx.views.iter().enumerate() {
+        if ctx.test_lines[idx] {
+            continue;
+        }
+        if let Some(m) = MACROS.iter().find(|m| v.code.contains(*m)) {
+            emit(
+                ctx,
+                out,
+                "stats-sink",
+                idx + 1,
+                format!(
+                    "`{m}` in the serve module — daemon output must go through \
+                     the StatsSink handed to `serve` (or a protocol frame), \
+                     never straight to the process streams"
+                ),
+            );
+        }
+    }
+}
+
 /// `scratch-variant`: every public kernel entry point (in mmm-align and the
 /// mmm-exec batch executors) must offer the zero-allocation
 /// `*_with_scratch` form (the PR-1 contract).
@@ -750,6 +783,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         rule_no_transmute(&ctx, &mut out);
         rule_raw_ptr(&ctx, &mut out);
         rule_no_unwrap(&ctx, &mut out);
+        rule_stats_sink(&ctx, &mut out);
     }
     rule_scratch_variant(&parsed, &mut out);
     rule_stats_forwarding(&parsed, &all_allows, &mut out);
@@ -779,6 +813,7 @@ mod tests {
         rule_no_transmute(&ctx, &mut out);
         rule_raw_ptr(&ctx, &mut out);
         rule_no_unwrap(&ctx, &mut out);
+        rule_stats_sink(&ctx, &mut out);
         out
     }
 
@@ -969,6 +1004,25 @@ mod tests {
     fn stats_forwarding_respects_justified_allow() {
         let src = "impl AlignBackend for X {}\nfn f() {\n    // xtask-allow: stats-forwarding — omitted counters are structurally zero here.\n    let s = BackendStats {\n        batches: 1,\n        ..Default::default()\n    };\n}\n";
         assert!(check_stats_forwarding(src).is_empty());
+    }
+
+    #[test]
+    fn stats_sink_bans_process_streams_in_serve_only() {
+        let src = "fn f() { eprintln!(\"oops\"); }\n";
+        let v = check_snippet("crates/manymap/src/serve/server.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stats-sink");
+        // Outside the serve module the CLI may still talk to stderr.
+        assert!(check_snippet("crates/manymap/src/bin/manymap.rs", src).is_empty());
+        // Test code inside the serve module is exempt.
+        let test = "#[cfg(test)]\nmod tests {\n    fn g() { println!(\"dbg\"); }\n}\n";
+        assert!(check_snippet("crates/manymap/src/serve/proto.rs", test).is_empty());
+        // A mention in prose (comment) is not a call.
+        let prose = "//! Never eprintln! here; use StatsSink.\nfn f() {}\n";
+        assert!(check_snippet("crates/manymap/src/serve/mod.rs", prose).is_empty());
+        // A justified allow still works.
+        let allowed = "fn f() {\n    // xtask-allow: stats-sink — pre-socket bind failure has no sink yet.\n    eprintln!(\"boot\");\n}\n";
+        assert!(check_snippet("crates/manymap/src/serve/server.rs", allowed).is_empty());
     }
 
     #[test]

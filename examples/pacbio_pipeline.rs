@@ -25,7 +25,8 @@ fn main() {
     let index = MinimizerIndex::build(
         &[SeqRecord::new("chr1", nt4_decode(&genome))],
         &IdxOpts::MAP_PB,
-    );
+    )
+    .unwrap();
     let reads = simulate_reads(
         &genome,
         &SimOpts {

@@ -44,7 +44,8 @@ fn main() {
 
     // Index the reference; sequence the donor.
     let opts = MapOpts::map_ont();
-    let index = MinimizerIndex::build(&[SeqRecord::new("ref", nt4_decode(&reference))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("ref", nt4_decode(&reference))], &opts.idx).unwrap();
     let mapper = Mapper::new(&index, opts);
     let reads = simulate_reads(
         &donor,

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# The mmm-serve CI gate: boot the daemon, run 4 concurrent tenants, and
+# demand (a) every tenant's output byte-identical to a solo `manymap map`
+# run, (b) a live stats endpoint that accounts for all of them, and (c) a
+# clean drain that flushes everything and exits 0. Uses the release
+# binaries, building the three it needs (the tier-1 build only covers the
+# root package).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BIN=target/release
+cargo build --release -q -p mmm-simreads -p manymap --bins
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mmm-serve-gate.XXXXXX")
+SOCK="$WORK/daemon.sock"
+DAEMON_PID=""
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "  -> fixture: 80 kb genome, 16 nanopore reads"
+"$BIN/simreads" --genome 80000 --reads 16 --platform ont --seed 7 \
+    --out-ref "$WORK/ref.fa" --out-reads "$WORK/reads.fa" >/dev/null
+"$BIN/manymap" index "$WORK/ref.fa" "$WORK/ref.mmx" 2>/dev/null
+
+echo "  -> solo CLI reference run"
+"$BIN/manymap" map "$WORK/ref.mmx" "$WORK/reads.fa" \
+    --threads 2 --backend cpu >"$WORK/solo.paf" 2>/dev/null
+[[ -s "$WORK/solo.paf" ]] || { echo "serve_gate: solo run produced no output"; exit 1; }
+
+echo "  -> boot daemon"
+"$BIN/mmm-serve" daemon "$WORK/ref.mmx" --socket "$SOCK" \
+    --threads 2 --backend cpu 2>"$WORK/daemon.stderr" &
+DAEMON_PID=$!
+for _ in $(seq 1 200); do
+    [[ -S "$SOCK" ]] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.stderr"; exit 1; }
+    sleep 0.05
+done
+[[ -S "$SOCK" ]] || { echo "serve_gate: daemon socket never appeared"; exit 1; }
+
+echo "  -> 4 concurrent tenants"
+CLIENT_PIDS=()
+for i in 1 2 3 4; do
+    "$BIN/mmm-serve" client "$SOCK" "tenant$i" "$WORK/reads.fa" \
+        >"$WORK/t$i.paf" 2>"$WORK/t$i.stderr" &
+    CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+    wait "$pid" || { echo "serve_gate: a client failed"; cat "$WORK"/t*.stderr; exit 1; }
+done
+for i in 1 2 3 4; do
+    cmp -s "$WORK/solo.paf" "$WORK/t$i.paf" || {
+        echo "serve_gate: tenant$i output diverged from the solo CLI"
+        exit 1
+    }
+done
+
+echo "  -> stats endpoint"
+"$BIN/mmm-serve" stats "$SOCK" >"$WORK/stats.txt"
+grep -q "tenant tenant1:" "$WORK/stats.txt" || {
+    echo "serve_gate: stats endpoint missing tenant lines"; cat "$WORK/stats.txt"; exit 1
+}
+grep -q "64 read(s) accepted" "$WORK/stats.txt" || {
+    echo "serve_gate: stats totals wrong"; cat "$WORK/stats.txt"; exit 1
+}
+
+echo "  -> drain"
+"$BIN/mmm-serve" drain "$SOCK"
+wait "$DAEMON_PID" || { echo "serve_gate: daemon exited non-zero"; cat "$WORK/daemon.stderr"; exit 1; }
+DAEMON_PID=""
+grep -q "\[mmm-serve\] up " "$WORK/daemon.stderr" || {
+    echo "serve_gate: final report missing"; cat "$WORK/daemon.stderr"; exit 1
+}
+[[ -S "$SOCK" ]] && { echo "serve_gate: drained daemon left its socket"; exit 1; }
+
+echo "  serve gate OK"

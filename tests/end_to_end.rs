@@ -50,7 +50,8 @@ fn map_all(mapper: &Mapper<'_>, reads: &[mmm_simreads::SimulatedRead]) -> Vec<Ma
 fn pacbio_reads_map_accurately() {
     let (genome, reads) = dataset(Platform::PacBio, 60);
     let opts = MapOpts::map_pb();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx).unwrap();
     let mapper = Mapper::new(&index, opts);
     let calls = map_all(&mapper, &reads);
     let truths: Vec<_> = reads.iter().map(|r| r.origin).collect();
@@ -72,7 +73,8 @@ fn pacbio_reads_map_accurately() {
 fn nanopore_reads_map_accurately() {
     let (genome, reads) = dataset(Platform::Nanopore, 60);
     let opts = MapOpts::map_ont();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx).unwrap();
     let mapper = Mapper::new(&index, opts);
     let calls = map_all(&mapper, &reads);
     let truths: Vec<_> = reads.iter().map(|r| r.origin).collect();
@@ -94,7 +96,8 @@ fn nanopore_reads_map_accurately() {
 fn serialized_index_maps_identically_via_both_loaders() {
     let (genome, reads) = dataset(Platform::PacBio, 15);
     let opts = MapOpts::map_pb();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx).unwrap();
     let path = std::env::temp_dir().join(format!("e2e-idx-{}.mmx", std::process::id()));
     save_index(&index, &path).unwrap();
     let (buffered, stats_b) = load_index(&path).unwrap();
@@ -131,7 +134,8 @@ fn every_kernel_engine_maps_identically() {
     let index = MinimizerIndex::build(
         &[SeqRecord::new("chr1", nt4_decode(&genome))],
         &base_opts.idx,
-    );
+    )
+    .unwrap();
     let reference = Mapper::new(&index, base_opts);
     let ref_maps: Vec<_> = reads.iter().map(|r| reference.map_read(&r.seq)).collect();
     for e in Engine::all().into_iter().filter(|e| e.is_available()) {
@@ -157,7 +161,8 @@ fn every_kernel_engine_maps_identically() {
 fn paf_output_is_well_formed() {
     let (genome, reads) = dataset(Platform::Nanopore, 10);
     let opts = MapOpts::map_ont();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx).unwrap();
     let mapper = Mapper::new(&index, opts);
     for r in &reads {
         for m in mapper.map_read(&r.seq) {

@@ -17,7 +17,8 @@ fn workload() -> (MinimizerIndex, Vec<Vec<u8>>, MapOpts) {
         ..Default::default()
     });
     let opts = MapOpts::map_ont();
-    let index = MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx);
+    let index =
+        MinimizerIndex::build(&[SeqRecord::new("chr1", nt4_decode(&genome))], &opts.idx).unwrap();
     let reads = simulate_reads(
         &genome,
         &SimOpts {

@@ -30,7 +30,8 @@ proptest! {
         let idx = MinimizerIndex::build(
             &[SeqRecord::new("g", nt4_decode(&genome))],
             &IdxOpts::MAP_ONT,
-        );
+        )
+        .unwrap();
         let start = start.min(genome.len() - len);
         let query = genome[start..start + len].to_vec();
         let anchors = idx.collect_anchors(&query);
