@@ -11,7 +11,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> xtask verify: source lints, kernel oracle, miri subset, interleavings"
+echo "==> xtask verify: lints, kernel oracle, proto fuzzer, miri, interleavings"
 cargo run -p xtask -- verify
 
 echo "==> cargo doc (workspace, warnings are errors)"
@@ -46,5 +46,8 @@ cargo test -q -p manymap --test serve
 
 echo "==> serve gate: boot daemon, 4 concurrent clients, clean drain"
 ./serve_gate.sh
+
+echo "==> serve ingestion bench: quick smoke (baseline lives in BENCH_serve_queue.json)"
+BENCH_QUICK=1 BENCH_JSON_OUT="" cargo bench -p bench --bench serve_queue
 
 echo "CI OK"

@@ -3,7 +3,10 @@
 //! that feeds the shared pipeline. Plain timing harness — no external
 //! bench crates.
 //!
-//! Run `cargo bench -p bench --bench serve_queue`.
+//! Run `cargo bench -p bench --bench serve_queue`. Writes the
+//! machine-readable baseline to `BENCH_serve_queue.json` (override the
+//! path with `BENCH_JSON_OUT`; set it empty to skip). Set `BENCH_QUICK=1`
+//! for a fast smoke run.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -103,25 +106,71 @@ fn drr_mops(tenants: usize, reads_per: usize) -> f64 {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let (queue_items, reads_per) = if quick {
+        (100_000, 2_000)
+    } else {
+        (1_000_000, 20_000)
+    };
+
+    // (stage, items, mops) — one row per table line and JSON entry.
+    let mut stages: Vec<(String, usize, f64)> = Vec::new();
     for (producers, consumers) in [(1usize, 1usize), (4, 4)] {
-        let mops = queue_mops(512, producers, consumers, 1_000_000);
-        rows.push(vec![
+        let mops = queue_mops(512, producers, consumers, queue_items);
+        stages.push((
             format!("queue {producers}p/{consumers}c"),
-            "1e6 items".to_string(),
-            format!("{mops:.2} M/s"),
-        ]);
+            queue_items,
+            mops,
+        ));
     }
     for tenants in [1usize, 4, 16] {
-        let mops = drr_mops(tenants, 20_000);
-        rows.push(vec![
+        let mops = drr_mops(tenants, reads_per);
+        stages.push((
             format!("drr {tenants} tenant(s)"),
-            format!("{} reads", tenants * 20_000),
-            format!("{mops:.2} M/s"),
-        ]);
+            tenants * reads_per,
+            mops,
+        ));
     }
+
+    let rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|(stage, items, mops)| {
+            vec![
+                stage.clone(),
+                format!("{items} items"),
+                format!("{mops:.2} M/s"),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         format_table("serve/ingestion", &["stage", "work", "rate"], &rows)
     );
+
+    let entries: Vec<String> = stages
+        .iter()
+        .map(|(stage, items, mops)| {
+            format!(
+                "    {{\n      \"stage\": \"{stage}\",\n      \"items\": {items},\n      \
+                 \"mops\": {mops:.2}\n    }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_queue\",\n  \"quick\": {quick},\n  \
+         \"stages\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // `cargo bench` runs with the package dir as cwd; anchor the default
+    // at the workspace root so the baseline lands next to the others.
+    let out = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_queue.json").into()
+    });
+    if out.is_empty() {
+        return;
+    }
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
 }

@@ -524,6 +524,88 @@ fn sigterm_drains_like_the_drain_opcode() {
     assert!(stderr.contains("tenant sig:"), "final report: {stderr}");
 }
 
+/// SIGTERM while the input queue is admission-capped: with a one-slot
+/// input queue and a two-record output queue, the session reader spends
+/// the whole run blocked pushing into a full queue (output credit only
+/// recovers at mapping pace, ~2 reads per pipeline cycle). A drain signal
+/// landed in that state must still flush every *accepted* read — RECs then
+/// a balanced DONE — while reads still queued in the socket buffer are
+/// dropped by design, never half-processed.
+#[test]
+fn sigterm_while_admission_capped_flushes_accepted_reads() {
+    let fx = fixture("sigfull", 32);
+    let daemon = spawn_daemon(&fx, &["--inq-reads", "1", "--outq-records", "2"]);
+    let pid = daemon.id();
+
+    let mut client = UnixStream::connect(fx.socket()).unwrap();
+    hello(&mut client, "capped");
+    for rec in &fx.records {
+        send_read(&mut client, rec);
+    }
+    client.flush().unwrap();
+
+    // Wait for the mid-acceptance window: some reads accepted, the rest
+    // wedged behind the one-slot queue. Killing here exercises the
+    // reader-blocked-in-push drain path.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let accepted_at_kill = loop {
+        let f = admin(&fx.socket(), Op::Stats);
+        let report = f.text();
+        let accepted = report
+            .lines()
+            .find(|l| l.contains("tenant capped:"))
+            .and_then(|l| l.split("capped: ").nth(1))
+            .and_then(|rest| rest.split(" accepted").next())
+            .and_then(|n| n.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if (1..=24).contains(&accepted) {
+            break accepted;
+        }
+        assert!(
+            accepted <= 24,
+            "acceptance outran the poll loop (observed {accepted}/32): {report}"
+        );
+        assert!(Instant::now() < deadline, "no read ever accepted: {report}");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+
+    // The reader may legitimately finish the push it was blocked in (and a
+    // few more already racing through the queue), but whatever was
+    // accepted must come back in full, and nothing beyond it.
+    let (recs, done) = collect_records(&mut client);
+    let accepted = recs.len() as u64;
+    assert!(
+        accepted >= accepted_at_kill,
+        "flushed {accepted} < the {accepted_at_kill} reads accepted before \
+         the signal: {done}"
+    );
+    assert!(
+        accepted < 32,
+        "signal was supposed to land mid-acceptance, but all 32 reads got \
+         in: {done}"
+    );
+    assert!(
+        done.contains(&format!("{accepted} accepted, {accepted} sent")),
+        "accepted/sent must balance after a queue-full drain ({accepted} \
+         REC frames): {done}"
+    );
+
+    let out = daemon.wait_with_output().expect("join daemon");
+    assert!(
+        out.status.success(),
+        "queue-full SIGTERM drain must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tenant capped:"), "final report: {stderr}");
+}
+
 /// Admission control: the tenant cap refuses the N+1th live session with a
 /// protocol-level ERR, and a finished session frees its slot.
 #[test]

@@ -167,6 +167,7 @@ fn exhaustive() -> Builder {
         max_schedules: 500_000,
         max_steps: 20_000,
         max_preemptions: None,
+        ..Builder::default()
     }
 }
 
@@ -210,6 +211,7 @@ fn named_schedules_hold() {
         // forced switches, so this still covers them while running fast
         // enough to keep in the default test profile.
         max_preemptions: Some(2),
+        ..Builder::default()
     }
     .check(|| rendezvous_execution(true));
     assert!(report.schedules > 0);

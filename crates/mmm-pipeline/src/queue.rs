@@ -266,6 +266,47 @@ mod tests {
         );
     }
 
+    /// Regression (concurrency-soundness audit): `pop_timeout`'s deadline
+    /// is computed once, *before* the wait loop — a wakeup that loses its
+    /// item to a faster consumer re-waits only for the time remaining. A
+    /// per-wakeup restart would let a stream of appear-and-stolen items
+    /// extend the timeout indefinitely; this pins the absolute behaviour
+    /// under exactly that churn.
+    #[test]
+    fn pop_timeout_deadline_is_absolute_across_wakeups() {
+        let q = Arc::new(BoundedQueue::<u64>::new(4));
+        let qc = Arc::clone(&q);
+        // Churn: wake any waiter roughly every 20 ms with an item that is
+        // immediately stolen back, for 450 ms.
+        let churn = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let mut i = 0u64;
+            while start.elapsed() < Duration::from_millis(450) {
+                let _ = qc.push(i);
+                i += 1;
+                let _ = qc.try_pop();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let timeout = Duration::from_millis(150);
+        let all_done = std::time::Instant::now() + Duration::from_millis(700);
+        while std::time::Instant::now() < all_done {
+            let t0 = std::time::Instant::now();
+            match q.pop_timeout(timeout) {
+                // Winning a race against the churn thread is fine; what
+                // matters is that no single call overruns its deadline.
+                Ok(_) | Err(PopError::TimedOut) => {}
+                Err(PopError::Closed) => panic!("queue never closes here"),
+            }
+            assert!(
+                t0.elapsed() < timeout + Duration::from_millis(250),
+                "pop_timeout overran its absolute deadline: {:?}",
+                t0.elapsed()
+            );
+        }
+        churn.join().unwrap();
+    }
+
     /// A full queue blocks its producer until a consumer frees space — the
     /// backpressure contract the serve front-end is built on.
     #[test]

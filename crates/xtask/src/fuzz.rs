@@ -1,0 +1,258 @@
+//! Seeded structure-aware fuzzing of the serve wire protocol
+//! (`manymap::serve::proto`).
+//!
+//! The grammar is the length-prefixed frame layout (`u32_le len | u8 op |
+//! payload`) and the nested read encoding (`u32 name | u32 seq | u32
+//! qual`). Each case builds a *valid* frame and read from the seeded RNG,
+//! checks round-trip identity through the real codec, then derives hostile
+//! variants — truncations, bit flips, oversized length prefixes, unknown
+//! opcodes, trailing garbage, and unstructured byte soup — and feeds them
+//! to the decoders under `catch_unwind`. A typed `Err` is the correct
+//! answer for hostile input; any panic is a finding.
+//!
+//! The sweep core is generic over the decoder hooks so a unit test can
+//! hand it a deliberately broken decoder (one that trusts the length
+//! prefix) and prove the harness catches the panic — the fuzzer's canary,
+//! mirroring the broken-variant tests the loom-lite models keep.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use manymap::serve::proto::{decode_read, encode_read, read_frame, write_frame, Op, MAX_FRAME};
+
+/// splitmix64 — tiny, seedable, and good enough to decorrelate cases.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next() & 0xFF) as u8
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+}
+
+/// Every opcode the protocol defines, for valid-frame generation.
+const OPS: [Op; 10] = [
+    Op::Hello,
+    Op::Read,
+    Op::End,
+    Op::Stats,
+    Op::Drain,
+    Op::Ok,
+    Op::Rec,
+    Op::StatsReply,
+    Op::Done,
+    Op::Err,
+];
+
+/// What a finished sweep covered.
+#[derive(Debug)]
+pub struct Summary {
+    pub cases: u64,
+    pub mutations: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cases round-tripped (frames + reads), {} hostile mutations \
+             decoded without a panic",
+            self.cases, self.mutations
+        )
+    }
+}
+
+/// Fuzz the real protocol decoders.
+pub fn run(cases: u64, seed: u64) -> Result<Summary, String> {
+    sweep(
+        cases,
+        seed,
+        &|bytes| {
+            let _ = read_frame(&mut &bytes[..]);
+        },
+        &|payload| {
+            let _ = decode_read(payload);
+        },
+    )
+}
+
+/// One hostile variant of a valid input.
+fn mutate(rng: &mut Rng, valid: &[u8]) -> (&'static str, Vec<u8>) {
+    match rng.below(6) {
+        0 => ("truncated", valid[..rng.below(valid.len().max(1))].to_vec()),
+        1 => {
+            let mut m = valid.to_vec();
+            let at = rng.below(m.len().max(1));
+            if let Some(b) = m.get_mut(at) {
+                *b ^= 1 << rng.below(8);
+            }
+            ("bit-flipped", m)
+        }
+        2 => {
+            let mut m = valid.to_vec();
+            let huge = (MAX_FRAME as u32).saturating_add(1 + (rng.next() as u32 >> 8));
+            let n = 4.min(m.len());
+            m[..n].copy_from_slice(&huge.to_le_bytes()[..n]);
+            ("oversized-length", m)
+        }
+        3 => {
+            let mut m = valid.to_vec();
+            if m.len() > 4 {
+                m[4] = rng.byte();
+            }
+            ("opcode-rewritten", m)
+        }
+        4 => {
+            let mut m = valid.to_vec();
+            let extra = rng.below(32);
+            m.extend(rng.bytes(extra));
+            ("trailing-garbage", m)
+        }
+        _ => {
+            let len = rng.below(64);
+            ("byte-soup", rng.bytes(len))
+        }
+    }
+}
+
+/// The sweep core. `frame_sink` and `read_sink` receive every hostile
+/// input; they must swallow it with a typed error — a panic is a finding.
+/// Round-trip identity on the valid inputs is always checked against the
+/// *real* codec, independent of the sinks.
+pub fn sweep(
+    cases: u64,
+    seed: u64,
+    frame_sink: &dyn Fn(&[u8]),
+    read_sink: &dyn Fn(&[u8]),
+) -> Result<Summary, String> {
+    let mut rng = Rng::new(seed);
+    let mut mutations = 0u64;
+    for case in 0..cases {
+        // Valid frame → wire → identical frame back.
+        let op = OPS[rng.below(OPS.len())];
+        let payload_len = rng.below(512);
+        let payload = rng.bytes(payload_len);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, op, &payload)
+            .map_err(|e| format!("case {case}: write_frame on a valid frame: {e}"))?;
+        match read_frame(&mut &wire[..]) {
+            Ok(Some(f)) if f.op == op && f.payload == payload => {}
+            other => {
+                return Err(format!(
+                    "case {case}: frame round-trip lost identity (op {op:?}, \
+                     {} payload bytes): {other:?}",
+                    payload.len()
+                ))
+            }
+        }
+
+        // Valid read → payload → identical fields back.
+        let name: String = (0..rng.below(24))
+            .map(|_| (b'a' + (rng.below(26) as u8)) as char)
+            .collect();
+        let seq_len = rng.below(256);
+        let seq = rng.bytes(seq_len);
+        let qual = if rng.below(2) == 0 {
+            Vec::new()
+        } else {
+            rng.bytes(seq.len())
+        };
+        let enc = encode_read(&name, &seq, &qual);
+        match decode_read(&enc) {
+            Ok((n, s, q)) if n == name && s == seq && q == qual => {}
+            other => {
+                return Err(format!(
+                    "case {case}: read round-trip lost identity (name {name:?}, \
+                     {} seq bytes): {other:?}",
+                    seq.len()
+                ))
+            }
+        }
+
+        // Hostile variants of both corpora through the sinks.
+        for _ in 0..4 {
+            let (kind, bytes) = mutate(&mut rng, &wire);
+            mutations += 1;
+            if catch_unwind(AssertUnwindSafe(|| frame_sink(&bytes))).is_err() {
+                return Err(finding(case, seed, "frame decoder", kind, &bytes));
+            }
+            let (kind, bytes) = mutate(&mut rng, &enc);
+            mutations += 1;
+            if catch_unwind(AssertUnwindSafe(|| read_sink(&bytes))).is_err() {
+                return Err(finding(case, seed, "read decoder", kind, &bytes));
+            }
+        }
+    }
+    Ok(Summary { cases, mutations })
+}
+
+/// A reproducible finding: the case, seed, mutation family, and an input
+/// prefix — enough to replay with `xtask fuzz --seed`.
+fn finding(case: u64, seed: u64, decoder: &str, kind: &str, bytes: &[u8]) -> String {
+    let prefix: Vec<String> = bytes.iter().take(16).map(|b| format!("{b:02x}")).collect();
+    format!(
+        "{decoder} panicked on {kind} input at case {case} (seed {seed:#x}, \
+         {} bytes, prefix {})",
+        bytes.len(),
+        prefix.join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real codec survives a deeper sweep than the verify default.
+    #[test]
+    fn real_codec_survives_the_sweep() {
+        let s = run(128, 0xF00D).expect("clean sweep");
+        assert_eq!(s.cases, 128);
+        assert!(
+            s.mutations > 500,
+            "mutation corpus too small: {}",
+            s.mutations
+        );
+    }
+
+    /// Canary: a decoder that trusts the length prefix must be caught.
+    /// This is the truncated-frame-panic variant the acceptance criteria
+    /// name — if the harness stops catching it, the fuzz pass is dead.
+    #[test]
+    fn harness_catches_a_length_trusting_decoder() {
+        let broken = |bytes: &[u8]| {
+            let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let _payload = &bytes[5..5 + len]; // panics on truncation
+        };
+        let err = sweep(16, 0x5EED, &broken, &|_| {}).unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("frame decoder"), "{err}");
+    }
+
+    /// Determinism: the same seed walks the same corpus.
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let a = run(32, 42).expect("clean");
+        let b = run(32, 42).expect("clean");
+        assert_eq!(a.mutations, b.mutations);
+    }
+}

@@ -14,6 +14,8 @@
 //! | `scratch-variant` | every public kernel (`align_*`/`extend_*`/`fill_*`) in mmm-align and mmm-exec has a `*_with_scratch` variant |
 //! | `stats-forwarding` | `BackendStats` literals in `AlignBackend` impl files must name every field or forward from a non-default base |
 //! | `stats-sink` | no ad-hoc `print!`/`eprintln!` in the daemon (`manymap/src/serve/`) — reports go through `StatsSink` or the wire protocol |
+//! | `lock-order` | no file acquires two named mutexes in both orders (AB *and* BA) — a static deadlock smell the loom-lite lock-order detector confirms dynamically |
+//! | `condvar-wait-loop` | every condvar wait (`.wait(g)` / `.wait_timeout(..)` / `wait_unpoisoned(..)`) sits inside a `while`/`loop` re-check, never an `if` |
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -21,7 +23,7 @@ use std::path::{Path, PathBuf};
 
 use crate::lex::{has_word, scan, LineView};
 
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 10] = [
     "safety-comment",
     "target-feature-gate",
     "no-transmute",
@@ -30,6 +32,8 @@ pub const RULES: [&str; 8] = [
     "scratch-variant",
     "stats-forwarding",
     "stats-sink",
+    "lock-order",
+    "condvar-wait-loop",
 ];
 
 /// One lint finding, printable as `error[rule]: path:line: message`.
@@ -484,6 +488,270 @@ fn rule_stats_sink(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+/// The last path segment of a borrow expression: `&self.inner` → `inner`,
+/// `&state.slot` → `slot`, `&queue` → `queue`.
+fn last_segment(expr: &str) -> String {
+    expr.trim()
+        .trim_start_matches(['&', '*', ' '])
+        .rsplit('.')
+        .next()
+        .unwrap_or("")
+        .chars()
+        .filter(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Mutex acquisitions on one code line: the lock-target names, in order.
+/// Recognizes the two idioms this codebase uses — the poison-tolerant
+/// helper `lock_unpoisoned(&EXPR)` and a direct `RECEIVER.lock()` call.
+fn lock_targets(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(off) = code[search..].find("lock_unpoisoned(") {
+        let at = search + off;
+        search = at + "lock_unpoisoned(".len();
+        // Skip the helper's own definition (`pub fn lock_unpoisoned(..)`).
+        if code[..at].trim_end().ends_with("fn") || code[..at].contains("fn lock_unpoisoned") {
+            continue;
+        }
+        let arg: String = code[search..]
+            .chars()
+            .take_while(|c| *c != ')' && *c != ',')
+            .collect();
+        let name = last_segment(&arg);
+        if !name.is_empty() {
+            out.push((at, name));
+        }
+    }
+    let mut search = 0;
+    while let Some(off) = code[search..].find(".lock()") {
+        let at = search + off;
+        search = at + ".lock()".len();
+        // Walk the receiver chain backwards and take its last segment:
+        // `self.inner.lock()` → `inner`, `ledger.lock()` → `ledger`.
+        let recv_end = at;
+        let mut recv_start = recv_end;
+        let chars: Vec<char> = code[..recv_end].chars().collect();
+        let mut k = chars.len();
+        while k > 0
+            && (chars[k - 1].is_alphanumeric() || chars[k - 1] == '_' || chars[k - 1] == '.')
+        {
+            k -= 1;
+            recv_start = recv_end - (chars.len() - k);
+        }
+        let name = last_segment(&code[recv_start..recv_end]);
+        if !name.is_empty() {
+            out.push((at, name));
+        }
+    }
+    out.sort_by_key(|(at, _)| *at);
+    out.into_iter().map(|(_, name)| name).collect()
+}
+
+/// A guard currently held while scanning a file: which mutex it locks, the
+/// binding it lives in (`None` for a same-statement temporary), the brace
+/// depth it was taken at, and the line for reporting.
+struct HeldGuard {
+    target: String,
+    binding: Option<String>,
+    depth: usize,
+    line: usize,
+}
+
+/// `lock-order`: within one file, two named mutexes must always be taken
+/// in the same order. The scan is lexical — guards are tracked from their
+/// `let` binding to `drop(..)` or the end of their block — and the edge
+/// set is per file, so a genuine AB/BA inversion across files still needs
+/// the dynamic loom-lite detector; this rule catches the common same-file
+/// case at lint speed.
+fn rule_lock_order(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.rel.to_string_lossy().contains("/src/") {
+        return;
+    }
+    // (held, acquired) -> first line the order was seen at.
+    let mut edges: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut held: Vec<HeldGuard> = Vec::new();
+    let mut depth = 0usize;
+    for (idx, v) in ctx.views.iter().enumerate() {
+        let line = idx + 1;
+        let code = v.code.trim();
+        let start_depth = depth;
+        for c in v.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        // `drop(g)` releases the named guard early.
+        held.retain(|g| {
+            g.binding
+                .as_ref()
+                .is_none_or(|b| !v.code.contains(&format!("drop({b})")))
+        });
+        // Leaving the block a guard was taken in releases it.
+        held.retain(|g| depth >= g.depth);
+        if ctx.test_lines[idx] {
+            continue;
+        }
+        let targets = lock_targets(&v.code);
+        if targets.is_empty() {
+            continue;
+        }
+        // A `let` statement whose initializer locks keeps the guard alive;
+        // anything else (`q.lock().field = ..`) is a same-statement
+        // temporary that still orders against the guards currently held.
+        let binding = code.strip_prefix("let ").map(|rest| {
+            rest.trim_start_matches("mut ")
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<String>()
+        });
+        for target in targets {
+            for g in &held {
+                if g.target != target {
+                    edges
+                        .entry((g.target.clone(), target.clone()))
+                        .or_insert(line);
+                }
+            }
+            held.push(HeldGuard {
+                target,
+                binding: binding.clone(),
+                depth: start_depth.max(1),
+                line,
+            });
+        }
+        // Only a `let`-bound guard survives past its own statement.
+        if binding.is_none() {
+            held.retain(|g| g.line != line);
+        }
+    }
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), &line_ab) in &edges {
+        let Some(&line_ba) = edges.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let key = if a < b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        let (first, later) = if line_ab >= line_ba {
+            (line_ba, line_ab)
+        } else {
+            (line_ab, line_ba)
+        };
+        emit(
+            ctx,
+            out,
+            "lock-order",
+            later,
+            format!(
+                "mutexes `{a}` and `{b}` are acquired in both orders in this \
+                 file (also line {first}) — pick one global order so no pair \
+                 of threads can deadlock holding one each"
+            ),
+        );
+    }
+}
+
+/// `condvar-wait-loop`: a condvar wakeup proves nothing about the guarded
+/// predicate — spurious wakeups and raced-away state both require the wait
+/// to sit inside a `while`/`loop` that re-checks. Flags `.wait(g)`,
+/// `.wait_timeout(..)` and the repo helper `wait_unpoisoned(..)` whose
+/// enclosing blocks contain no loop; `wait_while`/`wait_timeout_while`
+/// re-check internally and `Child::wait()` (no argument) is not a condvar.
+fn rule_condvar_wait_loop(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    if !ctx.rel.to_string_lossy().contains("/src/") {
+        return;
+    }
+    let flat: Vec<(char, usize)> = ctx
+        .views
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, v)| {
+            v.code
+                .chars()
+                .chain(std::iter::once('\n'))
+                .map(move |c| (c, idx))
+        })
+        .collect();
+    let text: String = flat.iter().map(|(c, _)| *c).collect();
+
+    // Offsets of condvar-wait call sites.
+    let mut sites: Vec<usize> = Vec::new();
+    for pat in [".wait(", ".wait_timeout(", "wait_unpoisoned("] {
+        let mut search = 0;
+        while let Some(off) = text[search..].find(pat) {
+            let at = search + off;
+            search = at + pat.len();
+            // `child.wait()` takes no guard; a condvar wait always does.
+            if text[search..].trim_start().starts_with(')') {
+                continue;
+            }
+            // Skip the helper's own definition line (`pub fn wait_unpoisoned(..`).
+            if pat == "wait_unpoisoned(" {
+                let line_start = text[..at].rfind('\n').map_or(0, |p| p + 1);
+                if text[line_start..at].contains("fn ") {
+                    continue;
+                }
+            }
+            sites.push(at);
+        }
+    }
+    sites.sort_unstable();
+    sites.dedup();
+
+    for at in sites {
+        let line_idx = flat[at].1;
+        if ctx.test_lines[line_idx] {
+            continue;
+        }
+        // Walk the brace structure up to the call site; the wait is sound
+        // iff one enclosing block is a loop body. A block is a loop body
+        // when the text between the previous statement boundary and its
+        // `{` uses `while`/`loop`/`for` — excluding `impl .. for ..`.
+        let mut stack: Vec<bool> = Vec::new();
+        let mut seg_start = 0usize;
+        let chars: Vec<char> = text.chars().collect();
+        for (k, &c) in chars.iter().enumerate().take(at) {
+            match c {
+                '{' => {
+                    let seg: String = chars[seg_start..k].iter().collect();
+                    let looping = (has_word(&seg, "while")
+                        || has_word(&seg, "loop")
+                        || has_word(&seg, "for"))
+                        && !has_word(&seg, "impl");
+                    stack.push(looping);
+                    seg_start = k + 1;
+                }
+                '}' => {
+                    stack.pop();
+                    seg_start = k + 1;
+                }
+                ';' => seg_start = k + 1,
+                _ => {}
+            }
+        }
+        if !stack.iter().any(|&looping| looping) {
+            emit(
+                ctx,
+                out,
+                "condvar-wait-loop",
+                line_idx + 1,
+                "condvar wait outside a `while`/`loop` re-check — a spurious \
+                 or raced-away wakeup leaves the guarded predicate false; \
+                 re-test it in a loop around the wait"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// `scratch-variant`: every public kernel entry point (in mmm-align and the
 /// mmm-exec batch executors) must offer the zero-allocation
 /// `*_with_scratch` form (the PR-1 contract).
@@ -784,6 +1052,8 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         rule_raw_ptr(&ctx, &mut out);
         rule_no_unwrap(&ctx, &mut out);
         rule_stats_sink(&ctx, &mut out);
+        rule_lock_order(&ctx, &mut out);
+        rule_condvar_wait_loop(&ctx, &mut out);
     }
     rule_scratch_variant(&parsed, &mut out);
     rule_stats_forwarding(&parsed, &all_allows, &mut out);
@@ -814,6 +1084,8 @@ mod tests {
         rule_raw_ptr(&ctx, &mut out);
         rule_no_unwrap(&ctx, &mut out);
         rule_stats_sink(&ctx, &mut out);
+        rule_lock_order(&ctx, &mut out);
+        rule_condvar_wait_loop(&ctx, &mut out);
         out
     }
 
@@ -1023,6 +1295,89 @@ mod tests {
         // A justified allow still works.
         let allowed = "fn f() {\n    // xtask-allow: stats-sink — pre-socket bind failure has no sink yet.\n    eprintln!(\"boot\");\n}\n";
         assert!(check_snippet("crates/manymap/src/serve/server.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn lock_order_inversion_is_flagged() {
+        let src = "fn f(s: &S) {\n    let a = s.left.lock();\n    let b = s.right.lock();\n    drop(b);\n    drop(a);\n}\nfn g(s: &S) {\n    let b = s.right.lock();\n    let a = s.left.lock();\n    drop(a);\n    drop(b);\n}\n";
+        let v = check_snippet("crates/a/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].message.contains("left"), "{}", v[0].message);
+        assert!(v[0].message.contains("right"), "{}", v[0].message);
+        // The same source in a test file or outside src/ is exempt.
+        assert!(check_snippet("crates/a/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_consistent_order_is_clean() {
+        let src = "fn f(s: &S) {\n    let a = s.left.lock();\n    let b = s.right.lock();\n    drop(b);\n    drop(a);\n}\nfn g(s: &S) {\n    let a = s.left.lock();\n    let b = s.right.lock();\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_release_ends_the_hold() {
+        // `drop(a)` before the second lock: never held together.
+        let dropped = "fn f(s: &S) {\n    let a = s.left.lock();\n    drop(a);\n    let b = s.right.lock();\n}\nfn g(s: &S) {\n    let b = s.right.lock();\n    drop(b);\n    let a = s.left.lock();\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", dropped).is_empty());
+        // Block scope ends the hold the same way.
+        let scoped = "fn f(s: &S) {\n    {\n        let a = s.left.lock();\n    }\n    let b = s.right.lock();\n}\nfn g(s: &S) {\n    {\n        let b = s.right.lock();\n    }\n    let a = s.left.lock();\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn lock_order_sees_lock_unpoisoned_and_temporaries() {
+        // Helper idiom on one side, a same-statement temporary on the other.
+        let src = "fn f(s: &S) {\n    let a = lock_unpoisoned(&s.left);\n    s.right.lock().x = 1;\n}\nfn g(s: &S) {\n    let b = lock_unpoisoned(&s.right);\n    s.left.lock().x = 1;\n}\n";
+        let v = check_snippet("crates/a/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-order");
+    }
+
+    #[test]
+    fn lock_order_respects_justified_allow() {
+        let src = "fn f(s: &S) {\n    let a = s.left.lock();\n    let b = s.right.lock();\n}\nfn g(s: &S) {\n    let b = s.right.lock();\n    // xtask-allow: lock-order — g is only ever called with f's locks released.\n    let a = s.left.lock();\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_outside_loop_is_flagged() {
+        let iffy = "fn f(cv: &Condvar, m: &Mutex<bool>) {\n    let mut g = m.lock();\n    if !*g {\n        g = cv.wait(g);\n    }\n}\n";
+        let v = check_snippet("crates/a/src/lib.rs", iffy);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "condvar-wait-loop");
+        assert_eq!(v[0].line, 4);
+        // Test code and non-src files are exempt.
+        assert!(check_snippet("crates/a/tests/t.rs", iffy).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_inside_loop_is_clean() {
+        let looped = "fn f(cv: &Condvar, m: &Mutex<bool>) {\n    let mut g = m.lock();\n    while !*g {\n        g = cv.wait(g);\n    }\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", looped).is_empty());
+        let timeout = "fn f(cv: &Condvar, m: &Mutex<bool>) {\n    let mut g = m.lock();\n    loop {\n        let (g2, t) = cv.wait_timeout(g, d);\n        g = g2;\n        if t.timed_out() { break; }\n    }\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", timeout).is_empty());
+        let helper = "fn f() {\n    loop {\n        g = wait_unpoisoned(&cv, g);\n    }\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", helper).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_non_condvar_waits_are_exempt() {
+        // `Child::wait()` takes no guard.
+        let child = "fn f(c: &mut Child) {\n    let st = c.wait();\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", child).is_empty());
+        // `wait_while` re-checks the predicate internally.
+        let wait_while =
+            "fn f(cv: &Condvar, g: G) {\n    let g = cv.wait_while(g, |s| !s.ready);\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", wait_while).is_empty());
+        // The helper's own definition is not a call site.
+        let def = "pub fn wait_unpoisoned<'a, T>(cv: &Condvar, g: Guard<'a, T>) -> Guard<'a, T> {\n    f(g)\n}\n";
+        assert!(check_snippet("crates/a/src/lib.rs", def).is_empty());
+        // An `impl .. for ..` block is not a loop.
+        let imp =
+            "impl Waiter for W {\n    fn go(&self) {\n        let g = self.cv.wait(g);\n    }\n}\n";
+        let v = check_snippet("crates/a/src/lib.rs", imp);
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]

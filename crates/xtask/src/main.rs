@@ -12,13 +12,21 @@
 //! 2. `oracle` — the differential kernel oracle: every available SIMD tier
 //!    against the scalar manymap gold, plus the zero-allocation
 //!    scratch-arena steady-state check.
-//! 3. `miri` — the Miri-clean subset (`cargo +nightly miri test` on
-//!    `mmm-align`'s scalar/layout tests; SIMD intrinsics are cfg-gated out
-//!    under Miri). Skipped with a notice when the toolchain has no Miri —
-//!    this build environment is offline and cannot install components.
-//! 4. `interleave` — the loom-lite interleaving checker over the pipeline
-//!    condvar hand-off, EOF, abort, and worker-pool barrier protocols.
+//! 3. `fuzz` — the seeded structure-aware protocol fuzzer: hostile
+//!    length-prefixed frames (truncated, bit-flipped, oversized, unknown
+//!    opcodes, byte soup) against `serve::proto` decoding, asserting typed
+//!    errors, no panics, and round-trip identity on valid frames.
+//! 4. `miri` — the Miri-clean subset (`cargo +nightly miri test` on
+//!    `mmm-align`'s scalar/layout tests, `mmm-pipeline`'s queue tests, and
+//!    the `serve::proto` codec; SIMD intrinsics are cfg-gated out under
+//!    Miri). Skipped with a notice when the toolchain has no Miri — this
+//!    build environment is offline and cannot install components.
+//! 5. `interleave` — the loom-lite interleaving checker (with the
+//!    happens-before race detector and lock-order detector on) over the
+//!    pipeline condvar hand-off, the `BoundedQueue` protocol, the DRR
+//!    credit gate, the signal-drain flush, and the watchdog rendezvous.
 
+mod fuzz;
 mod lex;
 mod lints;
 mod oracle;
@@ -83,10 +91,45 @@ fn run_oracle(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_fuzz(args: &[String]) -> Result<(), String> {
+    let mut cases = 256u64;
+    let mut seed = 0xF2A7_u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--cases" => {
+                cases = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => {
+                seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown fuzz flag {other:?}")),
+        }
+    }
+    let summary = fuzz::run(cases, seed)?;
+    println!("xtask fuzz: {summary}");
+    Ok(())
+}
+
 /// Run a cargo subcommand, streaming its output; Err on non-zero exit.
 fn cargo(root: &Path, args: &[&str], what: &str) -> Result<(), String> {
+    cargo_env(root, args, &[], what)
+}
+
+/// Like [`cargo`], with extra environment variables (e.g. `MIRIFLAGS`).
+fn cargo_env(root: &Path, args: &[&str], envs: &[(&str, &str)], what: &str) -> Result<(), String> {
     let status = Command::new("cargo")
         .args(args)
+        .envs(envs.iter().copied())
         .current_dir(root)
         .status()
         .map_err(|e| format!("spawning cargo for {what}: {e}"))?;
@@ -114,16 +157,53 @@ fn run_miri(root: &Path) -> Result<(), String> {
         );
         return Ok(());
     }
-    println!("xtask miri: running the Miri-clean subset (mmm-align, SIMD cfg-gated out)");
+    println!(
+        "xtask miri: running the Miri-clean subset (mmm-align with SIMD \
+         cfg-gated out, mmm-pipeline queue, serve::proto codec)"
+    );
     cargo(
         root,
         &["+nightly", "miri", "test", "-p", "mmm-align", "--lib", "-q"],
-        "miri subset",
+        "miri subset (mmm-align)",
+    )?;
+    // The queue tests take real timeouts through `Instant`, which Miri only
+    // provides outside isolation.
+    cargo_env(
+        root,
+        &[
+            "+nightly",
+            "miri",
+            "test",
+            "-p",
+            "mmm-pipeline",
+            "--lib",
+            "-q",
+            "queue",
+        ],
+        &[("MIRIFLAGS", "-Zmiri-disable-isolation")],
+        "miri subset (mmm-pipeline queue)",
+    )?;
+    cargo(
+        root,
+        &[
+            "+nightly",
+            "miri",
+            "test",
+            "-p",
+            "manymap",
+            "--lib",
+            "-q",
+            "serve::proto",
+        ],
+        "miri subset (serve::proto)",
     )
 }
 
 fn run_interleave(root: &Path) -> Result<(), String> {
-    println!("xtask interleave: enumerating pipeline schedules with loom-lite");
+    println!(
+        "xtask interleave: enumerating schedules with loom-lite (race + \
+         lock-order detectors on)"
+    );
     cargo(
         root,
         &[
@@ -134,7 +214,43 @@ fn run_interleave(root: &Path) -> Result<(), String> {
             "--test",
             "interleavings",
         ],
-        "interleaving checker",
+        "interleaving checker (pipeline hand-off)",
+    )?;
+    cargo(
+        root,
+        &[
+            "test",
+            "-q",
+            "-p",
+            "mmm-pipeline",
+            "--test",
+            "queue_interleavings",
+        ],
+        "interleaving checker (BoundedQueue)",
+    )?;
+    cargo(
+        root,
+        &[
+            "test",
+            "-q",
+            "-p",
+            "manymap",
+            "--test",
+            "serve_interleavings",
+        ],
+        "interleaving checker (DRR credit + signal drain)",
+    )?;
+    cargo(
+        root,
+        &[
+            "test",
+            "-q",
+            "-p",
+            "mmm-exec",
+            "--test",
+            "watchdog_interleavings",
+        ],
+        "interleaving checker (watchdog rendezvous)",
     )?;
     cargo(
         root,
@@ -144,13 +260,15 @@ fn run_interleave(root: &Path) -> Result<(), String> {
 }
 
 fn verify(root: &Path) -> Result<(), String> {
-    println!("xtask verify: [1/4] source lints");
+    println!("xtask verify: [1/5] source lints");
     run_lints(root)?;
-    println!("xtask verify: [2/4] differential kernel oracle");
+    println!("xtask verify: [2/5] differential kernel oracle");
     run_oracle(&[])?;
-    println!("xtask verify: [3/4] Miri subset");
+    println!("xtask verify: [3/5] protocol fuzzer");
+    run_fuzz(&[])?;
+    println!("xtask verify: [4/5] Miri subset");
     run_miri(root)?;
-    println!("xtask verify: [4/4] interleaving checker");
+    println!("xtask verify: [5/5] interleaving checker");
     run_interleave(root)?;
     println!("xtask verify: all passes clean");
     Ok(())
@@ -161,11 +279,12 @@ fn print_help() {
         "xtask — repo-native verification\n\n\
          USAGE: cargo run -p xtask -- <command>\n\n\
          COMMANDS:\n  \
-         verify               run every pass (lint, oracle, miri, interleave)\n  \
-         lint                 custom source lints (SAFETY comments, unsafe hygiene)\n  \
+         verify               run every pass (lint, oracle, fuzz, miri, interleave)\n  \
+         lint                 custom source lints (SAFETY comments, unsafe hygiene,\n                       lock order, condvar-wait loops)\n  \
          oracle [--cases N] [--seed S]\n                       differential SIMD oracle vs scalar gold\n  \
+         fuzz [--cases N] [--seed S]\n                       hostile-frame fuzzer for the serve wire protocol\n  \
          miri                 Miri-clean subset (skipped if Miri is unavailable)\n  \
-         interleave           loom-lite schedule enumeration for the pipelines\n  \
+         interleave           loom-lite schedule enumeration (pipeline, queue,\n                       DRR credit, signal drain, watchdog)\n  \
          help                 this text"
     );
 }
@@ -178,6 +297,7 @@ fn main() -> ExitCode {
         "verify" => verify(&root),
         "lint" => run_lints(&root),
         "oracle" => run_oracle(&args[1..]),
+        "fuzz" => run_fuzz(&args[1..]),
         "miri" => run_miri(&root),
         "interleave" => run_interleave(&root),
         "help" | "--help" | "-h" => {
